@@ -1,0 +1,198 @@
+//! Criterion performance benches: manager activation latency (the paper's
+//! motivation for the fast heuristic), the EDF feasibility kernel, the MILP
+//! solver, trace generation, and an end-to-end simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use rtrm_core::{ExactRm, HeuristicRm, JobView, MilpRm, ResourceManager};
+use rtrm_platform::{Platform, TaskTypeId, Time};
+use rtrm_sched::{is_schedulable, JobKey, PlannedJob};
+use rtrm_sim::{SimConfig, Simulator};
+use rtrm_trace::{generate_catalog, generate_trace, CatalogConfig, TraceConfig};
+
+/// A synthetic activation with `n` active, loosely placed tasks.
+fn activation_fixture(
+    n: usize,
+) -> (
+    Platform,
+    rtrm_platform::TaskCatalog,
+    Vec<JobView>,
+    JobView,
+    Vec<JobView>,
+) {
+    let platform = Platform::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let now = Time::new(0.0);
+    let active: Vec<JobView> = (0..n)
+        .map(|i| {
+            let ty = TaskTypeId::new(i % catalog.len());
+            let slack = 2.0 + (i % 7) as f64;
+            let mut job = JobView::fresh(
+                JobKey(i as u64),
+                ty,
+                now,
+                now + catalog.task_type(ty).mean_wcet() * slack,
+            );
+            job.placement = Some(rtrm_core::Placement {
+                resource: rtrm_platform::ResourceId::new(i % (platform.len() - 1)),
+                remaining_fraction: 0.5 + 0.4 * ((i % 5) as f64 / 5.0),
+                started: true,
+                speed: 1.0,
+            });
+            job
+        })
+        .collect();
+    let arr_ty = TaskTypeId::new(7);
+    let arriving = JobView::fresh(
+        JobKey(999),
+        arr_ty,
+        now,
+        now + catalog.task_type(arr_ty).mean_wcet() * 1.8,
+    );
+    let pred_ty = TaskTypeId::new(11);
+    let predicted = vec![JobView::fresh(
+        JobKey(1000),
+        pred_ty,
+        Time::new(2.0),
+        Time::new(2.0) + catalog.task_type(pred_ty).min_wcet() * 1.5,
+    )];
+    (platform, catalog, active, arriving, predicted)
+}
+
+fn bench_rm_activation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rm_activation");
+    for n in [4usize, 8, 16] {
+        let (platform, catalog, active, arriving, predicted) = activation_fixture(n);
+        let activation = rtrm_core::Activation {
+            now: Time::new(0.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &predicted,
+        };
+        group.bench_with_input(BenchmarkId::new("heuristic", n), &n, |b, _| {
+            let mut rm = HeuristicRm::new();
+            b.iter(|| rm.decide(&activation));
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            let mut rm = ExactRm::with_node_budget(25_000);
+            b.iter(|| rm.decide(&activation));
+        });
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("milp_encoded", n), &n, |b, _| {
+                let mut rm = MilpRm::new();
+                b.iter(|| rm.decide(&activation));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_rm_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rm_ablations");
+    let n = 8;
+    let (platform, catalog, active, arriving, predicted) = activation_fixture(n);
+    let activation = rtrm_core::Activation {
+        now: Time::new(0.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &active,
+        arriving,
+        predicted: &predicted,
+    };
+    group.bench_function("heuristic_regret_ordering", |b| {
+        let mut rm = HeuristicRm::new();
+        b.iter(|| rm.decide(&activation));
+    });
+    group.bench_function("heuristic_input_ordering", |b| {
+        let mut rm = HeuristicRm::without_regret_ordering();
+        b.iter(|| rm.decide(&activation));
+    });
+    group.bench_function("exact_with_gpu_requeue", |b| {
+        let mut rm = ExactRm::new();
+        b.iter(|| rm.decide(&activation));
+    });
+    group.bench_function("exact_without_gpu_requeue", |b| {
+        let mut rm = ExactRm {
+            gpu_restart_in_place: false,
+            ..ExactRm::new()
+        };
+        b.iter(|| rm.decide(&activation));
+    });
+    group.finish();
+}
+
+fn bench_edf_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edf_is_schedulable");
+    for n in [4usize, 16, 64] {
+        let jobs: Vec<PlannedJob> = (0..n)
+            .map(|i| {
+                PlannedJob::new(
+                    JobKey(i as u64),
+                    Time::new((i % 3) as f64),
+                    Time::new(1.0 + (i % 5) as f64),
+                    Time::new(40.0 + 4.0 * i as f64),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("cpu", n), &jobs, |b, jobs| {
+            b.iter(|| is_schedulable(rtrm_platform::ResourceKind::Cpu, Time::new(0.0), jobs));
+        });
+        group.bench_with_input(BenchmarkId::new("gpu", n), &jobs, |b, jobs| {
+            b.iter(|| is_schedulable(rtrm_platform::ResourceKind::Gpu, Time::new(0.0), jobs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp_solver(c: &mut Criterion) {
+    use rtrm_milp::{Model, Sense};
+    c.bench_function("milp_knapsack_12", |b| {
+        b.iter(|| {
+            let mut m = Model::new(Sense::Maximize);
+            let items: Vec<_> = (0..12)
+                .map(|i| (m.binary(3.0 + (i * 7 % 11) as f64), 2.0 + (i * 5 % 9) as f64))
+                .collect();
+            let terms: Vec<_> = items.iter().map(|(v, w)| (*v, *w)).collect();
+            m.add_le(&terms, 30.0);
+            m.solve().expect("feasible")
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let platform = Platform::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    c.bench_function("generate_trace_500", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = TraceConfig::calibrated_vt();
+        b.iter(|| generate_trace(&catalog, &cfg, &mut rng));
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let platform = Platform::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let cfg = TraceConfig {
+        length: 100,
+        ..TraceConfig::calibrated_vt()
+    };
+    let trace = generate_trace(&catalog, &cfg, &mut rng);
+    let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+    c.bench_function("simulate_100_requests_heuristic", |b| {
+        b.iter(|| sim.run(&trace, &mut HeuristicRm::new(), None));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rm_activation, bench_rm_ablations, bench_edf_kernel,
+              bench_milp_solver, bench_trace_generation, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: phantom-deadline model versus prediction benefit.
+//!
+//! The predictor forecasts type and arrival only; the phantom task's
+//! deadline is a design knob of the manager. This sweep measures the
+//! rejection percentage of the heuristic with perfect prediction under
+//! several phantom models, against the predictor-off baseline.
+//!
+//! `cargo run --release -p rtrm-bench --bin ablation_phantom`
+
+use rtrm_bench::{workload, write_csv, Group, Scale};
+use rtrm_core::HeuristicRm;
+use rtrm_predict::{OraclePredictor, Predictor};
+use rtrm_sim::{mean_rejection_percent, run_batch, PhantomDeadline, SimConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = workload(&[Group::Vt, Group::Lt], scale);
+    println!(
+        "phantom ablation: heuristic, perfect oracle, {} traces x {} requests",
+        scale.traces, scale.trace_len
+    );
+
+    let mut rows = Vec::new();
+    for (group, traces) in &w.traces {
+        let models: Vec<(String, Option<PhantomDeadline>)> = vec![
+            ("off".into(), None),
+            ("min*1.5".into(), Some(PhantomDeadline::MinWcetTimes(1.5))),
+            ("min*2.0".into(), Some(PhantomDeadline::MinWcetTimes(2.0))),
+            ("min*3.0".into(), Some(PhantomDeadline::MinWcetTimes(3.0))),
+            ("min*4.0".into(), Some(PhantomDeadline::MinWcetTimes(4.0))),
+            ("mean*1.75".into(), Some(PhantomDeadline::MeanWcetTimes(1.75))),
+            ("mean*4.0".into(), Some(PhantomDeadline::MeanWcetTimes(4.0))),
+        ];
+        println!("\n  {} group:", group.name());
+        for (label, model) in models {
+            let config = SimConfig {
+                phantom_deadline: model.unwrap_or(PhantomDeadline::MeanWcetTimes(1.75)),
+                ..SimConfig::default()
+            };
+            let with_pred = model.is_some();
+            let catalog_len = w.catalog.len();
+            let reports = run_batch(
+                &w.platform,
+                &w.catalog,
+                &config,
+                traces,
+                |_| Box::new(HeuristicRm::new()),
+                |i| {
+                    if with_pred {
+                        let p: Box<dyn Predictor + Send> =
+                            Box::new(OraclePredictor::perfect(&traces[i], catalog_len));
+                        Some(p)
+                    } else {
+                        None
+                    }
+                },
+            );
+            let rej = mean_rejection_percent(&reports);
+            let honoured: usize = reports.iter().map(|r| r.used_prediction).sum();
+            let accepted: usize = reports.iter().map(|r| r.accepted).sum();
+            println!(
+                "  {label:>10}: rej={rej:6.2}%  honoured={honoured}/{accepted}"
+            );
+            rows.push(format!("{},{label},{rej:.4},{honoured},{accepted}", group.name()));
+        }
+    }
+    let path = write_csv(
+        "ablation_phantom",
+        "group,model,rejection_percent,plans_honouring_phantom,accepted",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,58 @@
+//! Calibration sweep: finds the interarrival mean whose no-prediction
+//! rejection percentages land in the paper's reported band (Sec 5.2:
+//! MILP 24.5 %, heuristic 31 %, averaged over VT+LT). See DESIGN.md §3 for
+//! why the paper's literal units cannot be used directly.
+//!
+//! Usage: `cargo run --release -p rtrm-bench --bin calibrate`
+//! (scale via `RTRM_TRACES` / `RTRM_TRACE_LEN`).
+
+use std::time::Instant;
+
+use rtrm_bench::{run_config, workload, Group, Oracle, Policy, Scale};
+use rtrm_predict::OverheadModel;
+use rtrm_sim::mean_rejection_percent;
+use rtrm_trace::TraceConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "calibration sweep: {} traces x {} requests per point",
+        scale.traces, scale.trace_len
+    );
+    println!("{:>8} {:>6} {:>12} {:>12} {:>9}", "mean", "group", "MILP rej%", "heur rej%", "secs");
+
+    for mean in [2.0, 2.4, 2.8, 3.2, 3.6] {
+        for group in [Group::Vt, Group::Lt] {
+            // Rebuild the workload with the overridden interarrival mean,
+            // keeping the coefficient of variation of the paper (0.4/1.2).
+            let mut w = workload(&[group], scale);
+            let cfg = TraceConfig {
+                interarrival_mean: mean,
+                interarrival_std: mean / 3.0,
+                length: scale.trace_len,
+                ..group.trace_config(scale.trace_len)
+            };
+            w.traces = vec![(
+                group,
+                rtrm_trace::generate_traces(&w.catalog, &cfg, scale.traces, scale.seed),
+            )];
+            let (g, traces) = (&w.traces[0].0, w.traces[0].1.clone());
+
+            let t0 = Instant::now();
+            let milp = run_config(
+                &w, *g, &traces, Policy::Milp, Oracle::Off, OverheadModel::none(), 7,
+            );
+            let heur = run_config(
+                &w, *g, &traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), 7,
+            );
+            println!(
+                "{:>8.2} {:>6} {:>12.2} {:>12.2} {:>9.1}",
+                mean,
+                g.name(),
+                mean_rejection_percent(&milp),
+                mean_rejection_percent(&heur),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

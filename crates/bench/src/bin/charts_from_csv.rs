@@ -1,0 +1,43 @@
+//! Regenerates the SVG charts from the CSVs under `results/` without
+//! re-running the experiments.
+//!
+//! `cargo run --release -p rtrm-bench --bin charts_from_csv`
+
+use std::fs;
+
+use rtrm_bench::chart::{bar_chart, write_svg, Series};
+
+fn main() {
+    match fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fig2.csv")) {
+        Ok(text) => {
+            let mut bars: Vec<(String, Vec<f64>)> = Vec::new();
+            for line in text.lines().skip(1) {
+                let f: Vec<&str> = line.split(',').collect();
+                if f.len() != 4 {
+                    continue;
+                }
+                let (off, on) = (f[2].parse::<f64>(), f[3].parse::<f64>());
+                if let (Ok(off), Ok(on)) = (off, on) {
+                    bars.push((format!("{} {}", f[0], f[1]), vec![off, on]));
+                }
+            }
+            if bars.is_empty() {
+                eprintln!("fig2.csv had no data rows");
+                return;
+            }
+            let series: Vec<Series> = bars
+                .into_iter()
+                .map(|(label, v)| Series::new(label, v))
+                .collect();
+            let svg = bar_chart(
+                "Fig 2: rejection %, prediction off vs on",
+                "rejection %",
+                &["prediction off", "prediction on"],
+                &series,
+            );
+            let path = write_svg("fig2", &svg);
+            println!("wrote {}", path.display());
+        }
+        Err(e) => eprintln!("run the fig2 experiment first: {e}"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Extension experiment: the paper's adaptive managers against quasi-static
+//! design-time baselines (related-work class: Singh'16, Massari'14,
+//! Goens'17 — fixed per-type mappings, no runtime remapping).
+//!
+//! `cargo run --release -p rtrm-bench --bin ext_baselines`
+
+use rtrm_bench::{workload, write_csv, Group, Scale};
+use rtrm_core::{ExactRm, HeuristicRm, ResourceManager, StaticRm};
+use rtrm_sim::{mean_energy, mean_rejection_percent, run_batch, SimConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = workload(&[Group::Vt, Group::Lt], scale);
+    println!(
+        "baseline comparison (no prediction): {} traces x {} requests",
+        scale.traces, scale.trace_len
+    );
+    println!(
+        "{:>6} {:>14} {:>12} {:>12}",
+        "group", "manager", "rejection%", "energy"
+    );
+
+    let mut rows = Vec::new();
+    for (group, traces) in &w.traces {
+        let managers: Vec<(&str, Box<dyn Fn() -> Box<dyn ResourceManager + Send> + Sync>)> = vec![
+            ("static", {
+                let catalog = w.catalog.clone();
+                Box::new(move || Box::new(StaticRm::new(&catalog)))
+            }),
+            ("static-spill", {
+                let catalog = w.catalog.clone();
+                Box::new(move || Box::new(StaticRm::with_spill(&catalog)))
+            }),
+            ("heuristic", Box::new(|| Box::new(HeuristicRm::new()))),
+            (
+                "milp",
+                Box::new(|| Box::new(ExactRm::with_node_budget(25_000))),
+            ),
+        ];
+        for (name, make) in &managers {
+            let reports = run_batch(
+                &w.platform,
+                &w.catalog,
+                &SimConfig::default(),
+                traces,
+                |_| make(),
+                |_| None,
+            );
+            let rej = mean_rejection_percent(&reports);
+            let energy = mean_energy(&reports);
+            println!("{:>6} {:>14} {:>12.2} {:>12.1}", group.name(), name, rej, energy);
+            rows.push(format!("{},{name},{rej:.4},{energy:.4}", group.name()));
+        }
+    }
+    let path = write_csv(
+        "ext_baselines",
+        "group,manager,rejection_percent,mean_energy",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,91 @@
+//! Extension experiment: DVFS-capable CPUs.
+//!
+//! The paper's introduction names voltage/frequency scaling among the
+//! manager's levers but does not evaluate it. This extension replays the
+//! paper's workload on a platform whose CPUs expose speed levels
+//! {0.6, 0.8, 1.0} (time `∝ 1/s`, dynamic energy `∝ s²`) and measures how
+//! much energy the managers recover by slowing down when slack allows —
+//! and what that costs in acceptance.
+//!
+//! `cargo run --release -p rtrm-bench --bin ext_dvfs`
+
+use rand::SeedableRng;
+
+use rtrm_bench::{write_csv, Group, Scale};
+use rtrm_core::{ExactRm, HeuristicRm, ResourceManager};
+use rtrm_platform::Platform;
+use rtrm_sim::{mean_energy, mean_rejection_percent, run_batch, SimConfig};
+use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig};
+
+fn build_platform(dvfs: bool) -> Platform {
+    let mut b = Platform::builder();
+    for i in 0..5 {
+        if dvfs {
+            b.cpu_with_dvfs(format!("cpu{i}"), &[0.6, 0.8, 1.0]);
+        } else {
+            b.cpu(format!("cpu{i}"));
+        }
+    }
+    b.gpu("gpu0");
+    b.build()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "DVFS extension: {} traces x {} requests, CPUs at {{0.6, 0.8, 1.0}}",
+        scale.traces, scale.trace_len
+    );
+    println!(
+        "{:>6} {:>10} {:>8} {:>12} {:>12}",
+        "group", "policy", "dvfs", "rejection%", "energy"
+    );
+
+    let mut rows = Vec::new();
+    for group in [Group::Vt, Group::Lt] {
+        for dvfs in [false, true] {
+            let platform = build_platform(dvfs);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(scale.seed);
+            let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+            let cfg = group.trace_config(scale.trace_len);
+            let traces = generate_traces(&catalog, &cfg, scale.traces, scale.seed);
+            for policy in ["heuristic", "milp"] {
+                let reports = run_batch(
+                    &platform,
+                    &catalog,
+                    &SimConfig::default(),
+                    &traces,
+                    |_| -> Box<dyn ResourceManager + Send> {
+                        if policy == "heuristic" {
+                            Box::new(HeuristicRm::new())
+                        } else {
+                            Box::new(ExactRm::with_node_budget(25_000))
+                        }
+                    },
+                    |_| None,
+                );
+                let rej = mean_rejection_percent(&reports);
+                let energy = mean_energy(&reports);
+                println!(
+                    "{:>6} {:>10} {:>8} {:>12.2} {:>12.1}",
+                    group.name(),
+                    policy,
+                    if dvfs { "on" } else { "off" },
+                    rej,
+                    energy
+                );
+                rows.push(format!(
+                    "{},{policy},{},{rej:.4},{energy:.4}",
+                    group.name(),
+                    if dvfs { "on" } else { "off" }
+                ));
+            }
+        }
+    }
+    let path = write_csv(
+        "ext_dvfs",
+        "group,policy,dvfs,rejection_percent,mean_energy",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

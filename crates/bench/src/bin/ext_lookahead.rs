@@ -1,0 +1,83 @@
+//! Extension experiment: multi-step lookahead.
+//!
+//! The paper's manager plans around exactly one predicted request. This
+//! extension asks its open question: does knowing the next *K* requests
+//! help more? The oracle forecasts the next K arrivals (with the usual
+//! error model hooks), the managers plan around K phantoms, and the
+//! fallback ladder drops the furthest-future phantom first when plans do
+//! not fit.
+//!
+//! `cargo run --release -p rtrm-bench --bin ext_lookahead`
+
+use rtrm_bench::{workload, write_csv, Group, Scale};
+use rtrm_core::{ExactRm, HeuristicRm, ResourceManager};
+use rtrm_predict::{OraclePredictor, Predictor};
+use rtrm_sim::{mean_rejection_percent, run_batch, PhantomDeadline, SimConfig};
+
+const HORIZONS: [usize; 5] = [0, 1, 2, 4, 8];
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = workload(&[Group::Vt, Group::Lt], scale);
+    println!(
+        "multi-step lookahead: perfect oracle, {} traces x {} requests",
+        scale.traces, scale.trace_len
+    );
+    println!(
+        "{:>6} {:>10} {:>4} {:>12} {:>14}",
+        "group", "policy", "K", "rejection%", "phantom plans"
+    );
+
+    let mut rows = Vec::new();
+    for (group, traces) in &w.traces {
+        for policy in ["heuristic", "milp"] {
+            for k in HORIZONS {
+                let config = SimConfig {
+                    phantom_deadline: PhantomDeadline::MinWcetTimes(group.phantom_coefficient()),
+                    lookahead: k,
+                    ..SimConfig::default()
+                };
+                let catalog_len = w.catalog.len();
+                let reports = run_batch(
+                    &w.platform,
+                    &w.catalog,
+                    &config,
+                    traces,
+                    |_| -> Box<dyn ResourceManager + Send> {
+                        if policy == "heuristic" {
+                            Box::new(HeuristicRm::new())
+                        } else {
+                            Box::new(ExactRm::with_node_budget(25_000))
+                        }
+                    },
+                    |i| {
+                        if k == 0 {
+                            None
+                        } else {
+                            let p: Box<dyn Predictor + Send> =
+                                Box::new(OraclePredictor::perfect(&traces[i], catalog_len));
+                            Some(p)
+                        }
+                    },
+                );
+                let rej = mean_rejection_percent(&reports);
+                let honoured: usize = reports.iter().map(|r| r.used_prediction).sum();
+                println!(
+                    "{:>6} {:>10} {:>4} {:>12.2} {:>14}",
+                    group.name(),
+                    policy,
+                    k,
+                    rej,
+                    honoured
+                );
+                rows.push(format!("{},{policy},{k},{rej:.4},{honoured}", group.name()));
+            }
+        }
+    }
+    let path = write_csv(
+        "ext_lookahead",
+        "group,policy,horizon,rejection_percent,plans_honouring_phantoms",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Extension experiment: online predictors on a bursty workload.
+//!
+//! The paper evaluates its manager under a synthetic oracle; its cited
+//! prior work builds *online* predictors for phase-structured real streams.
+//! This experiment generates Markov-modulated (burst/lull) traces and
+//! compares: no prediction, the plain history predictor (Markov types +
+//! EWMA gaps), the two-phase predictor (phase-change detection), and the
+//! perfect oracle as the upper bound.
+//!
+//! `cargo run --release -p rtrm-bench --bin ext_predictors`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtrm_bench::{write_csv, Scale};
+use rtrm_core::HeuristicRm;
+use rtrm_platform::{Platform, Trace};
+use rtrm_predict::{HistoryPredictor, OraclePredictor, Predictor, TwoPhasePredictor};
+use rtrm_sim::{run_batch, PhantomDeadline, SimConfig, Summary};
+use rtrm_trace::{generate_bursty_trace, generate_catalog, BurstyConfig, CatalogConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let platform = Platform::paper_default();
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let cfg = BurstyConfig {
+        length: scale.trace_len,
+        ..BurstyConfig::default()
+    };
+    let traces: Vec<Trace> = (0..scale.traces)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ (i as u64 + 1) * 0x9E37);
+            generate_bursty_trace(&catalog, &cfg, &mut rng)
+        })
+        .collect();
+
+    println!(
+        "online predictors on bursty traces: heuristic manager, {} traces x {} requests",
+        scale.traces, scale.trace_len
+    );
+    println!("{:>12} {:>22} {:>22}", "predictor", "rejection%", "energy");
+
+    let config = SimConfig {
+        phantom_deadline: PhantomDeadline::MinWcetTimes(1.5),
+        ..SimConfig::default()
+    };
+    let mut rows = Vec::new();
+    for kind in ["off", "history", "two-phase", "oracle"] {
+        let catalog_len = catalog.len();
+        let reports = run_batch(
+            &platform,
+            &catalog,
+            &config,
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |i| -> Option<Box<dyn Predictor + Send>> {
+                match kind {
+                    "off" => None,
+                    "history" => Some(Box::new(HistoryPredictor::new(catalog_len, 0.25))),
+                    "two-phase" => Some(Box::new(TwoPhasePredictor::new(catalog_len, 4, 2.0))),
+                    "oracle" => Some(Box::new(OraclePredictor::perfect(&traces[i], catalog_len))),
+                    _ => unreachable!(),
+                }
+            },
+        );
+        let rej = Summary::rejection(&reports);
+        let energy = Summary::energy(&reports);
+        println!("{kind:>12} {:>22} {:>22}", format!("{rej}"), format!("{energy}"));
+        rows.push(format!("{kind},{:.4},{:.4},{:.4},{:.4}", rej.mean, rej.ci95, energy.mean, energy.ci95));
+    }
+    let path = write_csv(
+        "ext_predictors",
+        "predictor,rejection_mean,rejection_ci95,energy_mean,energy_ci95",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Developer probe: times ExactRm vs HeuristicRm on one trace at several
+//! node budgets, to pick the experiment default (see EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rtrm_core::{ExactRm, HeuristicRm};
+use rtrm_platform::Platform;
+use rtrm_sim::{SimConfig, Simulator};
+use rtrm_trace::{generate_catalog, generate_trace, CatalogConfig, Tightness, TraceConfig};
+
+fn main() {
+    let platform = Platform::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let len: usize = std::env::var("RTRM_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+    let mean: f64 = std::env::var("RTRM_MEAN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let lt = std::env::var("RTRM_LT").is_ok();
+    let cfg = TraceConfig {
+        length: len,
+        interarrival_mean: mean,
+        interarrival_std: mean / 3.0,
+        tightness: if lt { Tightness::LessTight } else { Tightness::VeryTight },
+        ..TraceConfig::calibrated_vt()
+    };
+    let trace = generate_trace(&catalog, &cfg, &mut rng);
+    let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+
+    let t0 = Instant::now();
+    let h = sim.run(&trace, &mut HeuristicRm::new(), None);
+    println!(
+        "heuristic: rej={:.1}% nodes={} in {:.2}s",
+        h.rejection_percent(),
+        h.rm_nodes,
+        t0.elapsed().as_secs_f64()
+    );
+
+    for budget in [2_000u64, 10_000, 50_000, 250_000] {
+        let t0 = Instant::now();
+        let r = sim.run(&trace, &mut ExactRm::with_node_budget(budget), None);
+        println!(
+            "exact b={:>7}: rej={:.1}% nodes={} in {:.2}s",
+            budget,
+            r.rejection_percent(),
+            r.rm_nodes,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Sec 5.2 — MILP versus heuristic without prediction.
+//!
+//! Paper: over 1000 traces (VT+LT), rejection without prediction is 24.5 %
+//! (MILP) and 31 % (heuristic); the MILP's acceptance beats the heuristic's
+//! on 88 % of traces (not 100 %: locally optimal decisions are not globally
+//! optimal under future arrivals).
+//!
+//! `cargo run --release -p rtrm-bench --bin sec52`
+
+use rtrm_bench::{run_config, workload, write_csv, Group, Oracle, Policy, Scale};
+use rtrm_predict::OverheadModel;
+use rtrm_sim::mean_rejection_percent;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = workload(&[Group::Vt, Group::Lt], scale);
+    println!(
+        "Sec 5.2: {} traces x {} requests per group, prediction off",
+        scale.traces, scale.trace_len
+    );
+
+    let mut rows = Vec::new();
+    let mut milp_all = Vec::new();
+    let mut heur_all = Vec::new();
+    for (group, traces) in &w.traces {
+        let milp = run_config(
+            &w, *group, traces, Policy::Milp, Oracle::Off, OverheadModel::none(), scale.seed,
+        );
+        let heur = run_config(
+            &w, *group, traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), scale.seed,
+        );
+        println!(
+            "  {}: MILP {:.2}%  heuristic {:.2}%",
+            group.name(),
+            mean_rejection_percent(&milp),
+            mean_rejection_percent(&heur)
+        );
+        for (i, (m, h)) in milp.iter().zip(&heur).enumerate() {
+            rows.push(format!(
+                "{},{},{:.4},{:.4}",
+                group.name(),
+                i,
+                m.rejection_percent(),
+                h.rejection_percent()
+            ));
+        }
+        milp_all.extend(milp);
+        heur_all.extend(heur);
+    }
+
+    let milp_rej = mean_rejection_percent(&milp_all);
+    let heur_rej = mean_rejection_percent(&heur_all);
+    let milp_better = milp_all
+        .iter()
+        .zip(&heur_all)
+        .filter(|(m, h)| m.accepted >= h.accepted)
+        .count();
+    let share = 100.0 * milp_better as f64 / milp_all.len() as f64;
+
+    println!("\n                       paper   measured");
+    println!("MILP rejection %       24.5    {milp_rej:.2}");
+    println!("heuristic rejection %  31.0    {heur_rej:.2}");
+    println!("MILP >= heuristic %    88      {share:.1}");
+
+    let path = write_csv(
+        "sec52",
+        "group,trace,milp_rejection_percent,heuristic_rejection_percent",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Diagnostic: per-resource utilization at the calibrated operating point.
+//!
+//! This backs the saturation analysis in EXPERIMENTS.md (F2): under the
+//! paper's generator the GPU is both the cheapest and the fastest resource
+//! for every task type, so the energy-greedy managers saturate it — which
+//! bounds how often a tight phantom can be honoured.
+//!
+//! `cargo run --release -p rtrm-bench --bin utilization`
+
+use rtrm_bench::{workload, write_csv, Group, Scale};
+use rtrm_core::HeuristicRm;
+use rtrm_platform::ResourceKind;
+use rtrm_sim::{run_batch, SimConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = workload(&[Group::Vt, Group::Lt], scale);
+    println!(
+        "resource utilization (heuristic, no prediction), {} traces x {} requests",
+        scale.traces, scale.trace_len
+    );
+    println!("{:>6} {:>10} {:>12}", "group", "resource", "utilization");
+
+    let mut rows = Vec::new();
+    for (group, traces) in &w.traces {
+        let reports = run_batch(
+            &w.platform,
+            &w.catalog,
+            &SimConfig::default(),
+            traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+        );
+        for r in w.platform.ids() {
+            let mean: f64 = reports.iter().map(|rep| rep.utilization(r)).sum::<f64>()
+                / reports.len() as f64;
+            let kind = w.platform.resource(r).kind();
+            let name = w.platform.resource(r).name();
+            println!("{:>6} {:>10} {:>12.3}", group.name(), name, mean);
+            rows.push(format!(
+                "{},{name},{},{mean:.4}",
+                group.name(),
+                if kind == ResourceKind::Gpu { "gpu" } else { "cpu" }
+            ));
+        }
+    }
+    let path = write_csv("utilization", "group,resource,kind,utilization", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,325 @@
+//! Minimal SVG chart rendering for the experiment harness.
+//!
+//! The offline dependency set has no plotting library, so the harness draws
+//! its own: grouped bar charts (Figs 2/3) and line charts (Figs 4/5) as
+//! self-contained SVG files under `results/`. The output aims for "readable
+//! in a browser or paper draft", not for a charting framework.
+
+use std::fmt::Write as _;
+
+/// One named series of y-values.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One value per category / x-position.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 64.0;
+const PALETTE: [&str; 6] = [
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+];
+
+fn plot_area() -> (f64, f64) {
+    (WIDTH - MARGIN_L - MARGIN_R, HEIGHT - MARGIN_T - MARGIN_B)
+}
+
+fn nice_max(values: impl Iterator<Item = f64>) -> f64 {
+    let max = values.fold(0.0f64, f64::max).max(1e-9);
+    // Round up to 1/2/5 × 10^k.
+    let mag = 10f64.powf(max.log10().floor());
+    let norm = max / mag;
+    let nice = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+fn header(title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
+        WIDTH / 2.0,
+        escape(title)
+    );
+    s
+}
+
+fn axes_and_grid(s: &mut String, y_max: f64, y_label: &str) {
+    let (pw, ph) = plot_area();
+    let _ = writeln!(
+        s,
+        r##"<g stroke="#444" stroke-width="1">
+<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}"/>
+<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}"/>
+</g>"##,
+        MARGIN_T + ph,
+        MARGIN_T + ph,
+        MARGIN_L + pw,
+        MARGIN_T + ph,
+    );
+    for tick in 0..=5 {
+        let frac = f64::from(tick) / 5.0;
+        let y = MARGIN_T + ph * (1.0 - frac);
+        let value = y_max * frac;
+        let _ = writeln!(
+            s,
+            r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>
+<text x="{}" y="{}" text-anchor="end" font-size="11">{}</text>"##,
+            MARGIN_L + pw,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            trim_float(value)
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<text x="16" y="{}" font-size="12" transform="rotate(-90 16 {})" text-anchor="middle">{}</text>"#,
+        MARGIN_T + ph / 2.0,
+        MARGIN_T + ph / 2.0,
+        escape(y_label)
+    );
+}
+
+fn legend(s: &mut String, series: &[Series]) {
+    for (i, sr) in series.iter().enumerate() {
+        let x = MARGIN_L + 8.0 + 140.0 * (i % 4) as f64;
+        let y = 34.0 + 14.0 * (i / 4) as f64;
+        let _ = writeln!(
+            s,
+            r#"<rect x="{x}" y="{}" width="10" height="10" fill="{}"/>
+<text x="{}" y="{}" font-size="11">{}</text>"#,
+            y - 9.0,
+            PALETTE[i % PALETTE.len()],
+            x + 14.0,
+            y,
+            escape(&sr.label)
+        );
+    }
+}
+
+/// Renders a grouped bar chart: one bar group per category, one bar per
+/// series.
+///
+/// # Panics
+///
+/// Panics if any series length differs from the number of categories.
+#[must_use]
+pub fn bar_chart(title: &str, y_label: &str, categories: &[&str], series: &[Series]) -> String {
+    for sr in series {
+        assert_eq!(
+            sr.values.len(),
+            categories.len(),
+            "series {} length mismatch",
+            sr.label
+        );
+    }
+    let (pw, ph) = plot_area();
+    let y_max = nice_max(series.iter().flat_map(|s| s.values.iter().copied()));
+    let mut s = header(title);
+    axes_and_grid(&mut s, y_max, y_label);
+    legend(&mut s, series);
+
+    let group_w = pw / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+    for (ci, cat) in categories.iter().enumerate() {
+        let gx = MARGIN_L + group_w * ci as f64 + group_w * 0.1;
+        for (si, sr) in series.iter().enumerate() {
+            let v = sr.values[ci];
+            let h = ph * (v / y_max);
+            let _ = writeln!(
+                s,
+                r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"><title>{}: {}</title></rect>"#,
+                gx + bar_w * si as f64,
+                MARGIN_T + ph - h,
+                bar_w * 0.92,
+                h,
+                PALETTE[si % PALETTE.len()],
+                escape(&sr.label),
+                trim_float(v)
+            );
+        }
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+            gx + group_w * 0.4,
+            MARGIN_T + ph + 18.0,
+            escape(cat)
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Renders a line chart over shared numeric x-positions.
+///
+/// # Panics
+///
+/// Panics if any series length differs from `xs`.
+#[must_use]
+pub fn line_chart(title: &str, y_label: &str, x_label: &str, xs: &[f64], series: &[Series]) -> String {
+    for sr in series {
+        assert_eq!(sr.values.len(), xs.len(), "series {} length mismatch", sr.label);
+    }
+    let (pw, ph) = plot_area();
+    let y_max = nice_max(series.iter().flat_map(|s| s.values.iter().copied()));
+    let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(x_min + 1e-9);
+    let sx = |x: f64| MARGIN_L + pw * (x - x_min) / (x_max - x_min);
+    let sy = |y: f64| MARGIN_T + ph * (1.0 - y / y_max);
+
+    let mut s = header(title);
+    axes_and_grid(&mut s, y_max, y_label);
+    legend(&mut s, series);
+    for (si, sr) in series.iter().enumerate() {
+        let points: Vec<String> = xs
+            .iter()
+            .zip(&sr.values)
+            .map(|(x, y)| format!("{:.2},{:.2}", sx(*x), sy(*y)))
+            .collect();
+        let _ = writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+            points.join(" "),
+            PALETTE[si % PALETTE.len()]
+        );
+        for (x, y) in xs.iter().zip(&sr.values) {
+            let _ = writeln!(
+                s,
+                r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{}"><title>{}: {}</title></circle>"#,
+                sx(*x),
+                sy(*y),
+                PALETTE[si % PALETTE.len()],
+                escape(&sr.label),
+                trim_float(*y)
+            );
+        }
+    }
+    for x in xs {
+        let _ = writeln!(
+            s,
+            r#"<text x="{:.2}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+            sx(*x),
+            MARGIN_T + ph + 18.0,
+            trim_float(*x)
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+        MARGIN_L + pw / 2.0,
+        HEIGHT - 16.0,
+        escape(x_label)
+    );
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Writes an SVG string next to the CSVs under `results/`.
+pub fn write_svg(name: &str, svg: &str) -> std::path::PathBuf {
+    let dir = crate::results_dir_for_charts();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.svg"));
+    std::fs::write(&path, svg).expect("write svg");
+    path
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_is_valid_svg_with_all_bars() {
+        let svg = bar_chart(
+            "Fig 2b",
+            "rejection %",
+            &["off", "on"],
+            &[
+                Series::new("MILP", vec![19.0, 18.2]),
+                Series::new("heuristic", vec![26.2, 24.5]),
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 4, "bg + legend + bars");
+        assert!(svg.contains("Fig 2b"));
+    }
+
+    #[test]
+    fn line_chart_has_one_polyline_per_series() {
+        let svg = line_chart(
+            "Fig 5",
+            "rejection %",
+            "coefficient x 100",
+            &[0.0, 2.0, 4.0],
+            &[
+                Series::new("MILP", vec![18.0, 18.5, 19.0]),
+                Series::new("heuristic", vec![24.0, 25.0, 26.0]),
+            ],
+        );
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn nice_max_rounds_up() {
+        assert_eq!(nice_max([7.3].into_iter()), 10.0);
+        assert_eq!(nice_max([0.13].into_iter()), 0.2);
+        assert_eq!(nice_max([42.0].into_iter()), 50.0);
+        assert_eq!(nice_max([1.6].into_iter()), 2.0);
+    }
+
+    #[test]
+    fn escaping() {
+        let svg = bar_chart("a < b & c", "y", &["<x>"], &[Series::new("s", vec![1.0])]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("<x>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        let _ = bar_chart("t", "y", &["a", "b"], &[Series::new("s", vec![1.0])]);
+    }
+}

@@ -1,0 +1,367 @@
+//! The resource-manager interface: activations, plans, and decisions.
+
+use serde::{Deserialize, Serialize};
+
+use rtrm_platform::{Energy, Platform, ResourceId, TaskCatalog, Time};
+use rtrm_sched::{is_schedulable, simulate, JobKey, PlannedJob};
+
+use crate::cost::Candidate;
+use crate::view::JobView;
+
+/// Everything the resource manager sees when it is activated by an arrival
+/// (the paper's Sec 4.1): the current time, the platform, the set of active
+/// tasks, the arriving task, and — when prediction is enabled — the phantom
+/// task for the predicted next request.
+#[derive(Debug, Clone, Copy)]
+pub struct Activation<'a> {
+    /// The activation instant `t`.
+    pub now: Time,
+    /// The platform.
+    pub platform: &'a Platform,
+    /// The task catalog.
+    pub catalog: &'a TaskCatalog,
+    /// Admitted, unfinished tasks (with their placements).
+    pub active: &'a [JobView],
+    /// The task triggered by the arriving request. Its `release` may lie
+    /// after `now` when prediction overhead is charged (Sec 5.5).
+    pub arriving: JobView,
+    /// Phantom tasks for the predicted next requests, nearest first. Empty
+    /// when prediction is off; one element reproduces the paper; more give
+    /// multi-step lookahead (an extension, see `ext_lookahead`).
+    pub predicted: &'a [JobView],
+}
+
+impl Activation<'_> {
+    /// The paper's time window K̄: the latest `t_left` over all tasks the
+    /// manager plans (active + arriving + predicted).
+    #[must_use]
+    pub fn window(&self) -> Time {
+        self.jobs_with_prediction()
+            .map(|j| j.time_left(self.now))
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// All jobs of S̄ including every phantom: active tasks first, then the
+    /// arriving task, then the phantoms.
+    pub fn jobs_with_prediction(&self) -> impl Iterator<Item = &JobView> {
+        self.jobs_with_phantoms(self.predicted.len())
+    }
+
+    /// Active tasks, the arriving task, and the first `k` phantoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of phantoms.
+    pub fn jobs_with_phantoms(&self, k: usize) -> impl Iterator<Item = &JobView> {
+        self.active
+            .iter()
+            .chain(std::iter::once(&self.arriving))
+            .chain(self.predicted[..k].iter())
+    }
+
+    /// All real jobs (active + arriving), excluding the phantom.
+    pub fn jobs_without_prediction(&self) -> impl Iterator<Item = &JobView> {
+        self.active.iter().chain(std::iter::once(&self.arriving))
+    }
+}
+
+/// The placement the manager chose for one real task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Which task.
+    pub key: JobKey,
+    /// Where it goes.
+    pub resource: ResourceId,
+    /// `true` if the task's progress is discarded and it restarts from
+    /// scratch (GPU abort).
+    pub restart: bool,
+    /// DVFS speed level the placement runs at (`1.0` without frequency
+    /// scaling).
+    pub speed: f64,
+}
+
+/// The outcome of one manager activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// `true` if the arriving task was admitted. When `false`, `assignments`
+    /// is empty and the previous plan remains in force (the paper rejects
+    /// the arriving task and changes nothing).
+    pub admitted: bool,
+    /// New placements for every real task (active + arriving), in the order
+    /// they appeared in the activation. Empty on rejection.
+    pub assignments: Vec<Assignment>,
+    /// The optimization objective of the chosen plan: not-yet-consumed
+    /// energy plus migration overheads, including the phantom task if the
+    /// plan honoured it (the paper's objective).
+    pub objective: Energy,
+    /// `true` if the chosen plan also accommodates the predicted task;
+    /// `false` if the fallback without prediction was used (Sec 4.1) or
+    /// prediction was off.
+    pub used_prediction: bool,
+    /// Search effort (branch & bound nodes, or heuristic iterations).
+    pub nodes: u64,
+    /// Planned start times on the predicted task's *non-preemptable*
+    /// resource (empty otherwise). The paper's manager decides "the moment
+    /// in time at which to schedule the start" of each task (Sec 2); on a
+    /// GPU that plan includes waiting for the predicted task's slot, which
+    /// work-conserving dispatch would destroy. The simulator holds each
+    /// listed job back to its planned start until the next activation
+    /// replans.
+    pub start_gates: Vec<(JobKey, Time)>,
+}
+
+impl Decision {
+    /// The rejection decision: nothing changes.
+    #[must_use]
+    pub fn reject() -> Self {
+        Decision {
+            admitted: false,
+            assignments: Vec::new(),
+            objective: Energy::ZERO,
+            used_prediction: false,
+            nodes: 0,
+            start_gates: Vec::new(),
+        }
+    }
+}
+
+/// A resource-management policy: decides mapping (and implicitly, through
+/// per-resource EDF, scheduling) at every activation.
+pub trait ResourceManager {
+    /// A short human-readable policy name ("heuristic", "milp", ...).
+    fn name(&self) -> &str;
+
+    /// Plans the activation: either admits the arriving task with a full set
+    /// of assignments, or rejects it (leaving the previous plan in force).
+    ///
+    /// Implementations must follow the paper's fallback rule: if no feasible
+    /// plan honours the predicted task, retry without it before rejecting.
+    fn decide(&mut self, activation: &Activation<'_>) -> Decision;
+}
+
+/// A partial plan under construction: per-resource job queues, checked with
+/// the EDF timeline engine. Shared by the heuristic and the exact optimizer.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder<'a> {
+    activation: &'a Activation<'a>,
+    per_resource: Vec<Vec<PlannedJob>>,
+}
+
+impl<'a> PlanBuilder<'a> {
+    /// Creates an empty plan for the activation's platform.
+    #[must_use]
+    pub fn new(activation: &'a Activation<'a>) -> Self {
+        PlanBuilder {
+            activation,
+            per_resource: vec![Vec::new(); activation.platform.len()],
+        }
+    }
+
+    /// The [`PlannedJob`] a (job, candidate) pair contributes to a resource
+    /// queue.
+    #[must_use]
+    pub fn planned_job(&self, job: &JobView, candidate: &Candidate) -> PlannedJob {
+        PlannedJob {
+            key: job.key,
+            release: job.release.max(self.activation.now),
+            exec: candidate.exec,
+            deadline: job.deadline,
+            pinned: candidate.pinned,
+        }
+    }
+
+    /// Returns `true` if adding `job` via `candidate` keeps that resource's
+    /// queue schedulable (the heuristic's `IsSchedulable`).
+    #[must_use]
+    pub fn fits(&self, job: &JobView, candidate: &Candidate) -> bool {
+        let r = candidate.resource;
+        let kind = self.activation.platform.resource(r).kind();
+        let mut queue = self.per_resource[r.index()].clone();
+        queue.push(self.planned_job(job, candidate));
+        is_schedulable(kind, self.activation.now, &queue)
+    }
+
+    /// Like [`fits`](PlanBuilder::fits), but *defers* the verdict (returns
+    /// `true`) when the target resource is non-preemptable and its queue
+    /// would contain a future-released job. On such queues feasibility is
+    /// not monotone under job addition — a later placement can push the
+    /// dispatch of an early job past the future release and *repair* the
+    /// schedule (a classic non-preemptive scheduling anomaly) — so an exact
+    /// search must not prune on the partial check; it re-validates complete
+    /// plans with [`all_schedulable`](PlanBuilder::all_schedulable).
+    #[must_use]
+    pub fn fits_or_defer(&self, job: &JobView, candidate: &Candidate) -> bool {
+        let r = candidate.resource;
+        let kind = self.activation.platform.resource(r).kind();
+        if !kind.is_preemptable() {
+            let now = self.activation.now;
+            let future = job.release > now
+                || self.per_resource[r.index()]
+                    .iter()
+                    .any(|j| j.release > now);
+            if future {
+                // Sound necessary condition that survives the anomaly: the
+                // sub-queue of already-released jobs runs in pure EDF order
+                // regardless of the future releases (removing future work
+                // only shortens its prefix sums), so if *it* misses a
+                // deadline, no completion of this partial plan can fix it.
+                let mut released: Vec<PlannedJob> = self.per_resource[r.index()]
+                    .iter()
+                    .filter(|j| j.release <= now)
+                    .copied()
+                    .collect();
+                let planned = self.planned_job(job, candidate);
+                if planned.release <= now {
+                    released.push(planned);
+                }
+                return is_schedulable(kind, now, &released);
+            }
+        }
+        self.fits(job, candidate)
+    }
+
+    /// Commits `job` to `candidate`'s resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the addition violates schedulability; callers must
+    /// check [`fits`](PlanBuilder::fits) first.
+    pub fn place(&mut self, job: &JobView, candidate: &Candidate) {
+        let planned = self.planned_job(job, candidate);
+        self.per_resource[candidate.resource.index()].push(planned);
+    }
+
+    /// Removes the most recently placed job from `resource` (backtracking).
+    pub fn unplace_last(&mut self, resource: ResourceId) {
+        self.per_resource[resource.index()]
+            .pop()
+            .expect("unplace_last on empty resource queue");
+    }
+
+    /// Number of jobs currently placed on `resource`.
+    #[must_use]
+    pub fn load(&self, resource: ResourceId) -> usize {
+        self.per_resource[resource.index()].len()
+    }
+
+    /// Returns `true` if every resource queue is schedulable (sanity check
+    /// for complete plans).
+    #[must_use]
+    pub fn all_schedulable(&self) -> bool {
+        self.activation.platform.ids().all(|r| {
+            let kind = self.activation.platform.resource(r).kind();
+            is_schedulable(kind, self.activation.now, &self.per_resource[r.index()])
+        })
+    }
+
+    /// Planned start times of the real jobs sharing a phantom's resource,
+    /// for every *non-preemptable* resource hosting one — the paper's
+    /// "schedule the start of execution" made explicit so the simulator can
+    /// follow the plan (including the idle wait that reserves the slot for
+    /// the predicted task). Phantoms on preemptable resources contribute no
+    /// gates: there, preemption at the actual arrival recovers the plan
+    /// without reservations.
+    #[must_use]
+    pub fn reservation_gates(&self, phantoms: &[JobKey]) -> Vec<(JobKey, Time)> {
+        let mut gates = Vec::new();
+        for resource in self.activation.platform.ids() {
+            let kind = self.activation.platform.resource(resource).kind();
+            if kind.is_preemptable() {
+                continue;
+            }
+            let queue = &self.per_resource[resource.index()];
+            if !queue.iter().any(|j| phantoms.contains(&j.key)) {
+                continue;
+            }
+            let schedule = simulate(kind, self.activation.now, queue, None);
+            gates.extend(
+                queue
+                    .iter()
+                    .zip(schedule.outcomes())
+                    .filter(|(j, _)| !phantoms.contains(&j.key))
+                    .map(|(j, o)| {
+                        let finish = o.finish.expect("unbounded simulation finishes all jobs");
+                        (j.key, finish - j.exec)
+                    }),
+            );
+        }
+        gates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtrm_platform::{TaskType, TaskTypeId};
+
+    fn setup() -> (Platform, TaskCatalog) {
+        let platform = Platform::builder().cpus(1).gpu("g").build();
+        let ids: Vec<_> = platform.ids().collect();
+        let ty = TaskType::builder(0, &platform)
+            .profile(ids[0], Time::new(4.0), Energy::new(4.0))
+            .profile(ids[1], Time::new(2.0), Energy::new(1.0))
+            .build();
+        (platform, TaskCatalog::new(vec![ty]))
+    }
+
+    #[test]
+    fn window_is_max_time_left() {
+        let (platform, catalog) = setup();
+        let active = [JobView::fresh(
+            JobKey(0),
+            TaskTypeId::new(0),
+            Time::ZERO,
+            Time::new(30.0),
+        )];
+        let activation = Activation {
+            now: Time::new(10.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving: JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::new(10.0), Time::new(18.0)),
+            predicted: &[],
+        };
+        assert_eq!(activation.window(), Time::new(20.0));
+        assert_eq!(activation.jobs_with_prediction().count(), 2);
+        assert_eq!(activation.jobs_without_prediction().count(), 2);
+    }
+
+    #[test]
+    fn plan_builder_checks_and_backtracks() {
+        let (platform, catalog) = setup();
+        let arriving = JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::ZERO, Time::new(3.0));
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &[],
+            arriving,
+            predicted: &[],
+        };
+        let mut plan = PlanBuilder::new(&activation);
+        let cpu = Candidate {
+            resource: ResourceId::new(0),
+            exec: Time::new(4.0),
+            energy: Energy::new(4.0),
+            pinned: false,
+            restart: false,
+            speed: 1.0,
+        };
+        let gpu = Candidate {
+            resource: ResourceId::new(1),
+            exec: Time::new(2.0),
+            energy: Energy::new(1.0),
+            pinned: false,
+            restart: false,
+            speed: 1.0,
+        };
+        assert!(!plan.fits(&arriving, &cpu), "4 units in a 3-unit window");
+        assert!(plan.fits(&arriving, &gpu));
+        plan.place(&arriving, &gpu);
+        assert_eq!(plan.load(ResourceId::new(1)), 1);
+        assert!(plan.all_schedulable());
+        plan.unplace_last(ResourceId::new(1));
+        assert_eq!(plan.load(ResourceId::new(1)), 0);
+    }
+}

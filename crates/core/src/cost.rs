@@ -1,0 +1,363 @@
+//! The shared migration/abort cost model: what does it cost, in remaining
+//! execution time (`cpm`) and in not-yet-consumed energy (`ep + em`), to run
+//! a task on a given resource?
+//!
+//! Interpretation decisions (documented in `DESIGN.md` §5):
+//!
+//! * the paper's `cpm` charges `cm`/`em` whenever a task is *relocated*
+//!   from its currently assigned resource — started or not (staging a
+//!   task's inputs elsewhere is not free, and this stickiness is what makes
+//!   one-step lookahead valuable). A task that was never mapped (arriving,
+//!   predicted) pays nothing for its first placement;
+//! * a started task on a *preemptable* resource migrates proportionally:
+//!   `cp_{j,k} = c_{j,k} · (cp_{j,i} / c_{j,i})` plus `cm`/`em` (paper
+//!   Sec 4.1);
+//! * a started task on a *non-preemptable* resource (GPU) cannot move with
+//!   state: it either stays (and is pinned — it must run to completion
+//!   first) or is aborted and restarted from scratch anywhere, with no
+//!   migration overhead (nothing is transferred) but with its full WCET and
+//!   energy ahead of it again.
+
+use serde::{Deserialize, Serialize};
+
+use rtrm_platform::{Energy, Platform, ResourceId, TaskCatalog, Time};
+
+use crate::view::JobView;
+
+/// One way of placing a job on a resource, with its planning costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Target resource.
+    pub resource: ResourceId,
+    /// Remaining worst-case execution time there, including migration time
+    /// overhead (the paper's `cpm_{j,i}`), at the candidate's speed.
+    pub exec: Time,
+    /// Energy still to be spent there, including migration energy overhead
+    /// (the paper's `ep_{j,i} + em_{j,k,i}`), at the candidate's speed.
+    /// Already-consumed energy is sunk and excluded.
+    pub energy: Energy,
+    /// The job is mid-run on this non-preemptable resource and must be
+    /// dispatched first if it stays.
+    pub pinned: bool,
+    /// Progress is discarded: the job restarts from scratch (GPU abort).
+    pub restart: bool,
+    /// DVFS speed level (factor of nominal frequency): execution time
+    /// scales with `1/speed`, dynamic energy with `speed²`. `1.0` on
+    /// resources without frequency scaling. The speed is chosen when the
+    /// task is placed and kept until it finishes or is relocated.
+    pub speed: f64,
+}
+
+/// Enumerates every way `job` can be placed, given the platform and catalog.
+///
+/// `gpu_restart_in_place` additionally offers "abort and re-queue on the same
+/// GPU" for a GPU-running job — energy-dominated by staying, but it unpins
+/// the job, which can rescue an urgent arrival (Fig 1's scenario (a)
+/// discussion). The exact optimizer enables it; the heuristic follows
+/// Algorithm 1, which considers one desirability value per resource, and
+/// keeps the dominant "stay" option only.
+#[must_use]
+pub fn candidates(
+    job: &JobView,
+    platform: &Platform,
+    catalog: &TaskCatalog,
+    gpu_restart_in_place: bool,
+) -> Vec<Candidate> {
+    let ty = catalog.task_type(job.task_type);
+    let mut out = Vec::with_capacity(platform.len() + 1);
+
+    for resource in platform.ids() {
+        let Some(profile) = ty.profile(resource) else {
+            continue; // not executable there (the paper's "dummy values")
+        };
+        // Effective profile at a DVFS level: time 1/s, dynamic energy s².
+        let levels = platform.resource(resource).speed_levels();
+        let eff = |s: f64| (profile.wcet / s, profile.energy * (s * s));
+
+        match job.placement {
+            // Fresh (or admitted but never run): no state, free re-mapping;
+            // every speed level of every executable resource is open.
+            None => {
+                for &s in levels {
+                    let (wcet, energy) = eff(s);
+                    out.push(Candidate {
+                        resource,
+                        exec: wcet,
+                        energy,
+                        pinned: false,
+                        restart: false,
+                        speed: s,
+                    });
+                }
+            }
+            // Admitted but never run: no execution state, but relocating it
+            // still pays the migration overhead (its inputs were staged on
+            // `p.resource`). Staying keeps any pending relocation debt,
+            // which `remaining_fraction` already reflects, and the speed
+            // chosen at placement; relocation re-opens the speed choice.
+            Some(p) if !p.started => {
+                if p.resource == resource {
+                    let (wcet, energy) = eff(p.speed);
+                    out.push(Candidate {
+                        resource,
+                        exec: wcet * p.remaining_fraction,
+                        energy,
+                        pinned: false,
+                        restart: false,
+                        speed: p.speed,
+                    });
+                } else {
+                    let m = ty.migration(p.resource, resource);
+                    for &s in levels {
+                        let (wcet, energy) = eff(s);
+                        out.push(Candidate {
+                            resource,
+                            exec: wcet + m.time,
+                            energy: energy + m.energy,
+                            pinned: false,
+                            restart: false,
+                            speed: s,
+                        });
+                    }
+                }
+            }
+            Some(p) => {
+                let from_kind = platform.resource(p.resource).kind();
+                if p.resource == resource {
+                    // Stay where it is: remaining work at the running speed.
+                    let (wcet, energy) = eff(p.speed);
+                    out.push(Candidate {
+                        resource,
+                        exec: wcet * p.remaining_fraction,
+                        energy: energy * p.remaining_fraction,
+                        pinned: !from_kind.is_preemptable(),
+                        restart: false,
+                        speed: p.speed,
+                    });
+                    if gpu_restart_in_place && !from_kind.is_preemptable() {
+                        for &s in levels {
+                            let (wcet, energy) = eff(s);
+                            out.push(Candidate {
+                                resource,
+                                exec: wcet,
+                                energy,
+                                pinned: false,
+                                restart: true,
+                                speed: s,
+                            });
+                        }
+                    }
+                } else if from_kind.is_preemptable() {
+                    // A non-preemptable destination cannot resume
+                    // checkpointed state: started tasks may only migrate
+                    // between preemptable resources (DESIGN.md §5).
+                    if !platform.resource(resource).kind().is_preemptable() {
+                        continue;
+                    }
+                    // Proportional migration with overhead; the destination
+                    // speed is a fresh choice.
+                    let m = ty.migration(p.resource, resource);
+                    for &s in levels {
+                        let (wcet, energy) = eff(s);
+                        out.push(Candidate {
+                            resource,
+                            exec: wcet * p.remaining_fraction + m.time,
+                            energy: energy * p.remaining_fraction + m.energy,
+                            pinned: false,
+                            restart: false,
+                            speed: s,
+                        });
+                    }
+                } else {
+                    // Abort the GPU run, restart from scratch elsewhere.
+                    for &s in levels {
+                        let (wcet, energy) = eff(s);
+                        out.push(Candidate {
+                            resource,
+                            exec: wcet,
+                            energy,
+                            pinned: false,
+                            restart: true,
+                            speed: s,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The cheapest not-yet-consumed energy over all placements of `job`, a
+/// lower bound used by the exact optimizer's pruning.
+#[must_use]
+pub fn min_energy(job: &JobView, platform: &Platform, catalog: &TaskCatalog) -> Energy {
+    candidates(job, platform, catalog, false)
+        .into_iter()
+        .map(|c| c.energy)
+        .min()
+        .unwrap_or(Energy::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::Placement;
+    use rtrm_platform::{TaskType, TaskTypeId};
+    use rtrm_sched::JobKey;
+
+    /// CPU0, CPU1, GPU platform with one task type:
+    /// wcet [8, 12, 5], energy [7.3, 8.4, 2.0], migration 1.0/0.5 everywhere.
+    fn setup() -> (Platform, TaskCatalog) {
+        let platform = Platform::builder().cpus(2).gpu("g").build();
+        let ids: Vec<_> = platform.ids().collect();
+        let ty = TaskType::builder(0, &platform)
+            .profile(ids[0], Time::new(8.0), Energy::new(7.3))
+            .profile(ids[1], Time::new(12.0), Energy::new(8.4))
+            .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+            .uniform_migration(Time::new(1.0), Energy::new(0.5))
+            .build();
+        (platform, TaskCatalog::new(vec![ty]))
+    }
+
+    fn r(i: usize) -> ResourceId {
+        ResourceId::new(i)
+    }
+
+    fn find(cands: &[Candidate], resource: ResourceId, restart: bool) -> Candidate {
+        *cands
+            .iter()
+            .find(|c| c.resource == resource && c.restart == restart)
+            .expect("candidate exists")
+    }
+
+    #[test]
+    fn fresh_job_has_full_profiles_everywhere() {
+        let (platform, catalog) = setup();
+        let job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        let cands = candidates(&job, &platform, &catalog, false);
+        assert_eq!(cands.len(), 3);
+        let gpu = find(&cands, r(2), false);
+        assert_eq!(gpu.exec, Time::new(5.0));
+        assert_eq!(gpu.energy, Energy::new(2.0));
+        assert!(!gpu.pinned && !gpu.restart);
+    }
+
+    #[test]
+    fn cpu_migration_is_proportional_plus_overhead() {
+        let (platform, catalog) = setup();
+        let mut job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        job.placement = Some(Placement {
+            resource: r(0),
+            remaining_fraction: 0.5,
+            started: true,
+                speed: 1.0,
+        });
+        let cands = candidates(&job, &platform, &catalog, false);
+        let stay = find(&cands, r(0), false);
+        assert_eq!(stay.exec, Time::new(4.0));
+        assert_eq!(stay.energy, Energy::new(3.65));
+        assert!(!stay.pinned);
+        let migrate = find(&cands, r(1), false);
+        assert_eq!(migrate.exec, Time::new(7.0)); // 12·0.5 + 1
+        assert_eq!(migrate.energy, Energy::new(4.7)); // 8.4·0.5 + 0.5
+        assert!(
+            !cands.iter().any(|c| c.resource == r(2)),
+            "a started task cannot move onto the GPU (no state resume there)"
+        );
+    }
+
+    #[test]
+    fn gpu_running_job_stays_pinned_or_restarts() {
+        let (platform, catalog) = setup();
+        let mut job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        job.placement = Some(Placement {
+            resource: r(2),
+            remaining_fraction: 0.8,
+            started: true,
+                speed: 1.0,
+        });
+        let cands = candidates(&job, &platform, &catalog, true);
+        let stay = find(&cands, r(2), false);
+        assert!(stay.pinned);
+        assert_eq!(stay.exec, Time::new(4.0)); // 5·0.8
+        let requeue = find(&cands, r(2), true);
+        assert!(!requeue.pinned && requeue.restart);
+        assert_eq!(requeue.exec, Time::new(5.0));
+        let abort_to_cpu = find(&cands, r(0), true);
+        assert_eq!(abort_to_cpu.exec, Time::new(8.0)); // full, no cm
+        assert_eq!(abort_to_cpu.energy, Energy::new(7.3)); // full, no em
+    }
+
+    #[test]
+    fn restart_in_place_excluded_by_default() {
+        let (platform, catalog) = setup();
+        let mut job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        job.placement = Some(Placement {
+            resource: r(2),
+            remaining_fraction: 0.8,
+            started: true,
+                speed: 1.0,
+        });
+        let cands = candidates(&job, &platform, &catalog, false);
+        assert_eq!(cands.iter().filter(|c| c.resource == r(2)).count(), 1);
+    }
+
+    #[test]
+    fn unstarted_placed_job_pays_relocation() {
+        let (platform, catalog) = setup();
+        let mut job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        job.placement = Some(Placement {
+            resource: r(2),
+            remaining_fraction: 1.0,
+            started: false,
+                speed: 1.0,
+        });
+        let cands = candidates(&job, &platform, &catalog, false);
+        let to_cpu = find(&cands, r(0), false);
+        assert_eq!(to_cpu.exec, Time::new(9.0)); // 8 + cm 1.0
+        assert_eq!(to_cpu.energy, Energy::new(7.8)); // 7.3 + em 0.5
+        let stay = find(&cands, r(2), false);
+        assert!(!stay.pinned, "unstarted GPU job is not pinned");
+        assert_eq!(stay.exec, Time::new(5.0));
+        assert_eq!(stay.energy, Energy::new(2.0));
+    }
+
+    #[test]
+    fn unstarted_relocation_debt_persists_on_stay() {
+        let (platform, catalog) = setup();
+        let mut job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        // Previously relocated to CPU0: busy time 8 + 1 = 9, fraction 9/8.
+        job.placement = Some(Placement {
+            resource: r(0),
+            remaining_fraction: 9.0 / 8.0,
+            started: false,
+                speed: 1.0,
+        });
+        let cands = candidates(&job, &platform, &catalog, false);
+        let stay = find(&cands, r(0), false);
+        assert_eq!(stay.exec, Time::new(9.0));
+        assert_eq!(stay.energy, Energy::new(7.3), "debt carries no extra energy");
+    }
+
+    #[test]
+    fn min_energy_is_gpu_here() {
+        let (platform, catalog) = setup();
+        let job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        assert_eq!(min_energy(&job, &platform, &catalog), Energy::new(2.0));
+    }
+
+    #[test]
+    fn non_executable_resources_skipped() {
+        let platform = Platform::builder().cpus(2).build();
+        let ids: Vec<_> = platform.ids().collect();
+        let ty = TaskType::builder(0, &platform)
+            .profile(ids[1], Time::new(3.0), Energy::new(1.0))
+            .build();
+        let catalog = TaskCatalog::new(vec![ty]);
+        let job = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        let cands = candidates(&job, &platform, &catalog, false);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].resource, ids[1]);
+    }
+}

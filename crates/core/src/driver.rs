@@ -1,0 +1,79 @@
+//! The with-prediction / without-prediction fallback shared by all
+//! resource managers (paper Sec 4.1, last paragraph): if no feasible plan
+//! honours the predicted task, a plan without it is attempted before the
+//! arriving task is rejected.
+
+use rtrm_platform::{Energy, Time};
+use rtrm_sched::JobKey;
+
+use crate::activation::{Activation, Assignment, Decision};
+use crate::cost::Candidate;
+
+/// A complete plan produced by one solver attempt: a placement for every
+/// *real* job (active + arriving, in activation order), the objective value
+/// (including the phantom task's energy when it was planned), and the search
+/// effort.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Chosen candidate per real job, in activation order.
+    pub placements: Vec<(JobKey, Candidate)>,
+    /// Objective value of the plan.
+    pub objective: Energy,
+    /// Search effort (nodes / iterations).
+    pub nodes: u64,
+    /// Planned start times on the phantom's non-preemptable resource (see
+    /// [`Decision::start_gates`]).
+    pub start_gates: Vec<(JobKey, Time)>,
+}
+
+impl Plan {
+    /// Converts the plan into the external decision form.
+    #[must_use]
+    pub fn into_decision(self, used_prediction: bool) -> Decision {
+        Decision {
+            admitted: true,
+            assignments: self
+                .placements
+                .into_iter()
+                .map(|(key, c)| Assignment {
+                    key,
+                    resource: c.resource,
+                    restart: c.restart,
+                    speed: c.speed,
+                })
+                .collect(),
+            objective: self.objective,
+            used_prediction,
+            nodes: self.nodes,
+            start_gates: if used_prediction {
+                self.start_gates
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+/// Runs `solve` with all phantoms first, then with progressively fewer
+/// (dropping the furthest-future ones), and finally without any, turning
+/// the first success into a [`Decision`]; rejects the arriving task if
+/// every attempt fails. With a single phantom this is exactly the paper's
+/// Sec 4.1 fallback rule; with more it generalizes it to multi-step
+/// lookahead.
+///
+/// `solve(activation, k)` must plan for the active tasks, the arriving
+/// task, and the first `k` phantoms.
+pub fn decide_with_fallback<F>(activation: &Activation<'_>, mut solve: F) -> Decision
+where
+    F: FnMut(&Activation<'_>, usize) -> Option<Plan>,
+{
+    for k in (1..=activation.predicted.len()).rev() {
+        if let Some(plan) = solve(activation, k) {
+            return plan.into_decision(true);
+        }
+    }
+    match solve(activation, 0) {
+        Some(plan) => plan.into_decision(false),
+        None => Decision::reject(),
+    }
+}

@@ -1,0 +1,208 @@
+//! The exact optimizer: branch & bound over task→resource assignments.
+//!
+//! The paper formulates exact optimization as a MILP (Sec 4.2) whose
+//! schedule is fully EDF-determined once the mapping is fixed. Enumerating
+//! mappings with exact EDF-timeline feasibility therefore searches the same
+//! space and finds the same optimum, at a fraction of the cost for the small
+//! activation sizes this problem has (|S̄| tasks, N resources). The MILP
+//! encoding itself lives in [`crate::MilpRm`] and is cross-validated against
+//! this optimizer.
+//!
+//! Pruning: candidates are tried cheapest-energy first; a node is cut when
+//! its accumulated energy plus the sum of every unassigned task's cheapest
+//! candidate can no longer beat the incumbent.
+
+use rtrm_platform::Energy;
+
+use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager};
+use crate::cost::{candidates, Candidate};
+use crate::driver::{decide_with_fallback, Plan};
+use crate::view::JobView;
+
+/// Exact energy-optimal mapping via branch & bound (the paper's "MILP"
+/// series, run without the hypothetical solver overhead).
+#[derive(Debug, Clone)]
+pub struct ExactRm {
+    /// Maximum branch & bound nodes per activation. When exhausted, the best
+    /// plan found so far (if any) is used — an "anytime" cut-off that keeps
+    /// worst-case activations bounded. The default is high enough that the
+    /// paper-scale experiments in this repository never hit it.
+    pub node_budget: u64,
+    /// Offer "abort and re-queue on the same GPU" (see
+    /// [`candidates`](crate::candidates)). Enabled by default; Fig 1's
+    /// scenario analysis requires it.
+    pub gpu_restart_in_place: bool,
+}
+
+impl Default for ExactRm {
+    fn default() -> Self {
+        ExactRm {
+            node_budget: 20_000_000,
+            gpu_restart_in_place: true,
+        }
+    }
+}
+
+impl ExactRm {
+    /// Creates the exact optimizer with default limits.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactRm::default()
+    }
+
+    /// Creates an optimizer with an explicit node budget.
+    #[must_use]
+    pub fn with_node_budget(node_budget: u64) -> Self {
+        ExactRm {
+            node_budget,
+            ..ExactRm::default()
+        }
+    }
+
+    fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Option<Plan> {
+        let jobs: Vec<JobView> = activation.jobs_with_phantoms(num_phantoms).copied().collect();
+        let n_real = activation.active.len() + 1;
+
+        // Candidate lists, filtered by the per-task deadline bound
+        // (constraint (2)) and sorted cheapest first for pruning.
+        let cand: Vec<Vec<Candidate>> = jobs
+            .iter()
+            .map(|j| {
+                let tleft = j.time_left(activation.now);
+                let mut cs: Vec<Candidate> = candidates(
+                    j,
+                    activation.platform,
+                    activation.catalog,
+                    self.gpu_restart_in_place,
+                )
+                .into_iter()
+                .filter(|c| c.exec <= tleft)
+                .collect();
+                cs.sort_by(|a, b| a.energy.cmp(&b.energy).then(a.resource.cmp(&b.resource)));
+                cs
+            })
+            .collect();
+        if cand.iter().any(Vec::is_empty) {
+            return None;
+        }
+
+        // Branching order: most constrained task first (fewest candidates),
+        // then tightest deadline. `order[pos]` is the job index at depth pos.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            cand[a]
+                .len()
+                .cmp(&cand[b].len())
+                .then(jobs[a].deadline.cmp(&jobs[b].deadline))
+        });
+
+        // Lower bound: cheapest candidate of every job still unassigned at
+        // or below a depth.
+        let mut suffix_min = vec![Energy::ZERO; jobs.len() + 1];
+        for pos in (0..jobs.len()).rev() {
+            suffix_min[pos] = suffix_min[pos + 1] + cand[order[pos]][0].energy;
+        }
+
+        let mut search = Search {
+            jobs: &jobs,
+            cand: &cand,
+            order: &order,
+            suffix_min: &suffix_min,
+            plan: PlanBuilder::new(activation),
+            chosen: vec![None; jobs.len()],
+            best: None,
+            nodes: 0,
+            budget: self.node_budget,
+        };
+        search.dfs(0, Energy::ZERO);
+
+        let nodes = search.nodes;
+        let (objective, chosen) = search.best?;
+        // Rebuild the winning plan to derive the reservation gates.
+        let start_gates = if num_phantoms > 0 {
+            let mut plan = PlanBuilder::new(activation);
+            for (job, c) in jobs.iter().zip(&chosen) {
+                plan.place(job, &c.expect("complete assignment"));
+            }
+            let keys: Vec<_> = activation.predicted[..num_phantoms]
+                .iter()
+                .map(|p| p.key)
+                .collect();
+            plan.reservation_gates(&keys)
+        } else {
+            Vec::new()
+        };
+        Some(Plan {
+            placements: jobs[..n_real]
+                .iter()
+                .enumerate()
+                .map(|(j, view)| (view.key, chosen[j].expect("complete assignment")))
+                .collect(),
+            objective,
+            nodes,
+            start_gates,
+        })
+    }
+}
+
+struct Search<'a, 'b> {
+    jobs: &'a [JobView],
+    cand: &'a [Vec<Candidate>],
+    order: &'a [usize],
+    suffix_min: &'a [Energy],
+    plan: PlanBuilder<'b>,
+    chosen: Vec<Option<Candidate>>,
+    best: Option<(Energy, Vec<Option<Candidate>>)>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search<'_, '_> {
+    fn dfs(&mut self, pos: usize, cost: Energy) {
+        if self.nodes >= self.budget {
+            return;
+        }
+        if pos == self.order.len() {
+            // Deferred queues (future releases on non-preemptable
+            // resources) are only validated here, on the complete plan.
+            if self.plan.all_schedulable()
+                && self.best.as_ref().is_none_or(|(b, _)| cost < *b)
+            {
+                self.best = Some((cost, self.chosen.clone()));
+            }
+            return;
+        }
+        let j = self.order[pos];
+        for ci in 0..self.cand[j].len() {
+            let c = self.cand[j][ci];
+            // Candidates are energy-sorted: once the bound fails it fails
+            // for every later candidate of this job.
+            let bound = cost + c.energy + self.suffix_min[pos + 1];
+            if self
+                .best
+                .as_ref()
+                .is_some_and(|(b, _)| bound >= *b)
+            {
+                break;
+            }
+            self.nodes += 1;
+            if self.plan.fits_or_defer(&self.jobs[j], &c) {
+                self.plan.place(&self.jobs[j], &c);
+                self.chosen[j] = Some(c);
+                self.dfs(pos + 1, cost + c.energy);
+                self.chosen[j] = None;
+                self.plan.unplace_last(c.resource);
+            }
+        }
+    }
+}
+
+impl ResourceManager for ExactRm {
+    fn name(&self) -> &str {
+        "milp"
+    }
+
+    fn decide(&mut self, activation: &Activation<'_>) -> Decision {
+        decide_with_fallback(activation, |act, k| self.solve(act, k))
+    }
+}

@@ -1,0 +1,194 @@
+//! The paper's fast mapping heuristic (Algorithm 1, Sec 4.3).
+//!
+//! Resources are knapsacks whose capacity is the planning window K̄ in
+//! available processing time; tasks are items weighing `cpm_{j,i}`. The
+//! desirability of placing task j on resource i is
+//! `f_{j,i} = ep_{j,i} + em_{j,k,i} + M·(cpm_{j,i} > t_left_j)`. Tasks are
+//! mapped in order of maximum *regret* (difference between their best and
+//! second-best desirability); each task goes to its most desirable resource
+//! that passes the EDF `IsSchedulable` test, falling back to the next best
+//! until none remain.
+
+use rtrm_platform::{Energy, ResourceId, Time};
+
+use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager};
+use crate::cost::{candidates, Candidate};
+use crate::driver::{decide_with_fallback, Plan};
+use crate::view::JobView;
+
+/// The penalty weight `M` that makes deadline-infeasible placements
+/// undesirable (Algorithm 1, line 6). Any value exceeding every realistic
+/// energy works; desirabilities stay finite so regrets remain ordered.
+const BIG_M: f64 = 1e12;
+
+/// The knapsack-based mapping heuristic of Algorithm 1.
+///
+/// # Examples
+///
+/// See the crate-level example in [`rtrm_core`](crate); `HeuristicRm` is a
+/// drop-in [`ResourceManager`].
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicRm {
+    /// Disable the max-regret task ordering (lines 8–23) and map tasks in
+    /// input order instead. Only useful for ablation studies; the paper's
+    /// algorithm uses regret ordering.
+    pub disable_regret_ordering: bool,
+}
+
+impl HeuristicRm {
+    /// Creates the heuristic as described in the paper.
+    #[must_use]
+    pub fn new() -> Self {
+        HeuristicRm::default()
+    }
+
+    /// Ablation variant: tasks are mapped in arrival order instead of
+    /// max-regret order.
+    #[must_use]
+    pub fn without_regret_ordering() -> Self {
+        HeuristicRm {
+            disable_regret_ordering: true,
+        }
+    }
+
+    fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Option<Plan> {
+        let jobs: Vec<JobView> = activation.jobs_with_phantoms(num_phantoms).copied().collect();
+        let n_real = activation.active.len() + 1;
+
+        // Desirability table: one candidate per (job, resource) — the
+        // dominant "stay" option for a GPU-running job (see cost module).
+        let cand: Vec<Vec<Candidate>> = jobs
+            .iter()
+            .map(|j| candidates(j, activation.platform, activation.catalog, false))
+            .collect();
+        let desirability = |job: &JobView, c: &Candidate| -> f64 {
+            let tleft = job.time_left(activation.now);
+            c.energy.value() + if c.exec > tleft { BIG_M } else { 0.0 }
+        };
+
+        // K̄: every resource starts with the full window as capacity. The
+        // paper's t_left is measured from the activation instant
+        // (`s_j + d_j − t`), so a future-released phantom's work counts
+        // against the span up to its absolute deadline, not just the span
+        // after its release.
+        let window = jobs
+            .iter()
+            .map(|j| j.deadline - activation.now)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let mut capacity = vec![window; activation.platform.len()];
+
+        let mut plan = PlanBuilder::new(activation);
+        let mut chosen: Vec<Option<Candidate>> = vec![None; jobs.len()];
+        let mut unmapped: Vec<usize> = (0..jobs.len()).collect();
+        let mut iterations: u64 = 0;
+
+        while !unmapped.is_empty() {
+            // F_j: resources whose remaining capacity admits the task. A
+            // task whose F_j is empty can never be mapped later (capacities
+            // only shrink), so the algorithm has no solution.
+            let feasible = |j: usize| -> Vec<Candidate> {
+                cand[j]
+                    .iter()
+                    .filter(|c| c.exec <= capacity[c.resource.index()])
+                    .copied()
+                    .collect()
+            };
+
+            // Select the task with the maximum regret d* (lines 8–23).
+            let mut selected: Option<(usize, Vec<Candidate>)> = None;
+            let mut best_regret = f64::NEG_INFINITY;
+            for &j in &unmapped {
+                let mut fj = feasible(j);
+                if fj.is_empty() {
+                    return None; // line 22: no solution
+                }
+                fj.sort_by(|a, b| {
+                    desirability(&jobs[j], a)
+                        .total_cmp(&desirability(&jobs[j], b))
+                        .then(a.resource.cmp(&b.resource))
+                });
+                let regret = if fj.len() == 1 {
+                    f64::INFINITY
+                } else {
+                    desirability(&jobs[j], &fj[1]) - desirability(&jobs[j], &fj[0])
+                };
+                if regret > best_regret {
+                    best_regret = regret;
+                    selected = Some((j, fj));
+                }
+                if self.disable_regret_ordering {
+                    break; // ablation: take the first unmapped task
+                }
+            }
+            let (j_star, mut options) = selected.expect("unmapped is non-empty");
+
+            // Map to the most desirable schedulable resource (lines 24–34).
+            let mut placed = false;
+            while !options.is_empty() {
+                iterations += 1;
+                let c = options.remove(0);
+                if plan.fits(&jobs[j_star], &c) {
+                    plan.place(&jobs[j_star], &c);
+                    capacity[c.resource.index()] -= c.exec;
+                    chosen[j_star] = Some(c);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return None; // lines 31–32: no more resources
+            }
+            unmapped.retain(|&j| j != j_star);
+        }
+
+        debug_assert!(plan.all_schedulable());
+        let objective: Energy = chosen.iter().flatten().map(|c| c.energy).sum();
+        let start_gates = if num_phantoms > 0 {
+            let keys: Vec<_> = activation.predicted[..num_phantoms]
+                .iter()
+                .map(|p| p.key)
+                .collect();
+            plan.reservation_gates(&keys)
+        } else {
+            Vec::new()
+        };
+        Some(Plan {
+            placements: jobs[..n_real]
+                .iter()
+                .zip(&chosen)
+                .map(|(j, c)| (j.key, c.expect("all jobs mapped")))
+                .collect(),
+            objective,
+            nodes: iterations,
+            start_gates,
+        })
+    }
+}
+
+impl ResourceManager for HeuristicRm {
+    fn name(&self) -> &str {
+        if self.disable_regret_ordering {
+            "heuristic-noregret"
+        } else {
+            "heuristic"
+        }
+    }
+
+    fn decide(&mut self, activation: &Activation<'_>) -> Decision {
+        decide_with_fallback(activation, |act, k| self.solve(act, k))
+    }
+}
+
+/// Re-exported for the ablation benchmark: the resource a fresh job would
+/// most desire (minimum energy), ignoring schedulability.
+#[must_use]
+pub fn most_desirable_resource(
+    job: &JobView,
+    activation: &Activation<'_>,
+) -> Option<ResourceId> {
+    candidates(job, activation.platform, activation.catalog, false)
+        .into_iter()
+        .min_by(|a, b| a.energy.cmp(&b.energy).then(a.resource.cmp(&b.resource)))
+        .map(|c| c.resource)
+}

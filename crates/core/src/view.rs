@@ -1,0 +1,98 @@
+//! The resource manager's view of one task at an activation instant.
+
+use serde::{Deserialize, Serialize};
+
+use rtrm_platform::{ResourceId, TaskTypeId, Time};
+use rtrm_sched::JobKey;
+
+/// Where a task currently lives and how far it has progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Resource the task is currently mapped to.
+    pub resource: ResourceId,
+    /// Fraction of the task's work still to be done on `resource`
+    /// (`cp / c` in the paper), in `(0, 1]`, measured against the
+    /// *effective* WCET at the placement's speed.
+    pub remaining_fraction: f64,
+    /// `true` once the task has consumed any execution time. Only started
+    /// tasks carry state: migrating them costs the `cm`/`em` overheads, and
+    /// on a GPU a started task is irrevocably committed (abort loses all
+    /// progress).
+    pub started: bool,
+    /// DVFS speed level the placement runs at (factor of the nominal
+    /// frequency; `1.0` on resources without frequency scaling). Execution
+    /// time scales with `1/speed`, dynamic energy with `speed²`.
+    pub speed: f64,
+}
+
+impl Placement {
+    /// A full-speed placement (the common, non-DVFS case).
+    #[must_use]
+    pub fn new(resource: ResourceId, remaining_fraction: f64, started: bool) -> Self {
+        Placement {
+            resource,
+            remaining_fraction,
+            started,
+            speed: 1.0,
+        }
+    }
+}
+
+/// One task as seen by the resource manager at an activation: an element of
+/// the paper's set S̄ — an active task, the arriving task, or the predicted
+/// phantom task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobView {
+    /// Identity, stable across activations.
+    pub key: JobKey,
+    /// Task type (execution profiles and migration overheads).
+    pub task_type: TaskTypeId,
+    /// Earliest time the task may execute: its arrival, plus the prediction
+    /// overhead for the arriving task (Sec 5.5), or the predicted arrival
+    /// `s_p` for the phantom task.
+    pub release: Time,
+    /// Absolute deadline (`s_j + d_j`).
+    pub deadline: Time,
+    /// Current placement; `None` for tasks that have not been mapped yet
+    /// (the arriving and predicted tasks).
+    pub placement: Option<Placement>,
+}
+
+impl JobView {
+    /// A fresh, not-yet-mapped task.
+    #[must_use]
+    pub fn fresh(key: JobKey, task_type: TaskTypeId, release: Time, deadline: Time) -> Self {
+        JobView {
+            key,
+            task_type,
+            release,
+            deadline,
+            placement: None,
+        }
+    }
+
+    /// The paper's `t_left`: time from the activation instant `now` to the
+    /// absolute deadline, further reduced if the task's release is delayed
+    /// past `now` (prediction overhead / predicted arrival).
+    #[must_use]
+    pub fn time_left(&self, now: Time) -> Time {
+        self.deadline - self.release.max(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_left_accounts_for_delayed_release() {
+        let j = JobView::fresh(
+            JobKey(1),
+            TaskTypeId::new(0),
+            Time::new(12.0),
+            Time::new(20.0),
+        );
+        assert_eq!(j.time_left(Time::new(10.0)), Time::new(8.0));
+        assert_eq!(j.time_left(Time::new(15.0)), Time::new(5.0));
+    }
+}

@@ -1,0 +1,299 @@
+//! Randomized cross-validation of the three resource managers.
+//!
+//! * Without prediction, `ExactRm` (timeline branch & bound) and `MilpRm`
+//!   (the paper's Sec 4.2 formulation through the bundled solver) must agree
+//!   exactly: same admission verdict, same optimal objective.
+//! * With prediction on CPU-only platforms both encodings are exact, so they
+//!   must still agree on admission; on platforms with a GPU the MILP uses
+//!   the paper's conservative "predicted task last" rule, so `MilpRm`
+//!   admitting implies `ExactRm` admitting.
+//! * Whenever the heuristic admits, the exact manager must admit (it
+//!   searches a superset), and its objective is never worse.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtrm_core::{Activation, ExactRm, HeuristicRm, JobView, MilpRm, Placement, ResourceManager};
+use rtrm_platform::{Platform, ResourceKind, TaskCatalog, TaskTypeId, Time};
+use rtrm_sched::JobKey;
+use rtrm_trace::{generate_catalog, CatalogConfig};
+
+/// A compact recipe for one random activation.
+#[derive(Debug, Clone)]
+struct Scenario {
+    cpus: usize,
+    with_gpu: bool,
+    seed: u64,
+    /// (type index, placement resource index or none, remaining fraction,
+    /// deadline slack multiplier)
+    active: Vec<(usize, Option<usize>, f64, f64)>,
+    arriving_type: usize,
+    arriving_slack: f64,
+    predicted: Option<(usize, f64, f64)>, // (type, arrival offset, slack)
+}
+
+fn scenario(max_active: usize, force_cpu_only: bool) -> impl Strategy<Value = Scenario> {
+    (
+        2usize..4,
+        if force_cpu_only {
+            Just(false).boxed()
+        } else {
+            any::<bool>().boxed()
+        },
+        any::<u64>(),
+        prop::collection::vec(
+            (0usize..6, prop::option::of(0usize..4), 0.05f64..1.0, 1.2f64..4.0),
+            0..max_active,
+        ),
+        0usize..6,
+        1.2f64..4.0,
+        prop::option::of((0usize..6, 0.1f64..30.0, 1.2f64..4.0)),
+    )
+        .prop_map(
+            |(cpus, with_gpu, seed, active, arriving_type, arriving_slack, predicted)| Scenario {
+                cpus,
+                with_gpu,
+                seed,
+                active,
+                arriving_type,
+                arriving_slack,
+                predicted,
+            },
+        )
+}
+
+/// Materializes a scenario into (platform, catalog, active jobs, arriving,
+/// predicted). Invalid placements (two started jobs on one GPU, placements
+/// on out-of-range resources) are repaired deterministically.
+fn build(
+    s: &Scenario,
+) -> (
+    Platform,
+    TaskCatalog,
+    Vec<JobView>,
+    JobView,
+    Option<JobView>,
+) {
+    let mut builder = Platform::builder();
+    builder.cpus(s.cpus);
+    if s.with_gpu {
+        builder.gpu("gpu0");
+    }
+    let platform = builder.build();
+
+    let mut rng = StdRng::seed_from_u64(s.seed);
+    let cfg = CatalogConfig {
+        num_types: 6,
+        cpu_wcet_mean: 10.0,
+        cpu_wcet_std: 3.0,
+        cpu_energy_mean: 5.0,
+        cpu_energy_std: 1.5,
+        ..CatalogConfig::paper()
+    };
+    let catalog = generate_catalog(&platform, &cfg, &mut rng);
+
+    let now = Time::new(100.0);
+    let mut gpu_started_taken = vec![false; platform.len()];
+    let mut active = Vec::new();
+    for (i, &(ty, place, frac, slack)) in s.active.iter().enumerate() {
+        let ty = TaskTypeId::new(ty % catalog.len());
+        let wcet_mean = catalog.task_type(ty).mean_wcet();
+        let deadline = now + wcet_mean * slack;
+        let mut job = JobView::fresh(JobKey(i as u64), ty, now, deadline);
+        if let Some(r) = place {
+            let r = rtrm_platform::ResourceId::new(r % platform.len());
+            if catalog.task_type(ty).is_executable_on(r) {
+                let non_preemptable = !platform.resource(r).kind().is_preemptable();
+                let mut started = true;
+                if non_preemptable {
+                    if gpu_started_taken[r.index()] {
+                        started = false; // only one mid-run job per GPU
+                    } else {
+                        gpu_started_taken[r.index()] = true;
+                    }
+                }
+                job.placement = Some(Placement {
+                    resource: r,
+                    remaining_fraction: if started { frac } else { 1.0 },
+                    started,
+                    speed: 1.0,
+                });
+            }
+        }
+        active.push(job);
+    }
+
+    let arr_ty = TaskTypeId::new(s.arriving_type % catalog.len());
+    let arriving = JobView::fresh(
+        JobKey(1000),
+        arr_ty,
+        now,
+        now + catalog.task_type(arr_ty).mean_wcet() * s.arriving_slack,
+    );
+
+    let predicted = s.predicted.map(|(ty, offset, slack)| {
+        let ty = TaskTypeId::new(ty % catalog.len());
+        let arrival = now + Time::new(offset);
+        JobView::fresh(
+            JobKey(2000),
+            ty,
+            arrival,
+            arrival + catalog.task_type(ty).mean_wcet() * slack,
+        )
+    });
+
+    (platform, catalog, active, arriving, predicted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_and_milp_agree_without_prediction(s in scenario(5, false)) {
+        let (platform, catalog, active, arriving, _) = build(&s);
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &[],
+        };
+        let de = ExactRm::new().decide(&activation);
+        let dm = MilpRm::new().decide(&activation);
+        prop_assert_eq!(de.admitted, dm.admitted, "exact={:?} milp={:?}", de, dm);
+        if de.admitted {
+            prop_assert!(
+                (de.objective.value() - dm.objective.value()).abs() < 1e-5,
+                "objective mismatch: exact={} milp={}",
+                de.objective,
+                dm.objective
+            );
+        }
+    }
+
+    #[test]
+    fn exact_and_milp_agree_with_prediction_on_cpus(s in scenario(4, true)) {
+        let (platform, catalog, active, arriving, predicted) = build(&s);
+        prop_assume!(predicted.is_some());
+        prop_assume!(platform.ids_of_kind(ResourceKind::Gpu).count() == 0);
+        let phantoms: Vec<_> = predicted.into_iter().collect();
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &phantoms,
+        };
+        let de = ExactRm::new().decide(&activation);
+        let dm = MilpRm::new().decide(&activation);
+        prop_assert_eq!(de.admitted, dm.admitted);
+        prop_assert_eq!(de.used_prediction, dm.used_prediction);
+        if de.admitted && de.used_prediction {
+            prop_assert!(
+                (de.objective.value() - dm.objective.value()).abs() < 1e-5,
+                "objective mismatch: exact={} milp={}",
+                de.objective,
+                dm.objective
+            );
+        }
+    }
+
+    #[test]
+    fn milp_admission_implies_exact_admission_with_prediction(s in scenario(4, false)) {
+        let (platform, catalog, active, arriving, predicted) = build(&s);
+        prop_assume!(predicted.is_some());
+        let phantoms: Vec<_> = predicted.into_iter().collect();
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &phantoms,
+        };
+        let dm = MilpRm::new().decide(&activation);
+        if dm.admitted {
+            let de = ExactRm::new().decide(&activation);
+            prop_assert!(de.admitted, "milp admitted but exact rejected");
+        }
+    }
+
+    #[test]
+    fn heuristic_is_dominated_by_exact(s in scenario(6, false)) {
+        let (platform, catalog, active, arriving, predicted) = build(&s);
+        let phantoms: Vec<_> = predicted.into_iter().collect();
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &phantoms,
+        };
+        let dh = HeuristicRm::new().decide(&activation);
+        if dh.admitted {
+            let de = ExactRm::new().decide(&activation);
+            prop_assert!(de.admitted, "heuristic admitted but exact rejected");
+            if de.used_prediction == dh.used_prediction {
+                prop_assert!(
+                    de.objective <= dh.objective + rtrm_platform::Energy::new(1e-9),
+                    "exact {} worse than heuristic {}",
+                    de.objective,
+                    dh.objective
+                );
+            }
+        }
+    }
+
+    /// Every admitted plan is actually schedulable when replayed through the
+    /// timeline engine — for all three managers.
+    #[test]
+    fn admitted_plans_are_schedulable(s in scenario(5, false)) {
+        let (platform, catalog, active, arriving, predicted) = build(&s);
+        let phantoms: Vec<_> = predicted.into_iter().collect();
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &phantoms,
+        };
+        let jobs: Vec<JobView> = active.iter().copied().chain([arriving]).collect();
+        for decision in [
+            ExactRm::new().decide(&activation),
+            HeuristicRm::new().decide(&activation),
+            MilpRm::new().decide(&activation),
+        ] {
+            if !decision.admitted {
+                continue;
+            }
+            // Rebuild per-resource queues from the assignments and check.
+            let mut queues: Vec<Vec<rtrm_sched::PlannedJob>> = vec![Vec::new(); platform.len()];
+            for a in &decision.assignments {
+                let job = jobs.iter().find(|j| j.key == a.key).expect("assigned job exists");
+                let cand = rtrm_core::candidates(job, &platform, &catalog, true)
+                    .into_iter()
+                    .find(|c| c.resource == a.resource && c.restart == a.restart)
+                    .expect("assignment corresponds to a candidate");
+                queues[a.resource.index()].push(rtrm_sched::PlannedJob {
+                    key: job.key,
+                    release: job.release.max(Time::new(100.0)),
+                    exec: cand.exec,
+                    deadline: job.deadline,
+                    pinned: cand.pinned,
+                });
+            }
+            for r in platform.ids() {
+                let kind = platform.resource(r).kind();
+                prop_assert!(
+                    rtrm_sched::is_schedulable(kind, Time::new(100.0), &queues[r.index()]),
+                    "unschedulable plan on {r} from an admitted decision"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Tests for the DVFS extension: speed levels scale time by `1/s` and
+//! dynamic energy by `s²`, so running slower saves energy when deadlines
+//! allow — and the managers exploit exactly that.
+
+use rtrm_core::{Activation, ExactRm, HeuristicRm, JobView, MilpRm, ResourceManager};
+use rtrm_platform::{Energy, Platform, TaskCatalog, TaskType, TaskTypeId, Time};
+use rtrm_sched::JobKey;
+
+/// One DVFS CPU with levels {0.5, 1.0}: at half speed a task takes 2× the
+/// time at 1/4 the energy.
+fn dvfs_world() -> (Platform, TaskCatalog) {
+    let platform = {
+        let mut b = Platform::builder();
+        b.cpu_with_dvfs("big0", &[0.5, 1.0]);
+        b.build()
+    };
+    let ids: Vec<_> = platform.ids().collect();
+    let ty = TaskType::builder(0, &platform)
+        .profile(ids[0], Time::new(4.0), Energy::new(8.0))
+        .build();
+    (platform, TaskCatalog::new(vec![ty]))
+}
+
+fn fresh(key: u64, release: f64, deadline: f64) -> JobView {
+    JobView::fresh(
+        JobKey(key),
+        TaskTypeId::new(0),
+        Time::new(release),
+        Time::new(deadline),
+    )
+}
+
+#[test]
+fn candidates_enumerate_speed_levels() {
+    let (platform, catalog) = dvfs_world();
+    let job = fresh(0, 0.0, 100.0);
+    let cands = rtrm_core::candidates(&job, &platform, &catalog, false);
+    assert_eq!(cands.len(), 2);
+    let slow = cands.iter().find(|c| c.speed == 0.5).expect("slow level");
+    let fast = cands.iter().find(|c| c.speed == 1.0).expect("fast level");
+    assert_eq!(slow.exec, Time::new(8.0)); // 4 / 0.5
+    assert_eq!(slow.energy, Energy::new(2.0)); // 8 × 0.25
+    assert_eq!(fast.exec, Time::new(4.0));
+    assert_eq!(fast.energy, Energy::new(8.0));
+}
+
+#[test]
+fn loose_deadline_picks_the_slow_level() {
+    let (platform, catalog) = dvfs_world();
+    for rm in [
+        &mut ExactRm::new() as &mut dyn ResourceManager,
+        &mut HeuristicRm::new(),
+        &mut MilpRm::new(),
+    ] {
+        let d = rm.decide(&Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &[],
+            arriving: fresh(0, 0.0, 20.0),
+            predicted: &[],
+        });
+        assert!(d.admitted, "{}", rm.name());
+        assert_eq!(d.assignments[0].speed, 0.5, "{} saves energy", rm.name());
+        assert!((d.objective.value() - 2.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tight_deadline_forces_the_fast_level() {
+    let (platform, catalog) = dvfs_world();
+    for rm in [
+        &mut ExactRm::new() as &mut dyn ResourceManager,
+        &mut HeuristicRm::new(),
+        &mut MilpRm::new(),
+    ] {
+        let d = rm.decide(&Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &[],
+            arriving: fresh(0, 0.0, 5.0),
+            predicted: &[],
+        });
+        assert!(d.admitted, "{}", rm.name());
+        assert_eq!(d.assignments[0].speed, 1.0, "{} must race", rm.name());
+    }
+}
+
+#[test]
+fn load_forces_mixed_levels() {
+    // Two tasks, deadline 16 each: both at 0.5 would need 8+8 = 16 ✓ — but
+    // one arrives later; the optimizer balances speeds to fit both while
+    // minimizing energy.
+    let (platform, catalog) = dvfs_world();
+    let mut active = fresh(0, 0.0, 12.0);
+    active.placement = Some(rtrm_core::Placement::new(
+        platform.ids().next().expect("one cpu"),
+        1.0,
+        false,
+    ));
+    let d = ExactRm::new().decide(&Activation {
+        now: Time::ZERO,
+        platform: &platform,
+        catalog: &catalog,
+        active: &[active],
+        arriving: fresh(1, 0.0, 12.0),
+        predicted: &[],
+    });
+    assert!(d.admitted);
+    // EDF runs them back to back; total busy time must fit in 12:
+    // {0.5, 0.5} → 16 ✗; {1.0, 0.5} → 12 ✓ (energy 10); {1.0, 1.0} → 8
+    // (energy 16). The optimum mixes: one fast, one slow.
+    let speeds: Vec<f64> = d.assignments.iter().map(|a| a.speed).collect();
+    let mut sorted = speeds.clone();
+    sorted.sort_by(f64::total_cmp);
+    assert_eq!(sorted, vec![0.5, 1.0], "speeds={speeds:?}");
+    assert!((d.objective.value() - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn exact_and_milp_agree_with_dvfs() {
+    let (platform, catalog) = dvfs_world();
+    for deadline in [5.0, 9.0, 12.0, 20.0] {
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &[],
+            arriving: fresh(0, 0.0, deadline),
+            predicted: &[],
+        };
+        let de = ExactRm::new().decide(&activation);
+        let dm = MilpRm::new().decide(&activation);
+        assert_eq!(de.admitted, dm.admitted, "deadline {deadline}");
+        if de.admitted {
+            assert!(
+                (de.objective.value() - dm.objective.value()).abs() < 1e-6,
+                "deadline {deadline}: exact {} vs milp {}",
+                de.objective,
+                dm.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn started_task_keeps_its_speed_when_staying() {
+    let (platform, catalog) = dvfs_world();
+    let cpu = platform.ids().next().expect("one cpu");
+    let mut running = fresh(0, 0.0, 30.0);
+    running.placement = Some(rtrm_core::Placement {
+        resource: cpu,
+        remaining_fraction: 0.5, // half of the effective 8-unit run left
+        started: true,
+        speed: 0.5,
+    });
+    let cands = rtrm_core::candidates(&running, &platform, &catalog, false);
+    // Staying keeps speed 0.5: exec = (4/0.5)·0.5 = 4, energy = 2·0.5 = 1.
+    assert_eq!(cands.len(), 1, "single-CPU platform: stay only");
+    assert_eq!(cands[0].speed, 0.5);
+    assert_eq!(cands[0].exec, Time::new(4.0));
+    assert_eq!(cands[0].energy, Energy::new(1.0));
+}

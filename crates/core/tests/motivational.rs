@@ -1,0 +1,252 @@
+//! The paper's motivational example (Sec 3, Table 1 and Fig 1), replayed
+//! against all three resource managers.
+//!
+//! Platform: CPU1, CPU2, GPU. Parameters (Table 1):
+//!
+//! |     | s | d | WCET cpu1/cpu2/gpu | Energy cpu1/cpu2/gpu |
+//! |-----|---|---|--------------------|----------------------|
+//! | τ1  | 0 | 8 | 8 / 12 / 5         | 7.3 / 8.4 / 2.0      |
+//! | τ2  | 1 | 5 | 7 / 8.5 / 3        | 6.2 / 7.5 / 1.5      |
+
+use rtrm_core::{
+    Activation, Decision, ExactRm, HeuristicRm, JobView, MilpRm, Placement, ResourceManager,
+};
+use rtrm_platform::{
+    Energy, Platform, ResourceId, TaskCatalog, TaskType, TaskTypeId, Time,
+};
+use rtrm_sched::JobKey;
+
+fn setup() -> (Platform, TaskCatalog) {
+    let platform = Platform::builder().cpu("cpu1").cpu("cpu2").gpu("gpu").build();
+    let ids: Vec<_> = platform.ids().collect();
+    let tau1 = TaskType::builder(0, &platform)
+        .profile(ids[0], Time::new(8.0), Energy::new(7.3))
+        .profile(ids[1], Time::new(12.0), Energy::new(8.4))
+        .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+        .build();
+    let tau2 = TaskType::builder(1, &platform)
+        .profile(ids[0], Time::new(7.0), Energy::new(6.2))
+        .profile(ids[1], Time::new(8.5), Energy::new(7.5))
+        .profile(ids[2], Time::new(3.0), Energy::new(1.5))
+        .build();
+    (platform, TaskCatalog::new(vec![tau1, tau2]))
+}
+
+fn rid(i: usize) -> ResourceId {
+    ResourceId::new(i)
+}
+
+/// Scenario (a): without prediction the manager parks τ1 on the GPU at t=0
+/// (cheapest energy), and at t=1 τ2 cannot be saved: it must be rejected.
+fn scenario_without_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decision) {
+    let (platform, catalog) = setup();
+    let tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+
+    let d1 = rm.decide(&Activation {
+        now: Time::new(0.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[],
+        arriving: tau1,
+        predicted: &[],
+    });
+    assert!(d1.admitted);
+    assert_eq!(d1.assignments[0].resource, rid(2), "GPU is cheapest for τ1");
+
+    // t = 1: τ1 has run 1 of its 5 GPU units.
+    let mut tau1_active = tau1;
+    tau1_active.placement = Some(Placement {
+        resource: rid(2),
+        remaining_fraction: 4.0 / 5.0,
+        started: true,
+                speed: 1.0,
+    });
+    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    let d2 = rm.decide(&Activation {
+        now: Time::new(1.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[tau1_active],
+        arriving: tau2,
+        predicted: &[],
+    });
+    (d1, d2)
+}
+
+/// Scenario (b): with an accurate prediction of τ2 at t=1, the manager maps
+/// τ1 to CPU1 at t=0 and reserves the GPU; τ2 is admitted at t=1.
+fn scenario_with_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decision) {
+    let (platform, catalog) = setup();
+    let tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+    // Phantom τ2: arrival 1, relative deadline 5 → absolute 6.
+    let phantom = JobView::fresh(JobKey(100), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+
+    let d1 = rm.decide(&Activation {
+        now: Time::new(0.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[],
+        arriving: tau1,
+        predicted: std::slice::from_ref(&phantom),
+    });
+    assert!(d1.admitted);
+    assert!(d1.used_prediction);
+    assert_eq!(
+        d1.assignments[0].resource,
+        rid(0),
+        "τ1 must go to CPU1 so the GPU stays free for the predicted τ2"
+    );
+
+    // t = 1: τ1 has run 1 of its 8 CPU1 units; τ2 actually arrives.
+    let mut tau1_active = tau1;
+    tau1_active.placement = Some(Placement {
+        resource: rid(0),
+        remaining_fraction: 7.0 / 8.0,
+        started: true,
+                speed: 1.0,
+    });
+    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    let d2 = rm.decide(&Activation {
+        now: Time::new(1.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[tau1_active],
+        arriving: tau2,
+        predicted: &[],
+    });
+    (d1, d2)
+}
+
+#[test]
+fn exact_rejects_tau2_without_prediction() {
+    let (_, d2) = scenario_without_prediction(&mut ExactRm::new());
+    assert!(!d2.admitted, "paper: acceptance rate 1/2 without prediction");
+}
+
+#[test]
+fn heuristic_rejects_tau2_without_prediction() {
+    let (_, d2) = scenario_without_prediction(&mut HeuristicRm::new());
+    assert!(!d2.admitted);
+}
+
+#[test]
+fn milp_rejects_tau2_without_prediction() {
+    let (_, d2) = scenario_without_prediction(&mut MilpRm::new());
+    assert!(!d2.admitted);
+}
+
+#[test]
+fn exact_admits_both_with_prediction() {
+    let (_, d2) = scenario_with_prediction(&mut ExactRm::new());
+    assert!(d2.admitted, "paper: acceptance rate 2/2 with prediction");
+    // τ2 lands on the reserved GPU; τ1 stays on CPU1. Total planned energy
+    // at t=1: τ1 remaining 7/8·7.3 + τ2 1.5.
+    let a2 = d2
+        .assignments
+        .iter()
+        .find(|a| a.key == JobKey(1))
+        .expect("τ2 assigned");
+    assert_eq!(a2.resource, rid(2));
+    let expected = 7.0 / 8.0 * 7.3 + 1.5;
+    assert!((d2.objective.value() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn heuristic_admits_both_with_prediction() {
+    let (_, d2) = scenario_with_prediction(&mut HeuristicRm::new());
+    assert!(d2.admitted);
+}
+
+#[test]
+fn milp_admits_both_with_prediction() {
+    let (_, d2) = scenario_with_prediction(&mut MilpRm::new());
+    assert!(d2.admitted);
+}
+
+/// The paper's "harmful inaccurate prediction" coda: predicting τ2 at t=1
+/// when it actually arrives at t=3 still admits both tasks, but at 8.8 J
+/// planned energy instead of 3.5 J for the non-predicting manager.
+#[test]
+fn inaccurate_prediction_costs_energy() {
+    let (platform, catalog) = setup();
+    let mut rm = ExactRm::new();
+
+    // With (wrong) prediction: τ1 → CPU1 as in scenario (b). τ2 arrives at 3.
+    let tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+    let mut tau1_active = tau1;
+    tau1_active.placement = Some(Placement {
+        resource: rid(0),
+        remaining_fraction: 5.0 / 8.0, // ran 3 of 8 units on CPU1
+        started: true,
+                speed: 1.0,
+    });
+    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(3.0), Time::new(8.0));
+    let d = rm.decide(&Activation {
+        now: Time::new(3.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[tau1_active],
+        arriving: tau2,
+        predicted: &[],
+    });
+    assert!(d.admitted);
+    // Full-run energy with the wrong prediction: 7.3 (τ1 on CPU1) + 1.5 = 8.8 J.
+    // The remaining-energy objective at t=3 confirms the same placement:
+    let expected = 5.0 / 8.0 * 7.3 + 1.5;
+    assert!((d.objective.value() - expected).abs() < 1e-9, "objective={}", d.objective);
+
+    // Without prediction: τ1 → GPU finishes at 5; τ2 (arriving at 3) waits
+    // and runs on the GPU 5→8, meeting its absolute deadline 11... in the
+    // paper's tighter numbers, 8 ≤ 3+5. Total energy 2.0 + 1.5 = 3.5 J.
+    let mut tau1_gpu = tau1;
+    tau1_gpu.placement = Some(Placement {
+        resource: rid(2),
+        remaining_fraction: 2.0 / 5.0, // ran 3 of 5 GPU units
+        started: true,
+                speed: 1.0,
+    });
+    let d2 = rm.decide(&Activation {
+        now: Time::new(3.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[tau1_gpu],
+        arriving: tau2,
+        predicted: &[],
+    });
+    assert!(d2.admitted);
+    let a2 = d2.assignments.iter().find(|a| a.key == JobKey(1)).unwrap();
+    assert_eq!(a2.resource, rid(2), "τ2 queues behind τ1 on the GPU");
+    let expected2 = 2.0 / 5.0 * 2.0 + 1.5;
+    assert!((d2.objective.value() - expected2).abs() < 1e-9);
+}
+
+/// A GPU-running task can be aborted and restarted when that is the only way
+/// to admit an urgent arrival — and the exact manager finds it.
+#[test]
+fn gpu_abort_rescues_urgent_arrival() {
+    let (platform, catalog) = setup();
+    // τ1 running on GPU with plenty of slack (deadline 30), τ2 arrives with
+    // a deadline only the GPU can meet.
+    let mut tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(30.0));
+    tau1.placement = Some(Placement {
+        resource: rid(2),
+        remaining_fraction: 0.9,
+        started: true,
+                speed: 1.0,
+    });
+    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(1.0), Time::new(4.5));
+    let mut rm = ExactRm::new();
+    let d = rm.decide(&Activation {
+        now: Time::new(1.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[tau1],
+        arriving: tau2,
+        predicted: &[],
+    });
+    assert!(d.admitted, "aborting τ1 frees the GPU for τ2");
+    let a1 = d.assignments.iter().find(|a| a.key == JobKey(0)).unwrap();
+    let a2 = d.assignments.iter().find(|a| a.key == JobKey(1)).unwrap();
+    assert_eq!(a2.resource, rid(2));
+    assert!(a1.restart, "τ1 loses its progress");
+}

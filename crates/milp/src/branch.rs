@@ -1,0 +1,124 @@
+//! Depth-first branch & bound over the LP relaxation.
+
+use crate::model::{Model, Sense, Solution, SolveError, VarKind};
+use crate::simplex::{solve_lp, LpOutcome};
+use crate::SolveOptions;
+
+/// Solves `model` to proven optimality (or reports why it could not).
+pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
+    let lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+
+    // Internally compare in "minimize" direction.
+    let dir = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let mut best: Option<(f64, Vec<f64>)> = None; // (dir·objective, values)
+    let mut nodes: u64 = 0;
+    let mut stack = vec![(lower, upper)];
+    let mut hit_node_limit = false;
+    let mut hit_iteration_limit = false;
+
+    while let Some((lb, ub)) = stack.pop() {
+        if nodes >= options.max_nodes {
+            hit_node_limit = true;
+            break;
+        }
+        nodes += 1;
+
+        let outcome = solve_lp(model, &lb, &ub, options.max_simplex_iterations);
+        let (objective, values) = match outcome {
+            LpOutcome::Optimal { objective, values } => (objective, values),
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // An unbounded relaxation at the root means the MILP is
+                // unbounded or infeasible; we report unbounded, matching LP
+                // solver convention. Deeper nodes inherit the root bounds,
+                // so this can only trigger at the root.
+                return Err(SolveError::Unbounded);
+            }
+            LpOutcome::IterationLimit => {
+                hit_iteration_limit = true;
+                continue;
+            }
+        };
+
+        // Bound: prune nodes that cannot beat the incumbent.
+        if let Some((best_obj, _)) = &best {
+            if dir * objective >= *best_obj - options.objective_tolerance {
+                continue;
+            }
+        }
+
+        // Pick the most fractional integer variable (closest to x.5).
+        let mut branch_var: Option<(usize, f64)> = None;
+        for (j, var) in model.vars.iter().enumerate() {
+            if var.kind != VarKind::Integer {
+                continue;
+            }
+            let x = values[j];
+            if (x - x.round()).abs() <= options.integrality_tolerance {
+                continue;
+            }
+            let dist_to_half = (x - x.floor() - 0.5).abs();
+            if branch_var.is_none_or(|(_, d)| dist_to_half < d) {
+                branch_var = Some((j, dist_to_half));
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent. Snap integers exactly.
+                let mut snapped = values;
+                for (j, var) in model.vars.iter().enumerate() {
+                    if var.kind == VarKind::Integer {
+                        snapped[j] = snapped[j].round();
+                    }
+                }
+                let obj = model.objective_at(&snapped);
+                let key = dir * obj;
+                if best.as_ref().is_none_or(|(b, _)| key < *b) {
+                    best = Some((key, snapped));
+                }
+            }
+            Some((j, _)) => {
+                let x = values[j];
+                let floor = x.floor();
+                // Down branch pushed last → explored first (DFS), which digs
+                // toward integral solutions quickly.
+                let mut up_lb = lb.clone();
+                let up_ub = ub.clone();
+                up_lb[j] = floor + 1.0;
+                let down_lb = lb;
+                let mut down_ub = ub;
+                down_ub[j] = floor;
+                let up = (up_lb, up_ub);
+                let down = (down_lb, down_ub);
+                // Explore the side closer to the fractional value first.
+                if x - floor > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((_, values)) => {
+            let objective = model.objective_at(&values);
+            Ok(Solution {
+                values,
+                objective,
+                nodes,
+            })
+        }
+        None if hit_node_limit => Err(SolveError::NodeLimit),
+        None if hit_iteration_limit => Err(SolveError::IterationLimit),
+        None => Err(SolveError::Infeasible),
+    }
+}

@@ -1,0 +1,160 @@
+//! CPLEX-LP-format rendering of a [`Model`] — the lingua franca for
+//! inspecting MILP encodings and feeding them to external solvers for
+//! spot-checks.
+
+use std::fmt::Write as _;
+
+use crate::model::{Cmp, Model, Sense, VarKind};
+
+impl Model {
+    /// Renders the model in CPLEX LP format: objective, constraints,
+    /// bounds, and the integer section. Variables are named `x0, x1, …` in
+    /// creation order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtrm_milp::{Model, Sense};
+    ///
+    /// let mut m = Model::new(Sense::Maximize);
+    /// let a = m.binary(3.0);
+    /// let b = m.binary(4.0);
+    /// m.add_le(&[(a, 2.0), (b, 3.0)], 4.0);
+    /// let text = m.to_lp_string();
+    /// assert!(text.starts_with("Maximize"));
+    /// assert!(text.contains("c0: 2 x0 + 3 x1 <= 4"));
+    /// ```
+    #[must_use]
+    pub fn to_lp_string(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            match self.sense {
+                Sense::Minimize => "Minimize",
+                Sense::Maximize => "Maximize",
+            }
+        );
+        let objective: Vec<String> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.objective != 0.0)
+            .map(|(i, v)| format!("{} x{i}", fmt_num(v.objective)))
+            .collect();
+        let _ = writeln!(
+            out,
+            " obj: {}",
+            if objective.is_empty() {
+                "0".to_string()
+            } else {
+                join_terms(&objective)
+            }
+        );
+
+        let _ = writeln!(out, "Subject To");
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let terms: Vec<String> = c
+                .terms
+                .iter()
+                .map(|(v, coeff)| format!("{} x{}", fmt_num(*coeff), v.index()))
+                .collect();
+            let op = match c.cmp {
+                Cmp::Le => "<=",
+                Cmp::Eq => "=",
+                Cmp::Ge => ">=",
+            };
+            let _ = writeln!(
+                out,
+                " c{ci}: {} {op} {}",
+                join_terms(&terms),
+                fmt_num(c.rhs)
+            );
+        }
+
+        let _ = writeln!(out, "Bounds");
+        for (i, v) in self.vars.iter().enumerate() {
+            let lo = if v.lower == f64::NEG_INFINITY {
+                "-inf".to_string()
+            } else {
+                fmt_num(v.lower)
+            };
+            let hi = if v.upper == f64::INFINITY {
+                "+inf".to_string()
+            } else {
+                fmt_num(v.upper)
+            };
+            let _ = writeln!(out, " {lo} <= x{i} <= {hi}");
+        }
+
+        let integers: Vec<String> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| format!("x{i}"))
+            .collect();
+        if !integers.is_empty() {
+            let _ = writeln!(out, "General\n {}", integers.join(" "));
+        }
+        let _ = writeln!(out, "End");
+        out
+    }
+}
+
+/// `1` instead of `1.0000`, full precision otherwise.
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// `a + b - c` with signs folded into the separators.
+fn join_terms(terms: &[String]) -> String {
+    let mut out = String::new();
+    for (i, t) in terms.iter().enumerate() {
+        if i == 0 {
+            out.push_str(t);
+        } else if let Some(stripped) = t.strip_prefix('-') {
+            out.push_str(" - ");
+            out.push_str(stripped.trim_start());
+        } else {
+            out.push_str(" + ");
+            out.push_str(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Model, Sense};
+
+    #[test]
+    fn lp_output_is_complete() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(0.0, 10.0, 1.5);
+        let y = m.integer(-2.0, 5.0, -1.0);
+        let z = m.continuous(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        m.add_ge(&[(x, 1.0), (y, -2.0)], 3.0);
+        m.add_eq(&[(z, 1.0)], 0.5);
+        let text = m.to_lp_string();
+        assert!(text.starts_with("Minimize\n obj: 1.5 x0 - 1 x1\n"));
+        assert!(text.contains("c0: 1 x0 - 2 x1 >= 3"));
+        assert!(text.contains("c1: 1 x2 = 0.5"));
+        assert!(text.contains(" 0 <= x0 <= 10"));
+        assert!(text.contains(" -2 <= x1 <= 5"));
+        assert!(text.contains(" -inf <= x2 <= +inf"));
+        assert!(text.contains("General\n x1"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let mut m = Model::new(Sense::Maximize);
+        let _ = m.continuous(0.0, 1.0, 0.0);
+        assert!(m.to_lp_string().contains("obj: 0"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Model-builder API for linear and mixed-integer linear programs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a decision variable within its [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Returns the variable's index in the model.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Domain of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds (binary = integer in `[0, 1]`).
+    Integer,
+}
+
+/// A decision variable: bounds, kind, objective coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) kind: VarKind,
+    pub(crate) objective: f64,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Le => write!(f, "<="),
+            Cmp::Eq => write!(f, "="),
+            Cmp::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A linear constraint `Σ coeff·var  cmp  rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    pub(crate) terms: Vec<(VarId, f64)>,
+    pub(crate) cmp: Cmp,
+    pub(crate) rhs: f64,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Sense {
+    /// Minimize the objective (default).
+    #[default]
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// A mixed-integer linear program under construction.
+///
+/// # Examples
+///
+/// A tiny knapsack:
+///
+/// ```
+/// use rtrm_milp::{Model, Sense};
+///
+/// let mut m = Model::new(Sense::Maximize);
+/// let a = m.binary(3.0); // value 3, weight 2
+/// let b = m.binary(4.0); // value 4, weight 3
+/// m.add_le(&[(a, 2.0), (b, 3.0)], 4.0);
+/// let sol = m.solve()?;
+/// assert_eq!(sol.objective(), 4.0);
+/// assert_eq!(sol.value(b).round(), 1.0);
+/// # Ok::<(), rtrm_milp::SolveError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimization sense.
+    #[must_use]
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn var(&mut self, kind: VarKind, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "bounds must not be NaN");
+        assert!(lower <= upper, "lower bound must not exceed upper bound");
+        assert!(objective.is_finite(), "objective coefficient must be finite");
+        let id = VarId(u32::try_from(self.vars.len()).expect("variable count fits in u32"));
+        self.vars.push(Variable {
+            lower,
+            upper,
+            kind,
+            objective,
+        });
+        id
+    }
+
+    /// Adds a continuous variable in `[lower, upper]`.
+    pub fn continuous(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        self.var(VarKind::Continuous, lower, upper, objective)
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn binary(&mut self, objective: f64) -> VarId {
+        self.var(VarKind::Integer, 0.0, 1.0, objective)
+    }
+
+    /// Adds an integer variable in `[lower, upper]`.
+    pub fn integer(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        self.var(VarKind::Integer, lower, upper, objective)
+    }
+
+    fn constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        for (v, c) in terms {
+            assert!(v.index() < self.vars.len(), "unknown variable {v}");
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+        }
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Adds `Σ terms ≤ rhs`.
+    pub fn add_le(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.constraint(terms, Cmp::Le, rhs);
+    }
+
+    /// Adds `Σ terms ≥ rhs`.
+    pub fn add_ge(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.constraint(terms, Cmp::Ge, rhs);
+    }
+
+    /// Adds `Σ terms = rhs`.
+    pub fn add_eq(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.constraint(terms, Cmp::Eq, rhs);
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Returns `true` if no variable is integer-constrained.
+    #[must_use]
+    pub fn is_pure_lp(&self) -> bool {
+        self.vars.iter().all(|v| v.kind == VarKind::Continuous)
+    }
+
+    /// Solves the model (LP relaxation via two-phase simplex, plus branch &
+    /// bound when integer variables are present) with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`] if no assignment satisfies all
+    /// constraints, [`SolveError::Unbounded`] if the objective is unbounded,
+    /// and [`SolveError::NodeLimit`] if branch & bound exhausts its node
+    /// budget before proving optimality.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        crate::branch::solve(self, &crate::SolveOptions::default())
+    }
+
+    /// Like [`solve`](Model::solve) with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](Model::solve).
+    pub fn solve_with(&self, options: &crate::SolveOptions) -> Result<Solution, SolveError> {
+        crate::branch::solve(self, options)
+    }
+
+    /// Evaluates the objective at a point (useful in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong length.
+    #[must_use]
+    pub fn objective_at(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.vars.len(), "point/variable mismatch");
+        self.vars
+            .iter()
+            .zip(point)
+            .map(|(v, x)| v.objective * x)
+            .sum()
+    }
+
+    /// Returns `true` if `point` satisfies all bounds and constraints within
+    /// tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong length.
+    #[must_use]
+    pub fn is_feasible_point(&self, point: &[f64], tol: f64) -> bool {
+        assert_eq!(point.len(), self.vars.len(), "point/variable mismatch");
+        for (v, &x) in self.vars.iter().zip(point) {
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+            if v.kind == VarKind::Integer && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, coeff)| coeff * point[v.index()]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An optimal (or best-found) solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    pub(crate) values: Vec<f64>,
+    pub(crate) objective: f64,
+    pub(crate) nodes: u64,
+}
+
+impl Solution {
+    /// Value of one variable.
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, in variable order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Objective value at the solution.
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Branch & bound nodes explored (1 for pure LPs).
+    #[must_use]
+    pub fn nodes_explored(&self) -> u64 {
+        self.nodes
+    }
+}
+
+/// Why a model could not be solved to optimality.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveError {
+    /// No assignment satisfies all constraints.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// Branch & bound hit its node budget before proving optimality.
+    NodeLimit,
+    /// The simplex iteration limit was hit (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::NodeLimit => write!(f, "branch and bound node limit exceeded"),
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(0.0, 10.0, 1.0);
+        let y = m.binary(2.0);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 5.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert!(!m.is_pure_lp());
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(0.0, 10.0, 1.0);
+        m.add_ge(&[(x, 1.0)], 2.0);
+        assert!(m.is_feasible_point(&[2.0], 1e-9));
+        assert!(!m.is_feasible_point(&[1.0], 1e-9));
+        assert!(!m.is_feasible_point(&[11.0], 1e-9));
+    }
+
+    #[test]
+    fn integer_feasibility_check() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.integer(0.0, 5.0, 1.0);
+        assert!(m.is_feasible_point(&[3.0], 1e-9));
+        assert!(!m.is_feasible_point(&[2.5], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must not exceed")]
+    fn inverted_bounds_rejected() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.continuous(3.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_variable_rejected() {
+        let mut m1 = Model::new(Sense::Minimize);
+        let mut m2 = Model::new(Sense::Minimize);
+        let _ = m1.continuous(0.0, 1.0, 0.0);
+        let x1 = m1.continuous(0.0, 1.0, 0.0);
+        let _ = m2.continuous(0.0, 1.0, 0.0);
+        m2.add_le(&[(x1, 1.0)], 1.0); // x1 has index 1, m2 has only 1 var
+    }
+
+    #[test]
+    fn objective_eval() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous(0.0, 1.0, 3.0);
+        let _ = m.continuous(0.0, 1.0, -1.0);
+        assert_eq!(m.objective_at(&[2.0, 4.0]), 2.0);
+        let _ = x;
+    }
+}

@@ -1,0 +1,503 @@
+//! Dense two-phase primal simplex over the bounded-variable model.
+//!
+//! The model is lowered to standard computational form (`min c·y`,
+//! `A·y = b`, `y ≥ 0`, `b ≥ 0`): each bounded variable is shifted to its
+//! lower bound (or mirrored around its upper bound, or split into a
+//! positive/negative pair when free), finite upper bounds become explicit
+//! rows, inequalities get slack variables, and rows without a ready basic
+//! column get artificials that phase 1 drives to zero.
+//!
+//! Dantzig pricing with a Bland's-rule fallback (anti-cycling) is used.
+//! Problem sizes in this workspace are small (tens of variables), so a dense
+//! tableau is the simplest robust choice.
+
+use crate::model::{Cmp, Model, Sense};
+
+const PIVOT_EPS: f64 = 1e-9;
+const FEAS_EPS: f64 = 1e-7;
+
+/// Outcome of an LP solve, in model space.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LpOutcome {
+    /// Optimal: objective value (in the model's sense) and variable values.
+    Optimal { objective: f64, values: Vec<f64> },
+    /// No feasible point.
+    Infeasible,
+    /// Objective improves without bound.
+    Unbounded,
+    /// Iteration budget exhausted (numerical trouble).
+    IterationLimit,
+}
+
+/// How one model variable is recovered from standard-form variables.
+#[derive(Debug, Clone, Copy)]
+enum Recover {
+    /// `x = lb + y[i]`
+    Shifted { y: usize, lb: f64 },
+    /// `x = ub − y[i]` (used when only the upper bound is finite)
+    Mirrored { y: usize, ub: f64 },
+    /// `x = y[pos] − y[neg]` (free variable)
+    Split { pos: usize, neg: usize },
+    /// `x = c` (fixed by equal bounds)
+    Fixed(f64),
+}
+
+/// Solves the LP relaxation of `model` with per-variable bounds overridden by
+/// `lower`/`upper` (branch & bound supplies tightened bounds).
+pub(crate) fn solve_lp(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    max_iterations: usize,
+) -> LpOutcome {
+    debug_assert_eq!(lower.len(), model.num_vars());
+    debug_assert_eq!(upper.len(), model.num_vars());
+
+    // ---- Lower variables to standard form -------------------------------
+    let mut recover = Vec::with_capacity(model.num_vars());
+    let mut n_struct = 0usize; // structural y variables
+    let mut ub_rows: Vec<(usize, f64)> = Vec::new(); // y_i ≤ span
+    for (j, _) in model.vars.iter().enumerate() {
+        let (lb, ub) = (lower[j], upper[j]);
+        if lb > ub {
+            return LpOutcome::Infeasible;
+        }
+        if lb == ub {
+            recover.push(Recover::Fixed(lb));
+        } else if lb.is_finite() {
+            let y = n_struct;
+            n_struct += 1;
+            if ub.is_finite() {
+                ub_rows.push((y, ub - lb));
+            }
+            recover.push(Recover::Shifted { y, lb });
+        } else if ub.is_finite() {
+            let y = n_struct;
+            n_struct += 1;
+            recover.push(Recover::Mirrored { y, ub });
+        } else {
+            let pos = n_struct;
+            let neg = n_struct + 1;
+            n_struct += 2;
+            recover.push(Recover::Split { pos, neg });
+        }
+    }
+
+    // Objective over y (internally always minimized).
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    // The model-space objective is recomputed at the end via
+    // `objective_at`, so constant offsets from bound shifts are dropped here.
+    let mut c = vec![0.0; n_struct];
+    for (var, rec) in model.vars.iter().zip(&recover) {
+        let co = sign * var.objective;
+        match *rec {
+            Recover::Shifted { y, .. } => c[y] += co,
+            Recover::Mirrored { y, .. } => c[y] -= co,
+            Recover::Split { pos, neg } => {
+                c[pos] += co;
+                c[neg] -= co;
+            }
+            Recover::Fixed(_) => {}
+        }
+    }
+
+    // ---- Assemble equality rows over y (slack columns appended later) ----
+    struct Row {
+        coeffs: Vec<f64>, // over structural y
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len() + ub_rows.len());
+    for con in &model.constraints {
+        let mut coeffs = vec![0.0; n_struct];
+        let mut rhs = con.rhs;
+        for &(v, a) in &con.terms {
+            match recover[v.index()] {
+                Recover::Shifted { y, lb } => {
+                    coeffs[y] += a;
+                    rhs -= a * lb;
+                }
+                Recover::Mirrored { y, ub } => {
+                    coeffs[y] -= a;
+                    rhs -= a * ub;
+                }
+                Recover::Split { pos, neg } => {
+                    coeffs[pos] += a;
+                    coeffs[neg] -= a;
+                }
+                Recover::Fixed(val) => rhs -= a * val,
+            }
+        }
+        rows.push(Row {
+            coeffs,
+            cmp: con.cmp,
+            rhs,
+        });
+    }
+    for &(y, span) in &ub_rows {
+        let mut coeffs = vec![0.0; n_struct];
+        coeffs[y] = 1.0;
+        rows.push(Row {
+            coeffs,
+            cmp: Cmp::Le,
+            rhs: span,
+        });
+    }
+
+    let m = rows.len();
+    let n_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    // Column layout: [structural | slacks | artificials], then rhs.
+    let mut a = vec![vec![0.0; n_struct + n_slack]; m];
+    let mut b = vec![0.0; m];
+    let mut slack_col = n_struct;
+    let mut basis_candidate: Vec<Option<usize>> = vec![None; m];
+    for (i, row) in rows.iter().enumerate() {
+        let mut flip = 1.0;
+        if row.rhs < 0.0 {
+            flip = -1.0;
+        }
+        for (j, &v) in row.coeffs.iter().enumerate() {
+            a[i][j] = flip * v;
+        }
+        b[i] = flip * row.rhs;
+        match row.cmp {
+            Cmp::Le => {
+                a[i][slack_col] = flip; // +1 if not flipped
+                if flip > 0.0 {
+                    basis_candidate[i] = Some(slack_col);
+                }
+                slack_col += 1;
+            }
+            Cmp::Ge => {
+                a[i][slack_col] = -flip; // surplus
+                if flip < 0.0 {
+                    basis_candidate[i] = Some(slack_col);
+                }
+                slack_col += 1;
+            }
+            Cmp::Eq => {}
+        }
+    }
+
+    // Artificials for rows without a ready basic column.
+    let n_art = basis_candidate.iter().filter(|c| c.is_none()).count();
+    let n_total = n_struct + n_slack + n_art;
+    let mut tab = vec![vec![0.0; n_total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut art_col = n_struct + n_slack;
+    for i in 0..m {
+        tab[i][..n_struct + n_slack].copy_from_slice(&a[i]);
+        tab[i][n_total] = b[i];
+        match basis_candidate[i] {
+            Some(col) => basis[i] = col,
+            None => {
+                tab[i][art_col] = 1.0;
+                basis[i] = art_col;
+                art_col += 1;
+            }
+        }
+    }
+
+    let mut iterations_left = max_iterations;
+
+    // ---- Phase 1: minimize the sum of artificials ------------------------
+    if n_art > 0 {
+        let mut cost1 = vec![0.0; n_total];
+        for col in (n_struct + n_slack)..n_total {
+            cost1[col] = 1.0;
+        }
+        match run_simplex(&mut tab, &mut basis, &cost1, &mut iterations_left, n_total) {
+            SimplexEnd::Optimal(obj1) => {
+                if obj1 > FEAS_EPS {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            SimplexEnd::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+            SimplexEnd::IterationLimit => return LpOutcome::IterationLimit,
+        }
+        // Drive any artificial still basic (at zero) out of the basis.
+        for i in 0..m {
+            if basis[i] >= n_struct + n_slack {
+                if let Some(col) = (0..n_struct + n_slack)
+                    .find(|&col| tab[i][col].abs() > PIVOT_EPS)
+                {
+                    pivot(&mut tab, &mut basis, i, col, n_total);
+                } // else: redundant row; the zero artificial stays harmlessly.
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective (artificial columns frozen) ---------
+    let mut cost2 = vec![0.0; n_total];
+    cost2[..n_struct].copy_from_slice(&c);
+    let eligible = n_struct + n_slack; // artificials may not re-enter
+    match run_simplex(&mut tab, &mut basis, &cost2, &mut iterations_left, eligible) {
+        SimplexEnd::Optimal(_) => {}
+        SimplexEnd::Unbounded => return LpOutcome::Unbounded,
+        SimplexEnd::IterationLimit => return LpOutcome::IterationLimit,
+    }
+
+    // ---- Recover model-space solution ------------------------------------
+    let mut y = vec![0.0; n_total];
+    for i in 0..m {
+        y[basis[i]] = tab[i][n_total];
+    }
+    let values: Vec<f64> = recover
+        .iter()
+        .map(|rec| match *rec {
+            Recover::Shifted { y: i, lb } => lb + y[i],
+            Recover::Mirrored { y: i, ub } => ub - y[i],
+            Recover::Split { pos, neg } => y[pos] - y[neg],
+            Recover::Fixed(v) => v,
+        })
+        .collect();
+    let objective = model.objective_at(&values);
+    LpOutcome::Optimal { objective, values }
+}
+
+#[derive(Debug)]
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+    IterationLimit,
+}
+
+/// Runs primal simplex on the tableau in place. `eligible` limits the
+/// columns allowed to enter the basis (used to freeze artificials in
+/// phase 2). Returns the objective value `cost·y` at the final basis.
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    iterations_left: &mut usize,
+    eligible: usize,
+) -> SimplexEnd {
+    let m = tab.len();
+    let n_total = cost.len();
+    let rhs_col = n_total;
+    // Dantzig pricing for the first stretch, then Bland's rule to guarantee
+    // termination under degeneracy.
+    let bland_after = 20 * (m + n_total);
+    let mut iter = 0usize;
+
+    loop {
+        if *iterations_left == 0 {
+            return SimplexEnd::IterationLimit;
+        }
+        *iterations_left -= 1;
+        iter += 1;
+
+        // Reduced costs: r_j = c_j − c_B · B⁻¹ A_j (computed from tableau).
+        let mut entering: Option<usize> = None;
+        let mut best = -PIVOT_EPS * 10.0;
+        for j in 0..eligible {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                let cb = cost[basis[i]];
+                if cb != 0.0 {
+                    r -= cb * tab[i][j];
+                }
+            }
+            if iter > bland_after {
+                // Bland: first improving column.
+                if r < -FEAS_EPS {
+                    entering = Some(j);
+                    break;
+                }
+            } else if r < best {
+                best = r;
+                entering = Some(j);
+            }
+        }
+        let Some(col) = entering else {
+            let mut obj = 0.0;
+            for i in 0..m {
+                obj += cost[basis[i]] * tab[i][rhs_col];
+            }
+            return SimplexEnd::Optimal(obj);
+        };
+
+        // Ratio test (Bland ties: smallest basis index).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if tab[i][col] > PIVOT_EPS {
+                let ratio = tab[i][rhs_col] / tab[i][col];
+                if ratio < best_ratio - PIVOT_EPS
+                    || (ratio < best_ratio + PIVOT_EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(row) = leave else {
+            return SimplexEnd::Unbounded;
+        };
+        pivot(tab, basis, row, col, n_total);
+    }
+}
+
+/// Gauss-Jordan pivot on `(row, col)`.
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, n_total: usize) {
+    let p = tab[row][col];
+    debug_assert!(p.abs() > PIVOT_EPS, "pivot element too small");
+    for v in &mut tab[row][..=n_total] {
+        *v /= p;
+    }
+    let pivot_row = tab[row].clone();
+    for (i, r) in tab.iter_mut().enumerate() {
+        if i != row {
+            let f = r[col];
+            if f != 0.0 {
+                for (v, pv) in r[..=n_total].iter_mut().zip(&pivot_row[..=n_total]) {
+                    *v -= f * pv;
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn solve(model: &Model) -> LpOutcome {
+        let lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+        let upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+        solve_lp(model, &lower, &upper, 10_000)
+    }
+
+    fn optimal(model: &Model) -> (f64, Vec<f64>) {
+        match solve(model) {
+            LpOutcome::Optimal { objective, values } => (objective, values),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maximize_with_two_constraints() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous(0.0, f64::INFINITY, 3.0);
+        let y = m.continuous(0.0, f64::INFINITY, 5.0);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let (obj, v) = optimal(&m);
+        assert!((obj - 36.0).abs() < 1e-6);
+        assert!((v[0] - 2.0).abs() < 1e-6 && (v[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints_needs_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (4, 0)? check: obj 8 at (4,0).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(0.0, f64::INFINITY, 2.0);
+        let y = m.continuous(0.0, f64::INFINITY, 3.0);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.add_ge(&[(x, 1.0)], 1.0);
+        let (obj, v) = optimal(&m);
+        assert!((obj - 8.0).abs() < 1e-6, "obj={obj} v={v:?}");
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 6, x − y = 0 → x = y = 2, obj 4.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(0.0, f64::INFINITY, 1.0);
+        let y = m.continuous(0.0, f64::INFINITY, 1.0);
+        m.add_eq(&[(x, 1.0), (y, 2.0)], 6.0);
+        m.add_eq(&[(x, 1.0), (y, -1.0)], 0.0);
+        let (obj, v) = optimal(&m);
+        assert!((obj - 4.0).abs() < 1e-6);
+        assert!((v[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(0.0, 1.0, 1.0);
+        m.add_ge(&[(x, 1.0)], 2.0);
+        assert_eq!(solve(&m), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous(0.0, f64::INFINITY, 1.0);
+        m.add_ge(&[(x, 1.0)], 0.0);
+        assert_eq!(solve(&m), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min x s.t. x ≥ −5 with free x → −5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_ge(&[(x, 1.0)], -5.0);
+        let (obj, _) = optimal(&m);
+        assert!((obj + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mirrored_variable() {
+        // max x with x ≤ 7 only (lb = −inf).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous(f64::NEG_INFINITY, 7.0, 1.0);
+        m.add_ge(&[(x, 1.0)], 0.0);
+        let (obj, _) = optimal(&m);
+        assert!((obj - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(3.0, 3.0, 2.0);
+        let y = m.continuous(0.0, 10.0, 1.0);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 5.0);
+        let (obj, v) = optimal(&m);
+        assert!((v[0] - 3.0).abs() < 1e-9);
+        assert!((obj - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // x ≤ −1 with x in [−10, 10]: min −x → x = −1? No: min −x means
+        // maximize x, so x = −1, obj = 1.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous(-10.0, 10.0, -1.0);
+        m.add_le(&[(x, 1.0)], -1.0);
+        let (obj, v) = optimal(&m);
+        assert!((v[0] + 1.0).abs() < 1e-6);
+        assert!((obj - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple redundant constraints through origin.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous(0.0, f64::INFINITY, 0.75);
+        let y = m.continuous(0.0, f64::INFINITY, -150.0);
+        let z = m.continuous(0.0, f64::INFINITY, 0.02);
+        let w = m.continuous(0.0, f64::INFINITY, -6.0);
+        m.add_le(&[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], 0.0);
+        m.add_le(&[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], 0.0);
+        m.add_le(&[(z, 1.0)], 1.0);
+        match solve(&m) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 0.05).abs() < 1e-6, "obj={objective}");
+            }
+            other => panic!("Beale cycling example failed: {other:?}"),
+        }
+    }
+}

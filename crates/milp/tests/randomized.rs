@@ -1,0 +1,136 @@
+//! Randomized cross-validation of the MILP solver against brute force.
+
+use proptest::prelude::*;
+use rtrm_milp::{Model, Sense, SolveError};
+
+/// Enumerative optimum with an explicit sense (avoids reading private state).
+fn brute(model: &Model, n: usize, sense: Sense) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let point: Vec<f64> = (0..n).map(|j| f64::from((mask >> j) & 1)).collect();
+        if model.is_feasible_point(&point, 1e-7) {
+            let obj = model.objective_at(&point);
+            best = Some(match (best, sense) {
+                (None, _) => obj,
+                (Some(b), Sense::Minimize) => b.min(obj),
+                (Some(b), Sense::Maximize) => b.max(obj),
+            });
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random 0/1 knapsacks: solver optimum equals enumeration.
+    #[test]
+    fn knapsack_matches_enumeration(
+        items in prop::collection::vec((1.0f64..20.0, 1.0f64..20.0), 1..10),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = items.iter().map(|(value, _)| m.binary(*value)).collect();
+        let total_w: f64 = items.iter().map(|(_, w)| w).sum();
+        let cap = cap_frac * total_w;
+        let terms: Vec<_> = vars.iter().zip(&items).map(|(v, (_, w))| (*v, *w)).collect();
+        m.add_le(&terms, cap);
+
+        let expected = brute(&m, items.len(), Sense::Maximize).expect("0 vector feasible");
+        let sol = m.solve().expect("knapsack is feasible");
+        prop_assert!((sol.objective() - expected).abs() < 1e-6,
+            "solver={} brute={}", sol.objective(), expected);
+        prop_assert!(m.is_feasible_point(sol.values(), 1e-6));
+    }
+
+    /// Random set-cover style minimization with ≥ constraints.
+    #[test]
+    fn cover_matches_enumeration(
+        costs in prop::collection::vec(1.0f64..10.0, 2..8),
+        rows in prop::collection::vec(prop::collection::vec(0u8..2, 2..8), 1..5),
+    ) {
+        let n = costs.len();
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = costs.iter().map(|c| m.binary(*c)).collect();
+        let mut any_constraint = false;
+        for row in &rows {
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(row.iter().cycle())
+                .take(n)
+                .filter(|(_, inc)| **inc == 1)
+                .map(|(v, _)| (*v, 1.0))
+                .collect();
+            if !terms.is_empty() {
+                m.add_ge(&terms, 1.0);
+                any_constraint = true;
+            }
+        }
+        prop_assume!(any_constraint);
+
+        let expected = brute(&m, n, Sense::Minimize);
+        match (m.solve(), expected) {
+            (Ok(sol), Some(e)) => {
+                prop_assert!((sol.objective() - e).abs() < 1e-6,
+                    "solver={} brute={}", sol.objective(), e);
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            (got, want) => prop_assert!(false, "mismatch: got={got:?} want={want:?}"),
+        }
+    }
+
+    /// Mixed problems: continuous + integer variables; check feasibility and
+    /// that the reported objective matches the returned point.
+    #[test]
+    fn mixed_solutions_are_consistent(
+        int_obj in prop::collection::vec(-5.0f64..5.0, 1..4),
+        cont_obj in prop::collection::vec(-5.0f64..5.0, 1..4),
+        budget in 5.0f64..30.0,
+    ) {
+        let mut m = Model::new(Sense::Minimize);
+        let ints: Vec<_> = int_obj.iter().map(|c| m.integer(0.0, 4.0, *c)).collect();
+        let conts: Vec<_> = cont_obj.iter().map(|c| m.continuous(0.0, 10.0, *c)).collect();
+        let mut terms: Vec<_> = ints.iter().map(|v| (*v, 1.0)).collect();
+        terms.extend(conts.iter().map(|v| (*v, 1.0)));
+        m.add_le(&terms, budget);
+        // Force some activity so the zero point is not always optimal.
+        m.add_ge(&terms, 1.0);
+
+        let sol = m.solve().expect("feasible by construction");
+        prop_assert!(m.is_feasible_point(sol.values(), 1e-5));
+        prop_assert!((m.objective_at(sol.values()) - sol.objective()).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn node_limit_reported() {
+    // A problem needing branching with a 1-node budget must fail cleanly.
+    let mut m = Model::new(Sense::Maximize);
+    let a = m.binary(1.0);
+    let b = m.binary(1.0);
+    m.add_le(&[(a, 2.0), (b, 2.0)], 3.0);
+    let opts = rtrm_milp::SolveOptions {
+        max_nodes: 1,
+        ..Default::default()
+    };
+    // With one node only the root relaxation (fractional) is explored.
+    assert_eq!(m.solve_with(&opts), Err(SolveError::NodeLimit));
+}
+
+#[test]
+fn equality_milp() {
+    // x + y = 3 with binaries is infeasible; with integers in [0,3] feasible.
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.binary(1.0);
+    let y = m.binary(1.0);
+    m.add_eq(&[(x, 1.0), (y, 1.0)], 3.0);
+    assert_eq!(m.solve(), Err(SolveError::Infeasible));
+
+    let mut m2 = Model::new(Sense::Minimize);
+    let x = m2.integer(0.0, 3.0, 1.0);
+    let y = m2.integer(0.0, 3.0, 2.0);
+    m2.add_eq(&[(x, 1.0), (y, 1.0)], 3.0);
+    let sol = m2.solve().expect("feasible");
+    assert_eq!(sol.value(x), 3.0);
+    assert_eq!(sol.value(y), 0.0);
+}

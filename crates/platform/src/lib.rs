@@ -1,0 +1,51 @@
+//! # rtrm-platform
+//!
+//! System model for prediction-aided runtime resource management on
+//! heterogeneous embedded platforms, reproducing the model of
+//! *Niknafs, Ukhov, Eles, Peng — "Runtime Resource Management with Workload
+//! Prediction", DAC 2019*.
+//!
+//! The model consists of:
+//!
+//! * a [`Platform`] of `N` computation resources ([`Resource`]), each either a
+//!   preemptable CPU or a run-to-completion GPU ([`ResourceKind`]);
+//! * a [`TaskCatalog`] of `L` task types ([`TaskType`]), each with
+//!   per-resource worst-case execution time and average energy
+//!   ([`ExecutionProfile`]) and a migration-overhead matrix
+//!   ([`MigrationOverhead`]);
+//! * a [`Trace`] of [`Request`]s, each triggering one firm real-time task
+//!   with an arrival time and a relative deadline.
+//!
+//! Quantities are the [`Time`] and [`Energy`] newtypes.
+//!
+//! # Examples
+//!
+//! Build the motivational example of the paper (Table 1):
+//!
+//! ```
+//! use rtrm_platform::{Energy, Platform, TaskType, Time};
+//!
+//! let platform = Platform::builder().cpus(2).gpu("gpu0").build();
+//! let ids: Vec<_> = platform.ids().collect();
+//! let tau1 = TaskType::builder(0, &platform)
+//!     .profile(ids[0], Time::new(8.0), Energy::new(7.3))
+//!     .profile(ids[1], Time::new(12.0), Energy::new(8.4))
+//!     .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+//!     .build();
+//! assert_eq!(tau1.min_energy(), Energy::new(2.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod request;
+mod resource;
+mod task;
+mod units;
+
+pub use request::{Request, RequestId, Trace};
+pub use resource::{Platform, PlatformBuilder, Resource, ResourceId, ResourceKind};
+pub use task::{
+    ExecutionProfile, MigrationOverhead, TaskCatalog, TaskType, TaskTypeBuilder, TaskTypeId,
+};
+pub use units::{Energy, Time, TIME_EPSILON};

@@ -1,0 +1,206 @@
+//! Requests and request traces (the platform's fluctuating workload).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{TaskTypeId, Time};
+
+/// Identifier of one request within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Creates a request id from its trace index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        RequestId(index as u64)
+    }
+
+    /// Returns the trace index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("request index fits in usize")
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// One arriving request: it triggers a task of `task_type` at `arrival`
+/// with a *relative* deadline `deadline` (the paper's `s_j` and `d_j`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Position in the trace.
+    pub id: RequestId,
+    /// Absolute arrival time `s_j`.
+    pub arrival: Time,
+    /// Type of the triggered task.
+    pub task_type: TaskTypeId,
+    /// Relative deadline `d_j`; the absolute deadline is `arrival + deadline`.
+    pub deadline: Time,
+}
+
+impl Request {
+    /// Absolute deadline `s_j + d_j`.
+    #[must_use]
+    pub fn absolute_deadline(&self) -> Time {
+        self.arrival + self.deadline
+    }
+}
+
+/// A time-ordered stream of requests.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{Request, RequestId, TaskTypeId, Time, Trace};
+///
+/// let trace = Trace::new(vec![Request {
+///     id: RequestId::new(0),
+///     arrival: Time::new(0.0),
+///     task_type: TaskTypeId::new(3),
+///     deadline: Time::new(12.0),
+/// }]);
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Creates a trace from requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not non-decreasing or request ids are not the
+    /// dense sequence `0..len` (the simulator and oracle predictor rely on
+    /// both).
+    #[must_use]
+    pub fn new(requests: Vec<Request>) -> Self {
+        for (i, r) in requests.iter().enumerate() {
+            assert_eq!(r.id.index(), i, "request ids must be dense and ordered");
+            if i > 0 {
+                assert!(
+                    requests[i - 1].arrival <= r.arrival,
+                    "request arrivals must be non-decreasing"
+                );
+            }
+        }
+        Trace { requests }
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` if the trace holds no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Returns the request with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn request(&self, id: RequestId) -> &Request {
+        &self.requests[id.index()]
+    }
+
+    /// The request following `id`, if any.
+    #[must_use]
+    pub fn next_after(&self, id: RequestId) -> Option<&Request> {
+        self.requests.get(id.index() + 1)
+    }
+
+    /// Iterates over requests in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.requests.iter()
+    }
+
+    /// Mean interarrival time, or `None` for traces with fewer than two
+    /// requests. Used by the prediction-overhead model (Sec 5.5) and by the
+    /// arrival-time error normalization (Sec 5.4).
+    #[must_use]
+    pub fn mean_interarrival(&self) -> Option<Time> {
+        if self.requests.len() < 2 {
+            return None;
+        }
+        let span = self.requests.last().expect("non-empty").arrival
+            - self.requests.first().expect("non-empty").arrival;
+        Some(span / (self.requests.len() - 1) as f64)
+    }
+}
+
+impl FromIterator<Request> for Trace {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(i: usize, arrival: f64) -> Request {
+        Request {
+            id: RequestId::new(i),
+            arrival: Time::new(arrival),
+            task_type: TaskTypeId::new(0),
+            deadline: Time::new(10.0),
+        }
+    }
+
+    #[test]
+    fn absolute_deadline() {
+        let r = req(0, 3.0);
+        assert_eq!(r.absolute_deadline(), Time::new(13.0));
+    }
+
+    #[test]
+    fn ordered_trace_accepted() {
+        let t = Trace::new(vec![req(0, 0.0), req(1, 1.0), req(2, 1.0)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.next_after(RequestId::new(1)).unwrap().id.index(), 2);
+        assert!(t.next_after(RequestId::new(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unordered_trace_rejected() {
+        let _ = Trace::new(vec![req(0, 5.0), req(1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn sparse_ids_rejected() {
+        let _ = Trace::new(vec![req(1, 0.0)]);
+    }
+
+    #[test]
+    fn mean_interarrival() {
+        let t = Trace::new(vec![req(0, 0.0), req(1, 2.0), req(2, 6.0)]);
+        assert_eq!(t.mean_interarrival().unwrap(), Time::new(3.0));
+        let single = Trace::new(vec![req(0, 0.0)]);
+        assert!(single.mean_interarrival().is_none());
+    }
+}

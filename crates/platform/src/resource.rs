@@ -1,0 +1,320 @@
+//! Computation resources and the heterogeneous [`Platform`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a resource within its [`Platform`].
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::ResourceId;
+///
+/// let id = ResourceId::new(2);
+/// assert_eq!(id.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// Creates a resource id from its platform index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        ResourceId(u32::try_from(index).expect("resource index fits in u32"))
+    }
+
+    /// Returns the platform index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The execution discipline of a resource.
+///
+/// The paper distinguishes preemptable resources (CPUs) from resources that
+/// must run a task to completion once started (GPUs): a task started on a GPU
+/// cannot be paused and resumed — it can only be *aborted*, losing all
+/// progress, and restarted from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Fully preemptable processor; partial progress transfers on migration.
+    Cpu,
+    /// Run-to-completion accelerator; no preemption, no partial migration.
+    Gpu,
+}
+
+impl ResourceKind {
+    /// Returns `true` if a task executing on this resource can be preempted
+    /// and later resumed (possibly elsewhere, with migration overhead).
+    #[must_use]
+    pub fn is_preemptable(self) -> bool {
+        matches!(self, ResourceKind::Cpu)
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Cpu => write!(f, "CPU"),
+            ResourceKind::Gpu => write!(f, "GPU"),
+        }
+    }
+}
+
+/// A single computation resource of the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    id: ResourceId,
+    kind: ResourceKind,
+    name: String,
+    /// DVFS speed levels as factors of the nominal frequency, ascending.
+    /// `[1.0]` for resources without frequency scaling.
+    speed_levels: Vec<f64>,
+}
+
+impl Resource {
+    /// Returns the resource id.
+    #[must_use]
+    pub fn id(&self) -> ResourceId {
+        self.id
+    }
+
+    /// Returns the execution discipline.
+    #[must_use]
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// Returns the human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// DVFS speed levels (factors of the nominal frequency, ascending).
+    /// Execution time scales with `1/s`; dynamic energy with `s²` (power
+    /// `∝ f·V² ≈ f³`, times duration `1/f`). `[1.0]` when the resource has
+    /// no frequency scaling.
+    #[must_use]
+    pub fn speed_levels(&self) -> &[f64] {
+        &self.speed_levels
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.kind, self.id)
+    }
+}
+
+/// A heterogeneous multiprocessor platform: an ordered set of resources.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{Platform, ResourceKind};
+///
+/// let platform = Platform::builder()
+///     .cpus(2)
+///     .gpu("gpu0")
+///     .build();
+/// assert_eq!(platform.len(), 3);
+/// assert_eq!(platform.resource(platform.ids().nth(2).unwrap()).kind(), ResourceKind::Gpu);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    resources: Vec<Resource>,
+}
+
+impl Platform {
+    /// Starts building a platform.
+    #[must_use]
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::new()
+    }
+
+    /// The 5-CPU + 1-GPU platform used throughout the paper's evaluation
+    /// (Sec 5.1).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Platform::builder().cpus(5).gpu("gpu0").build()
+    }
+
+    /// Number of resources (the paper's `N`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Returns `true` if the platform has no resources.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Returns the resource with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this platform.
+    #[must_use]
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.index()]
+    }
+
+    /// Iterates over all resources in id order.
+    pub fn resources(&self) -> impl Iterator<Item = &Resource> {
+        self.resources.iter()
+    }
+
+    /// Iterates over all resource ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = ResourceId> {
+        (0..self.resources.len()).map(ResourceId::new)
+    }
+
+    /// Iterates over the ids of resources of the given kind.
+    pub fn ids_of_kind(&self, kind: ResourceKind) -> impl Iterator<Item = ResourceId> + '_ {
+        self.resources
+            .iter()
+            .filter(move |r| r.kind == kind)
+            .map(|r| r.id)
+    }
+}
+
+/// Incrementally constructs a [`Platform`].
+#[derive(Debug, Clone, Default)]
+pub struct PlatformBuilder {
+    resources: Vec<Resource>,
+}
+
+impl PlatformBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        PlatformBuilder::default()
+    }
+
+    fn push(&mut self, kind: ResourceKind, name: String) -> &mut Self {
+        self.push_with_levels(kind, name, vec![1.0])
+    }
+
+    fn push_with_levels(
+        &mut self,
+        kind: ResourceKind,
+        name: String,
+        speed_levels: Vec<f64>,
+    ) -> &mut Self {
+        assert!(
+            !speed_levels.is_empty()
+                && speed_levels.iter().all(|s| *s > 0.0 && s.is_finite())
+                && speed_levels.windows(2).all(|w| w[0] < w[1]),
+            "speed levels must be positive, finite and strictly ascending"
+        );
+        let id = ResourceId::new(self.resources.len());
+        self.resources.push(Resource {
+            id,
+            kind,
+            name,
+            speed_levels,
+        });
+        self
+    }
+
+    /// Appends one named CPU.
+    pub fn cpu(&mut self, name: impl Into<String>) -> &mut Self {
+        self.push(ResourceKind::Cpu, name.into())
+    }
+
+    /// Appends a DVFS-capable CPU with the given speed levels (factors of
+    /// the nominal frequency the task profiles are stated at, ascending,
+    /// e.g. `&[0.5, 0.75, 1.0]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels are empty, non-positive, non-finite, or not
+    /// strictly ascending.
+    pub fn cpu_with_dvfs(&mut self, name: impl Into<String>, levels: &[f64]) -> &mut Self {
+        self.push_with_levels(ResourceKind::Cpu, name.into(), levels.to_vec())
+    }
+
+    /// Appends `count` CPUs named `cpu0..cpuN`.
+    pub fn cpus(&mut self, count: usize) -> &mut Self {
+        let start = self.resources.len();
+        for i in 0..count {
+            self.push(ResourceKind::Cpu, format!("cpu{}", start + i));
+        }
+        self
+    }
+
+    /// Appends one named GPU.
+    pub fn gpu(&mut self, name: impl Into<String>) -> &mut Self {
+        self.push(ResourceKind::Gpu, name.into())
+    }
+
+    /// Finalizes the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no resource was added: an empty platform cannot execute
+    /// anything.
+    #[must_use]
+    pub fn build(&mut self) -> Platform {
+        assert!(
+            !self.resources.is_empty(),
+            "a platform needs at least one resource"
+        );
+        Platform {
+            resources: std::mem::take(&mut self.resources),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let p = Platform::builder().cpus(3).gpu("g").build();
+        let ids: Vec<usize> = p.ids().map(ResourceId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(p.resource(ResourceId::new(3)).kind(), ResourceKind::Gpu);
+        assert_eq!(p.resource(ResourceId::new(1)).name(), "cpu1");
+    }
+
+    #[test]
+    fn paper_default_is_five_cpus_one_gpu() {
+        let p = Platform::paper_default();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.ids_of_kind(ResourceKind::Cpu).count(), 5);
+        assert_eq!(p.ids_of_kind(ResourceKind::Gpu).count(), 1);
+    }
+
+    #[test]
+    fn preemptability() {
+        assert!(ResourceKind::Cpu.is_preemptable());
+        assert!(!ResourceKind::Gpu.is_preemptable());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn empty_platform_rejected() {
+        let _ = Platform::builder().build();
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Platform::builder().cpu("big0").build();
+        let r = p.resource(ResourceId::new(0));
+        assert_eq!(format!("{r}"), "big0 (CPU, r0)");
+    }
+}

@@ -1,0 +1,267 @@
+//! Scalar quantity newtypes: [`Time`] and [`Energy`].
+//!
+//! The paper works in milliseconds and joules, but nothing in the model
+//! depends on the concrete unit; both types wrap a finite `f64` and provide
+//! the arithmetic the scheduler and the energy accounting need. A total order
+//! (via [`f64::total_cmp`]) makes them usable as EDF keys.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a new quantity from a raw value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN; infinite values are allowed and act
+            /// as "never"/"unbounded" sentinels.
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                assert!(!value.is_nan(), concat!(stringify!($name), " must not be NaN"));
+                $name(value)
+            }
+
+            /// Returns the raw value.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                if self >= other { self } else { other }
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                if self <= other { self } else { other }
+            }
+
+            /// Clamps negative values (e.g. tiny numerical residue) to zero.
+            #[must_use]
+            pub fn clamp_non_negative(self) -> Self {
+                if self.0 < 0.0 { Self::ZERO } else { self }
+            }
+
+            /// Returns `true` if the value is finite.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Positive infinity; used as an "unschedulable / never" sentinel.
+            #[must_use]
+            pub fn infinity() -> Self {
+                $name(f64::INFINITY)
+            }
+        }
+
+        impl Eq for $name {}
+
+        #[allow(clippy::derive_ord_xor_partial_ord)]
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: Self) -> Self {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: Self) -> Self {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> Self {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> Self {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two quantities of the same kind is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> Self {
+                $name(-self.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold($name::ZERO, Add::add)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                $name::new(value)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A point in (or span of) simulated time.
+    ///
+    /// The paper's evaluation uses milliseconds; the library is unit-agnostic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtrm_platform::Time;
+    ///
+    /// let deadline = Time::new(8.0);
+    /// let now = Time::new(3.0);
+    /// assert_eq!((deadline - now).value(), 5.0);
+    /// ```
+    Time,
+    "t"
+);
+
+quantity!(
+    /// An amount of energy.
+    ///
+    /// The paper's evaluation uses joules; the library is unit-agnostic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtrm_platform::Energy;
+    ///
+    /// let total: Energy = [Energy::new(2.0), Energy::new(1.5)].into_iter().sum();
+    /// assert_eq!(total.value(), 3.5);
+    /// ```
+    Energy,
+    "E"
+);
+
+/// Tolerance used when comparing times for feasibility: a job finishing
+/// within `TIME_EPSILON` past its deadline is considered on time, absorbing
+/// floating-point accumulation error in long timelines.
+pub const TIME_EPSILON: f64 = 1e-9;
+
+impl Time {
+    /// Returns `true` if `self` is no later than `deadline`, within
+    /// [`TIME_EPSILON`] tolerance.
+    #[must_use]
+    pub fn meets(self, deadline: Time) -> bool {
+        self.0 <= deadline.0 + TIME_EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Time::new(4.0);
+        let b = Time::new(1.5);
+        assert_eq!((a + b).value(), 5.5);
+        assert_eq!((a - b).value(), 2.5);
+        assert_eq!((a * 2.0).value(), 8.0);
+        assert_eq!((a / 2.0).value(), 2.0);
+        assert_eq!(a / b, 4.0 / 1.5);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Time::new(3.0), Time::new(-1.0), Time::infinity()];
+        v.sort();
+        assert_eq!(v[0], Time::new(-1.0));
+        assert_eq!(v[2], Time::infinity());
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(Time::new(2.0).max(Time::new(5.0)), Time::new(5.0));
+        assert_eq!(Time::new(2.0).min(Time::new(5.0)), Time::new(2.0));
+        assert_eq!(Time::new(-1e-12).clamp_non_negative(), Time::ZERO);
+    }
+
+    #[test]
+    fn meets_tolerates_epsilon() {
+        let d = Time::new(10.0);
+        assert!(Time::new(10.0 + 1e-12).meets(d));
+        assert!(!Time::new(10.1).meets(d));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn sum_of_energies() {
+        let e: Energy = (1..=4).map(|i| Energy::new(f64::from(i))).sum();
+        assert_eq!(e.value(), 10.0);
+    }
+
+    #[test]
+    fn display_contains_unit() {
+        assert!(format!("{}", Time::new(1.0)).contains('t'));
+        assert!(format!("{}", Energy::new(1.0)).contains('E'));
+    }
+}

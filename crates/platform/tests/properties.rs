@@ -1,0 +1,127 @@
+//! Property-based tests for the system model.
+
+use proptest::prelude::*;
+
+use rtrm_platform::{
+    Energy, Platform, Request, RequestId, TaskCatalog, TaskType, TaskTypeId, Time, Trace,
+};
+
+fn any_platform() -> impl Strategy<Value = Platform> {
+    (1usize..6, 0usize..3).prop_map(|(cpus, gpus)| {
+        let mut b = Platform::builder();
+        b.cpus(cpus);
+        for g in 0..gpus {
+            b.gpu(format!("gpu{g}"));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    /// Ids are dense, kinds partition the platform, and `ids_of_kind`
+    /// covers exactly the platform.
+    #[test]
+    fn platform_structure(platform in any_platform()) {
+        let ids: Vec<usize> = platform.ids().map(|r| r.index()).collect();
+        prop_assert_eq!(ids, (0..platform.len()).collect::<Vec<_>>());
+        let cpus = platform.ids_of_kind(rtrm_platform::ResourceKind::Cpu).count();
+        let gpus = platform.ids_of_kind(rtrm_platform::ResourceKind::Gpu).count();
+        prop_assert_eq!(cpus + gpus, platform.len());
+    }
+
+    /// Aggregates are consistent: min ≤ mean ≤ max over profiles.
+    #[test]
+    fn task_type_aggregates(
+        wcets in prop::collection::vec(0.1f64..100.0, 1..6),
+        energies in prop::collection::vec(0.1f64..100.0, 1..6),
+    ) {
+        let n = wcets.len().min(energies.len());
+        let platform = {
+            let mut b = Platform::builder();
+            b.cpus(n);
+            b.build()
+        };
+        let mut builder = TaskType::builder(0, &platform);
+        for (i, r) in platform.ids().enumerate() {
+            builder.profile(r, Time::new(wcets[i]), Energy::new(energies[i]));
+        }
+        let ty = builder.build();
+        let min = ty.min_wcet().value();
+        let mean = ty.mean_wcet().value();
+        let max = wcets[..n].iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(min <= mean + 1e-12 && mean <= max + 1e-12);
+        prop_assert!(ty.min_energy().value() <= ty.mean_energy().value() + 1e-12);
+    }
+
+    /// Trace accessors agree with construction order.
+    #[test]
+    fn trace_navigation(gaps in prop::collection::vec(0.0f64..5.0, 1..30)) {
+        let mut t = 0.0;
+        let requests: Vec<Request> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                if i > 0 {
+                    t += g;
+                }
+                Request {
+                    id: RequestId::new(i),
+                    arrival: Time::new(t),
+                    task_type: TaskTypeId::new(i % 3),
+                    deadline: Time::new(1.0),
+                }
+            })
+            .collect();
+        let trace = Trace::new(requests.clone());
+        for (i, r) in trace.iter().enumerate() {
+            prop_assert_eq!(r, &requests[i]);
+            match trace.next_after(r.id) {
+                Some(next) => prop_assert_eq!(next.id.index(), i + 1),
+                None => prop_assert_eq!(i, requests.len() - 1),
+            }
+        }
+        if requests.len() >= 2 {
+            let mean = trace.mean_interarrival().expect("two or more requests");
+            let span = requests.last().expect("non-empty").arrival.value();
+            prop_assert!((mean.value() - span / (requests.len() - 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    /// Time/Energy arithmetic keeps ordering: a + b ≥ max(a, b) for
+    /// non-negative quantities, and ratios invert multiplication.
+    #[test]
+    fn quantity_arithmetic(a in 0.0f64..1e6, b in 0.0f64..1e6, k in 0.001f64..1e3) {
+        let ta = Time::new(a);
+        let tb = Time::new(b);
+        prop_assert!(ta + tb >= ta.max(tb));
+        prop_assert!((ta * k / k).value() - a < 1e-6 * a.max(1.0));
+        if b > 0.0 {
+            let ratio = ta / tb;
+            prop_assert!((tb * ratio).value() - a <= 1e-6 * a.max(1.0));
+        }
+        let ea = Energy::new(a);
+        prop_assert_eq!((ea * 2.0 - ea).value(), a);
+    }
+
+    /// Catalog round-trips through FromIterator and preserves id lookup.
+    #[test]
+    fn catalog_from_iterator(count in 1usize..20) {
+        let platform = Platform::builder().cpus(1).build();
+        let cat: TaskCatalog = (0..count)
+            .map(|i| {
+                TaskType::builder(i, &platform)
+                    .profile(
+                        platform.ids().next().expect("one cpu"),
+                        Time::new(1.0 + i as f64),
+                        Energy::new(1.0),
+                    )
+                    .build()
+            })
+            .collect();
+        prop_assert_eq!(cat.len(), count);
+        for i in 0..count {
+            let ty = cat.task_type(TaskTypeId::new(i));
+            prop_assert_eq!(ty.id().index(), i);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Prediction quality and overhead models (paper Sec 5.4 / 5.5).
+
+use serde::{Deserialize, Serialize};
+
+use rtrm_platform::Time;
+
+/// Controlled prediction-error injection for the [`OraclePredictor`]
+/// (paper Sec 5.4).
+///
+/// * `type_accuracy` ∈ [0, 1]: probability that the predicted task type is
+///   correct at each prediction step (the paper's Fig 4a axis).
+/// * `arrival_accuracy` ∈ [0, 1]: one minus the normalized root-mean-square
+///   error of the predicted arrival time, normalized by the trace's mean
+///   interarrival gap (the paper's Fig 4b axis).
+///
+/// [`OraclePredictor`]: crate::OraclePredictor
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorModel {
+    /// Probability of predicting the correct task type.
+    pub type_accuracy: f64,
+    /// `1 − NRMSE` of the predicted arrival time.
+    pub arrival_accuracy: f64,
+}
+
+impl ErrorModel {
+    /// Perfectly accurate prediction (Sec 5.2/5.3 and Fig 5 use this).
+    #[must_use]
+    pub fn perfect() -> Self {
+        ErrorModel {
+            type_accuracy: 1.0,
+            arrival_accuracy: 1.0,
+        }
+    }
+
+    /// Accurate arrival times, task type correct with probability `accuracy`
+    /// (Fig 4a's sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_type_accuracy(accuracy: f64) -> Self {
+        assert!((0.0..=1.0).contains(&accuracy), "accuracy must be in [0, 1]");
+        ErrorModel {
+            type_accuracy: accuracy,
+            arrival_accuracy: 1.0,
+        }
+    }
+
+    /// Accurate task types, arrival-time NRMSE of `1 − accuracy`
+    /// (Fig 4b's sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_arrival_accuracy(accuracy: f64) -> Self {
+        assert!((0.0..=1.0).contains(&accuracy), "accuracy must be in [0, 1]");
+        ErrorModel {
+            type_accuracy: 1.0,
+            arrival_accuracy: accuracy,
+        }
+    }
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        ErrorModel::perfect()
+    }
+}
+
+/// Runtime cost of producing a prediction (paper Sec 5.5).
+///
+/// The paper imposes `time overhead = coefficient × average interarrival
+/// time`; the simulator charges it by delaying the *arriving* task's earliest
+/// possible start by the overhead while its absolute deadline stays fixed,
+/// shrinking the paper's `t_left`. Fig 5's horizontal axis is
+/// `coefficient × 100`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct OverheadModel {
+    /// Fraction of the mean interarrival time spent on each prediction.
+    pub coefficient: f64,
+}
+
+impl OverheadModel {
+    /// No overhead (all experiments except Sec 5.5).
+    #[must_use]
+    pub fn none() -> Self {
+        OverheadModel { coefficient: 0.0 }
+    }
+
+    /// Overhead as a fraction of the mean interarrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficient` is negative or non-finite.
+    #[must_use]
+    pub fn fraction_of_interarrival(coefficient: f64) -> Self {
+        assert!(
+            coefficient.is_finite() && coefficient >= 0.0,
+            "overhead coefficient must be non-negative and finite"
+        );
+        OverheadModel { coefficient }
+    }
+
+    /// The absolute time cost per activation for a workload whose mean
+    /// interarrival gap is `mean_interarrival`.
+    #[must_use]
+    pub fn cost(&self, mean_interarrival: Time) -> Time {
+        mean_interarrival * self.coefficient
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(ErrorModel::default(), ErrorModel::perfect());
+        let t = ErrorModel::with_type_accuracy(0.75);
+        assert_eq!(t.type_accuracy, 0.75);
+        assert_eq!(t.arrival_accuracy, 1.0);
+        let a = ErrorModel::with_arrival_accuracy(0.5);
+        assert_eq!(a.arrival_accuracy, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn out_of_range_accuracy_rejected() {
+        let _ = ErrorModel::with_type_accuracy(1.5);
+    }
+
+    #[test]
+    fn overhead_cost_scales() {
+        let m = OverheadModel::fraction_of_interarrival(0.04);
+        assert_eq!(m.cost(Time::new(3.0)), Time::new(0.12));
+        assert_eq!(OverheadModel::none().cost(Time::new(3.0)), Time::ZERO);
+    }
+}

@@ -1,0 +1,101 @@
+//! # rtrm-predict
+//!
+//! Workload predictors for prediction-aided resource management
+//! (*Niknafs et al., DAC 2019*).
+//!
+//! The paper does not implement prediction itself; it relies on prior work
+//! and evaluates the *resource manager* under controlled prediction quality.
+//! Accordingly the centerpiece here is [`OraclePredictor`]: it knows the true
+//! next request of a trace and injects errors per the paper's Sec 5.4 error
+//! model — the task type is reported incorrectly with probability
+//! `1 − type_accuracy`, and the predicted arrival time carries Gaussian noise
+//! whose normalized RMS error (normalized by the trace's mean interarrival
+//! time) equals `1 − arrival_accuracy`.
+//!
+//! For end-to-end demonstrations without an oracle, online predictors in the
+//! spirit of the authors' prior work are included: a first-order Markov
+//! chain over task types ([`MarkovTypePredictor`]) and an exponentially
+//! weighted moving average over interarrival gaps
+//! ([`EwmaInterarrivalPredictor`]), combined into [`HistoryPredictor`].
+//!
+//! Prediction *runtime overhead* (Sec 5.5) is modelled by
+//! [`OverheadModel`]: a fixed cost per activation, expressed as a
+//! coefficient × the workload's average interarrival time, which the
+//! simulator charges by delaying the arriving task's earliest start.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error_model;
+mod online;
+mod oracle;
+mod two_phase;
+
+pub use error_model::{ErrorModel, OverheadModel};
+pub use online::{EwmaInterarrivalPredictor, HistoryPredictor, MarkovTypePredictor};
+pub use oracle::OraclePredictor;
+pub use two_phase::{TwoPhaseInterarrivalPredictor, TwoPhasePredictor};
+
+use rtrm_platform::{Request, TaskTypeId, Time};
+use serde::{Deserialize, Serialize};
+
+/// A prediction of the next incoming request: its task type and arrival
+/// time. (The paper's predictor forecasts exactly these two quantities; the
+/// deadline of the phantom task is filled in by the resource manager's
+/// deadline model.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted type of the next request.
+    pub task_type: TaskTypeId,
+    /// Predicted absolute arrival time of the next request.
+    pub arrival: Time,
+}
+
+/// An online workload predictor.
+///
+/// The simulator calls [`observe`](Predictor::observe) on every actual
+/// arrival and then [`predict_next`](Predictor::predict_next) to obtain the
+/// phantom task the resource manager plans around. Implementations may
+/// return `None` when they have no basis for a prediction yet (the manager
+/// then plans without one).
+pub trait Predictor {
+    /// Feeds one actual arrival to the predictor.
+    fn observe(&mut self, request: &Request);
+
+    /// Predicts the next request, if possible.
+    fn predict_next(&mut self) -> Option<Prediction>;
+
+    /// Predicts up to the next `k` requests, nearest first (multi-step
+    /// lookahead — an extension beyond the paper's one-step prediction).
+    /// The default implementation forecasts a single step; predictors with
+    /// deeper knowledge (notably [`OraclePredictor`]) override it.
+    fn predict_horizon(&mut self, k: usize) -> Vec<Prediction> {
+        if k == 0 {
+            return Vec::new();
+        }
+        self.predict_next().into_iter().collect()
+    }
+
+    /// Resets all learned state (between traces).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_is_object_safe() {
+        fn _takes(_: &mut dyn Predictor) {}
+    }
+
+    #[test]
+    fn prediction_is_plain_data() {
+        let p = Prediction {
+            task_type: TaskTypeId::new(3),
+            arrival: Time::new(1.5),
+        };
+        let q = p;
+        assert_eq!(p, q);
+    }
+}

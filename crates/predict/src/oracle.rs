@@ -1,0 +1,291 @@
+//! The trace-aware oracle predictor with controlled error injection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rtrm_platform::{Request, RequestId, TaskTypeId, Time, Trace};
+
+use crate::{ErrorModel, Prediction, Predictor};
+
+/// A predictor that knows the true next request of a fixed trace and
+/// degrades it per an [`ErrorModel`] — the evaluation instrument of the
+/// paper's Sec 5.2–5.5.
+///
+/// * With probability `1 − type_accuracy` the reported type is replaced by a
+///   uniformly random *different* type from the catalog.
+/// * The reported arrival is the true arrival plus Gaussian noise with
+///   standard deviation `(1 − arrival_accuracy) × mean interarrival`, so the
+///   per-trace normalized RMS error converges to `1 − arrival_accuracy`.
+///   Predicted arrivals are clamped to the observation instant (a predictor
+///   cannot announce an arrival in the past).
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{Request, RequestId, TaskTypeId, Time, Trace};
+/// use rtrm_predict::{ErrorModel, OraclePredictor, Predictor};
+///
+/// let trace = Trace::new(vec![
+///     Request { id: RequestId::new(0), arrival: Time::new(0.0),
+///               task_type: TaskTypeId::new(0), deadline: Time::new(5.0) },
+///     Request { id: RequestId::new(1), arrival: Time::new(2.0),
+///               task_type: TaskTypeId::new(1), deadline: Time::new(5.0) },
+/// ]);
+/// let mut oracle = OraclePredictor::new(&trace, 2, ErrorModel::perfect(), 42);
+/// oracle.observe(trace.request(RequestId::new(0)));
+/// let p = oracle.predict_next().expect("a next request exists");
+/// assert_eq!(p.task_type, TaskTypeId::new(1));
+/// assert_eq!(p.arrival, Time::new(2.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OraclePredictor {
+    trace: Trace,
+    num_types: usize,
+    error: ErrorModel,
+    arrival_sigma: f64,
+    rng: StdRng,
+    seed: u64,
+    last_seen: Option<RequestId>,
+}
+
+impl OraclePredictor {
+    /// Creates an oracle over `trace`. `num_types` is the catalog size used
+    /// for drawing wrong types; `seed` makes error injection reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types` is zero or the accuracies are outside `[0, 1]`.
+    #[must_use]
+    pub fn new(trace: &Trace, num_types: usize, error: ErrorModel, seed: u64) -> Self {
+        assert!(num_types > 0, "catalog must contain at least one type");
+        assert!(
+            (0.0..=1.0).contains(&error.type_accuracy)
+                && (0.0..=1.0).contains(&error.arrival_accuracy),
+            "accuracies must be in [0, 1]"
+        );
+        let mean_gap = trace.mean_interarrival().map_or(0.0, Time::value);
+        OraclePredictor {
+            trace: trace.clone(),
+            num_types,
+            error,
+            arrival_sigma: (1.0 - error.arrival_accuracy) * mean_gap,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            last_seen: None,
+        }
+    }
+
+    /// A perfectly accurate oracle.
+    #[must_use]
+    pub fn perfect(trace: &Trace, num_types: usize) -> Self {
+        OraclePredictor::new(trace, num_types, ErrorModel::perfect(), 0)
+    }
+
+    fn gaussian_noise(&mut self) -> f64 {
+        // Box–Muller; only the cosine branch is used.
+        let u1: f64 = loop {
+            let u = self.rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Predictor for OraclePredictor {
+    fn observe(&mut self, request: &Request) {
+        debug_assert_eq!(
+            self.trace.request(request.id).arrival,
+            request.arrival,
+            "observed request must belong to the oracle's trace"
+        );
+        self.last_seen = Some(request.id);
+    }
+
+    fn predict_next(&mut self) -> Option<Prediction> {
+        let last = self.last_seen?;
+        let truth = *self.trace.next_after(last)?;
+        let observed_at = self.trace.request(last).arrival;
+
+        // Task-type error: with probability 1 − accuracy report a uniformly
+        // random *other* type.
+        let task_type = if self.num_types > 1
+            && self.rng.gen::<f64>() >= self.error.type_accuracy
+        {
+            let mut wrong = self.rng.gen_range(0..self.num_types - 1);
+            if wrong >= truth.task_type.index() {
+                wrong += 1;
+            }
+            TaskTypeId::new(wrong)
+        } else {
+            truth.task_type
+        };
+
+        // Arrival-time error: Gaussian with σ = NRMSE × mean interarrival,
+        // clamped so the prediction is never before the observation instant.
+        let arrival = if self.arrival_sigma > 0.0 {
+            let noisy = truth.arrival.value() + self.arrival_sigma * self.gaussian_noise();
+            Time::new(noisy.max(observed_at.value()))
+        } else {
+            truth.arrival
+        };
+
+        Some(Prediction { task_type, arrival })
+    }
+
+    fn predict_horizon(&mut self, k: usize) -> Vec<Prediction> {
+        let Some(last) = self.last_seen else {
+            return Vec::new();
+        };
+        let observed_at = self.trace.request(last).arrival;
+        let mut out = Vec::with_capacity(k);
+        let mut cursor = last;
+        for _ in 0..k {
+            let Some(truth) = self.trace.next_after(cursor).copied() else {
+                break;
+            };
+            cursor = truth.id;
+            let task_type = if self.num_types > 1
+                && self.rng.gen::<f64>() >= self.error.type_accuracy
+            {
+                let mut wrong = self.rng.gen_range(0..self.num_types - 1);
+                if wrong >= truth.task_type.index() {
+                    wrong += 1;
+                }
+                TaskTypeId::new(wrong)
+            } else {
+                truth.task_type
+            };
+            let arrival = if self.arrival_sigma > 0.0 {
+                let noisy = truth.arrival.value() + self.arrival_sigma * self.gaussian_noise();
+                Time::new(noisy.max(observed_at.value()))
+            } else {
+                truth.arrival
+            };
+            out.push(Prediction { task_type, arrival });
+        }
+        // Guarantee the nearest-first ordering despite arrival noise.
+        out.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        out
+    }
+
+    fn reset(&mut self) {
+        self.last_seen = None;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: usize, gap: f64) -> Trace {
+        Trace::new(
+            (0..n)
+                .map(|i| Request {
+                    id: RequestId::new(i),
+                    arrival: Time::new(i as f64 * gap),
+                    task_type: TaskTypeId::new(i % 7),
+                    deadline: Time::new(10.0),
+                })
+                .collect(),
+        )
+    }
+
+    fn drive(oracle: &mut OraclePredictor, trace: &Trace) -> Vec<(Prediction, Request)> {
+        let mut out = Vec::new();
+        for req in trace.iter() {
+            oracle.observe(req);
+            if let Some(p) = oracle.predict_next() {
+                let truth = trace.next_after(req.id).unwrap();
+                out.push((p, *truth));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn perfect_oracle_is_exact() {
+        let t = trace(50, 1.2);
+        let mut o = OraclePredictor::perfect(&t, 7);
+        for (p, truth) in drive(&mut o, &t) {
+            assert_eq!(p.task_type, truth.task_type);
+            assert_eq!(p.arrival, truth.arrival);
+        }
+    }
+
+    #[test]
+    fn no_prediction_before_first_observation_or_after_last() {
+        let t = trace(3, 1.0);
+        let mut o = OraclePredictor::perfect(&t, 7);
+        assert!(o.predict_next().is_none());
+        o.observe(t.request(RequestId::new(2)));
+        assert!(o.predict_next().is_none(), "no request follows the last");
+    }
+
+    #[test]
+    fn type_accuracy_converges() {
+        let t = trace(4_000, 1.0);
+        let mut o = OraclePredictor::new(&t, 7, ErrorModel::with_type_accuracy(0.75), 9);
+        let preds = drive(&mut o, &t);
+        let correct = preds
+            .iter()
+            .filter(|(p, truth)| p.task_type == truth.task_type)
+            .count();
+        let rate = correct as f64 / preds.len() as f64;
+        assert!((rate - 0.75).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn wrong_types_are_never_the_truth() {
+        let t = trace(500, 1.0);
+        let mut o = OraclePredictor::new(&t, 7, ErrorModel::with_type_accuracy(0.0), 4);
+        for (p, truth) in drive(&mut o, &t) {
+            assert_ne!(p.task_type, truth.task_type);
+            assert!(p.task_type.index() < 7);
+        }
+    }
+
+    #[test]
+    fn arrival_nrmse_converges() {
+        let t = trace(8_000, 2.0);
+        let target_nrmse = 0.25; // accuracy 0.75
+        let mut o = OraclePredictor::new(&t, 7, ErrorModel::with_arrival_accuracy(0.75), 17);
+        let preds = drive(&mut o, &t);
+        let mse: f64 = preds
+            .iter()
+            .map(|(p, truth)| (p.arrival.value() - truth.arrival.value()).powi(2))
+            .sum::<f64>()
+            / preds.len() as f64;
+        let nrmse = mse.sqrt() / 2.0; // mean interarrival = 2.0
+        // Clamping at the observation instant skews slightly low; allow 15%.
+        assert!(
+            (nrmse - target_nrmse).abs() < 0.15 * target_nrmse,
+            "nrmse={nrmse}"
+        );
+    }
+
+    #[test]
+    fn predictions_never_precede_observation() {
+        let t = trace(1_000, 0.5);
+        let mut o = OraclePredictor::new(&t, 7, ErrorModel::with_arrival_accuracy(0.0), 23);
+        for req in t.iter() {
+            o.observe(req);
+            if let Some(p) = o.predict_next() {
+                assert!(p.arrival >= req.arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_determinism() {
+        let t = trace(200, 1.0);
+        let mut o = OraclePredictor::new(&t, 7, ErrorModel::with_type_accuracy(0.5), 31);
+        let first = drive(&mut o, &t);
+        o.reset();
+        let second = drive(&mut o, &t);
+        assert_eq!(first, second);
+    }
+}

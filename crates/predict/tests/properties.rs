@@ -1,0 +1,134 @@
+//! Property-based tests for the predictors.
+
+use proptest::prelude::*;
+
+use rtrm_platform::{Request, RequestId, TaskTypeId, Time, Trace};
+use rtrm_predict::{
+    ErrorModel, EwmaInterarrivalPredictor, OraclePredictor, Predictor,
+    TwoPhaseInterarrivalPredictor,
+};
+
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0.01f64..5.0, 0usize..9), 2..60).prop_map(|raw| {
+        let mut t = 0.0;
+        Trace::new(
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (gap, ty))| {
+                    if i > 0 {
+                        t += gap;
+                    }
+                    Request {
+                        id: RequestId::new(i),
+                        arrival: Time::new(t),
+                        task_type: TaskTypeId::new(ty),
+                        deadline: Time::new(10.0),
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Horizon predictions are nearest-first and never precede the
+    /// observation instant, whatever the error model.
+    #[test]
+    fn horizon_is_sorted_and_causal(
+        trace in arbitrary_trace(),
+        type_acc in 0.0f64..=1.0,
+        arr_acc in 0.0f64..=1.0,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let error = ErrorModel { type_accuracy: type_acc, arrival_accuracy: arr_acc };
+        let mut oracle = OraclePredictor::new(&trace, 9, error, seed);
+        for req in trace.iter() {
+            oracle.observe(req);
+            let preds = oracle.predict_horizon(k);
+            prop_assert!(preds.len() <= k);
+            let mut prev = None;
+            for p in &preds {
+                prop_assert!(p.arrival >= req.arrival, "prediction in the past");
+                prop_assert!(p.task_type.index() < 9);
+                if let Some(prev) = prev {
+                    prop_assert!(prev <= p.arrival, "horizon must be sorted");
+                }
+                prev = Some(p.arrival);
+            }
+        }
+    }
+
+    /// With a perfect model the horizon is exactly the next k requests.
+    #[test]
+    fn perfect_horizon_is_the_truth(trace in arbitrary_trace(), k in 1usize..5) {
+        let mut oracle = OraclePredictor::perfect(&trace, 9);
+        for (i, req) in trace.iter().enumerate() {
+            oracle.observe(req);
+            let preds = oracle.predict_horizon(k);
+            let expected = (trace.len() - 1 - i).min(k);
+            prop_assert_eq!(preds.len(), expected);
+            for (j, p) in preds.iter().enumerate() {
+                let truth = trace.request(RequestId::new(i + 1 + j));
+                prop_assert_eq!(p.task_type, truth.task_type);
+                prop_assert_eq!(p.arrival, truth.arrival);
+            }
+        }
+    }
+
+    /// The EWMA estimate always stays inside the range of observed gaps.
+    #[test]
+    fn ewma_stays_in_observed_range(
+        gaps in prop::collection::vec(0.01f64..20.0, 1..40),
+        alpha in 0.01f64..=1.0,
+    ) {
+        let mut p = EwmaInterarrivalPredictor::new(alpha);
+        let mut t = 0.0;
+        p.observe_arrival(Time::new(t));
+        for g in &gaps {
+            t += g;
+            p.observe_arrival(Time::new(t));
+        }
+        let est = p.gap_estimate().expect("at least one gap").value();
+        let lo = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = gaps.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "est={est} not in [{lo}, {hi}]");
+    }
+
+    /// The two-phase estimator also never leaves the observed gap range.
+    #[test]
+    fn two_phase_stays_in_observed_range(
+        gaps in prop::collection::vec(0.01f64..20.0, 1..40),
+        window in 2usize..8,
+        threshold in 1.2f64..4.0,
+    ) {
+        let mut p = TwoPhaseInterarrivalPredictor::new(window, threshold);
+        let mut t = 0.0;
+        p.observe_arrival(Time::new(t));
+        for g in &gaps {
+            t += g;
+            p.observe_arrival(Time::new(t));
+        }
+        let est = p.gap_estimate().expect("at least one gap").value();
+        let lo = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = gaps.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "est={est} not in [{lo}, {hi}]");
+    }
+
+    /// predict_next and a 1-step horizon agree for the oracle when errors
+    /// are disabled (both are the plain truth).
+    #[test]
+    fn next_equals_one_step_horizon(trace in arbitrary_trace()) {
+        let mut a = OraclePredictor::perfect(&trace, 9);
+        let mut b = OraclePredictor::perfect(&trace, 9);
+        for req in trace.iter() {
+            a.observe(req);
+            b.observe(req);
+            let single = a.predict_next();
+            let horizon = b.predict_horizon(1);
+            prop_assert_eq!(single.into_iter().collect::<Vec<_>>(), horizon);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Single-resource EDF timeline simulation.
+//!
+//! One engine serves both purposes of the paper's Sec 4:
+//!
+//! * **feasibility** — given a candidate mapping, does every job mapped to
+//!   this resource finish by its deadline? (constraints (3)–(14) of the MILP,
+//!   including the preemption caused by a future-released predicted task);
+//! * **execution** — between two activations of the resource manager, the
+//!   simulator advances each resource's timeline to the next arrival with the
+//!   very same rules.
+//!
+//! The rules (paper Sec 4.1): on each resource, jobs run in EDF order.
+//! Preemptable resources (CPUs) use preemptive EDF; since all *real* jobs are
+//! released at the activation instant, preemption only ever occurs when a
+//! future-released job (the predicted task, or an arrival delayed by
+//! prediction overhead) shows up mid-window — exactly the paper's model.
+//! Non-preemptable resources (GPUs) use work-conserving non-preemptive EDF,
+//! and a job already running there is *pinned*: it completes before anything
+//! else is dispatched.
+
+use rtrm_platform::{ResourceKind, Time, TIME_EPSILON};
+
+use crate::{JobOutcome, PlannedJob, Schedule};
+
+/// Simulates one resource's timeline starting at `now`, up to `horizon`
+/// (`None` = run until all jobs finish).
+///
+/// Returns one [`JobOutcome`] per input job, in input order. Jobs with
+/// `release < now` are treated as released at `now`. Ties in deadline are
+/// broken by input order, making the schedule deterministic.
+///
+/// # Panics
+///
+/// Panics if more than one job is pinned, if a pinned job is passed to a
+/// preemptable resource (pinning is meaningless there — the job would simply
+/// compete under EDF), or if any `exec` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{ResourceKind, Time};
+/// use rtrm_sched::{simulate, JobKey, PlannedJob};
+///
+/// let t = Time::new(0.0);
+/// let jobs = [
+///     PlannedJob::new(JobKey(0), t, Time::new(5.0), Time::new(20.0)),
+///     // Released later with an earlier deadline: preempts job 0 on a CPU.
+///     PlannedJob::new(JobKey(1), Time::new(2.0), Time::new(3.0), Time::new(6.0)),
+/// ];
+/// let schedule = simulate(ResourceKind::Cpu, t, &jobs, None);
+/// assert_eq!(schedule.outcomes()[1].finish.unwrap(), Time::new(5.0));
+/// assert_eq!(schedule.outcomes()[0].finish.unwrap(), Time::new(8.0));
+/// ```
+#[must_use]
+pub fn simulate(
+    kind: ResourceKind,
+    now: Time,
+    jobs: &[PlannedJob],
+    horizon: Option<Time>,
+) -> Schedule {
+    validate(kind, jobs);
+    match kind {
+        ResourceKind::Cpu => simulate_preemptive(now, jobs, horizon),
+        ResourceKind::Gpu => simulate_non_preemptive(now, jobs, horizon),
+    }
+}
+
+/// Returns `true` if every job finishes by its deadline when the set runs on
+/// a resource of `kind` starting at `now`. This is the heuristic's
+/// `IsSchedulable` test and the exact optimizer's feasibility oracle.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{ResourceKind, Time};
+/// use rtrm_sched::{is_schedulable, JobKey, PlannedJob};
+///
+/// let t = Time::new(0.0);
+/// let jobs = [PlannedJob::new(JobKey(0), t, Time::new(4.0), Time::new(4.0))];
+/// assert!(is_schedulable(ResourceKind::Cpu, t, &jobs));
+/// ```
+#[must_use]
+pub fn is_schedulable(kind: ResourceKind, now: Time, jobs: &[PlannedJob]) -> bool {
+    // Fast necessary condition: no single job can fit more work than the
+    // span between its release and deadline.
+    for j in jobs {
+        if !(j.release.max(now) + j.exec).meets(j.deadline) {
+            return false;
+        }
+    }
+    simulate(kind, now, jobs, None).all_meet_deadlines(jobs)
+}
+
+fn validate(kind: ResourceKind, jobs: &[PlannedJob]) {
+    let pinned = jobs.iter().filter(|j| j.pinned).count();
+    assert!(pinned <= 1, "at most one job may be pinned per resource");
+    assert!(
+        pinned == 0 || kind == ResourceKind::Gpu,
+        "pinning applies only to non-preemptable resources"
+    );
+    for j in jobs {
+        assert!(j.exec >= Time::ZERO, "job exec must be non-negative");
+    }
+}
+
+struct Live {
+    release: f64,
+    remaining: f64,
+    deadline: Time,
+    outcome: JobOutcome,
+}
+
+fn make_live(now: Time, jobs: &[PlannedJob]) -> Vec<Live> {
+    jobs.iter()
+        .map(|j| Live {
+            release: j.release.max(now).value(),
+            remaining: j.exec.value(),
+            deadline: j.deadline,
+            outcome: JobOutcome {
+                key: j.key,
+                executed: Time::ZERO,
+                finish: None,
+                started: false,
+            },
+        })
+        .collect()
+}
+
+/// Picks the released, unfinished job with the earliest deadline
+/// (ties: input order). Returns its index.
+fn pick_edf(live: &[Live], now: f64) -> Option<usize> {
+    live.iter()
+        .enumerate()
+        .filter(|(_, j)| j.outcome.finish.is_none() && j.release <= now + TIME_EPSILON)
+        .min_by(|(ai, a), (bi, b)| a.deadline.cmp(&b.deadline).then(ai.cmp(bi)))
+        .map(|(i, _)| i)
+}
+
+/// Earliest release among unfinished, not-yet-released jobs.
+fn next_release(live: &[Live], now: f64) -> Option<f64> {
+    live.iter()
+        .filter(|j| j.outcome.finish.is_none() && j.release > now + TIME_EPSILON)
+        .map(|j| j.release)
+        .min_by(f64::total_cmp)
+}
+
+fn run_job(job: &mut Live, now: &mut f64, until: f64) {
+    let dt = (until - *now).min(job.remaining).max(0.0);
+    if dt > 0.0 {
+        job.outcome.started = true;
+        job.outcome.executed += Time::new(dt);
+        job.remaining -= dt;
+        *now += dt;
+    }
+    if job.remaining <= TIME_EPSILON {
+        job.remaining = 0.0;
+        // Zero-length jobs count as finished (and started) at dispatch.
+        job.outcome.started = true;
+        job.outcome.finish = Some(Time::new(*now));
+    }
+}
+
+fn simulate_preemptive(start: Time, jobs: &[PlannedJob], horizon: Option<Time>) -> Schedule {
+    let mut live = make_live(start, jobs);
+    let horizon = horizon.map_or(f64::INFINITY, Time::value);
+    let mut now = start.value();
+
+    loop {
+        if now >= horizon - TIME_EPSILON {
+            break;
+        }
+        let Some(current) = pick_edf(&live, now) else {
+            // Idle: jump to the next release, if any.
+            match next_release(&live, now) {
+                Some(r) if r < horizon => {
+                    now = r;
+                    continue;
+                }
+                _ => break,
+            }
+        };
+        // Run the EDF job until it finishes, the horizon, or the next
+        // release (which may preempt it).
+        let until = horizon
+            .min(now + live[current].remaining)
+            .min(next_release(&live, now).unwrap_or(f64::INFINITY));
+        run_job(&mut live[current], &mut now, until);
+    }
+    Schedule::new(live.into_iter().map(|j| j.outcome).collect())
+}
+
+fn simulate_non_preemptive(start: Time, jobs: &[PlannedJob], horizon: Option<Time>) -> Schedule {
+    let mut live = make_live(start, jobs);
+    let horizon = horizon.map_or(f64::INFINITY, Time::value);
+    let mut now = start.value();
+
+    // A pinned job is physically occupying the resource: dispatch it first.
+    let mut forced = jobs.iter().position(|j| j.pinned);
+
+    loop {
+        if now >= horizon - TIME_EPSILON {
+            break;
+        }
+        let current = match forced.take() {
+            Some(i) if live[i].outcome.finish.is_none() => i,
+            _ => match pick_edf(&live, now) {
+                Some(i) => i,
+                None => match next_release(&live, now) {
+                    Some(r) if r < horizon => {
+                        now = r;
+                        continue;
+                    }
+                    _ => break,
+                },
+            },
+        };
+        // Non-preemptive: once dispatched, run to completion (or horizon).
+        let until = horizon.min(now + live[current].remaining);
+        run_job(&mut live[current], &mut now, until);
+        if live[current].outcome.finish.is_none() {
+            // Hit the horizon mid-job: it stays on the resource; remember so
+            // a resumed simulation would pin it. Nothing else runs.
+            break;
+        }
+    }
+    Schedule::new(live.into_iter().map(|j| j.outcome).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JobKey;
+
+    fn j(key: u64, release: f64, exec: f64, deadline: f64) -> PlannedJob {
+        PlannedJob::new(
+            JobKey(key),
+            Time::new(release),
+            Time::new(exec),
+            Time::new(deadline),
+        )
+    }
+
+    const T0: Time = Time::ZERO;
+
+    #[test]
+    fn cpu_edf_orders_by_deadline() {
+        let jobs = [j(0, 0.0, 4.0, 100.0), j(1, 0.0, 2.0, 5.0)];
+        let s = simulate(ResourceKind::Cpu, T0, &jobs, None);
+        assert_eq!(s.outcomes()[1].finish.unwrap(), Time::new(2.0));
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(6.0));
+        assert!(s.all_meet_deadlines(&jobs));
+    }
+
+    #[test]
+    fn cpu_future_release_preempts() {
+        let jobs = [j(0, 0.0, 10.0, 30.0), j(1, 3.0, 2.0, 6.0)];
+        let s = simulate(ResourceKind::Cpu, T0, &jobs, None);
+        // Job 0 runs [0,3), job 1 preempts [3,5), job 0 resumes [5,12).
+        assert_eq!(s.outcomes()[1].finish.unwrap(), Time::new(5.0));
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(12.0));
+    }
+
+    #[test]
+    fn cpu_later_deadline_does_not_preempt() {
+        let jobs = [j(0, 0.0, 10.0, 11.0), j(1, 3.0, 2.0, 50.0)];
+        let s = simulate(ResourceKind::Cpu, T0, &jobs, None);
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(10.0));
+        assert_eq!(s.outcomes()[1].finish.unwrap(), Time::new(12.0));
+    }
+
+    #[test]
+    fn gpu_never_preempts() {
+        let jobs = [j(0, 0.0, 10.0, 30.0), j(1, 3.0, 2.0, 9.0)];
+        let s = simulate(ResourceKind::Gpu, T0, &jobs, None);
+        // Job 1 must wait for job 0 even though its deadline is earlier.
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(10.0));
+        assert_eq!(s.outcomes()[1].finish.unwrap(), Time::new(12.0));
+        assert!(!s.all_meet_deadlines(&jobs));
+    }
+
+    #[test]
+    fn gpu_pinned_runs_first() {
+        let mut running = j(0, 0.0, 4.0, 100.0);
+        running.pinned = true;
+        let urgent = j(1, 0.0, 1.0, 2.0);
+        let s = simulate(ResourceKind::Gpu, T0, &[running, urgent], None);
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(4.0));
+        assert_eq!(s.outcomes()[1].finish.unwrap(), Time::new(5.0));
+    }
+
+    #[test]
+    fn gpu_dispatch_is_edf_among_released() {
+        let jobs = [j(0, 0.0, 3.0, 50.0), j(1, 0.0, 3.0, 10.0)];
+        let s = simulate(ResourceKind::Gpu, T0, &jobs, None);
+        assert_eq!(s.outcomes()[1].finish.unwrap(), Time::new(3.0));
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(6.0));
+    }
+
+    #[test]
+    fn horizon_truncates_execution() {
+        let jobs = [j(0, 0.0, 10.0, 30.0)];
+        let s = simulate(ResourceKind::Cpu, T0, &jobs, Some(Time::new(4.0)));
+        let o = s.outcomes()[0];
+        assert_eq!(o.executed, Time::new(4.0));
+        assert!(o.finish.is_none());
+        assert!(o.started);
+    }
+
+    #[test]
+    fn idle_gap_before_future_release() {
+        let jobs = [j(0, 5.0, 2.0, 10.0)];
+        let s = simulate(ResourceKind::Cpu, T0, &jobs, None);
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(7.0));
+    }
+
+    #[test]
+    fn horizon_before_release_executes_nothing() {
+        let jobs = [j(0, 5.0, 2.0, 10.0)];
+        let s = simulate(ResourceKind::Cpu, T0, &jobs, Some(Time::new(3.0)));
+        assert_eq!(s.outcomes()[0].executed, Time::ZERO);
+        assert!(!s.outcomes()[0].started);
+    }
+
+    #[test]
+    fn empty_job_set() {
+        let s = simulate(ResourceKind::Cpu, T0, &[], None);
+        assert!(s.outcomes().is_empty());
+        assert_eq!(s.makespan(), None);
+    }
+
+    #[test]
+    fn zero_exec_finishes_at_release() {
+        let jobs = [j(0, 2.0, 0.0, 10.0)];
+        let s = simulate(ResourceKind::Gpu, T0, &jobs, None);
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(2.0));
+    }
+
+    #[test]
+    fn deadline_tie_broken_by_input_order() {
+        let jobs = [j(7, 0.0, 2.0, 10.0), j(3, 0.0, 2.0, 10.0)];
+        let s = simulate(ResourceKind::Cpu, T0, &jobs, None);
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(2.0));
+        assert_eq!(s.outcomes()[1].finish.unwrap(), Time::new(4.0));
+    }
+
+    #[test]
+    fn is_schedulable_quick_reject() {
+        // Deadline shorter than exec: infeasible anywhere.
+        assert!(!is_schedulable(
+            ResourceKind::Cpu,
+            T0,
+            &[j(0, 0.0, 5.0, 4.0)]
+        ));
+    }
+
+    #[test]
+    fn is_schedulable_accepts_exact_fit() {
+        let jobs = [j(0, 0.0, 4.0, 4.0), j(1, 0.0, 3.0, 7.0)];
+        assert!(is_schedulable(ResourceKind::Cpu, T0, &jobs));
+    }
+
+    #[test]
+    fn nonzero_start_time() {
+        let t = Time::new(100.0);
+        let jobs = [j(0, 0.0, 2.0, 103.0)]; // release clamps to `now`
+        let s = simulate(ResourceKind::Cpu, t, &jobs, None);
+        assert_eq!(s.outcomes()[0].finish.unwrap(), Time::new(102.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one job may be pinned")]
+    fn two_pinned_jobs_rejected() {
+        let mut a = j(0, 0.0, 1.0, 5.0);
+        let mut b = j(1, 0.0, 1.0, 5.0);
+        a.pinned = true;
+        b.pinned = true;
+        let _ = simulate(ResourceKind::Gpu, T0, &[a, b], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-preemptable resources")]
+    fn pinned_on_cpu_rejected() {
+        let mut a = j(0, 0.0, 1.0, 5.0);
+        a.pinned = true;
+        let _ = simulate(ResourceKind::Cpu, T0, &[a], None);
+    }
+
+    #[test]
+    fn gpu_horizon_mid_job() {
+        let jobs = [j(0, 0.0, 10.0, 30.0), j(1, 0.0, 1.0, 40.0)];
+        let s = simulate(ResourceKind::Gpu, T0, &jobs, Some(Time::new(4.0)));
+        assert_eq!(s.outcomes()[0].executed, Time::new(4.0));
+        assert_eq!(s.outcomes()[1].executed, Time::ZERO);
+    }
+}

@@ -1,0 +1,118 @@
+//! Jobs as seen by the timeline engine, and per-job schedule outcomes.
+
+use serde::{Deserialize, Serialize};
+
+use rtrm_platform::Time;
+
+/// Opaque key identifying a job across the scheduler and the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JobKey(pub u64);
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// One job to be placed on a single resource's timeline.
+///
+/// `exec` is the paper's `cpm_{j,i}`: the remaining worst-case execution time
+/// on this resource, already including any migration time overhead. All
+/// quantities are absolute times except `exec`, which is a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedJob {
+    /// Identity, echoed back in the [`Schedule`](crate::Schedule).
+    pub key: JobKey,
+    /// Earliest time the job may execute. Active jobs are released at the
+    /// activation instant; the predicted task at its predicted arrival; an
+    /// arriving task delayed by prediction overhead at `arrival + overhead`.
+    pub release: Time,
+    /// Remaining worst-case execution time on this resource (incl. migration
+    /// time overhead).
+    pub exec: Time,
+    /// Absolute deadline.
+    pub deadline: Time,
+    /// `true` if the job is physically mid-execution on this resource and the
+    /// resource is non-preemptable, so it must run to completion before
+    /// anything else is dispatched there. At most one job per resource may be
+    /// pinned.
+    pub pinned: bool,
+}
+
+impl PlannedJob {
+    /// Convenience constructor for an unpinned job.
+    #[must_use]
+    pub fn new(key: JobKey, release: Time, exec: Time, deadline: Time) -> Self {
+        PlannedJob {
+            key,
+            release,
+            exec,
+            deadline,
+            pinned: false,
+        }
+    }
+}
+
+/// What happened to one job within the simulated window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Identity of the job this outcome belongs to.
+    pub key: JobKey,
+    /// Work executed inside the window.
+    pub executed: Time,
+    /// Completion time, if the job finished inside the window.
+    pub finish: Option<Time>,
+    /// `true` if the job received any processor time in the window.
+    pub started: bool,
+}
+
+impl JobOutcome {
+    /// Returns `true` if the job finished no later than `deadline`.
+    #[must_use]
+    pub fn meets(&self, deadline: Time) -> bool {
+        self.finish.is_some_and(|f| f.meets(deadline))
+    }
+}
+
+/// The outcome of simulating one resource's timeline: one [`JobOutcome`] per
+/// input job, in input order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    outcomes: Vec<JobOutcome>,
+}
+
+impl Schedule {
+    pub(crate) fn new(outcomes: Vec<JobOutcome>) -> Self {
+        Schedule { outcomes }
+    }
+
+    /// Per-job outcomes, in the order the jobs were passed in.
+    #[must_use]
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// Returns `true` if every job finished by its deadline.
+    ///
+    /// `jobs` must be the same slice the schedule was computed from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` has a different length than the schedule.
+    #[must_use]
+    pub fn all_meet_deadlines(&self, jobs: &[PlannedJob]) -> bool {
+        assert_eq!(jobs.len(), self.outcomes.len(), "job/outcome mismatch");
+        self.outcomes
+            .iter()
+            .zip(jobs)
+            .all(|(o, j)| o.meets(j.deadline))
+    }
+
+    /// The latest completion time in the window, or `None` if nothing
+    /// finished.
+    #[must_use]
+    pub fn makespan(&self) -> Option<Time> {
+        self.outcomes.iter().filter_map(|o| o.finish).max()
+    }
+}

@@ -1,0 +1,34 @@
+//! # rtrm-sched
+//!
+//! Single-resource EDF timeline engine for heterogeneous platforms:
+//! preemptive EDF on CPUs, work-conserving non-preemptive EDF on GPUs, with
+//! support for future job releases (the predicted task of *Niknafs et al.,
+//! DAC 2019*, or arrivals delayed by prediction overhead) and for pinning the
+//! job currently occupying a non-preemptable resource.
+//!
+//! The same engine answers feasibility queries for the resource managers
+//! ([`is_schedulable`]) and advances execution between manager activations in
+//! the simulator ([`simulate`] with a horizon).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtrm_platform::{ResourceKind, Time};
+//! use rtrm_sched::{is_schedulable, JobKey, PlannedJob};
+//!
+//! let now = Time::new(0.0);
+//! let queue = [
+//!     PlannedJob::new(JobKey(0), now, Time::new(3.0), Time::new(5.0)),
+//!     PlannedJob::new(JobKey(1), now, Time::new(4.0), Time::new(7.0)),
+//! ];
+//! assert!(is_schedulable(ResourceKind::Cpu, now, &queue));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod edf;
+mod job;
+
+pub use edf::{is_schedulable, simulate};
+pub use job::{JobKey, JobOutcome, PlannedJob, Schedule};

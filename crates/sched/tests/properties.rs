@@ -1,0 +1,163 @@
+//! Property-based tests for the EDF timeline engine.
+
+use proptest::prelude::*;
+use rtrm_platform::{ResourceKind, Time, TIME_EPSILON};
+use rtrm_sched::{is_schedulable, simulate, JobKey, PlannedJob};
+
+fn synchronous_jobs() -> impl Strategy<Value = Vec<PlannedJob>> {
+    prop::collection::vec((0.1f64..50.0, 0.1f64..200.0), 1..10).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (exec, deadline))| {
+                PlannedJob::new(
+                    JobKey(i as u64),
+                    Time::ZERO,
+                    Time::new(exec),
+                    Time::new(deadline),
+                )
+            })
+            .collect()
+    })
+}
+
+fn staggered_jobs() -> impl Strategy<Value = Vec<PlannedJob>> {
+    prop::collection::vec((0.0f64..30.0, 0.1f64..50.0, 0.1f64..200.0), 1..10).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (release, exec, rel_deadline))| {
+                PlannedJob::new(
+                    JobKey(i as u64),
+                    Time::new(release),
+                    Time::new(exec),
+                    Time::new(release + rel_deadline),
+                )
+            })
+            .collect()
+    })
+}
+
+/// For synchronous release, EDF feasibility on one resource is exactly the
+/// sorted-by-deadline prefix-sum test (the paper's constraint (3)).
+fn prefix_sum_feasible(jobs: &[PlannedJob]) -> bool {
+    let mut sorted: Vec<_> = jobs.iter().collect();
+    sorted.sort_by(|a, b| a.deadline.cmp(&b.deadline));
+    let mut acc = 0.0;
+    for j in sorted {
+        acc += j.exec.value();
+        if acc > j.deadline.value() + TIME_EPSILON {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn synchronous_cpu_feasibility_matches_prefix_sums(jobs in synchronous_jobs()) {
+        let expected = prefix_sum_feasible(&jobs);
+        prop_assert_eq!(is_schedulable(ResourceKind::Cpu, Time::ZERO, &jobs), expected);
+    }
+
+    /// With synchronous release there is nothing to preempt, so the GPU
+    /// (non-preemptive EDF) behaves identically to the CPU.
+    #[test]
+    fn synchronous_gpu_matches_cpu(jobs in synchronous_jobs()) {
+        let cpu = simulate(ResourceKind::Cpu, Time::ZERO, &jobs, None);
+        let gpu = simulate(ResourceKind::Gpu, Time::ZERO, &jobs, None);
+        prop_assert_eq!(cpu.outcomes(), gpu.outcomes());
+    }
+
+    /// Work conservation: with all jobs released at the start, total executed
+    /// work up to any horizon equals min(total work, horizon).
+    #[test]
+    fn work_conserving(jobs in synchronous_jobs(), horizon in 0.1f64..500.0) {
+        for kind in [ResourceKind::Cpu, ResourceKind::Gpu] {
+            let s = simulate(kind, Time::ZERO, &jobs, Some(Time::new(horizon)));
+            let executed: f64 = s.outcomes().iter().map(|o| o.executed.value()).sum();
+            let total: f64 = jobs.iter().map(|j| j.exec.value()).sum();
+            prop_assert!((executed - total.min(horizon)).abs() < 1e-6,
+                "kind={kind:?} executed={executed} expected={}", total.min(horizon));
+        }
+    }
+
+    /// No job ever runs before its release, executes more than its demand,
+    /// or finishes before `release + exec`.
+    #[test]
+    fn release_and_demand_respected(jobs in staggered_jobs()) {
+        for kind in [ResourceKind::Cpu, ResourceKind::Gpu] {
+            let s = simulate(kind, Time::ZERO, &jobs, None);
+            for (o, j) in s.outcomes().iter().zip(&jobs) {
+                prop_assert!(o.executed <= j.exec + Time::new(1e-9));
+                if let Some(f) = o.finish {
+                    prop_assert!(f >= j.release + j.exec - Time::new(1e-6));
+                    prop_assert!((o.executed.value() - j.exec.value()).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Preemptive EDF is optimal on one processor: if *any* schedule meets
+    /// all deadlines, EDF does. We check the contrapositive against an
+    /// exhaustive search over non-preemptive orders for small sets — if some
+    /// order is feasible, preemptive EDF must be feasible too.
+    #[test]
+    fn edf_dominates_any_order(jobs in prop::collection::vec((0.0f64..10.0, 0.1f64..10.0, 0.1f64..40.0), 1..6)) {
+        let jobs: Vec<PlannedJob> = jobs.into_iter().enumerate().map(|(i, (r, e, d))| {
+            PlannedJob::new(JobKey(i as u64), Time::new(r), Time::new(e), Time::new(r + d))
+        }).collect();
+
+        // Exhaustive non-preemptive order search.
+        fn any_order_feasible(jobs: &[PlannedJob], done: &mut Vec<bool>, t: f64) -> bool {
+            if done.iter().all(|d| *d) {
+                return true;
+            }
+            for i in 0..jobs.len() {
+                if done[i] {
+                    continue;
+                }
+                let start = t.max(jobs[i].release.value());
+                let finish = start + jobs[i].exec.value();
+                if finish <= jobs[i].deadline.value() + TIME_EPSILON {
+                    done[i] = true;
+                    if any_order_feasible(jobs, done, finish) {
+                        done[i] = false;
+                        return true;
+                    }
+                    done[i] = false;
+                }
+            }
+            false
+        }
+
+        let mut done = vec![false; jobs.len()];
+        if any_order_feasible(&jobs, &mut done, 0.0) {
+            prop_assert!(is_schedulable(ResourceKind::Cpu, Time::ZERO, &jobs));
+        }
+    }
+
+    /// Simulating in two chunks (to an intermediate horizon, then resuming
+    /// with reduced remaining work) matches one uninterrupted run on a CPU.
+    #[test]
+    fn horizon_split_is_consistent(jobs in synchronous_jobs(), split in 0.5f64..100.0) {
+        let full = simulate(ResourceKind::Cpu, Time::ZERO, &jobs, None);
+        let first = simulate(ResourceKind::Cpu, Time::ZERO, &jobs, Some(Time::new(split)));
+        let resumed: Vec<PlannedJob> = jobs
+            .iter()
+            .zip(first.outcomes())
+            .filter(|(_, o)| o.finish.is_none())
+            .map(|(job, o)| PlannedJob::new(job.key, Time::new(split), job.exec - o.executed, job.deadline))
+            .collect();
+        let second = simulate(ResourceKind::Cpu, Time::new(split), &resumed, None);
+        for (o2, job) in second.outcomes().iter().zip(&resumed) {
+            let f_full = full
+                .outcomes()
+                .iter()
+                .find(|o| o.key == job.key)
+                .and_then(|o| o.finish)
+                .expect("full run finishes everything");
+            let f2 = o2.finish.expect("resumed run finishes everything");
+            prop_assert!((f_full.value() - f2.value()).abs() < 1e-6,
+                "key={:?} full={} resumed={}", job.key, f_full, f2);
+        }
+    }
+}

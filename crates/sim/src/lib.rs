@@ -1,0 +1,25 @@
+//! # rtrm-sim
+//!
+//! Discrete-event simulation of prediction-aided runtime resource
+//! management (*Niknafs et al., DAC 2019*): a [`Simulator`] drives request
+//! traces through any [`rtrm_core::ResourceManager`], executing the chosen
+//! plans with the same EDF timeline engine the managers use for
+//! feasibility, charging execution energy continuously plus migration
+//! overheads and energy wasted in GPU aborts, and enforcing the paper's
+//! invariant that admitted tasks never miss deadlines.
+//!
+//! [`run_batch`] parallelizes independent traces across worker threads for
+//! the paper-scale experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod report;
+mod runner;
+mod simulator;
+mod stats;
+
+pub use report::{mean_energy, mean_rejection_percent, SimReport, TaskOutcome, TaskRecord};
+pub use runner::run_batch;
+pub use simulator::{PhantomDeadline, SimConfig, Simulator};
+pub use stats::Summary;

@@ -1,0 +1,134 @@
+//! Parallel experiment runner: simulates many traces across worker threads.
+//!
+//! The paper's experiments average over hundreds of traces per
+//! configuration; traces are independent, so they parallelize trivially.
+//! Workers pull trace indices from a shared counter (crossbeam scoped
+//! threads), and each builds its own manager/predictor from the supplied
+//! factories so no cross-trace state leaks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rtrm_core::ResourceManager;
+use rtrm_platform::{Platform, TaskCatalog, Trace};
+use rtrm_predict::Predictor;
+
+use crate::report::SimReport;
+use crate::simulator::{SimConfig, Simulator};
+
+/// Runs every trace through a fresh manager (and optional fresh predictor)
+/// and returns the per-trace reports in trace order.
+///
+/// `make_manager(i)` and `make_predictor(i)` are called once per trace `i`
+/// on the worker thread that simulates it. Returning `None` from
+/// `make_predictor` disables prediction for that trace.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rtrm_core::HeuristicRm;
+/// use rtrm_platform::Platform;
+/// use rtrm_sim::{run_batch, SimConfig};
+/// use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
+///
+/// let platform = Platform::paper_default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+/// let traces = generate_traces(&catalog, &TraceConfig::calibrated_vt(), 4, 5);
+///
+/// let reports = run_batch(
+///     &platform,
+///     &catalog,
+///     &SimConfig::default(),
+///     &traces,
+///     |_| Box::new(HeuristicRm::new()),
+///     |_| None,
+/// );
+/// assert_eq!(reports.len(), 4);
+/// ```
+pub fn run_batch<M, P>(
+    platform: &Platform,
+    catalog: &TaskCatalog,
+    config: &SimConfig,
+    traces: &[Trace],
+    make_manager: M,
+    make_predictor: P,
+) -> Vec<SimReport>
+where
+    M: Fn(usize) -> Box<dyn ResourceManager + Send> + Sync,
+    P: Fn(usize) -> Option<Box<dyn Predictor + Send>> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; traces.len()]);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(traces.len().max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let simulator = Simulator::new(platform, catalog, config.clone());
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= traces.len() {
+                        break;
+                    }
+                    let mut manager = make_manager(i);
+                    let mut predictor = make_predictor(i);
+                    let report = simulator.run(
+                        &traces[i],
+                        manager.as_mut(),
+                        predictor.as_deref_mut().map(|p| p as &mut dyn Predictor),
+                    );
+                    results.lock().expect("no poisoned workers")[i] = Some(report);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    results
+        .into_inner()
+        .expect("no poisoned workers")
+        .into_iter()
+        .map(|r| r.expect("every trace simulated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rtrm_core::HeuristicRm;
+    use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
+
+    #[test]
+    fn batch_matches_sequential() {
+        let platform = Platform::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+        let cfg = TraceConfig {
+            length: 60,
+            ..TraceConfig::calibrated_vt()
+        };
+        let traces = generate_traces(&catalog, &cfg, 6, 8);
+
+        let config = SimConfig::default();
+        let parallel = run_batch(
+            &platform,
+            &catalog,
+            &config,
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+        );
+
+        let simulator = Simulator::new(&platform, &catalog, config);
+        for (trace, report) in traces.iter().zip(&parallel) {
+            let sequential = simulator.run(trace, &mut HeuristicRm::new(), None);
+            assert_eq!(&sequential, report, "parallel run must be deterministic");
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The discrete-event simulator: drives a request trace through a resource
+//! manager on a heterogeneous platform, executing the chosen plans with the
+//! same EDF timeline engine the managers use for feasibility.
+
+use rtrm_core::{Activation, Assignment, Candidate, JobView, Placement, ResourceManager};
+use rtrm_platform::{
+    Energy, Platform, ResourceId, TaskCatalog, TaskTypeId, Time, Trace,
+};
+use rtrm_predict::{OverheadModel, Prediction, Predictor};
+use rtrm_sched::{simulate, JobKey, PlannedJob};
+
+use crate::report::{SimReport, TaskOutcome, TaskRecord};
+
+/// How the phantom task's relative deadline is chosen (the predictor
+/// forecasts only type and arrival; the paper leaves the phantom's deadline
+/// implicit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhantomDeadline {
+    /// `coefficient × mean WCET` of the predicted type — the expectation of
+    /// the trace generator's `RWCET × C` rule. Use the mean of the group's
+    /// coefficient range (1.75 for VT, 4.0 for LT).
+    MeanWcetTimes(f64),
+    /// `coefficient × min WCET` of the predicted type (its fastest
+    /// resource): a *pessimistic* phantom deadline. The generator's `RWCET`
+    /// may come from the fastest resource with a low coefficient, and those
+    /// are exactly the arrivals that need a reservation; planning for them
+    /// costs energy but never acceptance (the manager falls back to a plan
+    /// without the phantom when it does not fit).
+    MinWcetTimes(f64),
+    /// A fixed relative deadline.
+    Fixed(Time),
+}
+
+impl PhantomDeadline {
+    fn relative(&self, catalog: &TaskCatalog, task_type: TaskTypeId) -> Time {
+        match *self {
+            PhantomDeadline::MeanWcetTimes(c) => catalog.task_type(task_type).mean_wcet() * c,
+            PhantomDeadline::MinWcetTimes(c) => catalog.task_type(task_type).min_wcet() * c,
+            PhantomDeadline::Fixed(d) => d,
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Prediction runtime overhead (Sec 5.5): delays the arriving task's
+    /// earliest start by `coefficient × mean interarrival` while its
+    /// absolute deadline stays put. Only charged when a predictor is in use.
+    pub overhead: OverheadModel,
+    /// Deadline model for the phantom task.
+    pub phantom_deadline: PhantomDeadline,
+    /// Honour the managers' planned start times on the phantom's
+    /// non-preemptable resource ([`rtrm_core::Decision::start_gates`]).
+    /// `true` follows the paper's "schedule the start of execution"
+    /// semantics; `false` reverts to work-conserving dispatch, which
+    /// silently gives away reserved slots (kept as an ablation knob).
+    pub honour_start_gates: bool,
+    /// Number of future requests the predictor is asked for at every
+    /// activation. `1` reproduces the paper; larger values enable the
+    /// multi-step-lookahead extension (`ext_lookahead`).
+    pub lookahead: usize,
+    /// Collect a per-request [`TaskRecord`](crate::TaskRecord) log in the
+    /// report (placements, restarts, completion times). Off by default —
+    /// the log costs memory proportional to the trace.
+    pub record_task_log: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            overhead: OverheadModel::none(),
+            phantom_deadline: PhantomDeadline::MeanWcetTimes(1.75),
+            honour_start_gates: true,
+            lookahead: 1,
+            record_task_log: false,
+        }
+    }
+}
+
+/// One admitted, unfinished task inside the simulator.
+#[derive(Debug, Clone)]
+struct LiveJob {
+    key: JobKey,
+    task_type: TaskTypeId,
+    release: Time,
+    deadline: Time,
+    resource: ResourceId,
+    /// Busy time still owed on `resource` (work + pending migration debt).
+    remaining_busy: Time,
+    /// Execution energy still to be charged while `remaining_busy` drains.
+    remaining_energy: Energy,
+    started: bool,
+    /// DVFS speed the placement runs at (1.0 without frequency scaling).
+    speed: f64,
+    /// Execution energy charged so far on the current run (waste if the
+    /// run is aborted).
+    consumed_this_run: Energy,
+    /// Planned start time from the last reservation-carrying plan (see
+    /// [`rtrm_core::Decision::start_gates`]): the job must not be dispatched
+    /// before it. Replaced or cleared by the next admitted decision.
+    gate: Option<Time>,
+}
+
+impl LiveJob {
+    /// The manager's view: `remaining_fraction` is remaining busy time over
+    /// the full WCET on the current resource, exactly matching the candidate
+    /// cost model.
+    fn view(&self, catalog: &TaskCatalog) -> JobView {
+        let wcet = catalog
+            .task_type(self.task_type)
+            .wcet(self.resource)
+            .expect("live job sits on an executable resource");
+        // Fractions are measured against the *effective* WCET at the
+        // placement's speed, matching the candidate cost model.
+        let effective_wcet = wcet / self.speed;
+        JobView {
+            key: self.key,
+            task_type: self.task_type,
+            release: self.release,
+            deadline: self.deadline,
+            placement: Some(Placement {
+                resource: self.resource,
+                remaining_fraction: self.remaining_busy / effective_wcet,
+                started: self.started,
+                speed: self.speed,
+            }),
+        }
+    }
+
+    fn planned(&self, now: Time, platform: &Platform) -> PlannedJob {
+        let pinned = self.started && !platform.resource(self.resource).kind().is_preemptable();
+        let release = match self.gate {
+            // A started job's gate has been honoured already.
+            Some(gate) if !self.started => self.release.max(gate),
+            _ => self.release,
+        };
+        PlannedJob {
+            key: self.key,
+            release: release.max(now),
+            exec: self.remaining_busy,
+            deadline: self.deadline,
+            pinned,
+        }
+    }
+}
+
+/// Drives traces through a [`ResourceManager`] and collects metrics.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rtrm_core::HeuristicRm;
+/// use rtrm_platform::Platform;
+/// use rtrm_sim::{SimConfig, Simulator};
+/// use rtrm_trace::{generate_catalog, generate_trace, CatalogConfig, TraceConfig};
+///
+/// let platform = Platform::paper_default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+/// let trace = generate_trace(&catalog, &TraceConfig::calibrated_vt(), &mut rng);
+///
+/// let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+/// let report = sim.run(&trace, &mut HeuristicRm::new(), None);
+/// assert_eq!(report.deadline_misses, 0);
+/// assert_eq!(report.accepted + report.rejected, report.requests);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    platform: &'a Platform,
+    catalog: &'a TaskCatalog,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over a platform and catalog.
+    #[must_use]
+    pub fn new(platform: &'a Platform, catalog: &'a TaskCatalog, config: SimConfig) -> Self {
+        Simulator {
+            platform,
+            catalog,
+            config,
+        }
+    }
+
+    /// Runs one trace. When `predictor` is `Some`, the manager plans around
+    /// the predicted next request and the configured prediction overhead is
+    /// charged on every activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if an admitted task misses its deadline — the
+    /// admission test makes this impossible unless a manager or the
+    /// simulator itself is buggy. Release builds record it in the report.
+    #[must_use]
+    pub fn run(
+        &self,
+        trace: &Trace,
+        manager: &mut dyn ResourceManager,
+        mut predictor: Option<&mut dyn Predictor>,
+    ) -> SimReport {
+        let mut live: Vec<LiveJob> = Vec::new();
+        let mut now = Time::ZERO;
+        let mut report = SimReport {
+            requests: trace.len(),
+            accepted: 0,
+            rejected: 0,
+            completed: 0,
+            deadline_misses: 0,
+            energy: Energy::ZERO,
+            migration_energy: Energy::ZERO,
+            wasted_energy: Energy::ZERO,
+            used_prediction: 0,
+            rm_nodes: 0,
+            makespan: Time::ZERO,
+            task_log: Vec::new(),
+            busy_time: vec![Time::ZERO; self.platform.len()],
+        };
+        if self.config.record_task_log {
+            report.task_log = trace
+                .iter()
+                .map(|r| TaskRecord {
+                    request: r.id,
+                    outcome: TaskOutcome::Rejected,
+                    placements: Vec::new(),
+                    finished: None,
+                    restarts: 0,
+                })
+                .collect();
+        }
+        let overhead = match (&predictor, trace.mean_interarrival()) {
+            (Some(_), Some(gap)) => self.config.overhead.cost(gap),
+            _ => Time::ZERO,
+        };
+
+        for request in trace.iter() {
+            self.advance(&mut live, now, Some(request.arrival), &mut report);
+            now = request.arrival;
+
+            // Prediction: feed the actual arrival, then forecast the next
+            // `lookahead` requests.
+            let phantoms: Vec<JobView> = predictor
+                .as_deref_mut()
+                .map(|p| {
+                    p.observe(request);
+                    p.predict_horizon(self.config.lookahead)
+                })
+                .unwrap_or_default()
+                .into_iter()
+                .enumerate()
+                .map(|(i, pred): (usize, Prediction)| {
+                    let rel = self
+                        .config
+                        .phantom_deadline
+                        .relative(self.catalog, pred.task_type);
+                    JobView::fresh(
+                        JobKey(u64::MAX - (request.id.index() * 64 + i) as u64),
+                        pred.task_type,
+                        pred.arrival.max(now),
+                        pred.arrival.max(now) + rel,
+                    )
+                })
+                .collect();
+
+            let arriving = JobView::fresh(
+                JobKey(request.id.index() as u64),
+                request.task_type,
+                request.arrival + overhead,
+                request.absolute_deadline(),
+            );
+            let views: Vec<JobView> = live.iter().map(|j| j.view(self.catalog)).collect();
+            let decision = manager.decide(&Activation {
+                now,
+                platform: self.platform,
+                catalog: self.catalog,
+                active: &views,
+                arriving,
+                predicted: &phantoms,
+            });
+            report.rm_nodes += decision.nodes;
+
+            if decision.admitted {
+                report.accepted += 1;
+                if decision.used_prediction {
+                    report.used_prediction += 1;
+                }
+                self.apply(&mut live, &views, arriving, &decision.assignments, &mut report);
+                // Plan-following dispatch: hold jobs sharing the phantom's
+                // non-preemptable resource to their planned start times, so
+                // the reserved slot survives until the predicted request
+                // materializes (or the next activation replans).
+                for job in live.iter_mut() {
+                    job.gate = if self.config.honour_start_gates {
+                        decision
+                            .start_gates
+                            .iter()
+                            .find(|(k, _)| *k == job.key)
+                            .map(|(_, t)| *t)
+                    } else {
+                        None
+                    };
+                }
+            } else {
+                report.rejected += 1;
+            }
+        }
+
+        // Drain: run everything that was admitted to completion.
+        self.advance(&mut live, now, None, &mut report);
+        debug_assert!(live.is_empty(), "drained simulation must finish all jobs");
+        debug_assert_eq!(report.deadline_misses, 0, "admitted task missed a deadline");
+        report
+    }
+
+    /// Executes all live jobs from `now` to `horizon` (or to completion).
+    fn advance(
+        &self,
+        live: &mut Vec<LiveJob>,
+        now: Time,
+        horizon: Option<Time>,
+        report: &mut SimReport,
+    ) {
+        if live.is_empty() {
+            return;
+        }
+        for resource in self.platform.ids() {
+            let members: Vec<usize> = (0..live.len())
+                .filter(|&i| live[i].resource == resource)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let planned: Vec<PlannedJob> = members
+                .iter()
+                .map(|&i| live[i].planned(now, self.platform))
+                .collect();
+            let kind = self.platform.resource(resource).kind();
+            let schedule = simulate(kind, now, &planned, horizon);
+            for (&i, outcome) in members.iter().zip(schedule.outcomes()) {
+                let job = &mut live[i];
+                if outcome.executed > Time::ZERO {
+                    report.busy_time[resource.index()] += outcome.executed;
+                    let share = outcome.executed / job.remaining_busy;
+                    report.energy += job.remaining_energy * share;
+                    job.consumed_this_run += job.remaining_energy * share;
+                    job.remaining_energy = job.remaining_energy * (1.0 - share);
+                    job.remaining_busy =
+                        (job.remaining_busy - outcome.executed).clamp_non_negative();
+                    job.started = true;
+                }
+                if let Some(finish) = outcome.finish {
+                    job.remaining_busy = Time::ZERO;
+                    report.completed += 1;
+                    report.makespan = report.makespan.max(finish);
+                    if self.config.record_task_log {
+                        let idx = usize::try_from(job.key.0).unwrap_or(usize::MAX);
+                        if let Some(record) = report.task_log.get_mut(idx) {
+                            record.outcome = TaskOutcome::Completed;
+                            record.finished = Some(finish);
+                        }
+                    }
+                    if !finish.meets(job.deadline) {
+                        report.deadline_misses += 1;
+                        debug_assert!(
+                            false,
+                            "job {} finished {} past deadline {}",
+                            job.key, finish, job.deadline
+                        );
+                    }
+                }
+            }
+        }
+        live.retain(|j| j.remaining_busy > Time::ZERO);
+    }
+
+    /// Applies an admitted decision: migrations (with energy lumps), GPU
+    /// aborts (progress wasted), and admission of the arriving task.
+    fn apply(
+        &self,
+        live: &mut Vec<LiveJob>,
+        views: &[JobView],
+        arriving: JobView,
+        assignments: &[Assignment],
+        report: &mut SimReport,
+    ) {
+        for a in assignments {
+            if self.config.record_task_log {
+                let idx = usize::try_from(a.key.0).unwrap_or(usize::MAX);
+                if let Some(record) = report.task_log.get_mut(idx) {
+                    if record.placements.last() != Some(&a.resource) || a.restart {
+                        record.placements.push(a.resource);
+                    }
+                    if a.restart {
+                        record.restarts += 1;
+                    }
+                }
+            }
+            if a.key == arriving.key {
+                let c = self.matching_candidate(&arriving, a);
+                live.push(LiveJob {
+                    key: arriving.key,
+                    task_type: arriving.task_type,
+                    release: arriving.release,
+                    deadline: arriving.deadline,
+                    resource: a.resource,
+                    remaining_busy: c.exec,
+                    remaining_energy: c.energy,
+                    started: false,
+                    speed: a.speed,
+                    consumed_this_run: Energy::ZERO,
+                    gate: None,
+                });
+                continue;
+            }
+            let view = views
+                .iter()
+                .find(|v| v.key == a.key)
+                .expect("assignment refers to an active job");
+            let job = live
+                .iter_mut()
+                .find(|j| j.key == a.key)
+                .expect("active job is live");
+            let c = self.matching_candidate(view, a);
+            if a.restart {
+                // GPU abort: progress and its energy are wasted (already
+                // charged to the total; attributed to waste here); the job
+                // starts over.
+                report.wasted_energy += job.consumed_this_run;
+                job.consumed_this_run = Energy::ZERO;
+                job.resource = a.resource;
+                job.remaining_busy = c.exec;
+                job.remaining_energy = c.energy;
+                job.started = false;
+                job.speed = a.speed;
+            } else if a.resource != job.resource {
+                // Migration: charge the energy overhead as a lump now; the
+                // time overhead is part of the busy time (`c.exec`).
+                let em = self
+                    .catalog
+                    .task_type(job.task_type)
+                    .migration(job.resource, a.resource)
+                    .energy;
+                report.energy += em;
+                report.migration_energy += em;
+                job.resource = a.resource;
+                job.remaining_busy = c.exec;
+                job.remaining_energy = c.energy - em;
+                job.speed = a.speed;
+            } else {
+                debug_assert!((job.remaining_busy.value() - c.exec.value()).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Finds the cost-model candidate matching an assignment.
+    fn matching_candidate(&self, view: &JobView, a: &Assignment) -> Candidate {
+        rtrm_core::candidates(view, self.platform, self.catalog, true)
+            .into_iter()
+            .find(|c| {
+                c.resource == a.resource
+                    && c.restart == a.restart
+                    && (c.speed - a.speed).abs() < 1e-12
+            })
+            .expect("assignment corresponds to a valid candidate")
+    }
+}

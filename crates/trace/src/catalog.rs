@@ -1,0 +1,224 @@
+//! Task-catalog generation (paper Sec 5.1, first half).
+//!
+//! For each of the (default 100) task types: per-CPU WCETs are drawn from
+//! `Gaussian(40, 9²)` and per-CPU energies from `Gaussian(15, 3²)`; the GPU
+//! profile is the CPU average divided by a random factor in `[2, 10)`
+//! (independently for time and for energy). Migration overheads are a random
+//! fraction in `[0.1, 0.2)` of the type's mean WCET / mean energy across
+//! resources.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rtrm_platform::{Energy, Platform, ResourceKind, TaskCatalog, TaskType, Time};
+
+use crate::dist::{uniform, Gaussian};
+
+/// Parameters of the catalog generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Number of task types to create (the paper's `L = 100`).
+    pub num_types: usize,
+    /// Mean of the per-CPU WCET Gaussian (paper: 40).
+    pub cpu_wcet_mean: f64,
+    /// Standard deviation of the per-CPU WCET Gaussian (paper: 9).
+    pub cpu_wcet_std: f64,
+    /// Mean of the per-CPU energy Gaussian (paper: 15).
+    pub cpu_energy_mean: f64,
+    /// Standard deviation of the per-CPU energy Gaussian (paper: 3).
+    pub cpu_energy_std: f64,
+    /// Uniform range of the GPU execution-time divisor (paper: 2–10).
+    pub gpu_time_divisor: (f64, f64),
+    /// Uniform range of the GPU energy divisor (paper: 2–10).
+    pub gpu_energy_divisor: (f64, f64),
+    /// Uniform range of the migration overhead as a fraction of the type's
+    /// mean WCET / mean energy (paper: 0.1–0.2).
+    pub migration_fraction: (f64, f64),
+    /// Lower clamp for sampled WCETs/energies, as a fraction of the mean;
+    /// keeps Gaussian tails physical (not part of the paper, which leaves
+    /// tail handling unspecified).
+    pub floor_fraction: f64,
+}
+
+impl Default for CatalogConfig {
+    /// The paper's Sec 5.1 parameters.
+    fn default() -> Self {
+        CatalogConfig {
+            num_types: 100,
+            cpu_wcet_mean: 40.0,
+            cpu_wcet_std: 9.0,
+            cpu_energy_mean: 15.0,
+            cpu_energy_std: 3.0,
+            gpu_time_divisor: (2.0, 10.0),
+            gpu_energy_divisor: (2.0, 10.0),
+            migration_fraction: (0.1, 0.2),
+            floor_fraction: 0.1,
+        }
+    }
+}
+
+impl CatalogConfig {
+    /// The paper's configuration (alias of [`Default`]).
+    #[must_use]
+    pub fn paper() -> Self {
+        CatalogConfig::default()
+    }
+}
+
+/// Generates a task catalog for `platform` according to `config`.
+///
+/// Every type is executable on all resources (the paper's types are), so the
+/// "dummy value" path for non-executable pairs is exercised only by
+/// hand-built catalogs.
+///
+/// # Panics
+///
+/// Panics if `config.num_types` is zero or the platform has no CPU.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rtrm_platform::Platform;
+/// use rtrm_trace::{generate_catalog, CatalogConfig};
+///
+/// let platform = Platform::paper_default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+/// assert_eq!(catalog.len(), 100);
+/// ```
+pub fn generate_catalog<R: Rng + ?Sized>(
+    platform: &Platform,
+    config: &CatalogConfig,
+    rng: &mut R,
+) -> TaskCatalog {
+    assert!(config.num_types > 0, "catalog must contain at least one type");
+    let cpus: Vec<_> = platform.ids_of_kind(ResourceKind::Cpu).collect();
+    let gpus: Vec<_> = platform.ids_of_kind(ResourceKind::Gpu).collect();
+    assert!(!cpus.is_empty(), "catalog generation needs at least one CPU");
+
+    let wcet_dist = Gaussian::new(config.cpu_wcet_mean, config.cpu_wcet_std);
+    let energy_dist = Gaussian::new(config.cpu_energy_mean, config.cpu_energy_std);
+    let wcet_floor = config.floor_fraction * config.cpu_wcet_mean;
+    let energy_floor = config.floor_fraction * config.cpu_energy_mean;
+
+    let mut types = Vec::with_capacity(config.num_types);
+    for index in 0..config.num_types {
+        let mut builder = TaskType::builder(index, platform);
+
+        let mut cpu_wcets = Vec::with_capacity(cpus.len());
+        let mut cpu_energies = Vec::with_capacity(cpus.len());
+        for &cpu in &cpus {
+            let wcet = wcet_dist.sample_at_least(rng, wcet_floor);
+            let energy = energy_dist.sample_at_least(rng, energy_floor);
+            builder.profile(cpu, Time::new(wcet), Energy::new(energy));
+            cpu_wcets.push(wcet);
+            cpu_energies.push(energy);
+        }
+        let avg_wcet = cpu_wcets.iter().sum::<f64>() / cpu_wcets.len() as f64;
+        let avg_energy = cpu_energies.iter().sum::<f64>() / cpu_energies.len() as f64;
+
+        let mut wcet_sum = cpu_wcets.iter().sum::<f64>();
+        let mut energy_sum = cpu_energies.iter().sum::<f64>();
+        for &gpu in &gpus {
+            let t_div = uniform(rng, config.gpu_time_divisor.0, config.gpu_time_divisor.1);
+            let e_div = uniform(rng, config.gpu_energy_divisor.0, config.gpu_energy_divisor.1);
+            let (w, e) = (avg_wcet / t_div, avg_energy / e_div);
+            builder.profile(gpu, Time::new(w), Energy::new(e));
+            wcet_sum += w;
+            energy_sum += e;
+        }
+
+        // Migration overhead: one fraction per type for time, one for energy,
+        // of the mean over *all* resources (paper Sec 5.1, last paragraph).
+        let n = (cpus.len() + gpus.len()) as f64;
+        let t_frac = uniform(rng, config.migration_fraction.0, config.migration_fraction.1);
+        let e_frac = uniform(rng, config.migration_fraction.0, config.migration_fraction.1);
+        builder.uniform_migration(
+            Time::new(t_frac * wcet_sum / n),
+            Energy::new(e_frac * energy_sum / n),
+        );
+
+        types.push(builder.build());
+    }
+    TaskCatalog::new(types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rtrm_platform::ResourceId;
+
+    #[test]
+    fn paper_catalog_statistics() {
+        let platform = Platform::paper_default();
+        let mut rng = StdRng::seed_from_u64(99);
+        let cfg = CatalogConfig {
+            num_types: 400,
+            ..CatalogConfig::paper()
+        };
+        let catalog = generate_catalog(&platform, &cfg, &mut rng);
+
+        let cpu0 = ResourceId::new(0);
+        let gpu = ResourceId::new(5);
+        let wcets: Vec<f64> = catalog.iter().map(|t| t.wcet(cpu0).unwrap().value()).collect();
+        let mean = wcets.iter().sum::<f64>() / wcets.len() as f64;
+        assert!((mean - 40.0).abs() < 2.0, "cpu wcet mean={mean}");
+
+        // GPU is faster and cheaper than the CPU average by 2–10×.
+        for t in catalog.iter() {
+            let avg_cpu: f64 = (0..5)
+                .map(|i| t.wcet(ResourceId::new(i)).unwrap().value())
+                .sum::<f64>()
+                / 5.0;
+            let ratio = avg_cpu / t.wcet(gpu).unwrap().value();
+            assert!((2.0..10.0001).contains(&ratio), "ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn migration_fraction_in_range() {
+        let platform = Platform::paper_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+        for t in catalog.iter() {
+            let m = t.migration(ResourceId::new(0), ResourceId::new(1));
+            let frac_t = m.time / t.mean_wcet();
+            let frac_e = m.energy / t.mean_energy();
+            assert!((0.1..0.2).contains(&frac_t), "time fraction={frac_t}");
+            assert!((0.1..0.2).contains(&frac_e), "energy fraction={frac_e}");
+            // Diagonal stays zero.
+            let d = t.migration(ResourceId::new(2), ResourceId::new(2));
+            assert_eq!(d.time, Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let platform = Platform::paper_default();
+        let a = generate_catalog(
+            &platform,
+            &CatalogConfig::paper(),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = generate_catalog(
+            &platform,
+            &CatalogConfig::paper(),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one type")]
+    fn zero_types_rejected() {
+        let platform = Platform::paper_default();
+        let cfg = CatalogConfig {
+            num_types: 0,
+            ..CatalogConfig::paper()
+        };
+        let _ = generate_catalog(&platform, &cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

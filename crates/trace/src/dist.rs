@@ -1,0 +1,131 @@
+//! Minimal distribution sampling (Gaussian via Box–Muller, uniform ranges).
+//!
+//! The offline dependency set contains `rand` but not `rand_distr`, so the
+//! two distributions the paper's generator needs are implemented here.
+
+use rand::Rng;
+
+/// A Gaussian distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or either parameter is non-finite.
+    #[must_use]
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(std >= 0.0, "standard deviation must be non-negative");
+        Gaussian { mean, std }
+    }
+
+    /// Draws one sample (Box–Muller transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Avoid u1 = 0 which would take ln(0).
+        let u1: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std * z
+    }
+
+    /// Draws a sample, redrawing until it is at least `floor` (truncated
+    /// Gaussian). Used to keep WCETs, energies and interarrival gaps
+    /// physically meaningful despite Gaussian tails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is more than 10 standard deviations above the mean
+    /// (the truncation would almost never terminate, indicating a
+    /// misconfiguration).
+    pub fn sample_at_least<R: Rng + ?Sized>(&self, rng: &mut R, floor: f64) -> f64 {
+        assert!(
+            floor <= self.mean + 10.0 * self.std.max(f64::MIN_POSITIVE),
+            "floor {floor} unreachable for N({}, {}²)",
+            self.mean,
+            self.std
+        );
+        loop {
+            let x = self.sample(rng);
+            if x >= floor {
+                return x;
+            }
+        }
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+/// Samples uniformly from `[lo, hi)` (or returns `lo` when the range is
+/// empty/degenerate).
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi > lo {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_converge() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = Gaussian::new(40.0, 9.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 40.0).abs() < 0.3, "mean={mean}");
+        assert!((var.sqrt() - 9.0).abs() < 0.3, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn truncation_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gaussian::new(1.2, 0.4);
+        for _ in 0..2_000 {
+            assert!(g.sample_at_least(&mut rng, 0.05) >= 0.05);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let x = uniform(&mut rng, 1.5, 2.0);
+            assert!((1.5..2.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut rng, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_rejected() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # rtrm-trace
+//!
+//! Synthetic workload generation reproducing Sec 5.1 of *Niknafs et al.,
+//! DAC 2019*: a catalog of task types with Gaussian per-CPU profiles and a
+//! GPU speedup factor, plus request traces with Gaussian interarrivals and
+//! deadline coefficients for the paper's very-tight (VT) and less-tight (LT)
+//! groups.
+//!
+//! All generation is deterministic given a seed, and batches derive
+//! independent child seeds per trace ([`generate_traces`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rtrm_platform::Platform;
+//! use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
+//!
+//! let platform = Platform::paper_default();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+//! let traces = generate_traces(&catalog, &TraceConfig::calibrated_vt(), 10, 7);
+//! assert_eq!(traces.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bursty;
+mod catalog;
+mod dist;
+mod io;
+mod workload;
+
+pub use bursty::{generate_bursty_trace, BurstyConfig};
+pub use catalog::{generate_catalog, CatalogConfig};
+pub use dist::{uniform, Gaussian};
+pub use io::{read_trace_csv, write_trace_csv, ReadTraceError};
+pub use workload::{generate_trace, generate_traces, Tightness, TraceConfig};

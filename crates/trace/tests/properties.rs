@@ -1,0 +1,117 @@
+//! Property-based tests for the workload generator and trace I/O.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtrm_platform::Platform;
+use rtrm_trace::{
+    generate_catalog, generate_trace, read_trace_csv, write_trace_csv, CatalogConfig, Tightness,
+    TraceConfig,
+};
+
+fn any_trace_config() -> impl Strategy<Value = TraceConfig> {
+    (
+        1usize..120,
+        0.5f64..6.0,
+        0.0f64..2.0,
+        prop_oneof![
+            Just(Tightness::VeryTight),
+            Just(Tightness::LessTight),
+            (1.1f64..3.0, 0.5f64..5.0).prop_map(|(lo, extra)| Tightness::Custom {
+                lo,
+                hi: lo + extra
+            }),
+        ],
+    )
+        .prop_map(|(length, mean, std, tightness)| TraceConfig {
+            length,
+            interarrival_mean: mean,
+            interarrival_std: std,
+            interarrival_floor: 0.01,
+            tightness,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated traces always satisfy the structural invariants `Trace`
+    /// promises: dense ids, non-decreasing arrivals, positive deadlines.
+    #[test]
+    fn generated_traces_are_well_formed(cfg in any_trace_config(), seed in any::<u64>()) {
+        let platform = Platform::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+        let trace = generate_trace(&catalog, &cfg, &mut rng);
+        prop_assert_eq!(trace.len(), cfg.length);
+        let mut prev = None;
+        for (i, r) in trace.iter().enumerate() {
+            prop_assert_eq!(r.id.index(), i);
+            prop_assert!(r.deadline.value() > 0.0);
+            prop_assert!(r.task_type.index() < catalog.len());
+            if let Some(p) = prev {
+                prop_assert!(p <= r.arrival);
+                prop_assert!((r.arrival - p).value() >= cfg.interarrival_floor - 1e-12);
+            }
+            prev = Some(r.arrival);
+        }
+    }
+
+    /// Every deadline is explainable as RWCET × C for some executable
+    /// resource and a coefficient inside the group's range.
+    #[test]
+    fn deadlines_stay_in_coefficient_range(seed in any::<u64>()) {
+        let platform = Platform::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+        let cfg = TraceConfig { length: 60, ..TraceConfig::paper_vt() };
+        let trace = generate_trace(&catalog, &cfg, &mut rng);
+        for r in trace.iter() {
+            let ty = catalog.task_type(r.task_type);
+            let ok = ty.executable_resources().any(|res| {
+                let c = r.deadline / ty.wcet(res).expect("executable");
+                (1.5..2.0 + 1e-9).contains(&c)
+            });
+            prop_assert!(ok, "deadline {:?} has no generating RWCET", r.deadline);
+        }
+    }
+
+    /// CSV round-trip is lossless for arbitrary generated traces.
+    #[test]
+    fn csv_round_trip(cfg in any_trace_config(), seed in any::<u64>()) {
+        let platform = Platform::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+        let trace = generate_trace(&catalog, &cfg, &mut rng);
+        let mut buffer = Vec::new();
+        write_trace_csv(&trace, &mut buffer).expect("in-memory write");
+        let back = read_trace_csv(buffer.as_slice()).expect("parse own output");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Catalog profiles respect the configured GPU divisor range and floors.
+    #[test]
+    fn catalog_respects_ranges(seed in any::<u64>()) {
+        let platform = Platform::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = CatalogConfig { num_types: 20, ..CatalogConfig::paper() };
+        let catalog = generate_catalog(&platform, &cfg, &mut rng);
+        let gpu = platform
+            .ids_of_kind(rtrm_platform::ResourceKind::Gpu)
+            .next()
+            .expect("paper platform has a GPU");
+        for ty in catalog.iter() {
+            let cpu_wcets: Vec<f64> = platform
+                .ids_of_kind(rtrm_platform::ResourceKind::Cpu)
+                .map(|r| ty.wcet(r).expect("cpu profile").value())
+                .collect();
+            let avg = cpu_wcets.iter().sum::<f64>() / cpu_wcets.len() as f64;
+            let ratio = avg / ty.wcet(gpu).expect("gpu profile").value();
+            prop_assert!((2.0..10.0 + 1e-9).contains(&ratio), "ratio={ratio}");
+            for w in &cpu_wcets {
+                prop_assert!(*w >= cfg.floor_fraction * cfg.cpu_wcet_mean - 1e-9);
+            }
+        }
+    }
+}

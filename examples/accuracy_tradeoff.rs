@@ -1,0 +1,68 @@
+//! How accurate does the prediction need to be? (paper Sec 5.4 in miniature)
+//!
+//! Sweeps the oracle's task-type accuracy and arrival-time accuracy on a
+//! small very-tight-deadline workload and prints the resulting rejection
+//! rates next to the predictor-off baseline.
+//!
+//! ```sh
+//! cargo run --release --example accuracy_tradeoff
+//! ```
+
+use rand::SeedableRng;
+use rtrm::prelude::*;
+
+fn main() {
+    let platform = Platform::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let config = TraceConfig {
+        length: 150,
+        ..TraceConfig::calibrated_vt()
+    };
+    let traces = generate_traces(&catalog, &config, 12, 9);
+    let sim = Simulator::new(
+        &platform,
+        &catalog,
+        SimConfig {
+            phantom_deadline: PhantomDeadline::MinWcetTimes(1.5),
+            ..SimConfig::default()
+        },
+    );
+
+    let mean_rejection = |error: Option<ErrorModel>| -> f64 {
+        let total: f64 = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                let report = match error {
+                    None => sim.run(trace, &mut HeuristicRm::new(), None),
+                    Some(e) => {
+                        let mut oracle =
+                            OraclePredictor::new(trace, catalog.len(), e, 100 + i as u64);
+                        sim.run(trace, &mut HeuristicRm::new(), Some(&mut oracle))
+                    }
+                };
+                report.rejection_percent()
+            })
+            .sum();
+        total / traces.len() as f64
+    };
+
+    let off = mean_rejection(None);
+    println!("VT workload, heuristic manager, 12 traces x 150 requests\n");
+    println!("predictor off: {off:.2}% rejection\n");
+
+    println!("task-type accuracy sweep (arrival times exact):");
+    for acc in [1.0, 0.75, 0.5, 0.25] {
+        let r = mean_rejection(Some(ErrorModel::with_type_accuracy(acc)));
+        println!("  accuracy {acc:.2}: {r:.2}%  (benefit {:+.2})", off - r);
+    }
+
+    println!("\narrival-time accuracy sweep (types exact):");
+    for acc in [1.0, 0.75, 0.5, 0.25] {
+        let r = mean_rejection(Some(ErrorModel::with_arrival_accuracy(acc)));
+        println!("  accuracy {acc:.2}: {r:.2}%  (benefit {:+.2})", off - r);
+    }
+
+    println!("\nthe paper's conclusion: below ~50% accuracy prediction stops paying off");
+}

@@ -1,0 +1,69 @@
+//! DVFS extension walk-through: slow down when slack allows, race when
+//! deadlines demand — and watch what greedy slowing does to admission.
+//!
+//! ```sh
+//! cargo run --release --example dvfs_tradeoff
+//! ```
+
+use rand::SeedableRng;
+use rtrm::prelude::*;
+
+fn build(dvfs: bool) -> Platform {
+    let mut b = Platform::builder();
+    for i in 0..3 {
+        if dvfs {
+            b.cpu_with_dvfs(format!("cpu{i}"), &[0.5, 0.75, 1.0]);
+        } else {
+            b.cpu(format!("cpu{i}"));
+        }
+    }
+    b.gpu("gpu0");
+    b.build()
+}
+
+fn main() {
+    println!("DVFS trade-off: 3 CPUs (levels 0.5/0.75/1.0) + 1 GPU\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "configuration", "rejection%", "energy", "energy/task"
+    );
+
+    for (label, dvfs, tight) in [
+        ("fixed freq, loose", false, false),
+        ("DVFS, loose", true, false),
+        ("fixed freq, tight", false, true),
+        ("DVFS, tight", true, true),
+    ] {
+        let platform = build(dvfs);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+        let base = if tight {
+            TraceConfig::calibrated_vt()
+        } else {
+            TraceConfig::calibrated_lt()
+        };
+        let trace = generate_trace(
+            &catalog,
+            &TraceConfig {
+                length: 250,
+                ..base
+            },
+            &mut rng,
+        );
+        let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+        let report = sim.run(&trace, &mut HeuristicRm::new(), None);
+        assert_eq!(report.deadline_misses, 0);
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>12.2}",
+            label,
+            report.rejection_percent(),
+            report.energy.value(),
+            report.energy.value() / report.accepted.max(1) as f64
+        );
+    }
+
+    println!();
+    println!("DVFS cuts energy per accepted task sharply, but greedy slowing");
+    println!("consumes the very slack later arrivals would have needed — the");
+    println!("admission rate drops. See `ext_dvfs` for the full sweep.");
+}

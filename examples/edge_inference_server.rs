@@ -1,0 +1,158 @@
+//! A domain scenario: an edge video-analytics node.
+//!
+//! The platform mixes two fast "big" CPUs, two slow "little" CPUs and one
+//! GPU. Three request types with hand-modelled profiles:
+//!
+//! * `detect`  — heavy CNN inference: fast on the GPU, slow on CPUs;
+//! * `track`   — light correlation tracker: fine on any CPU;
+//! * `encode`  — medium encoder: GPU-capable, CPU-feasible.
+//!
+//! Requests arrive in camera bursts (a detect, then tracks, occasionally an
+//! encode). Because the burst structure is regular, the *history-based*
+//! predictor (Markov types + EWMA gaps) learns it online — no oracle —
+//! and the manager admits more work at lower energy.
+//!
+//! ```sh
+//! cargo run --release --example edge_inference_server
+//! ```
+
+use rand::Rng;
+use rand::SeedableRng;
+use rtrm::prelude::*;
+
+fn build_platform() -> Platform {
+    Platform::builder()
+        .cpu("big0")
+        .cpu("big1")
+        .cpu("little0")
+        .cpu("little1")
+        .gpu("gpu0")
+        .build()
+}
+
+fn build_catalog(platform: &Platform) -> TaskCatalog {
+    let r: Vec<_> = platform.ids().collect();
+    // (big, little, gpu) WCET / energy per type. Little cores are slower
+    // but lower power; the GPU is fastest for vision kernels.
+    let detect = TaskType::builder(0, platform)
+        .profile(r[0], Time::new(30.0), Energy::new(12.0))
+        .profile(r[1], Time::new(30.0), Energy::new(12.0))
+        .profile(r[2], Time::new(55.0), Energy::new(8.0))
+        .profile(r[3], Time::new(55.0), Energy::new(8.0))
+        .profile(r[4], Time::new(6.0), Energy::new(2.5))
+        .uniform_migration(Time::new(2.0), Energy::new(0.8))
+        .build();
+    let track = TaskType::builder(1, platform)
+        .profile(r[0], Time::new(4.0), Energy::new(1.6))
+        .profile(r[1], Time::new(4.0), Energy::new(1.6))
+        .profile(r[2], Time::new(7.0), Energy::new(1.0))
+        .profile(r[3], Time::new(7.0), Energy::new(1.0))
+        // Trackers are branchy; the GPU cannot run them (dummy profile
+        // omitted = not executable there).
+        .uniform_migration(Time::new(0.5), Energy::new(0.2))
+        .build();
+    let encode = TaskType::builder(2, platform)
+        .profile(r[0], Time::new(12.0), Energy::new(5.0))
+        .profile(r[1], Time::new(12.0), Energy::new(5.0))
+        .profile(r[2], Time::new(20.0), Energy::new(3.5))
+        .profile(r[3], Time::new(20.0), Energy::new(3.5))
+        .profile(r[4], Time::new(5.0), Energy::new(1.8))
+        .uniform_migration(Time::new(1.0), Energy::new(0.4))
+        .build();
+    TaskCatalog::new(vec![detect, track, encode])
+}
+
+/// A bursty camera workload: every frame period a `detect` (tight,
+/// GPU-only deadline), two `track`s, and an `encode`. The energy-greedy
+/// manager parks the encode on the GPU, where it blocks the next frame's
+/// detect — unless it knows the detect is coming.
+fn camera_trace(length: usize, seed: u64) -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut requests = Vec::new();
+    let mut t = 0.0;
+    while requests.len() < length {
+        let jitter: f64 = rng.gen_range(-0.3..0.3);
+        // (type, offset within burst, relative deadline)
+        let pattern: &[(usize, f64, f64)] =
+            &[(0, 0.0, 7.0), (1, 2.0, 10.0), (1, 3.5, 10.0), (2, 5.0, 30.0)];
+        for &(ty, offset, deadline) in pattern {
+            if requests.len() >= length {
+                break;
+            }
+            requests.push(Request {
+                id: RequestId::new(requests.len()),
+                arrival: Time::new(t + offset),
+                task_type: TaskTypeId::new(ty),
+                deadline: Time::new(deadline),
+            });
+        }
+        t += 9.0 + jitter; // frame period in arbitrary ms
+    }
+    Trace::new(requests)
+}
+
+fn main() {
+    let platform = build_platform();
+    let catalog = build_catalog(&platform);
+    let trace = camera_trace(300, 7);
+
+    // Phantom deadlines follow the tightest per-type requirement (detect's
+    // deadline is ~1.2x its GPU WCET).
+    let sim = Simulator::new(
+        &platform,
+        &catalog,
+        SimConfig {
+            phantom_deadline: PhantomDeadline::MinWcetTimes(1.2),
+            ..SimConfig::default()
+        },
+    );
+
+    println!("edge inference server: 2 big + 2 little CPUs + 1 GPU, 300 requests\n");
+    println!("{:<34} {:>9} {:>10} {:>8}", "configuration", "rejected", "energy", "phantom");
+
+    let off = sim.run(&trace, &mut HeuristicRm::new(), None);
+    println!(
+        "{:<34} {:>8.1}% {:>10.1} {:>8}",
+        "heuristic, no prediction",
+        off.rejection_percent(),
+        off.energy.value(),
+        "-"
+    );
+
+    // Online predictor: learns the burst pattern from history alone.
+    let mut history = HistoryPredictor::new(catalog.len(), 0.4);
+    let online = sim.run(&trace, &mut HeuristicRm::new(), Some(&mut history));
+    println!(
+        "{:<34} {:>8.1}% {:>10.1} {:>8}",
+        "heuristic, history predictor",
+        online.rejection_percent(),
+        online.energy.value(),
+        online.used_prediction
+    );
+
+    // Upper bound: a perfect oracle.
+    let mut oracle = OraclePredictor::perfect(&trace, catalog.len());
+    let perfect = sim.run(&trace, &mut HeuristicRm::new(), Some(&mut oracle));
+    println!(
+        "{:<34} {:>8.1}% {:>10.1} {:>8}",
+        "heuristic, perfect oracle",
+        perfect.rejection_percent(),
+        perfect.energy.value(),
+        perfect.used_prediction
+    );
+
+    let exact = sim.run(&trace, &mut ExactRm::new(), None);
+    println!(
+        "{:<34} {:>8.1}% {:>10.1} {:>8}",
+        "exact optimizer, no prediction",
+        exact.rejection_percent(),
+        exact.energy.value(),
+        "-"
+    );
+
+    assert_eq!(off.deadline_misses, 0);
+    assert_eq!(online.deadline_misses, 0);
+    assert_eq!(perfect.deadline_misses, 0);
+    assert_eq!(exact.deadline_misses, 0);
+    println!("\nall admitted tasks met their deadlines");
+}

@@ -1,0 +1,132 @@
+//! The paper's motivational example (Sec 3, Table 1, Fig 1), narrated
+//! decision by decision.
+//!
+//! Two CPUs and a GPU; τ1 arrives at t=0 (relative deadline 8), τ2 at t=1
+//! (relative deadline 5). Without prediction the manager parks τ1 on the
+//! GPU — the cheapest choice — and must then reject τ2 (acceptance 1/2).
+//! Knowing τ2 is coming, it maps τ1 to CPU1 and reserves the GPU
+//! (acceptance 2/2 at 8.8 J).
+//!
+//! ```sh
+//! cargo run --release --example motivational
+//! ```
+
+use rtrm::prelude::*;
+use rtrm::sched::JobKey;
+
+fn platform_and_catalog() -> (Platform, TaskCatalog) {
+    let platform = Platform::builder()
+        .cpu("cpu1")
+        .cpu("cpu2")
+        .gpu("gpu")
+        .build();
+    let ids: Vec<_> = platform.ids().collect();
+    let tau1 = TaskType::builder(0, &platform)
+        .profile(ids[0], Time::new(8.0), Energy::new(7.3))
+        .profile(ids[1], Time::new(12.0), Energy::new(8.4))
+        .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+        .build();
+    let tau2 = TaskType::builder(1, &platform)
+        .profile(ids[0], Time::new(7.0), Energy::new(6.2))
+        .profile(ids[1], Time::new(8.5), Energy::new(7.5))
+        .profile(ids[2], Time::new(3.0), Energy::new(1.5))
+        .build();
+    (platform, TaskCatalog::new(vec![tau1, tau2]))
+}
+
+fn describe(platform: &Platform, decision: &Decision) {
+    if !decision.admitted {
+        println!("    -> REJECTED (no feasible plan)");
+        return;
+    }
+    for a in &decision.assignments {
+        println!(
+            "    -> {} on {}{}",
+            a.key,
+            platform.resource(a.resource).name(),
+            if a.restart { " (restarted from scratch)" } else { "" }
+        );
+    }
+    println!(
+        "    planned remaining energy: {:.2} J{}",
+        decision.objective.value(),
+        if decision.used_prediction {
+            " (plan honours the predicted task)"
+        } else {
+            ""
+        }
+    );
+}
+
+fn main() {
+    let (platform, catalog) = platform_and_catalog();
+    let mut rm = ExactRm::new();
+
+    println!("=== scenario (a): no prediction ===");
+    let tau1 = JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+    println!("t=0: τ1 arrives (deadline 8)");
+    let d1 = rm.decide(&Activation {
+        now: Time::new(0.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[],
+        arriving: tau1,
+        predicted: &[],
+    });
+    describe(&platform, &d1);
+
+    // τ1 has executed 1 of its 5 GPU units by t=1.
+    let mut tau1_running = tau1;
+    tau1_running.placement = Some(Placement {
+        resource: d1.assignments[0].resource,
+        remaining_fraction: 4.0 / 5.0,
+        started: true,
+                speed: 1.0,
+    });
+    let tau2 = JobView::fresh(JobKey(2), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    println!("t=1: τ2 arrives (deadline 5, absolute 6); τ1 is running on the GPU");
+    let d2 = rm.decide(&Activation {
+        now: Time::new(1.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[tau1_running],
+        arriving: tau2,
+        predicted: &[],
+    });
+    describe(&platform, &d2);
+    println!("    acceptance rate: 1/2\n");
+
+    println!("=== scenario (b): accurate prediction of τ2 ===");
+    let phantom = JobView::fresh(JobKey(99), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    println!("t=0: τ1 arrives; the predictor announces τ2 at t=1");
+    let d1 = rm.decide(&Activation {
+        now: Time::new(0.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[],
+        arriving: tau1,
+        predicted: std::slice::from_ref(&phantom),
+    });
+    describe(&platform, &d1);
+
+    let mut tau1_on_cpu = tau1;
+    tau1_on_cpu.placement = Some(Placement {
+        resource: d1.assignments[0].resource,
+        remaining_fraction: 7.0 / 8.0,
+        started: true,
+                speed: 1.0,
+    });
+    println!("t=1: τ2 actually arrives");
+    let d2 = rm.decide(&Activation {
+        now: Time::new(1.0),
+        platform: &platform,
+        catalog: &catalog,
+        active: &[tau1_on_cpu],
+        arriving: tau2,
+        predicted: &[],
+    });
+    describe(&platform, &d2);
+    println!("    acceptance rate: 2/2 — full-run energy 7.3 + 1.5 = 8.8 J");
+    println!("    (versus 3.5 J for the non-predicting manager when the");
+    println!("     prediction was wrong — accuracy matters; see Sec 5.4)");
+}

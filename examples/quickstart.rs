@@ -1,0 +1,61 @@
+//! Quickstart: generate the paper's workload, run the fast heuristic with
+//! and without prediction, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use rtrm::prelude::*;
+
+fn main() {
+    // The paper's platform (5 CPUs + 1 GPU) and catalog (100 task types).
+    let platform = Platform::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+
+    // Ten very-tight-deadline traces at the calibrated operating point.
+    let config = TraceConfig {
+        length: 200,
+        ..TraceConfig::calibrated_vt()
+    };
+    let traces = generate_traces(&catalog, &config, 10, 42);
+
+    let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+
+    println!("trace  prediction  rejection%  energy      plans-with-phantom");
+    let mut rej = [0.0f64; 2];
+    for (i, trace) in traces.iter().enumerate() {
+        // Without prediction.
+        let off = sim.run(trace, &mut HeuristicRm::new(), None);
+        // With a perfectly accurate predictor for this trace.
+        let mut oracle = OraclePredictor::perfect(trace, catalog.len());
+        let on = sim.run(trace, &mut HeuristicRm::new(), Some(&mut oracle));
+
+        println!(
+            "{i:>5}  {:>10}  {:>9.1}  {:>10.1}  {:>6}",
+            "off",
+            off.rejection_percent(),
+            off.energy.value(),
+            "-"
+        );
+        println!(
+            "{i:>5}  {:>10}  {:>9.1}  {:>10.1}  {:>6}",
+            "on",
+            on.rejection_percent(),
+            on.energy.value(),
+            on.used_prediction
+        );
+        rej[0] += off.rejection_percent();
+        rej[1] += on.rejection_percent();
+
+        assert_eq!(off.deadline_misses, 0, "admitted tasks never miss deadlines");
+        assert_eq!(on.deadline_misses, 0);
+    }
+
+    println!(
+        "\nmean rejection: {:.2}% without prediction, {:.2}% with accurate prediction",
+        rej[0] / traces.len() as f64,
+        rej[1] / traces.len() as f64
+    );
+}

@@ -1,0 +1,77 @@
+//! # rtrm — Runtime Resource Management with Workload Prediction
+//!
+//! A complete, self-contained reproduction of *Niknafs, Ukhov, Eles, Peng —
+//! "Runtime Resource Management with Workload Prediction", DAC 2019*: an
+//! energy-minimizing, deadline-guaranteeing resource manager for
+//! heterogeneous embedded platforms that can plan around a prediction of the
+//! next incoming request.
+//!
+//! This umbrella crate re-exports the workspace's sub-crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`platform`] | `rtrm-platform` | system model: resources, task types, traces |
+//! | [`trace`] | `rtrm-trace` | the paper's Sec 5.1 workload generator |
+//! | [`milp`] | `rtrm-milp` | simplex + branch & bound MILP solver |
+//! | [`sched`] | `rtrm-sched` | EDF timeline engine (preemptive CPU / non-preemptive GPU) |
+//! | [`predict`] | `rtrm-predict` | oracle predictor with error injection, online predictors |
+//! | [`core`] | `rtrm-core` | the resource managers: heuristic, exact, MILP-encoded |
+//! | [`sim`] | `rtrm-sim` | discrete-event simulator and parallel batch runner |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rtrm::prelude::*;
+//!
+//! // The paper's platform: 5 CPUs + 1 GPU, 100 task types.
+//! let platform = Platform::paper_default();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+//!
+//! // A very-tight-deadline trace at the calibrated operating point.
+//! let cfg = TraceConfig { length: 100, ..TraceConfig::calibrated_vt() };
+//! let trace = generate_trace(&catalog, &cfg, &mut rng);
+//!
+//! // Simulate the fast heuristic with a perfectly accurate predictor.
+//! let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+//! let mut oracle = OraclePredictor::perfect(&trace, catalog.len());
+//! let report = sim.run(&trace, &mut HeuristicRm::new(), Some(&mut oracle));
+//!
+//! assert_eq!(report.deadline_misses, 0);
+//! println!("rejection: {:.1}%  energy: {}", report.rejection_percent(), report.energy);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rtrm_core as core;
+pub use rtrm_milp as milp;
+pub use rtrm_platform as platform;
+pub use rtrm_predict as predict;
+pub use rtrm_sched as sched;
+pub use rtrm_sim as sim;
+pub use rtrm_trace as trace;
+
+/// One-stop imports for the common workflow: build a platform, generate a
+/// workload, pick a manager and a predictor, simulate.
+pub mod prelude {
+    pub use rtrm_core::{
+        Activation, Assignment, Candidate, Decision, ExactRm, HeuristicRm, JobView, MilpRm,
+        Placement, ResourceManager,
+    };
+    pub use rtrm_platform::{
+        Energy, Platform, Request, RequestId, Resource, ResourceId, ResourceKind, TaskCatalog,
+        TaskType, TaskTypeId, Time, Trace,
+    };
+    pub use rtrm_predict::{
+        ErrorModel, HistoryPredictor, OraclePredictor, OverheadModel, Prediction, Predictor,
+    };
+    pub use rtrm_sched::{is_schedulable, simulate, JobKey, PlannedJob};
+    pub use rtrm_sim::{
+        mean_energy, mean_rejection_percent, run_batch, PhantomDeadline, SimConfig, SimReport,
+        Simulator, Summary,
+    };
+    pub use rtrm_trace::{
+        generate_catalog, generate_trace, generate_traces, CatalogConfig, Tightness, TraceConfig,
+    };
+}
