@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -23,7 +23,11 @@ fn scale() -> Scale {
 
 fn tab1() {
     println!("== Table 1 / Fig 1: motivational example ==");
-    let platform = Platform::builder().cpu("cpu1").cpu("cpu2").gpu("gpu").build();
+    let platform = Platform::builder()
+        .cpu("cpu1")
+        .cpu("cpu2")
+        .gpu("gpu")
+        .build();
     let ids: Vec<_> = platform.ids().collect();
     let tau1 = TaskType::builder(0, &platform)
         .profile(ids[0], Time::new(8.0), Energy::new(7.3))
@@ -90,7 +94,13 @@ fn sec52_fig2_fig3(scale: Scale) {
     for (group, traces) in &w.traces {
         for policy in [Policy::Milp, Policy::Heuristic] {
             let off = run_config(
-                &w, *group, traces, policy, Oracle::Off, OverheadModel::none(), scale.seed,
+                &w,
+                *group,
+                traces,
+                policy,
+                Oracle::Off,
+                OverheadModel::none(),
+                scale.seed,
             );
             let on = run_config(
                 &w,
@@ -127,23 +137,40 @@ fn fig4(scale: Scale) {
     let w = workload(&[Group::Vt], scale);
     let (group, traces) = (&w.traces[0].0, &w.traces[0].1);
     let off = mean_rejection_percent(&run_config(
-        &w, *group, traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), scale.seed,
+        &w,
+        *group,
+        traces,
+        Policy::Heuristic,
+        Oracle::Off,
+        OverheadModel::none(),
+        scale.seed,
     ));
     for (panel, make) in [
-        ("type", ErrorModel::with_type_accuracy as fn(f64) -> ErrorModel),
+        (
+            "type",
+            ErrorModel::with_type_accuracy as fn(f64) -> ErrorModel,
+        ),
         ("arrival", ErrorModel::with_arrival_accuracy),
     ] {
         let series: Vec<String> = [1.0, 0.75, 0.5, 0.25]
             .into_iter()
             .map(|acc| {
                 let rej = mean_rejection_percent(&run_config(
-                    &w, *group, traces, Policy::Heuristic, Oracle::On(make(acc)),
-                    OverheadModel::none(), scale.seed,
+                    &w,
+                    *group,
+                    traces,
+                    Policy::Heuristic,
+                    Oracle::On(make(acc)),
+                    OverheadModel::none(),
+                    scale.seed,
                 ));
                 format!("{acc:.2}:{rej:.2}%")
             })
             .collect();
-        println!("  {panel:<8} accuracy sweep: {}  off:{off:.2}%", series.join("  "));
+        println!(
+            "  {panel:<8} accuracy sweep: {}  off:{off:.2}%",
+            series.join("  ")
+        );
     }
 }
 
@@ -152,7 +179,13 @@ fn fig5(scale: Scale) {
     let w = workload(&[Group::Vt], scale);
     let (group, traces) = (&w.traces[0].0, &w.traces[0].1);
     let off = mean_rejection_percent(&run_config(
-        &w, *group, traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), scale.seed,
+        &w,
+        *group,
+        traces,
+        Policy::Heuristic,
+        Oracle::Off,
+        OverheadModel::none(),
+        scale.seed,
     ));
     let series: Vec<String> = [0.0, 0.04, 0.16, 0.64]
         .into_iter()

@@ -148,13 +148,100 @@ fn bench_edf_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sweeps `is_schedulable` over queue depths for the event-driven engine
+/// (with a reused [`EdfScratch`], the managers' steady-state fast path)
+/// against the scan-based reference oracle, and records the result in
+/// `BENCH_edf.json` at the workspace root (see README, "Performance").
+fn bench_edf_sweep(c: &mut Criterion) {
+    use rtrm_platform::ResourceKind;
+    use rtrm_sched::{is_schedulable_with, reference, EdfScratch};
+
+    /// A schedulable queue of depth `n` with staggered releases (heap churn)
+    /// and spread deadlines, shaped like the `bench_edf_kernel` fixture.
+    fn queue(n: usize) -> Vec<PlannedJob> {
+        (0..n)
+            .map(|i| {
+                PlannedJob::new(
+                    JobKey(i as u64),
+                    Time::new((i % 3) as f64),
+                    Time::new(1.0 + (i % 5) as f64),
+                    Time::new(40.0 + 4.0 * i as f64),
+                )
+            })
+            .collect()
+    }
+
+    /// Mean ns per call over a self-calibrated iteration count (~30 ms).
+    fn measure(mut f: impl FnMut() -> bool) -> f64 {
+        let warmup = std::time::Instant::now();
+        let mut calibration = 0u64;
+        while warmup.elapsed() < std::time::Duration::from_millis(5) {
+            std::hint::black_box(f());
+            calibration += 1;
+        }
+        let iters = calibration.max(1) * 6;
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    }
+
+    const DEPTHS: [usize; 4] = [8, 32, 128, 512];
+
+    let mut group = c.benchmark_group("edf_engine_sweep");
+    for n in DEPTHS {
+        let jobs = queue(n);
+        group.bench_with_input(BenchmarkId::new("event", n), &jobs, |b, jobs| {
+            let mut scratch = EdfScratch::new();
+            b.iter(|| is_schedulable_with(ResourceKind::Cpu, Time::new(0.0), jobs, &mut scratch));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &jobs, |b, jobs| {
+            b.iter(|| reference::is_schedulable(ResourceKind::Cpu, Time::new(0.0), jobs));
+        });
+    }
+    group.finish();
+
+    let mut rows = Vec::new();
+    for n in DEPTHS {
+        let jobs = queue(n);
+        for (kind, label) in [(ResourceKind::Cpu, "cpu"), (ResourceKind::Gpu, "gpu")] {
+            let mut scratch = EdfScratch::new();
+            let event_ns =
+                measure(|| is_schedulable_with(kind, Time::new(0.0), &jobs, &mut scratch));
+            let reference_ns = measure(|| reference::is_schedulable(kind, Time::new(0.0), &jobs));
+            let speedup = reference_ns / event_ns;
+            println!(
+                "edf sweep: depth={n:>4} kind={label} event={event_ns:.0}ns \
+                 reference={reference_ns:.0}ns speedup={speedup:.1}x"
+            );
+            rows.push(format!(
+                "    {{\"depth\": {n}, \"kind\": \"{label}\", \"event_ns\": {event_ns:.1}, \
+                 \"reference_ns\": {reference_ns:.1}, \"speedup\": {speedup:.2}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"edf_is_schedulable\",\n  \"units\": \"ns_per_call\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_edf.json");
+    std::fs::write(path, json).expect("write BENCH_edf.json");
+}
+
 fn bench_milp_solver(c: &mut Criterion) {
     use rtrm_milp::{Model, Sense};
     c.bench_function("milp_knapsack_12", |b| {
         b.iter(|| {
             let mut m = Model::new(Sense::Maximize);
             let items: Vec<_> = (0..12)
-                .map(|i| (m.binary(3.0 + (i * 7 % 11) as f64), 2.0 + (i * 5 % 9) as f64))
+                .map(|i| {
+                    (
+                        m.binary(3.0 + (i * 7 % 11) as f64),
+                        2.0 + (i * 5 % 9) as f64,
+                    )
+                })
                 .collect();
             let terms: Vec<_> = items.iter().map(|(v, w)| (*v, *w)).collect();
             m.add_le(&terms, 30.0);
@@ -193,6 +280,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_rm_activation, bench_rm_ablations, bench_edf_kernel,
-              bench_milp_solver, bench_trace_generation, bench_end_to_end
+              bench_edf_sweep, bench_milp_solver, bench_trace_generation,
+              bench_end_to_end
 }
 criterion_main!(benches);

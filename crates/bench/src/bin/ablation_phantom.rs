@@ -28,7 +28,10 @@ fn main() {
             ("min*2.0".into(), Some(PhantomDeadline::MinWcetTimes(2.0))),
             ("min*3.0".into(), Some(PhantomDeadline::MinWcetTimes(3.0))),
             ("min*4.0".into(), Some(PhantomDeadline::MinWcetTimes(4.0))),
-            ("mean*1.75".into(), Some(PhantomDeadline::MeanWcetTimes(1.75))),
+            (
+                "mean*1.75".into(),
+                Some(PhantomDeadline::MeanWcetTimes(1.75)),
+            ),
             ("mean*4.0".into(), Some(PhantomDeadline::MeanWcetTimes(4.0))),
         ];
         println!("\n  {} group:", group.name());
@@ -58,10 +61,11 @@ fn main() {
             let rej = mean_rejection_percent(&reports);
             let honoured: usize = reports.iter().map(|r| r.used_prediction).sum();
             let accepted: usize = reports.iter().map(|r| r.accepted).sum();
-            println!(
-                "  {label:>10}: rej={rej:6.2}%  honoured={honoured}/{accepted}"
-            );
-            rows.push(format!("{},{label},{rej:.4},{honoured},{accepted}", group.name()));
+            println!("  {label:>10}: rej={rej:6.2}%  honoured={honoured}/{accepted}");
+            rows.push(format!(
+                "{},{label},{rej:.4},{honoured},{accepted}",
+                group.name()
+            ));
         }
     }
     let path = write_csv(

@@ -19,7 +19,10 @@ fn main() {
         "calibration sweep: {} traces x {} requests per point",
         scale.traces, scale.trace_len
     );
-    println!("{:>8} {:>6} {:>12} {:>12} {:>9}", "mean", "group", "MILP rej%", "heur rej%", "secs");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>9}",
+        "mean", "group", "MILP rej%", "heur rej%", "secs"
+    );
 
     for mean in [2.0, 2.4, 2.8, 3.2, 3.6] {
         for group in [Group::Vt, Group::Lt] {
@@ -40,10 +43,22 @@ fn main() {
 
             let t0 = Instant::now();
             let milp = run_config(
-                &w, *g, &traces, Policy::Milp, Oracle::Off, OverheadModel::none(), 7,
+                &w,
+                *g,
+                &traces,
+                Policy::Milp,
+                Oracle::Off,
+                OverheadModel::none(),
+                7,
             );
             let heur = run_config(
-                &w, *g, &traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), 7,
+                &w,
+                *g,
+                &traces,
+                Policy::Heuristic,
+                Oracle::Off,
+                OverheadModel::none(),
+                7,
             );
             println!(
                 "{:>8.2} {:>6} {:>12.2} {:>12.2} {:>9.1}",

@@ -8,7 +8,10 @@ use std::fs;
 use rtrm_bench::chart::{bar_chart, write_svg, Series};
 
 fn main() {
-    match fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fig2.csv")) {
+    match fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/fig2.csv"
+    )) {
         Ok(text) => {
             let mut bars: Vec<(String, Vec<f64>)> = Vec::new();
             for line in text.lines().skip(1) {

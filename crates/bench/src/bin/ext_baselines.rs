@@ -8,6 +8,8 @@ use rtrm_bench::{workload, write_csv, Group, Scale};
 use rtrm_core::{ExactRm, HeuristicRm, ResourceManager, StaticRm};
 use rtrm_sim::{mean_energy, mean_rejection_percent, run_batch, SimConfig};
 
+type ManagerFactory = Box<dyn Fn() -> Box<dyn ResourceManager + Send> + Sync>;
+
 fn main() {
     let scale = Scale::from_env();
     let w = workload(&[Group::Vt, Group::Lt], scale);
@@ -22,7 +24,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (group, traces) in &w.traces {
-        let managers: Vec<(&str, Box<dyn Fn() -> Box<dyn ResourceManager + Send> + Sync>)> = vec![
+        let managers: Vec<(&str, ManagerFactory)> = vec![
             ("static", {
                 let catalog = w.catalog.clone();
                 Box::new(move || Box::new(StaticRm::new(&catalog)))
@@ -48,7 +50,13 @@ fn main() {
             );
             let rej = mean_rejection_percent(&reports);
             let energy = mean_energy(&reports);
-            println!("{:>6} {:>14} {:>12.2} {:>12.1}", group.name(), name, rej, energy);
+            println!(
+                "{:>6} {:>14} {:>12.2} {:>12.1}",
+                group.name(),
+                name,
+                rej,
+                energy
+            );
             rows.push(format!("{},{name},{rej:.4},{energy:.4}", group.name()));
         }
     }

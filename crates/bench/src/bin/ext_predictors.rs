@@ -30,7 +30,7 @@ fn main() {
     };
     let traces: Vec<Trace> = (0..scale.traces)
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(scale.seed ^ (i as u64 + 1) * 0x9E37);
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ ((i as u64 + 1) * 0x9E37));
             generate_bursty_trace(&catalog, &cfg, &mut rng)
         })
         .collect();
@@ -66,8 +66,15 @@ fn main() {
         );
         let rej = Summary::rejection(&reports);
         let energy = Summary::energy(&reports);
-        println!("{kind:>12} {:>22} {:>22}", format!("{rej}"), format!("{energy}"));
-        rows.push(format!("{kind},{:.4},{:.4},{:.4},{:.4}", rej.mean, rej.ci95, energy.mean, energy.ci95));
+        println!(
+            "{kind:>12} {:>22} {:>22}",
+            format!("{rej}"),
+            format!("{energy}")
+        );
+        rows.push(format!(
+            "{kind},{:.4},{:.4},{:.4},{:.4}",
+            rej.mean, rej.ci95, energy.mean, energy.ci95
+        ));
     }
     let path = write_csv(
         "ext_predictors",

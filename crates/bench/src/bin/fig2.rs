@@ -29,7 +29,13 @@ fn main() {
     for (group, traces) in &w.traces {
         for policy in [Policy::Milp, Policy::Heuristic] {
             let off = mean_rejection_percent(&run_config(
-                &w, *group, traces, policy, Oracle::Off, OverheadModel::none(), scale.seed,
+                &w,
+                *group,
+                traces,
+                policy,
+                Oracle::Off,
+                OverheadModel::none(),
+                scale.seed,
             ));
             let on = mean_rejection_percent(&run_config(
                 &w,
@@ -74,6 +80,8 @@ fn main() {
         "group,policy,rejection_percent_pred_off,rejection_percent_pred_on",
         &rows,
     );
-    println!("\npaper reductions: LT 1.0 (MILP) / 2.6 (heuristic); VT 9.17 (MILP) / 10.2 (heuristic)");
+    println!(
+        "\npaper reductions: LT 1.0 (MILP) / 2.6 (heuristic); VT 9.17 (MILP) / 10.2 (heuristic)"
+    );
     println!("wrote {}", path.display());
 }

@@ -30,7 +30,13 @@ fn main() {
                 ("on", Oracle::On(ErrorModel::perfect())),
             ] {
                 let reports = run_config(
-                    &w, *group, traces, policy, oracle, OverheadModel::none(), scale.seed,
+                    &w,
+                    *group,
+                    traces,
+                    policy,
+                    oracle,
+                    OverheadModel::none(),
+                    scale.seed,
                 );
                 bars.push((
                     policy,

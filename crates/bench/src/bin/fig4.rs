@@ -26,22 +26,38 @@ fn main() {
     let mut rows = Vec::new();
     let mut panel_series: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
     for (panel, make_error) in [
-        ("a:type", ErrorModel::with_type_accuracy as fn(f64) -> ErrorModel),
+        (
+            "a:type",
+            ErrorModel::with_type_accuracy as fn(f64) -> ErrorModel,
+        ),
         ("b:arrival", ErrorModel::with_arrival_accuracy),
     ] {
         println!("\n  panel {panel}:");
-        println!("  {:>9} {:>12} {:>12}", "accuracy", "MILP rej%", "heur rej%");
+        println!(
+            "  {:>9} {:>12} {:>12}",
+            "accuracy", "MILP rej%", "heur rej%"
+        );
         let mut milp_series = Vec::new();
         let mut heur_series = Vec::new();
         for accuracy in LEVELS {
             let error = make_error(accuracy);
             let milp = mean_rejection_percent(&run_config(
-                &w, *group, traces, Policy::Milp, Oracle::On(error),
-                OverheadModel::none(), scale.seed,
+                &w,
+                *group,
+                traces,
+                Policy::Milp,
+                Oracle::On(error),
+                OverheadModel::none(),
+                scale.seed,
             ));
             let heur = mean_rejection_percent(&run_config(
-                &w, *group, traces, Policy::Heuristic, Oracle::On(error),
-                OverheadModel::none(), scale.seed,
+                &w,
+                *group,
+                traces,
+                Policy::Heuristic,
+                Oracle::On(error),
+                OverheadModel::none(),
+                scale.seed,
             ));
             println!("  {accuracy:>9.2} {milp:>12.2} {heur:>12.2}");
             rows.push(format!("{panel},{accuracy},{milp:.4},{heur:.4}"));
@@ -51,10 +67,22 @@ fn main() {
         panel_series.push((panel.to_string(), milp_series, heur_series));
         // Baseline: predictor off.
         let milp_off = mean_rejection_percent(&run_config(
-            &w, *group, traces, Policy::Milp, Oracle::Off, OverheadModel::none(), scale.seed,
+            &w,
+            *group,
+            traces,
+            Policy::Milp,
+            Oracle::Off,
+            OverheadModel::none(),
+            scale.seed,
         ));
         let heur_off = mean_rejection_percent(&run_config(
-            &w, *group, traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), scale.seed,
+            &w,
+            *group,
+            traces,
+            Policy::Heuristic,
+            Oracle::Off,
+            OverheadModel::none(),
+            scale.seed,
         ));
         println!("  {:>9} {milp_off:>12.2} {heur_off:>12.2}", "off");
         rows.push(format!("{panel},off,{milp_off:.4},{heur_off:.4}"));

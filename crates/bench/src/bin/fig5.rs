@@ -28,10 +28,22 @@ fn main() {
     );
 
     let milp_off = mean_rejection_percent(&run_config(
-        &w, *group, traces, Policy::Milp, Oracle::Off, OverheadModel::none(), scale.seed,
+        &w,
+        *group,
+        traces,
+        Policy::Milp,
+        Oracle::Off,
+        OverheadModel::none(),
+        scale.seed,
     ));
     let heur_off = mean_rejection_percent(&run_config(
-        &w, *group, traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), scale.seed,
+        &w,
+        *group,
+        traces,
+        Policy::Heuristic,
+        Oracle::Off,
+        OverheadModel::none(),
+        scale.seed,
     ));
     println!("  predictor off: MILP {milp_off:.2}%  heuristic {heur_off:.2}%\n");
     println!(
@@ -46,12 +58,22 @@ fn main() {
     for coeff in COEFFS {
         let overhead = OverheadModel::fraction_of_interarrival(coeff);
         let milp = mean_rejection_percent(&run_config(
-            &w, *group, traces, Policy::Milp, Oracle::On(ErrorModel::perfect()),
-            overhead, scale.seed,
+            &w,
+            *group,
+            traces,
+            Policy::Milp,
+            Oracle::On(ErrorModel::perfect()),
+            overhead,
+            scale.seed,
         ));
         let heur = mean_rejection_percent(&run_config(
-            &w, *group, traces, Policy::Heuristic, Oracle::On(ErrorModel::perfect()),
-            overhead, scale.seed,
+            &w,
+            *group,
+            traces,
+            Policy::Heuristic,
+            Oracle::On(ErrorModel::perfect()),
+            overhead,
+            scale.seed,
         ));
         println!("  {:>10.0} {milp:>12.2} {heur:>12.2}", coeff * 100.0);
         rows.push(format!("{},{milp:.4},{heur:.4}", coeff * 100.0));

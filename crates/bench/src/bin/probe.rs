@@ -26,7 +26,11 @@ fn main() {
         length: len,
         interarrival_mean: mean,
         interarrival_std: mean / 3.0,
-        tightness: if lt { Tightness::LessTight } else { Tightness::VeryTight },
+        tightness: if lt {
+            Tightness::LessTight
+        } else {
+            Tightness::VeryTight
+        },
         ..TraceConfig::calibrated_vt()
     };
     let trace = generate_trace(&catalog, &cfg, &mut rng);

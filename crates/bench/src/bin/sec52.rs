@@ -24,10 +24,22 @@ fn main() {
     let mut heur_all = Vec::new();
     for (group, traces) in &w.traces {
         let milp = run_config(
-            &w, *group, traces, Policy::Milp, Oracle::Off, OverheadModel::none(), scale.seed,
+            &w,
+            *group,
+            traces,
+            Policy::Milp,
+            Oracle::Off,
+            OverheadModel::none(),
+            scale.seed,
         );
         let heur = run_config(
-            &w, *group, traces, Policy::Heuristic, Oracle::Off, OverheadModel::none(), scale.seed,
+            &w,
+            *group,
+            traces,
+            Policy::Heuristic,
+            Oracle::Off,
+            OverheadModel::none(),
+            scale.seed,
         );
         println!(
             "  {}: MILP {:.2}%  heuristic {:.2}%",

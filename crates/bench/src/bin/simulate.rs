@@ -110,8 +110,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--export" => opts.export = Some(value("--export")?),
             "--help" | "-h" => {
-                return Err("usage: see the module docs (simulate --generate vt --manager milp ...)"
-                    .into())
+                return Err(
+                    "usage: see the module docs (simulate --generate vt --manager milp ...)".into(),
+                )
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -207,7 +208,11 @@ fn run() -> Result<(), String> {
     println!("predictor:          {}", opts.predictor);
     println!("requests:           {}", report.requests);
     println!("accepted:           {}", report.accepted);
-    println!("rejected:           {} ({:.2}%)", report.rejected, report.rejection_percent());
+    println!(
+        "rejected:           {} ({:.2}%)",
+        report.rejected,
+        report.rejection_percent()
+    );
     println!("energy:             {:.2}", report.energy.value());
     println!("deadline misses:    {}", report.deadline_misses);
     println!("plans w/ phantoms:  {}", report.used_prediction);

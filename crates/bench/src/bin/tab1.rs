@@ -12,7 +12,11 @@ use rtrm_predict::OraclePredictor;
 use rtrm_sim::{PhantomDeadline, SimConfig, Simulator};
 
 fn setup() -> (Platform, TaskCatalog, Trace) {
-    let platform = Platform::builder().cpu("cpu1").cpu("cpu2").gpu("gpu").build();
+    let platform = Platform::builder()
+        .cpu("cpu1")
+        .cpu("cpu2")
+        .gpu("gpu")
+        .build();
     let ids: Vec<_> = platform.ids().collect();
     let tau1 = TaskType::builder(0, &platform)
         .profile(ids[0], Time::new(8.0), Energy::new(7.3))
@@ -53,7 +57,10 @@ fn main() {
     let sim = Simulator::new(&platform, &catalog, config);
 
     println!("Table 1 / Fig 1 motivational example\n");
-    println!("{:<24} {:>10} {:>10} {:>12}", "scenario", "accepted", "rejected", "energy (J)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>12}",
+        "scenario", "accepted", "rejected", "energy (J)"
+    );
     for (label, rm) in [
         ("MILP", &mut ExactRm::new() as &mut dyn ResourceManager),
         ("heuristic", &mut HeuristicRm::new()),

@@ -32,15 +32,19 @@ fn main() {
             |_| None,
         );
         for r in w.platform.ids() {
-            let mean: f64 = reports.iter().map(|rep| rep.utilization(r)).sum::<f64>()
-                / reports.len() as f64;
+            let mean: f64 =
+                reports.iter().map(|rep| rep.utilization(r)).sum::<f64>() / reports.len() as f64;
             let kind = w.platform.resource(r).kind();
             let name = w.platform.resource(r).name();
             println!("{:>6} {:>10} {:>12.3}", group.name(), name, mean);
             rows.push(format!(
                 "{},{name},{},{mean:.4}",
                 group.name(),
-                if kind == ResourceKind::Gpu { "gpu" } else { "cpu" }
+                if kind == ResourceKind::Gpu {
+                    "gpu"
+                } else {
+                    "cpu"
+                }
             ));
         }
     }

@@ -186,14 +186,29 @@ pub fn bar_chart(title: &str, y_label: &str, categories: &[&str], series: &[Seri
 ///
 /// Panics if any series length differs from `xs`.
 #[must_use]
-pub fn line_chart(title: &str, y_label: &str, x_label: &str, xs: &[f64], series: &[Series]) -> String {
+pub fn line_chart(
+    title: &str,
+    y_label: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[Series],
+) -> String {
     for sr in series {
-        assert_eq!(sr.values.len(), xs.len(), "series {} length mismatch", sr.label);
+        assert_eq!(
+            sr.values.len(),
+            xs.len(),
+            "series {} length mismatch",
+            sr.label
+        );
     }
     let (pw, ph) = plot_area();
     let y_max = nice_max(series.iter().flat_map(|s| s.values.iter().copied()));
     let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
-    let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(x_min + 1e-9);
+    let x_max = xs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(x_min + 1e-9);
     let sx = |x: f64| MARGIN_L + pw * (x - x_min) / (x_max - x_min);
     let sy = |y: f64| MARGIN_T + ph * (1.0 - y / y_max);
 
@@ -254,7 +269,9 @@ pub fn write_svg(name: &str, svg: &str) -> std::path::PathBuf {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn trim_float(v: f64) -> String {
@@ -282,7 +299,11 @@ mod tests {
         );
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
-        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 4, "bg + legend + bars");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            1 + 2 + 4,
+            "bg + legend + bars"
+        );
         assert!(svg.contains("Fig 2b"));
     }
 

@@ -1,0 +1,219 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Implements the API surface the workspace benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! harness: each benchmark is warmed up briefly, then timed over
+//! `sample_size` batches and reported as mean ns/iter with min/max across
+//! batches. No statistics engine, plots, or baseline files; output is one
+//! line per benchmark on stdout, which is all the JSON emitters in
+//! `crates/bench` consume.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+/// Minimum wall-clock time one measured batch should take; iteration counts
+/// are scaled so short benchmarks are not drowned in timer noise.
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle (a subset of upstream's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark named `{group}/{id}`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a setup value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("heuristic", 64)` displays as `heuristic/64`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per measured batch (set by the harness after calibration).
+    iters_per_batch: u64,
+    /// Collected per-batch mean ns/iter.
+    samples: Vec<f64>,
+    /// True during the calibration pass, which runs exactly one iteration.
+    calibrating: bool,
+    calibration_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample batch (or calibrating).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.calibrating {
+            let start = Instant::now();
+            black_box(routine());
+            self.calibration_ns = start.elapsed().as_nanos() as f64;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        self.samples.push(elapsed / self.iters_per_batch as f64);
+    }
+}
+
+fn run_benchmark(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: run one iteration to estimate cost, then pick a batch
+    // size that makes each measured batch take ~TARGET_BATCH.
+    let mut bencher = Bencher {
+        iters_per_batch: 1,
+        samples: Vec::with_capacity(sample_size),
+        calibrating: true,
+        calibration_ns: 0.0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.calibration_ns.max(1.0);
+    let iters = (TARGET_BATCH.as_nanos() as f64 / per_iter).clamp(1.0, 1e7) as u64;
+
+    // Warmup.
+    bencher.calibrating = false;
+    bencher.iters_per_batch = iters;
+    let warmup_start = Instant::now();
+    while warmup_start.elapsed() < WARMUP {
+        f(&mut bencher);
+    }
+    bencher.samples.clear();
+
+    // Measurement.
+    while bencher.samples.len() < sample_size {
+        f(&mut bencher);
+    }
+    let samples = &bencher.samples;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "bench: {name:<50} {:>12.1} ns/iter (min {:.1}, max {:.1}, {} samples x {} iters)",
+        mean,
+        min,
+        max,
+        samples.len(),
+        iters
+    );
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

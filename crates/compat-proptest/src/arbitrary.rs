@@ -1,0 +1,43 @@
+//! `any::<T>()` for the primitive types the workspace samples directly.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy, reachable via [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an unconstrained value of this type.
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )+};
+}
+
+arbitrary_via_standard!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+/// Strategy producing any value of `T` (upstream `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,70 @@
+//! `prop::collection::vec` and the [`SizeRange`] it accepts.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A range of collection sizes, convertible from `usize` ranges or an exact
+/// length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound; always > `min`.
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            end: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range {r:?}");
+        SizeRange {
+            min: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.end() >= r.start(), "empty size range {r:?}");
+        SizeRange {
+            min: *r.start(),
+            end: *r.end() + 1,
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.min..self.size.end);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy producing a `Vec` whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

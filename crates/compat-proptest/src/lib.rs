@@ -1,0 +1,136 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Provides the strategy combinators and the `proptest!` family of macros
+//! used by this workspace's test suites, backed by a deterministic
+//! random-case runner (seeded per test from its file/name, overridable with
+//! `PROPTEST_SEED`). Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case prints its full `Debug` input and the
+//!   run seed instead of a minimized counterexample. Re-running with
+//!   `PROPTEST_SEED=<seed>` reproduces the exact sequence.
+//! * **No regression-file replay.** Upstream `*.proptest-regressions` seeds
+//!   encode upstream's RNG; they cannot be replayed here. Persistent
+//!   counterexamples should be committed as explicit `#[test]` functions
+//!   (see `crates/core/tests/cross_validation.rs` for the pattern).
+//! * Case counts honour `PROPTEST_CASES` as a global multiplier-free
+//!   override, useful for overnight fuzzing.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines deterministic property tests over strategies.
+///
+/// Mirrors upstream `proptest!`: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ( $( $strat, )+ );
+                $crate::test_runner::execute(
+                    &config,
+                    concat!(file!(), "::", stringify!($name)),
+                    &strategy,
+                    |( $($pat,)+ )| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Fails the current property case with a formatted message (the case's
+/// input and seed are reported by the runner).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                l,
+                r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Fails the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type (upstream's unweighted `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,29 @@
+//! `prop::option::of`.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy producing `Some` of `inner`'s values half the time and `None`
+/// otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

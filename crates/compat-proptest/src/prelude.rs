@@ -1,0 +1,14 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Namespace mirror of upstream's `prelude::prop` (e.g.
+/// `prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::strategy;
+}

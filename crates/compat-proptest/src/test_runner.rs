@@ -1,0 +1,142 @@
+//! The deterministic case runner behind `proptest!`.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// The RNG handed to strategies. One instance per `proptest!` test run,
+/// seeded deterministically from the test's path (see [`execute`]).
+pub type TestRng = StdRng;
+
+/// Runner configuration. Only the fields the workspace touches are exposed.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required to pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Default config with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions did not hold; it is re-drawn, not counted.
+    Reject(String),
+    /// The property is false for this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a [`TestCaseError::Reject`].
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Builds a [`TestCaseError::Fail`].
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Outcome of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to derive a stable per-test seed from its path.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn base_seed(test_path: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        s.parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}"))
+    } else {
+        fnv1a(test_path.as_bytes())
+    }
+}
+
+fn case_count(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {s:?}")),
+        Err(_) => config.cases,
+    }
+}
+
+/// Runs `body` against `config.cases` sampled inputs, panicking (with the
+/// offending input and the run seed) on the first failure.
+///
+/// The RNG is seeded from a hash of `test_path`, so runs are reproducible
+/// and independent of test execution order; `PROPTEST_SEED` overrides the
+/// seed and `PROPTEST_CASES` the case count.
+pub fn execute<S, F>(config: &ProptestConfig, test_path: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let seed = base_seed(test_path);
+    let cases = case_count(config);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed: u32 = 0;
+    let mut rejects: u32 = 0;
+    while passed < cases {
+        let value = strategy.sample(&mut rng);
+        // Captured before the body runs so panicking cases can still be
+        // reported.
+        let shown = format!("{:?}", value);
+        match panic::catch_unwind(AssertUnwindSafe(|| body(value))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "{test_path}: too many rejected cases ({rejects}) after {passed} passes; \
+                     loosen the generator or raise max_global_rejects"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!(
+                    "{test_path}: property failed after {passed} passing case(s)\n\
+                     input: {shown}\n{reason}\n\
+                     reproduce with PROPTEST_SEED={seed}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{test_path}: panic during case after {passed} passing case(s)\n\
+                     input: {shown}\n\
+                     reproduce with PROPTEST_SEED={seed}"
+                );
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde compat
+//! crate: they accept (and ignore) `#[serde(...)]` attributes and emit an
+//! empty marker-trait impl. Only plain (non-generic) structs and enums are
+//! supported — which covers every derived type in this workspace; the macro
+//! fails loudly if a generic type ever shows up.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item, rejecting generics.
+fn type_name(input: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde compat derive: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+                    assert!(
+                        p.as_char() != '<',
+                        "serde compat derive does not support generic types (type `{name}`); \
+                         extend crates/compat-serde-derive if one is needed"
+                    );
+                }
+                return name;
+            }
+        }
+        i += 1;
+    }
+    panic!("serde compat derive: no struct or enum found in input");
+}
+
+/// Derives the no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

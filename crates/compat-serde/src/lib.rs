@@ -1,0 +1,29 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never exercises an actual serializer (JSON output is written by hand in
+//! the bench harness). This compat crate therefore provides the two traits
+//! as markers plus no-op derive macros, which is exactly enough for every
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attribute in the
+//! tree to compile unchanged. If a future PR needs real serialization,
+//! extend the traits here (or swap the real crates back in when registry
+//! access is available) — call sites will not change.
+
+#![warn(missing_docs)]
+
+/// Marker for types whose values can be serialized.
+///
+/// No-op in the offline compat build; see the crate docs.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialized.
+///
+/// No-op in the offline compat build; see the crate docs.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

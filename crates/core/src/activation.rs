@@ -1,9 +1,12 @@
 //! The resource-manager interface: activations, plans, and decisions.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
-use rtrm_platform::{Energy, Platform, ResourceId, TaskCatalog, Time};
-use rtrm_sched::{is_schedulable, simulate, JobKey, PlannedJob};
+use rtrm_platform::{Energy, Platform, ResourceId, ResourceKind, TaskCatalog, Time};
+use rtrm_sched::{is_schedulable_with, simulate_into, EdfScratch, JobKey, JobOutcome, PlannedJob};
 
 use crate::cost::Candidate;
 use crate::view::JobView;
@@ -142,10 +145,66 @@ pub trait ResourceManager {
 
 /// A partial plan under construction: per-resource job queues, checked with
 /// the EDF timeline engine. Shared by the heuristic and the exact optimizer.
+///
+/// Feasibility checks run through a per-builder [`EdfScratch`] (no allocation
+/// in steady state) and a memoized verdict cache: the exact optimizer's
+/// branch & bound revisits the same `(resource, queue)` configurations many
+/// times while backtracking, and the heuristic probes the same queue once per
+/// candidate. The cache key is the exact queue content (bit patterns, not a
+/// lossy hash), so a hit can never return a wrong verdict.
 #[derive(Debug, Clone)]
 pub struct PlanBuilder<'a> {
     activation: &'a Activation<'a>,
     per_resource: Vec<Vec<PlannedJob>>,
+    scratch: RefCell<FitScratch>,
+}
+
+/// Reusable buffers for [`PlanBuilder`] feasibility checks, behind a
+/// `RefCell` so the read-only query API (`fits`, `all_schedulable`) stays
+/// `&self`.
+#[derive(Debug, Clone, Default)]
+struct FitScratch {
+    /// EDF engine state.
+    edf: EdfScratch,
+    /// Queue under test (committed jobs + the probed candidate).
+    queue: Vec<PlannedJob>,
+    /// Encoded memo key for the queue under test.
+    probe: Vec<u64>,
+    /// Outcome buffer for [`PlanBuilder::reservation_gates`].
+    outcomes: Vec<JobOutcome>,
+    /// Exact-keyed feasibility verdicts, cleared when it outgrows
+    /// [`MEMO_CAP`].
+    memo: HashMap<Vec<u64>, bool>,
+}
+
+/// Memo entries kept before the cache is wholesale cleared. Activations plan
+/// a handful of jobs over a handful of resources, so in practice the cache
+/// never fills; the cap only bounds memory on adversarial inputs.
+const MEMO_CAP: usize = 4096;
+
+impl FitScratch {
+    /// Feasibility of `self.queue` on `resource`, memoized by exact queue
+    /// content.
+    fn queue_schedulable(&mut self, resource: ResourceId, kind: ResourceKind, now: Time) -> bool {
+        self.probe.clear();
+        self.probe.push(resource.index() as u64);
+        for j in &self.queue {
+            self.probe.push(j.key.0);
+            self.probe.push(j.release.value().to_bits());
+            self.probe.push(j.exec.value().to_bits());
+            self.probe.push(j.deadline.value().to_bits());
+            self.probe.push(u64::from(j.pinned));
+        }
+        if let Some(&verdict) = self.memo.get(self.probe.as_slice()) {
+            return verdict;
+        }
+        let verdict = is_schedulable_with(kind, now, &self.queue, &mut self.edf);
+        if self.memo.len() >= MEMO_CAP {
+            self.memo.clear();
+        }
+        self.memo.insert(self.probe.clone(), verdict);
+        verdict
+    }
 }
 
 impl<'a> PlanBuilder<'a> {
@@ -155,6 +214,7 @@ impl<'a> PlanBuilder<'a> {
         PlanBuilder {
             activation,
             per_resource: vec![Vec::new(); activation.platform.len()],
+            scratch: RefCell::new(FitScratch::default()),
         }
     }
 
@@ -177,9 +237,13 @@ impl<'a> PlanBuilder<'a> {
     pub fn fits(&self, job: &JobView, candidate: &Candidate) -> bool {
         let r = candidate.resource;
         let kind = self.activation.platform.resource(r).kind();
-        let mut queue = self.per_resource[r.index()].clone();
-        queue.push(self.planned_job(job, candidate));
-        is_schedulable(kind, self.activation.now, &queue)
+        let scratch = &mut *self.scratch.borrow_mut();
+        scratch.queue.clear();
+        scratch
+            .queue
+            .extend_from_slice(&self.per_resource[r.index()]);
+        scratch.queue.push(self.planned_job(job, candidate));
+        scratch.queue_schedulable(r, kind, self.activation.now)
     }
 
     /// Like [`fits`](PlanBuilder::fits), but *defers* the verdict (returns
@@ -196,26 +260,27 @@ impl<'a> PlanBuilder<'a> {
         let kind = self.activation.platform.resource(r).kind();
         if !kind.is_preemptable() {
             let now = self.activation.now;
-            let future = job.release > now
-                || self.per_resource[r.index()]
-                    .iter()
-                    .any(|j| j.release > now);
+            let future =
+                job.release > now || self.per_resource[r.index()].iter().any(|j| j.release > now);
             if future {
                 // Sound necessary condition that survives the anomaly: the
                 // sub-queue of already-released jobs runs in pure EDF order
                 // regardless of the future releases (removing future work
                 // only shortens its prefix sums), so if *it* misses a
                 // deadline, no completion of this partial plan can fix it.
-                let mut released: Vec<PlannedJob> = self.per_resource[r.index()]
-                    .iter()
-                    .filter(|j| j.release <= now)
-                    .copied()
-                    .collect();
+                let scratch = &mut *self.scratch.borrow_mut();
+                scratch.queue.clear();
+                scratch.queue.extend(
+                    self.per_resource[r.index()]
+                        .iter()
+                        .filter(|j| j.release <= now)
+                        .copied(),
+                );
                 let planned = self.planned_job(job, candidate);
                 if planned.release <= now {
-                    released.push(planned);
+                    scratch.queue.push(planned);
                 }
-                return is_schedulable(kind, now, &released);
+                return scratch.queue_schedulable(r, kind, now);
             }
         }
         self.fits(job, candidate)
@@ -249,9 +314,14 @@ impl<'a> PlanBuilder<'a> {
     /// for complete plans).
     #[must_use]
     pub fn all_schedulable(&self) -> bool {
+        let scratch = &mut *self.scratch.borrow_mut();
         self.activation.platform.ids().all(|r| {
             let kind = self.activation.platform.resource(r).kind();
-            is_schedulable(kind, self.activation.now, &self.per_resource[r.index()])
+            scratch.queue.clear();
+            scratch
+                .queue
+                .extend_from_slice(&self.per_resource[r.index()]);
+            scratch.queue_schedulable(r, kind, self.activation.now)
         })
     }
 
@@ -274,11 +344,13 @@ impl<'a> PlanBuilder<'a> {
             if !queue.iter().any(|j| phantoms.contains(&j.key)) {
                 continue;
             }
-            let schedule = simulate(kind, self.activation.now, queue, None);
+            let scratch = &mut *self.scratch.borrow_mut();
+            let FitScratch { edf, outcomes, .. } = scratch;
+            simulate_into(kind, self.activation.now, queue, None, edf, outcomes);
             gates.extend(
                 queue
                     .iter()
-                    .zip(schedule.outcomes())
+                    .zip(outcomes.iter())
                     .filter(|(j, _)| !phantoms.contains(&j.key))
                     .map(|(j, o)| {
                         let finish = o.finish.expect("unbounded simulation finishes all jobs");
@@ -319,7 +391,12 @@ mod tests {
             platform: &platform,
             catalog: &catalog,
             active: &active,
-            arriving: JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::new(10.0), Time::new(18.0)),
+            arriving: JobView::fresh(
+                JobKey(1),
+                TaskTypeId::new(0),
+                Time::new(10.0),
+                Time::new(18.0),
+            ),
             predicted: &[],
         };
         assert_eq!(activation.window(), Time::new(20.0));

@@ -251,7 +251,7 @@ mod tests {
             resource: r(0),
             remaining_fraction: 0.5,
             started: true,
-                speed: 1.0,
+            speed: 1.0,
         });
         let cands = candidates(&job, &platform, &catalog, false);
         let stay = find(&cands, r(0), false);
@@ -275,7 +275,7 @@ mod tests {
             resource: r(2),
             remaining_fraction: 0.8,
             started: true,
-                speed: 1.0,
+            speed: 1.0,
         });
         let cands = candidates(&job, &platform, &catalog, true);
         let stay = find(&cands, r(2), false);
@@ -297,7 +297,7 @@ mod tests {
             resource: r(2),
             remaining_fraction: 0.8,
             started: true,
-                speed: 1.0,
+            speed: 1.0,
         });
         let cands = candidates(&job, &platform, &catalog, false);
         assert_eq!(cands.iter().filter(|c| c.resource == r(2)).count(), 1);
@@ -311,7 +311,7 @@ mod tests {
             resource: r(2),
             remaining_fraction: 1.0,
             started: false,
-                speed: 1.0,
+            speed: 1.0,
         });
         let cands = candidates(&job, &platform, &catalog, false);
         let to_cpu = find(&cands, r(0), false);
@@ -332,12 +332,16 @@ mod tests {
             resource: r(0),
             remaining_fraction: 9.0 / 8.0,
             started: false,
-                speed: 1.0,
+            speed: 1.0,
         });
         let cands = candidates(&job, &platform, &catalog, false);
         let stay = find(&cands, r(0), false);
         assert_eq!(stay.exec, Time::new(9.0));
-        assert_eq!(stay.energy, Energy::new(7.3), "debt carries no extra energy");
+        assert_eq!(
+            stay.energy,
+            Energy::new(7.3),
+            "debt carries no extra energy"
+        );
     }
 
     #[test]

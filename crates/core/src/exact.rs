@@ -60,7 +60,10 @@ impl ExactRm {
     }
 
     fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Option<Plan> {
-        let jobs: Vec<JobView> = activation.jobs_with_phantoms(num_phantoms).copied().collect();
+        let jobs: Vec<JobView> = activation
+            .jobs_with_phantoms(num_phantoms)
+            .copied()
+            .collect();
         let n_real = activation.active.len() + 1;
 
         // Candidate lists, filtered by the per-task deadline bound
@@ -165,9 +168,7 @@ impl Search<'_, '_> {
         if pos == self.order.len() {
             // Deferred queues (future releases on non-preemptable
             // resources) are only validated here, on the complete plan.
-            if self.plan.all_schedulable()
-                && self.best.as_ref().is_none_or(|(b, _)| cost < *b)
-            {
+            if self.plan.all_schedulable() && self.best.as_ref().is_none_or(|(b, _)| cost < *b) {
                 self.best = Some((cost, self.chosen.clone()));
             }
             return;
@@ -178,11 +179,7 @@ impl Search<'_, '_> {
             // Candidates are energy-sorted: once the bound fails it fails
             // for every later candidate of this job.
             let bound = cost + c.energy + self.suffix_min[pos + 1];
-            if self
-                .best
-                .as_ref()
-                .is_some_and(|(b, _)| bound >= *b)
-            {
+            if self.best.as_ref().is_some_and(|(b, _)| bound >= *b) {
                 break;
             }
             self.nodes += 1;

@@ -52,7 +52,10 @@ impl HeuristicRm {
     }
 
     fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Option<Plan> {
-        let jobs: Vec<JobView> = activation.jobs_with_phantoms(num_phantoms).copied().collect();
+        let jobs: Vec<JobView> = activation
+            .jobs_with_phantoms(num_phantoms)
+            .copied()
+            .collect();
         let n_real = activation.active.len() + 1;
 
         // Desirability table: one candidate per (job, resource) — the
@@ -183,10 +186,7 @@ impl ResourceManager for HeuristicRm {
 /// Re-exported for the ablation benchmark: the resource a fresh job would
 /// most desire (minimum energy), ignoring schedulability.
 #[must_use]
-pub fn most_desirable_resource(
-    job: &JobView,
-    activation: &Activation<'_>,
-) -> Option<ResourceId> {
+pub fn most_desirable_resource(job: &JobView, activation: &Activation<'_>) -> Option<ResourceId> {
     candidates(job, activation.platform, activation.catalog, false)
         .into_iter()
         .min_by(|a, b| a.energy.cmp(&b.energy).then(a.resource.cmp(&b.resource)))

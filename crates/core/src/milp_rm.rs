@@ -87,10 +87,15 @@ impl MilpRm {
         // Candidate variables per job (constraint (2) filters infeasible
         // placements away).
         let collect = |j: &JobView| -> Vec<Candidate> {
-            candidates(j, activation.platform, activation.catalog, self.gpu_restart_in_place)
-                .into_iter()
-                .filter(|c| c.exec <= tleft(j))
-                .collect()
+            candidates(
+                j,
+                activation.platform,
+                activation.catalog,
+                self.gpu_restart_in_place,
+            )
+            .into_iter()
+            .filter(|c| c.exec <= tleft(j))
+            .collect()
         };
         let real_cands: Vec<Vec<Candidate>> = real_jobs.iter().map(collect).collect();
         if real_cands.iter().any(Vec::is_empty) {
@@ -121,7 +126,13 @@ impl MilpRm {
             model.add_eq(&terms, 1.0);
         }
 
-        // Big-M: larger than any reachable time quantity in the plan.
+        // Big-M: larger than any reachable time quantity in the plan. The
+        // predicted-task disjunctions below are expressed in activation-
+        // relative time (Δ = s_p − t and t_left_p = d_p − t), so the horizon
+        // must be the activation-relative window `d_j − t` — NOT the
+        // release-relative `time_left` used for candidate filtering, which
+        // for a far-future phantom can be much smaller than Δ and would make
+        // the z-disjunction infeasible for both branch values.
         let big_m = {
             let work: f64 = real_cands
                 .iter()
@@ -131,8 +142,8 @@ impl MilpRm {
                 .sum();
             let horizon: f64 = real_jobs
                 .iter()
-                .chain(predicted.into_iter())
-                .map(|j| tleft(j).value().max(0.0))
+                .chain(predicted)
+                .map(|j| (j.deadline - now).value().max(0.0))
                 .fold(0.0, f64::max);
             2.0 * (work + horizon) + 1.0
         };
@@ -173,10 +184,8 @@ impl MilpRm {
             // (3): prefix-sum deadline constraints, guarded by the entry's
             // own placement variable.
             for (rank, e) in entries.iter().enumerate() {
-                let mut terms: Vec<(VarId, f64)> = entries[..=rank]
-                    .iter()
-                    .map(|p| (p.var, p.exec))
-                    .collect();
+                let mut terms: Vec<(VarId, f64)> =
+                    entries[..=rank].iter().map(|p| (p.var, p.exec)).collect();
                 let t_left_j = tleft(&real_jobs[e.job]).value();
                 terms.push((e.var, big_m));
                 model.add_le(&terms, t_left_j + big_m);
@@ -217,14 +226,11 @@ impl MilpRm {
                     // Split by the predicted deadline: SL1 (≤ d_p) is never
                     // preempted; SL2 (> d_p) may be delayed by cp_p.
                     let dp = p.deadline;
-                    let sl1: Vec<&Entry> =
-                        entries.iter().filter(|e| e.deadline <= dp).collect();
-                    let sl2: Vec<&Entry> =
-                        entries.iter().filter(|e| e.deadline > dp).collect();
+                    let sl1: Vec<&Entry> = entries.iter().filter(|e| e.deadline <= dp).collect();
+                    let sl2: Vec<&Entry> = entries.iter().filter(|e| e.deadline > dp).collect();
 
                     // q = time after `now` when SL1 work on i completes.
-                    let q_terms: Vec<(VarId, f64)> =
-                        sl1.iter().map(|e| (e.var, e.exec)).collect();
+                    let q_terms: Vec<(VarId, f64)> = sl1.iter().map(|e| (e.var, e.exec)).collect();
 
                     // z = 1 ⇔ q ≥ Δ (τ_p waits and starts at q).
                     let z = model.binary(0.0);

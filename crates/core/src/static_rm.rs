@@ -121,11 +121,12 @@ impl ResourceManager for StaticRm {
         for &resource in prefs.iter().take(options) {
             // Cheapest schedulable placement at this resource (with DVFS,
             // several speed levels exist; try energy-ascending).
-            let mut at_resource: Vec<_> = candidates(job, activation.platform, activation.catalog, false)
-                .into_iter()
-                .filter(|c| c.resource == resource)
-                .collect();
-            at_resource.sort_by(|a, b| a.energy.cmp(&b.energy));
+            let mut at_resource: Vec<_> =
+                candidates(job, activation.platform, activation.catalog, false)
+                    .into_iter()
+                    .filter(|c| c.resource == resource)
+                    .collect();
+            at_resource.sort_by_key(|a| a.energy);
             let Some(c) = at_resource
                 .into_iter()
                 .find(|c| c.exec <= job.time_left(activation.now) && plan.fits(job, c))
@@ -193,7 +194,11 @@ mod tests {
             predicted: &[],
         });
         assert!(d.admitted);
-        assert_eq!(d.assignments[0].resource, ResourceId::new(1), "GPU is cheapest");
+        assert_eq!(
+            d.assignments[0].resource,
+            ResourceId::new(1),
+            "GPU is cheapest"
+        );
     }
 
     #[test]
@@ -206,7 +211,7 @@ mod tests {
             resource: ResourceId::new(1),
             remaining_fraction: 1.0,
             started: true,
-                speed: 1.0,
+            speed: 1.0,
         });
         // The queued task's deadline (4.9) is earlier than the arriving
         // task's, so EDF cannot slot the arrival ahead of it.
@@ -215,7 +220,7 @@ mod tests {
             resource: ResourceId::new(1),
             remaining_fraction: 1.0,
             started: false,
-                speed: 1.0,
+            speed: 1.0,
         });
         let active = [running, queued];
         // Deadline 3: infeasible everywhere (GPU finish 6, CPU finish 4).
@@ -254,7 +259,7 @@ mod tests {
             resource: ResourceId::new(0), // parked on the CPU
             remaining_fraction: 0.5,
             started: true,
-                speed: 1.0,
+            speed: 1.0,
         });
         let mut rm = StaticRm::with_spill(&catalog);
         let d = rm.decide(&Activation {

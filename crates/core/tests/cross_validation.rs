@@ -15,9 +15,62 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rtrm_core::{Activation, ExactRm, HeuristicRm, JobView, MilpRm, Placement, ResourceManager};
-use rtrm_platform::{Platform, ResourceKind, TaskCatalog, TaskTypeId, Time};
+use rtrm_platform::{Energy, Platform, ResourceKind, TaskCatalog, TaskType, TaskTypeId, Time};
 use rtrm_sched::JobKey;
 use rtrm_trace::{generate_catalog, CatalogConfig};
+
+/// Regression (shrunk from `Scenario { cpus: 2, with_gpu: false, seed: 0,
+/// active: [], arriving_type: 0, arriving_slack: 1.2, predicted: Some((0,
+/// 26.368…, 1.2)) }`): `MilpRm` computed its big-M from the
+/// *release-relative* horizon (`time_left`), but the predicted-task
+/// disjunction constraints are written in *activation-relative* time. For a
+/// phantom arriving far enough in the future (`Δ > M − q`), the z
+/// disjunction `q ≥ Δ − M(1−z)` / `q ≤ Δ + Mz` was infeasible for both
+/// values of `z`, the whole with-phantom model was declared infeasible, and
+/// the manager silently fell back to planning without prediction —
+/// disagreeing with `ExactRm` on `used_prediction` (and on the objective).
+/// Built on an explicit catalog so it does not depend on any RNG stream.
+#[test]
+fn milp_honours_far_future_phantom() {
+    let platform = Platform::builder().cpus(1).build();
+    let r0 = platform.ids().next().expect("one cpu");
+    let ty = TaskType::builder(0, &platform)
+        .profile(r0, Time::new(2.0), Energy::new(1.0))
+        .build();
+    let catalog = TaskCatalog::new(vec![ty]);
+
+    let now = Time::new(100.0);
+    let arriving = JobView::fresh(JobKey(1), TaskTypeId::new(0), now, Time::new(105.0));
+    // Far-future phantom: Δ = 30 exceeds the buggy big-M of
+    // 2·(work + release-relative horizon) + 1 = 2·(4 + 5) + 1 = 19.
+    let phantom = JobView::fresh(
+        JobKey(2),
+        TaskTypeId::new(0),
+        Time::new(130.0),
+        Time::new(135.0),
+    );
+    let phantoms = [phantom];
+    let activation = Activation {
+        now,
+        platform: &platform,
+        catalog: &catalog,
+        active: &[],
+        arriving,
+        predicted: &phantoms,
+    };
+
+    let de = ExactRm::new().decide(&activation);
+    let dm = MilpRm::new().decide(&activation);
+    assert!(de.admitted && dm.admitted);
+    assert!(de.used_prediction, "exact honours the phantom");
+    assert!(dm.used_prediction, "milp must honour the phantom too");
+    assert!(
+        (de.objective.value() - dm.objective.value()).abs() < 1e-5,
+        "objective mismatch: exact={} milp={}",
+        de.objective,
+        dm.objective
+    );
+}
 
 /// A compact recipe for one random activation.
 #[derive(Debug, Clone)]
@@ -43,7 +96,12 @@ fn scenario(max_active: usize, force_cpu_only: bool) -> impl Strategy<Value = Sc
         },
         any::<u64>(),
         prop::collection::vec(
-            (0usize..6, prop::option::of(0usize..4), 0.05f64..1.0, 1.2f64..4.0),
+            (
+                0usize..6,
+                prop::option::of(0usize..4),
+                0.05f64..1.0,
+                1.2f64..4.0,
+            ),
             0..max_active,
         ),
         0usize..6,

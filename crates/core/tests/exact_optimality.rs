@@ -6,7 +6,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rtrm_core::{candidates, Activation, Candidate, ExactRm, JobView, PlanBuilder, ResourceManager};
+use rtrm_core::{
+    candidates, Activation, Candidate, ExactRm, JobView, PlanBuilder, ResourceManager,
+};
 use rtrm_platform::{Platform, TaskCatalog, TaskTypeId, Time};
 use rtrm_sched::JobKey;
 use rtrm_trace::{generate_catalog, CatalogConfig};

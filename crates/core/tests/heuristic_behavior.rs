@@ -95,8 +95,18 @@ fn fallback_ladder_drops_far_phantoms_first() {
     let arriving = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(6.0));
     // Phantom 1 fits after the arriving task; phantom 2 cannot (deadline
     // math: GPU busy 0–4 (arriving), 4–8 (p1 ≤ 5+... ).
-    let p1 = JobView::fresh(JobKey(100), TaskTypeId::new(0), Time::new(4.0), Time::new(9.0));
-    let p2 = JobView::fresh(JobKey(101), TaskTypeId::new(0), Time::new(5.0), Time::new(10.0));
+    let p1 = JobView::fresh(
+        JobKey(100),
+        TaskTypeId::new(0),
+        Time::new(4.0),
+        Time::new(9.0),
+    );
+    let p2 = JobView::fresh(
+        JobKey(101),
+        TaskTypeId::new(0),
+        Time::new(5.0),
+        Time::new(10.0),
+    );
     let phantoms = [p1, p2];
     let mut rm = HeuristicRm::new();
     let d = rm.decide(&Activation {
@@ -141,7 +151,12 @@ fn gates_empty_when_phantom_lands_on_a_cpu() {
         .build();
     let catalog = TaskCatalog::new(vec![ty]);
     let arriving = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
-    let phantom = JobView::fresh(JobKey(9), TaskTypeId::new(0), Time::new(1.0), Time::new(21.0));
+    let phantom = JobView::fresh(
+        JobKey(9),
+        TaskTypeId::new(0),
+        Time::new(1.0),
+        Time::new(21.0),
+    );
     let mut rm = HeuristicRm::new();
     let d = rm.decide(&Activation {
         now: Time::ZERO,
@@ -152,7 +167,10 @@ fn gates_empty_when_phantom_lands_on_a_cpu() {
         predicted: std::slice::from_ref(&phantom),
     });
     assert!(d.admitted && d.used_prediction);
-    assert!(d.start_gates.is_empty(), "preemptable resources need no gates");
+    assert!(
+        d.start_gates.is_empty(),
+        "preemptable resources need no gates"
+    );
 }
 
 #[test]
@@ -173,10 +191,15 @@ fn gates_cover_gpu_queue_when_phantom_reserves_it() {
         resource: ids[1],
         remaining_fraction: 0.5, // 2 of 4 GPU units left
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
     let arriving = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
-    let phantom = JobView::fresh(JobKey(9), TaskTypeId::new(0), Time::new(1.0), Time::new(7.0));
+    let phantom = JobView::fresh(
+        JobKey(9),
+        TaskTypeId::new(0),
+        Time::new(1.0),
+        Time::new(7.0),
+    );
     let mut rm = ExactRm::new();
     let d = rm.decide(&Activation {
         now: Time::ZERO,
@@ -213,7 +236,12 @@ fn window_counts_future_phantom_work_from_activation_instant() {
     // Arriving: GPU 0–4 (deadline 6). Phantom: release 4, deadline 9 —
     // 8 total GPU busy time, but max release-relative t_left is only 6.
     let arriving = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(6.0));
-    let phantom = JobView::fresh(JobKey(9), TaskTypeId::new(0), Time::new(4.0), Time::new(9.0));
+    let phantom = JobView::fresh(
+        JobKey(9),
+        TaskTypeId::new(0),
+        Time::new(4.0),
+        Time::new(9.0),
+    );
     let mut rm = HeuristicRm::new();
     let d = rm.decide(&Activation {
         now: Time::ZERO,

@@ -11,13 +11,15 @@
 use rtrm_core::{
     Activation, Decision, ExactRm, HeuristicRm, JobView, MilpRm, Placement, ResourceManager,
 };
-use rtrm_platform::{
-    Energy, Platform, ResourceId, TaskCatalog, TaskType, TaskTypeId, Time,
-};
+use rtrm_platform::{Energy, Platform, ResourceId, TaskCatalog, TaskType, TaskTypeId, Time};
 use rtrm_sched::JobKey;
 
 fn setup() -> (Platform, TaskCatalog) {
-    let platform = Platform::builder().cpu("cpu1").cpu("cpu2").gpu("gpu").build();
+    let platform = Platform::builder()
+        .cpu("cpu1")
+        .cpu("cpu2")
+        .gpu("gpu")
+        .build();
     let ids: Vec<_> = platform.ids().collect();
     let tau1 = TaskType::builder(0, &platform)
         .profile(ids[0], Time::new(8.0), Energy::new(7.3))
@@ -40,7 +42,12 @@ fn rid(i: usize) -> ResourceId {
 /// (cheapest energy), and at t=1 τ2 cannot be saved: it must be rejected.
 fn scenario_without_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decision) {
     let (platform, catalog) = setup();
-    let tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+    let tau1 = JobView::fresh(
+        JobKey(0),
+        TaskTypeId::new(0),
+        Time::new(0.0),
+        Time::new(8.0),
+    );
 
     let d1 = rm.decide(&Activation {
         now: Time::new(0.0),
@@ -59,9 +66,14 @@ fn scenario_without_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decis
         resource: rid(2),
         remaining_fraction: 4.0 / 5.0,
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
-    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    let tau2 = JobView::fresh(
+        JobKey(1),
+        TaskTypeId::new(1),
+        Time::new(1.0),
+        Time::new(6.0),
+    );
     let d2 = rm.decide(&Activation {
         now: Time::new(1.0),
         platform: &platform,
@@ -77,9 +89,19 @@ fn scenario_without_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decis
 /// τ1 to CPU1 at t=0 and reserves the GPU; τ2 is admitted at t=1.
 fn scenario_with_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decision) {
     let (platform, catalog) = setup();
-    let tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+    let tau1 = JobView::fresh(
+        JobKey(0),
+        TaskTypeId::new(0),
+        Time::new(0.0),
+        Time::new(8.0),
+    );
     // Phantom τ2: arrival 1, relative deadline 5 → absolute 6.
-    let phantom = JobView::fresh(JobKey(100), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    let phantom = JobView::fresh(
+        JobKey(100),
+        TaskTypeId::new(1),
+        Time::new(1.0),
+        Time::new(6.0),
+    );
 
     let d1 = rm.decide(&Activation {
         now: Time::new(0.0),
@@ -103,9 +125,14 @@ fn scenario_with_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decision
         resource: rid(0),
         remaining_fraction: 7.0 / 8.0,
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
-    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    let tau2 = JobView::fresh(
+        JobKey(1),
+        TaskTypeId::new(1),
+        Time::new(1.0),
+        Time::new(6.0),
+    );
     let d2 = rm.decide(&Activation {
         now: Time::new(1.0),
         platform: &platform,
@@ -120,7 +147,10 @@ fn scenario_with_prediction(rm: &mut dyn ResourceManager) -> (Decision, Decision
 #[test]
 fn exact_rejects_tau2_without_prediction() {
     let (_, d2) = scenario_without_prediction(&mut ExactRm::new());
-    assert!(!d2.admitted, "paper: acceptance rate 1/2 without prediction");
+    assert!(
+        !d2.admitted,
+        "paper: acceptance rate 1/2 without prediction"
+    );
 }
 
 #[test]
@@ -172,15 +202,25 @@ fn inaccurate_prediction_costs_energy() {
     let mut rm = ExactRm::new();
 
     // With (wrong) prediction: τ1 → CPU1 as in scenario (b). τ2 arrives at 3.
-    let tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+    let tau1 = JobView::fresh(
+        JobKey(0),
+        TaskTypeId::new(0),
+        Time::new(0.0),
+        Time::new(8.0),
+    );
     let mut tau1_active = tau1;
     tau1_active.placement = Some(Placement {
         resource: rid(0),
         remaining_fraction: 5.0 / 8.0, // ran 3 of 8 units on CPU1
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
-    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(3.0), Time::new(8.0));
+    let tau2 = JobView::fresh(
+        JobKey(1),
+        TaskTypeId::new(1),
+        Time::new(3.0),
+        Time::new(8.0),
+    );
     let d = rm.decide(&Activation {
         now: Time::new(3.0),
         platform: &platform,
@@ -193,7 +233,11 @@ fn inaccurate_prediction_costs_energy() {
     // Full-run energy with the wrong prediction: 7.3 (τ1 on CPU1) + 1.5 = 8.8 J.
     // The remaining-energy objective at t=3 confirms the same placement:
     let expected = 5.0 / 8.0 * 7.3 + 1.5;
-    assert!((d.objective.value() - expected).abs() < 1e-9, "objective={}", d.objective);
+    assert!(
+        (d.objective.value() - expected).abs() < 1e-9,
+        "objective={}",
+        d.objective
+    );
 
     // Without prediction: τ1 → GPU finishes at 5; τ2 (arriving at 3) waits
     // and runs on the GPU 5→8, meeting its absolute deadline 11... in the
@@ -203,7 +247,7 @@ fn inaccurate_prediction_costs_energy() {
         resource: rid(2),
         remaining_fraction: 2.0 / 5.0, // ran 3 of 5 GPU units
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
     let d2 = rm.decide(&Activation {
         now: Time::new(3.0),
@@ -227,14 +271,24 @@ fn gpu_abort_rescues_urgent_arrival() {
     let (platform, catalog) = setup();
     // τ1 running on GPU with plenty of slack (deadline 30), τ2 arrives with
     // a deadline only the GPU can meet.
-    let mut tau1 = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::new(0.0), Time::new(30.0));
+    let mut tau1 = JobView::fresh(
+        JobKey(0),
+        TaskTypeId::new(0),
+        Time::new(0.0),
+        Time::new(30.0),
+    );
     tau1.placement = Some(Placement {
         resource: rid(2),
         remaining_fraction: 0.9,
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
-    let tau2 = JobView::fresh(JobKey(1), TaskTypeId::new(1), Time::new(1.0), Time::new(4.5));
+    let tau2 = JobView::fresh(
+        JobKey(1),
+        TaskTypeId::new(1),
+        Time::new(1.0),
+        Time::new(4.5),
+    );
     let mut rm = ExactRm::new();
     let d = rm.decide(&Activation {
         now: Time::new(1.0),

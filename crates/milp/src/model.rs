@@ -124,7 +124,10 @@ impl Model {
     pub fn var(&mut self, kind: VarKind, lower: f64, upper: f64, objective: f64) -> VarId {
         assert!(!lower.is_nan() && !upper.is_nan(), "bounds must not be NaN");
         assert!(lower <= upper, "lower bound must not exceed upper bound");
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         let id = VarId(u32::try_from(self.vars.len()).expect("variable count fits in u32"));
         self.vars.push(Variable {
             lower,
@@ -251,7 +254,11 @@ impl Model {
             }
         }
         for c in &self.constraints {
-            let lhs: f64 = c.terms.iter().map(|(v, coeff)| coeff * point[v.index()]).sum();
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|(v, coeff)| coeff * point[v.index()])
+                .sum();
             let ok = match c.cmp {
                 Cmp::Le => lhs <= c.rhs + tol,
                 Cmp::Ge => lhs >= c.rhs - tol,

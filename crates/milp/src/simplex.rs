@@ -206,8 +206,8 @@ pub(crate) fn solve_lp(
     // ---- Phase 1: minimize the sum of artificials ------------------------
     if n_art > 0 {
         let mut cost1 = vec![0.0; n_total];
-        for col in (n_struct + n_slack)..n_total {
-            cost1[col] = 1.0;
+        for c in cost1.iter_mut().skip(n_struct + n_slack) {
+            *c = 1.0;
         }
         match run_simplex(&mut tab, &mut basis, &cost1, &mut iterations_left, n_total) {
             SimplexEnd::Optimal(obj1) => {
@@ -221,8 +221,8 @@ pub(crate) fn solve_lp(
         // Drive any artificial still basic (at zero) out of the basis.
         for i in 0..m {
             if basis[i] >= n_struct + n_slack {
-                if let Some(col) = (0..n_struct + n_slack)
-                    .find(|&col| tab[i][col].abs() > PIVOT_EPS)
+                if let Some(col) =
+                    (0..n_struct + n_slack).find(|&col| tab[i][col].abs() > PIVOT_EPS)
                 {
                     pivot(&mut tab, &mut basis, i, col, n_total);
                 } // else: redundant row; the zero artificial stays harmlessly.

@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![Time::new(3.0), Time::new(-1.0), Time::infinity()];
+        let mut v = [Time::new(3.0), Time::new(-1.0), Time::infinity()];
         v.sort();
         assert_eq!(v[0], Time::new(-1.0));
         assert_eq!(v[2], Time::infinity());

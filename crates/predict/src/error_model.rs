@@ -40,7 +40,10 @@ impl ErrorModel {
     /// Panics if `accuracy` is outside `[0, 1]`.
     #[must_use]
     pub fn with_type_accuracy(accuracy: f64) -> Self {
-        assert!((0.0..=1.0).contains(&accuracy), "accuracy must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "accuracy must be in [0, 1]"
+        );
         ErrorModel {
             type_accuracy: accuracy,
             arrival_accuracy: 1.0,
@@ -55,7 +58,10 @@ impl ErrorModel {
     /// Panics if `accuracy` is outside `[0, 1]`.
     #[must_use]
     pub fn with_arrival_accuracy(accuracy: f64) -> Self {
-        assert!((0.0..=1.0).contains(&accuracy), "accuracy must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "accuracy must be in [0, 1]"
+        );
         ErrorModel {
             type_accuracy: 1.0,
             arrival_accuracy: accuracy,

@@ -260,7 +260,10 @@ mod tests {
         p.observe_arrival(Time::new(10.0)); // gap 10
         p.observe_arrival(Time::new(11.0)); // gap 1
         let est = p.gap_estimate().unwrap().value();
-        assert!(est < 2.5, "estimate should chase the recent small gap: {est}");
+        assert!(
+            est < 2.5,
+            "estimate should chase the recent small gap: {est}"
+        );
     }
 
     #[test]

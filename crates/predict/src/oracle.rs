@@ -111,9 +111,7 @@ impl Predictor for OraclePredictor {
 
         // Task-type error: with probability 1 − accuracy report a uniformly
         // random *other* type.
-        let task_type = if self.num_types > 1
-            && self.rng.gen::<f64>() >= self.error.type_accuracy
-        {
+        let task_type = if self.num_types > 1 && self.rng.gen::<f64>() >= self.error.type_accuracy {
             let mut wrong = self.rng.gen_range(0..self.num_types - 1);
             if wrong >= truth.task_type.index() {
                 wrong += 1;
@@ -147,17 +145,16 @@ impl Predictor for OraclePredictor {
                 break;
             };
             cursor = truth.id;
-            let task_type = if self.num_types > 1
-                && self.rng.gen::<f64>() >= self.error.type_accuracy
-            {
-                let mut wrong = self.rng.gen_range(0..self.num_types - 1);
-                if wrong >= truth.task_type.index() {
-                    wrong += 1;
-                }
-                TaskTypeId::new(wrong)
-            } else {
-                truth.task_type
-            };
+            let task_type =
+                if self.num_types > 1 && self.rng.gen::<f64>() >= self.error.type_accuracy {
+                    let mut wrong = self.rng.gen_range(0..self.num_types - 1);
+                    if wrong >= truth.task_type.index() {
+                        wrong += 1;
+                    }
+                    TaskTypeId::new(wrong)
+                } else {
+                    truth.task_type
+                };
             let arrival = if self.arrival_sigma > 0.0 {
                 let noisy = truth.arrival.value() + self.arrival_sigma * self.gaussian_noise();
                 Time::new(noisy.max(observed_at.value()))
@@ -167,7 +164,7 @@ impl Predictor for OraclePredictor {
             out.push(Prediction { task_type, arrival });
         }
         // Guarantee the nearest-first ordering despite arrival noise.
-        out.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        out.sort_by_key(|a| a.arrival);
         out
     }
 
@@ -260,7 +257,7 @@ mod tests {
             .sum::<f64>()
             / preds.len() as f64;
         let nrmse = mse.sqrt() / 2.0; // mean interarrival = 2.0
-        // Clamping at the observation instant skews slightly low; allow 15%.
+                                      // Clamping at the observation instant skews slightly low; allow 15%.
         assert!(
             (nrmse - target_nrmse).abs() < 0.15 * target_nrmse,
             "nrmse={nrmse}"

@@ -17,10 +17,88 @@
 //! Non-preemptable resources (GPUs) use work-conserving non-preemptive EDF,
 //! and a job already running there is *pinned*: it completes before anything
 //! else is dispatched.
+//!
+//! # Engine
+//!
+//! The timeline is advanced event-by-event over two binary heaps: a release
+//! queue ordered by release time and a ready queue ordered by
+//! `(deadline, input order)`. Each dispatch decision is O(log n) instead of
+//! the O(n) scan of the obvious implementation, and the heaps live in a
+//! caller-supplied [`EdfScratch`] so the feasibility oracle — called once per
+//! candidate placement inside the managers' inner loops — performs no
+//! allocation in steady state ([`simulate_into`] / [`is_schedulable_with`]).
+//! The original scan-based implementation is retained verbatim in
+//! [`reference`] as a differential-testing oracle; the two engines are
+//! asserted equivalent on every outcome field by the property suite in
+//! `tests/properties.rs`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use rtrm_platform::{ResourceKind, Time, TIME_EPSILON};
 
 use crate::{JobOutcome, PlannedJob, Schedule};
+
+/// Reusable state for the event-driven engine. Holding one of these across
+/// calls to [`simulate_into`] / [`is_schedulable_with`] keeps the heap and
+/// job-state buffers warm, so repeated feasibility checks allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct EdfScratch {
+    /// Not-yet-released jobs, min-ordered by `(release, input order)`.
+    release: BinaryHeap<Reverse<RelKey>>,
+    /// Released, unfinished jobs, min-ordered by `(deadline, input order)`.
+    ready: BinaryHeap<Reverse<ReadyKey>>,
+    /// Per-job mutable state, in input order.
+    live: Vec<LiveState>,
+}
+
+impl EdfScratch {
+    /// Creates an empty scratch (equivalent to `EdfScratch::default()`).
+    #[must_use]
+    pub fn new() -> Self {
+        EdfScratch::default()
+    }
+}
+
+/// Release-queue key: earliest release first, ties by input order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RelKey {
+    release: f64,
+    idx: usize,
+}
+
+impl Eq for RelKey {}
+
+impl Ord for RelKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.release
+            .total_cmp(&other.release)
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialOrd for RelKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ready-queue key: earliest deadline first, ties by input order — the EDF
+/// dispatch order of Sec 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyKey {
+    deadline: Time,
+    idx: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LiveState {
+    remaining: f64,
+    deadline: Time,
+    executed: f64,
+    started: bool,
+    finish: Option<f64>,
+}
 
 /// Simulates one resource's timeline starting at `now`, up to `horizon`
 /// (`None` = run until all jobs finish).
@@ -58,11 +136,36 @@ pub fn simulate(
     jobs: &[PlannedJob],
     horizon: Option<Time>,
 ) -> Schedule {
+    let mut scratch = EdfScratch::new();
+    let mut outcomes = Vec::new();
+    simulate_into(kind, now, jobs, horizon, &mut scratch, &mut outcomes);
+    Schedule::new(outcomes)
+}
+
+/// Allocation-free variant of [`simulate`]: runs the timeline in `scratch`
+/// and replaces the contents of `out` with one [`JobOutcome`] per input job,
+/// in input order. Semantics are identical to [`simulate`].
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_into(
+    kind: ResourceKind,
+    now: Time,
+    jobs: &[PlannedJob],
+    horizon: Option<Time>,
+    scratch: &mut EdfScratch,
+    out: &mut Vec<JobOutcome>,
+) {
     validate(kind, jobs);
-    match kind {
-        ResourceKind::Cpu => simulate_preemptive(now, jobs, horizon),
-        ResourceKind::Gpu => simulate_non_preemptive(now, jobs, horizon),
-    }
+    run_engine(kind, now, jobs, horizon, scratch, false);
+    out.clear();
+    out.extend(scratch.live.iter().zip(jobs).map(|(l, j)| JobOutcome {
+        key: j.key,
+        executed: Time::new(l.executed),
+        finish: l.finish.map(Time::new),
+        started: l.started,
+    }));
 }
 
 /// Returns `true` if every job finishes by its deadline when the set runs on
@@ -81,6 +184,19 @@ pub fn simulate(
 /// ```
 #[must_use]
 pub fn is_schedulable(kind: ResourceKind, now: Time, jobs: &[PlannedJob]) -> bool {
+    is_schedulable_with(kind, now, jobs, &mut EdfScratch::new())
+}
+
+/// Allocation-free variant of [`is_schedulable`]: runs the feasibility check
+/// in `scratch`, and additionally aborts the timeline at the first deadline
+/// miss instead of simulating the whole set to completion.
+#[must_use]
+pub fn is_schedulable_with(
+    kind: ResourceKind,
+    now: Time,
+    jobs: &[PlannedJob],
+    scratch: &mut EdfScratch,
+) -> bool {
     // Fast necessary condition: no single job can fit more work than the
     // span between its release and deadline.
     for j in jobs {
@@ -88,7 +204,8 @@ pub fn is_schedulable(kind: ResourceKind, now: Time, jobs: &[PlannedJob]) -> boo
             return false;
         }
     }
-    simulate(kind, now, jobs, None).all_meet_deadlines(jobs)
+    validate(kind, jobs);
+    run_engine(kind, now, jobs, None, scratch, true)
 }
 
 fn validate(kind: ResourceKind, jobs: &[PlannedJob]) {
@@ -103,127 +220,357 @@ fn validate(kind: ResourceKind, jobs: &[PlannedJob]) {
     }
 }
 
-struct Live {
-    release: f64,
-    remaining: f64,
-    deadline: Time,
-    outcome: JobOutcome,
-}
+/// Runs the event loop. With `abort_on_miss`, returns `false` as soon as any
+/// job completes past its deadline (only meaningful without a horizon, where
+/// every job eventually completes); otherwise always returns `true`.
+fn run_engine(
+    kind: ResourceKind,
+    start: Time,
+    jobs: &[PlannedJob],
+    horizon: Option<Time>,
+    scratch: &mut EdfScratch,
+    abort_on_miss: bool,
+) -> bool {
+    let horizon = horizon.map_or(f64::INFINITY, Time::value);
+    let now = start.value();
 
-fn make_live(now: Time, jobs: &[PlannedJob]) -> Vec<Live> {
-    jobs.iter()
-        .map(|j| Live {
-            release: j.release.max(now).value(),
+    // A pinned job is physically occupying the resource: it is dispatched
+    // ahead of everything (and outside the queues).
+    let pinned = jobs.iter().position(|j| j.pinned);
+
+    scratch.release.clear();
+    scratch.ready.clear();
+    scratch.live.clear();
+    for (i, j) in jobs.iter().enumerate() {
+        let release = j.release.max(start).value();
+        scratch.live.push(LiveState {
             remaining: j.exec.value(),
             deadline: j.deadline,
-            outcome: JobOutcome {
-                key: j.key,
-                executed: Time::ZERO,
-                finish: None,
-                started: false,
-            },
-        })
-        .collect()
+            executed: 0.0,
+            started: false,
+            finish: None,
+        });
+        if Some(i) == pinned {
+            continue;
+        }
+        if release <= now + TIME_EPSILON {
+            scratch.ready.push(Reverse(ReadyKey {
+                deadline: j.deadline,
+                idx: i,
+            }));
+        } else {
+            scratch.release.push(Reverse(RelKey { release, idx: i }));
+        }
+    }
+
+    match kind {
+        ResourceKind::Cpu => run_preemptive(now, horizon, scratch, abort_on_miss),
+        ResourceKind::Gpu => run_non_preemptive(now, horizon, scratch, abort_on_miss, pinned),
+    }
 }
 
-/// Picks the released, unfinished job with the earliest deadline
-/// (ties: input order). Returns its index.
-fn pick_edf(live: &[Live], now: f64) -> Option<usize> {
-    live.iter()
-        .enumerate()
-        .filter(|(_, j)| j.outcome.finish.is_none() && j.release <= now + TIME_EPSILON)
-        .min_by(|(ai, a), (bi, b)| a.deadline.cmp(&b.deadline).then(ai.cmp(bi)))
-        .map(|(i, _)| i)
+/// Moves every job released by `now` from the release queue to the ready
+/// queue.
+fn drain_released(scratch: &mut EdfScratch, now: f64) {
+    while let Some(&Reverse(k)) = scratch.release.peek() {
+        if k.release > now + TIME_EPSILON {
+            break;
+        }
+        scratch.release.pop();
+        scratch.ready.push(Reverse(ReadyKey {
+            deadline: scratch.live[k.idx].deadline,
+            idx: k.idx,
+        }));
+    }
 }
 
-/// Earliest release among unfinished, not-yet-released jobs.
-fn next_release(live: &[Live], now: f64) -> Option<f64> {
-    live.iter()
-        .filter(|j| j.outcome.finish.is_none() && j.release > now + TIME_EPSILON)
-        .map(|j| j.release)
-        .min_by(f64::total_cmp)
-}
-
-fn run_job(job: &mut Live, now: &mut f64, until: f64) {
-    let dt = (until - *now).min(job.remaining).max(0.0);
+/// Advances job `i` from `now` to `until`, marking completion (zero-length
+/// jobs finish — and count as started — at dispatch). Returns `true` if the
+/// job completed.
+fn advance_job(live: &mut LiveState, now: &mut f64, until: f64) -> bool {
+    let dt = (until - *now).min(live.remaining).max(0.0);
     if dt > 0.0 {
-        job.outcome.started = true;
-        job.outcome.executed += Time::new(dt);
-        job.remaining -= dt;
+        live.started = true;
+        live.executed += dt;
+        live.remaining -= dt;
         *now += dt;
     }
-    if job.remaining <= TIME_EPSILON {
-        job.remaining = 0.0;
-        // Zero-length jobs count as finished (and started) at dispatch.
-        job.outcome.started = true;
-        job.outcome.finish = Some(Time::new(*now));
+    if live.remaining <= TIME_EPSILON {
+        live.remaining = 0.0;
+        live.started = true;
+        live.finish = Some(*now);
+        return true;
     }
+    false
 }
 
-fn simulate_preemptive(start: Time, jobs: &[PlannedJob], horizon: Option<Time>) -> Schedule {
-    let mut live = make_live(start, jobs);
-    let horizon = horizon.map_or(f64::INFINITY, Time::value);
-    let mut now = start.value();
-
+fn run_preemptive(
+    mut now: f64,
+    horizon: f64,
+    scratch: &mut EdfScratch,
+    abort_on_miss: bool,
+) -> bool {
     loop {
         if now >= horizon - TIME_EPSILON {
             break;
         }
-        let Some(current) = pick_edf(&live, now) else {
+        let Some(&Reverse(top)) = scratch.ready.peek() else {
             // Idle: jump to the next release, if any.
-            match next_release(&live, now) {
-                Some(r) if r < horizon => {
-                    now = r;
+            match scratch.release.peek() {
+                Some(&Reverse(k)) if k.release < horizon => {
+                    now = k.release;
+                    drain_released(scratch, now);
                     continue;
                 }
                 _ => break,
             }
         };
         // Run the EDF job until it finishes, the horizon, or the next
-        // release (which may preempt it).
+        // release (which may preempt it). A partially-run job keeps its
+        // heap position: its key `(deadline, input order)` never changes.
+        let i = top.idx;
+        let next_release = scratch
+            .release
+            .peek()
+            .map_or(f64::INFINITY, |&Reverse(k)| k.release);
         let until = horizon
-            .min(now + live[current].remaining)
-            .min(next_release(&live, now).unwrap_or(f64::INFINITY));
-        run_job(&mut live[current], &mut now, until);
+            .min(now + scratch.live[i].remaining)
+            .min(next_release);
+        if advance_job(&mut scratch.live[i], &mut now, until) {
+            scratch.ready.pop();
+            if abort_on_miss && !Time::new(now).meets(scratch.live[i].deadline) {
+                return false;
+            }
+        }
+        drain_released(scratch, now);
     }
-    Schedule::new(live.into_iter().map(|j| j.outcome).collect())
+    true
 }
 
-fn simulate_non_preemptive(start: Time, jobs: &[PlannedJob], horizon: Option<Time>) -> Schedule {
-    let mut live = make_live(start, jobs);
-    let horizon = horizon.map_or(f64::INFINITY, Time::value);
-    let mut now = start.value();
-
-    // A pinned job is physically occupying the resource: dispatch it first.
-    let mut forced = jobs.iter().position(|j| j.pinned);
+fn run_non_preemptive(
+    mut now: f64,
+    horizon: f64,
+    scratch: &mut EdfScratch,
+    abort_on_miss: bool,
+    pinned: Option<usize>,
+) -> bool {
+    // Dispatch the pinned job to completion before anything else.
+    if let Some(i) = pinned {
+        if now >= horizon - TIME_EPSILON {
+            return true;
+        }
+        let until = horizon.min(now + scratch.live[i].remaining);
+        if !advance_job(&mut scratch.live[i], &mut now, until) {
+            // Hit the horizon mid-job: it stays on the resource; nothing
+            // else runs.
+            return true;
+        }
+        if abort_on_miss && !Time::new(now).meets(scratch.live[i].deadline) {
+            return false;
+        }
+        drain_released(scratch, now);
+    }
 
     loop {
         if now >= horizon - TIME_EPSILON {
             break;
         }
-        let current = match forced.take() {
-            Some(i) if live[i].outcome.finish.is_none() => i,
-            _ => match pick_edf(&live, now) {
-                Some(i) => i,
-                None => match next_release(&live, now) {
+        let Some(Reverse(top)) = scratch.ready.pop() else {
+            match scratch.release.peek() {
+                Some(&Reverse(k)) if k.release < horizon => {
+                    now = k.release;
+                    drain_released(scratch, now);
+                    continue;
+                }
+                _ => break,
+            }
+        };
+        // Non-preemptive: once dispatched, run to completion (or horizon).
+        let i = top.idx;
+        let until = horizon.min(now + scratch.live[i].remaining);
+        if !advance_job(&mut scratch.live[i], &mut now, until) {
+            // Hit the horizon mid-job: nothing else runs.
+            break;
+        }
+        if abort_on_miss && !Time::new(now).meets(scratch.live[i].deadline) {
+            return false;
+        }
+        drain_released(scratch, now);
+    }
+    true
+}
+
+pub mod reference {
+    //! The original O(n²) scan-based EDF engine, kept verbatim as a
+    //! differential-testing oracle for the event-driven engine (and as the
+    //! baseline for the `edf_is_schedulable` benchmark sweep). Use the
+    //! crate-root [`simulate`](super::simulate) /
+    //! [`is_schedulable`](super::is_schedulable) in production code.
+
+    use rtrm_platform::{ResourceKind, Time, TIME_EPSILON};
+
+    use crate::{JobOutcome, PlannedJob, Schedule};
+
+    /// Scan-based counterpart of [`simulate`](super::simulate); identical
+    /// semantics, O(n) work per dispatch event.
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate`](super::simulate).
+    #[must_use]
+    pub fn simulate(
+        kind: ResourceKind,
+        now: Time,
+        jobs: &[PlannedJob],
+        horizon: Option<Time>,
+    ) -> Schedule {
+        super::validate(kind, jobs);
+        match kind {
+            ResourceKind::Cpu => simulate_preemptive(now, jobs, horizon),
+            ResourceKind::Gpu => simulate_non_preemptive(now, jobs, horizon),
+        }
+    }
+
+    /// Scan-based counterpart of [`is_schedulable`](super::is_schedulable).
+    #[must_use]
+    pub fn is_schedulable(kind: ResourceKind, now: Time, jobs: &[PlannedJob]) -> bool {
+        for j in jobs {
+            if !(j.release.max(now) + j.exec).meets(j.deadline) {
+                return false;
+            }
+        }
+        simulate(kind, now, jobs, None).all_meet_deadlines(jobs)
+    }
+
+    struct Live {
+        release: f64,
+        remaining: f64,
+        deadline: Time,
+        outcome: JobOutcome,
+    }
+
+    fn make_live(now: Time, jobs: &[PlannedJob]) -> Vec<Live> {
+        jobs.iter()
+            .map(|j| Live {
+                release: j.release.max(now).value(),
+                remaining: j.exec.value(),
+                deadline: j.deadline,
+                outcome: JobOutcome {
+                    key: j.key,
+                    executed: Time::ZERO,
+                    finish: None,
+                    started: false,
+                },
+            })
+            .collect()
+    }
+
+    /// Picks the released, unfinished job with the earliest deadline
+    /// (ties: input order). Returns its index.
+    fn pick_edf(live: &[Live], now: f64) -> Option<usize> {
+        live.iter()
+            .enumerate()
+            .filter(|(_, j)| j.outcome.finish.is_none() && j.release <= now + TIME_EPSILON)
+            .min_by(|(ai, a), (bi, b)| a.deadline.cmp(&b.deadline).then(ai.cmp(bi)))
+            .map(|(i, _)| i)
+    }
+
+    /// Earliest release among unfinished, not-yet-released jobs.
+    fn next_release(live: &[Live], now: f64) -> Option<f64> {
+        live.iter()
+            .filter(|j| j.outcome.finish.is_none() && j.release > now + TIME_EPSILON)
+            .map(|j| j.release)
+            .min_by(f64::total_cmp)
+    }
+
+    fn run_job(job: &mut Live, now: &mut f64, until: f64) {
+        let dt = (until - *now).min(job.remaining).max(0.0);
+        if dt > 0.0 {
+            job.outcome.started = true;
+            job.outcome.executed += Time::new(dt);
+            job.remaining -= dt;
+            *now += dt;
+        }
+        if job.remaining <= TIME_EPSILON {
+            job.remaining = 0.0;
+            // Zero-length jobs count as finished (and started) at dispatch.
+            job.outcome.started = true;
+            job.outcome.finish = Some(Time::new(*now));
+        }
+    }
+
+    fn simulate_preemptive(start: Time, jobs: &[PlannedJob], horizon: Option<Time>) -> Schedule {
+        let mut live = make_live(start, jobs);
+        let horizon = horizon.map_or(f64::INFINITY, Time::value);
+        let mut now = start.value();
+
+        loop {
+            if now >= horizon - TIME_EPSILON {
+                break;
+            }
+            let Some(current) = pick_edf(&live, now) else {
+                // Idle: jump to the next release, if any.
+                match next_release(&live, now) {
                     Some(r) if r < horizon => {
                         now = r;
                         continue;
                     }
                     _ => break,
-                },
-            },
-        };
-        // Non-preemptive: once dispatched, run to completion (or horizon).
-        let until = horizon.min(now + live[current].remaining);
-        run_job(&mut live[current], &mut now, until);
-        if live[current].outcome.finish.is_none() {
-            // Hit the horizon mid-job: it stays on the resource; remember so
-            // a resumed simulation would pin it. Nothing else runs.
-            break;
+                }
+            };
+            // Run the EDF job until it finishes, the horizon, or the next
+            // release (which may preempt it).
+            let until = horizon
+                .min(now + live[current].remaining)
+                .min(next_release(&live, now).unwrap_or(f64::INFINITY));
+            run_job(&mut live[current], &mut now, until);
         }
+        Schedule::new(live.into_iter().map(|j| j.outcome).collect())
     }
-    Schedule::new(live.into_iter().map(|j| j.outcome).collect())
+
+    fn simulate_non_preemptive(
+        start: Time,
+        jobs: &[PlannedJob],
+        horizon: Option<Time>,
+    ) -> Schedule {
+        let mut live = make_live(start, jobs);
+        let horizon = horizon.map_or(f64::INFINITY, Time::value);
+        let mut now = start.value();
+
+        // A pinned job is physically occupying the resource: dispatch it
+        // first.
+        let mut forced = jobs.iter().position(|j| j.pinned);
+
+        loop {
+            if now >= horizon - TIME_EPSILON {
+                break;
+            }
+            let current = match forced.take() {
+                Some(i) if live[i].outcome.finish.is_none() => i,
+                _ => match pick_edf(&live, now) {
+                    Some(i) => i,
+                    None => match next_release(&live, now) {
+                        Some(r) if r < horizon => {
+                            now = r;
+                            continue;
+                        }
+                        _ => break,
+                    },
+                },
+            };
+            // Non-preemptive: once dispatched, run to completion (or
+            // horizon).
+            let until = horizon.min(now + live[current].remaining);
+            run_job(&mut live[current], &mut now, until);
+            if live[current].outcome.finish.is_none() {
+                // Hit the horizon mid-job: it stays on the resource;
+                // remember so a resumed simulation would pin it. Nothing
+                // else runs.
+                break;
+            }
+        }
+        Schedule::new(live.into_iter().map(|j| j.outcome).collect())
+    }
 }
 
 #[cfg(test)]
@@ -391,5 +738,54 @@ mod tests {
         let s = simulate(ResourceKind::Gpu, T0, &jobs, Some(Time::new(4.0)));
         assert_eq!(s.outcomes()[0].executed, Time::new(4.0));
         assert_eq!(s.outcomes()[1].executed, Time::ZERO);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_calls() {
+        let mut scratch = EdfScratch::new();
+        let mut out = Vec::new();
+        let jobs_a = [j(0, 0.0, 4.0, 100.0), j(1, 0.0, 2.0, 5.0)];
+        simulate_into(ResourceKind::Cpu, T0, &jobs_a, None, &mut scratch, &mut out);
+        assert_eq!(out[1].finish.unwrap(), Time::new(2.0));
+        // Different job set, same scratch: no state may leak.
+        let jobs_b = [j(5, 5.0, 2.0, 10.0)];
+        simulate_into(ResourceKind::Cpu, T0, &jobs_b, None, &mut scratch, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].finish.unwrap(), Time::new(7.0));
+        assert!(is_schedulable_with(
+            ResourceKind::Cpu,
+            T0,
+            &jobs_a,
+            &mut scratch
+        ));
+        assert!(!is_schedulable_with(
+            ResourceKind::Gpu,
+            T0,
+            &[j(0, 0.0, 10.0, 30.0), j(1, 3.0, 2.0, 9.0)],
+            &mut scratch
+        ));
+    }
+
+    #[test]
+    fn is_schedulable_with_matches_simulate_verdict() {
+        // A future release preempting mid-window: schedulable set.
+        let jobs = [j(0, 0.0, 10.0, 30.0), j(1, 3.0, 2.0, 6.0)];
+        let mut scratch = EdfScratch::new();
+        assert!(is_schedulable_with(
+            ResourceKind::Cpu,
+            T0,
+            &jobs,
+            &mut scratch
+        ));
+        assert!(simulate(ResourceKind::Cpu, T0, &jobs, None).all_meet_deadlines(&jobs));
+        // Tighten job 0's deadline so the preemption makes it miss.
+        let jobs = [j(0, 0.0, 10.0, 11.0), j(1, 3.0, 2.0, 6.0)];
+        assert!(!is_schedulable_with(
+            ResourceKind::Cpu,
+            T0,
+            &jobs,
+            &mut scratch
+        ));
+        assert!(!simulate(ResourceKind::Cpu, T0, &jobs, None).all_meet_deadlines(&jobs));
     }
 }

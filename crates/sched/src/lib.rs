@@ -30,5 +30,7 @@
 mod edf;
 mod job;
 
-pub use edf::{is_schedulable, simulate};
+pub use edf::{
+    is_schedulable, is_schedulable_with, reference, simulate, simulate_into, EdfScratch,
+};
 pub use job::{JobKey, JobOutcome, PlannedJob, Schedule};

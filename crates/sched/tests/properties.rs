@@ -40,7 +40,7 @@ fn staggered_jobs() -> impl Strategy<Value = Vec<PlannedJob>> {
 /// sorted-by-deadline prefix-sum test (the paper's constraint (3)).
 fn prefix_sum_feasible(jobs: &[PlannedJob]) -> bool {
     let mut sorted: Vec<_> = jobs.iter().collect();
-    sorted.sort_by(|a, b| a.deadline.cmp(&b.deadline));
+    sorted.sort_by_key(|a| a.deadline);
     let mut acc = 0.0;
     for j in sorted {
         acc += j.exec.value();
@@ -158,6 +158,106 @@ proptest! {
             let f2 = o2.finish.expect("resumed run finishes everything");
             prop_assert!((f_full.value() - f2.value()).abs() < 1e-6,
                 "key={:?} full={} resumed={}", job.key, f_full, f2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: event-driven engine vs the scan-based reference oracle
+// (`rtrm_sched::reference`). The two must agree on every outcome field —
+// finish instants, executed work, started flags — not just feasibility.
+// ---------------------------------------------------------------------------
+
+use rtrm_sched::{is_schedulable_with, reference, simulate_into, EdfScratch};
+
+/// Jobs exercising every engine edge: future releases (preemption on CPUs,
+/// idle gaps), zero-length jobs (finish at dispatch), deadline ties (broken
+/// by input order via a coarse deadline grid), and infeasibly tight sets.
+fn adversarial_jobs() -> impl Strategy<Value = Vec<PlannedJob>> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just(0.0f64), 0.0f64..30.0],
+            prop_oneof![Just(0.0f64), 0.0f64..20.0],
+            1u32..12,
+        ),
+        1..12,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (release, exec, deadline_step))| {
+                PlannedJob::new(
+                    JobKey(i as u64),
+                    Time::new(release),
+                    Time::new(exec),
+                    // Coarse grid => frequent exact deadline ties.
+                    Time::new(release + f64::from(deadline_step) * 5.0),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// CPU timelines (preemption, idle jumps, horizon truncation) are
+    /// bit-identical between the two engines.
+    #[test]
+    fn engine_matches_reference_cpu(
+        jobs in adversarial_jobs(),
+        horizon in prop::option::of(0.5f64..150.0),
+    ) {
+        let horizon = horizon.map(Time::new);
+        let fast = simulate(ResourceKind::Cpu, Time::ZERO, &jobs, horizon);
+        let oracle = reference::simulate(ResourceKind::Cpu, Time::ZERO, &jobs, horizon);
+        prop_assert_eq!(fast.outcomes(), oracle.outcomes());
+    }
+
+    /// GPU timelines — non-preemptive dispatch, optional pinned job run
+    /// ahead of everything, horizon landing mid-job — are bit-identical.
+    #[test]
+    fn engine_matches_reference_gpu(
+        jobs in adversarial_jobs(),
+        pin_first in any::<bool>(),
+        horizon in prop::option::of(0.5f64..150.0),
+    ) {
+        let mut jobs = jobs;
+        if pin_first {
+            jobs[0].pinned = true;
+        }
+        let horizon = horizon.map(Time::new);
+        let fast = simulate(ResourceKind::Gpu, Time::ZERO, &jobs, horizon);
+        let oracle = reference::simulate(ResourceKind::Gpu, Time::ZERO, &jobs, horizon);
+        prop_assert_eq!(fast.outcomes(), oracle.outcomes());
+    }
+
+    /// The allocation-free entry point, with its scratch reused across
+    /// resource kinds and job sets, matches the allocating API exactly.
+    #[test]
+    fn simulate_into_matches_simulate(
+        jobs in adversarial_jobs(),
+        horizon in prop::option::of(0.5f64..150.0),
+    ) {
+        let horizon = horizon.map(Time::new);
+        let mut scratch = EdfScratch::new();
+        let mut out = Vec::new();
+        for kind in [ResourceKind::Cpu, ResourceKind::Gpu] {
+            simulate_into(kind, Time::ZERO, &jobs, horizon, &mut scratch, &mut out);
+            let allocating = simulate(kind, Time::ZERO, &jobs, horizon);
+            prop_assert_eq!(&out[..], allocating.outcomes());
+        }
+    }
+
+    /// The early-abort feasibility check agrees with simulating the whole
+    /// set and checking every deadline, and with the reference oracle.
+    #[test]
+    fn feasibility_agrees_with_full_simulation(jobs in adversarial_jobs()) {
+        let mut scratch = EdfScratch::new();
+        for kind in [ResourceKind::Cpu, ResourceKind::Gpu] {
+            let fast = is_schedulable_with(kind, Time::ZERO, &jobs, &mut scratch);
+            let simulated = simulate(kind, Time::ZERO, &jobs, None).all_meet_deadlines(&jobs);
+            prop_assert_eq!(fast, simulated);
+            prop_assert_eq!(fast, is_schedulable(kind, Time::ZERO, &jobs));
+            prop_assert_eq!(fast, reference::is_schedulable(kind, Time::ZERO, &jobs));
         }
     }
 }

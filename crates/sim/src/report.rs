@@ -108,7 +108,11 @@ pub fn mean_rejection_percent(reports: &[SimReport]) -> f64 {
     if reports.is_empty() {
         return 0.0;
     }
-    reports.iter().map(SimReport::rejection_percent).sum::<f64>() / reports.len() as f64
+    reports
+        .iter()
+        .map(SimReport::rejection_percent)
+        .sum::<f64>()
+        / reports.len() as f64
 }
 
 /// Mean total energy over a batch of reports.

@@ -2,12 +2,14 @@
 //!
 //! The paper's experiments average over hundreds of traces per
 //! configuration; traces are independent, so they parallelize trivially.
-//! Workers pull trace indices from a shared counter (crossbeam scoped
-//! threads), and each builds its own manager/predictor from the supplied
-//! factories so no cross-trace state leaks.
+//! Workers pull trace indices from a shared counter (`std::thread::scope`),
+//! and each builds its own manager/predictor from the supplied factories so
+//! no cross-trace state leaks. Each report lands in its own write-once slot
+//! — the index counter hands every trace to exactly one worker, so no lock
+//! is ever contended on the results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 use rtrm_core::ResourceManager;
 use rtrm_platform::{Platform, TaskCatalog, Trace};
@@ -60,15 +62,15 @@ where
     P: Fn(usize) -> Option<Box<dyn Predictor + Send>> + Sync,
 {
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; traces.len()]);
+    let results: Vec<OnceLock<SimReport>> = (0..traces.len()).map(|_| OnceLock::new()).collect();
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(traces.len().max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let simulator = Simulator::new(platform, catalog, config.clone());
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -82,18 +84,17 @@ where
                         manager.as_mut(),
                         predictor.as_deref_mut().map(|p| p as &mut dyn Predictor),
                     );
-                    results.lock().expect("no poisoned workers")[i] = Some(report);
+                    results[i]
+                        .set(report)
+                        .expect("trace index dispatched to exactly one worker");
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     results
-        .into_inner()
-        .expect("no poisoned workers")
         .into_iter()
-        .map(|r| r.expect("every trace simulated"))
+        .map(|slot| slot.into_inner().expect("every trace simulated"))
         .collect()
 }
 
@@ -130,5 +131,26 @@ mod tests {
             let sequential = simulator.run(trace, &mut HeuristicRm::new(), None);
             assert_eq!(&sequential, report, "parallel run must be deterministic");
         }
+    }
+
+    #[test]
+    fn batch_of_one_trace_uses_single_worker() {
+        let platform = Platform::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+        let cfg = TraceConfig {
+            length: 20,
+            ..TraceConfig::calibrated_vt()
+        };
+        let traces = generate_traces(&catalog, &cfg, 1, 3);
+        let reports = run_batch(
+            &platform,
+            &catalog,
+            &SimConfig::default(),
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+        );
+        assert_eq!(reports.len(), 1);
     }
 }

@@ -3,11 +3,9 @@
 //! same EDF timeline engine the managers use for feasibility.
 
 use rtrm_core::{Activation, Assignment, Candidate, JobView, Placement, ResourceManager};
-use rtrm_platform::{
-    Energy, Platform, ResourceId, TaskCatalog, TaskTypeId, Time, Trace,
-};
+use rtrm_platform::{Energy, Platform, ResourceId, TaskCatalog, TaskTypeId, Time, Trace};
 use rtrm_predict::{OverheadModel, Prediction, Predictor};
-use rtrm_sched::{simulate, JobKey, PlannedJob};
+use rtrm_sched::{simulate_into, EdfScratch, JobKey, JobOutcome, PlannedJob};
 
 use crate::report::{SimReport, TaskOutcome, TaskRecord};
 
@@ -145,6 +143,18 @@ impl LiveJob {
     }
 }
 
+/// Reusable buffers for [`Simulator::advance`]: one trace performs an
+/// activation per request and an EDF run per resource per activation, so the
+/// timeline engine's heaps and the per-resource staging vectors are kept warm
+/// across the whole trace instead of being reallocated every event.
+#[derive(Debug, Default)]
+struct AdvanceScratch {
+    edf: EdfScratch,
+    members: Vec<usize>,
+    planned: Vec<PlannedJob>,
+    outcomes: Vec<JobOutcome>,
+}
+
 /// Drives traces through a [`ResourceManager`] and collects metrics.
 ///
 /// # Examples
@@ -201,6 +211,7 @@ impl<'a> Simulator<'a> {
         mut predictor: Option<&mut dyn Predictor>,
     ) -> SimReport {
         let mut live: Vec<LiveJob> = Vec::new();
+        let mut scratch = AdvanceScratch::default();
         let mut now = Time::ZERO;
         let mut report = SimReport {
             requests: trace.len(),
@@ -235,7 +246,13 @@ impl<'a> Simulator<'a> {
         };
 
         for request in trace.iter() {
-            self.advance(&mut live, now, Some(request.arrival), &mut report);
+            self.advance(
+                &mut live,
+                now,
+                Some(request.arrival),
+                &mut scratch,
+                &mut report,
+            );
             now = request.arrival;
 
             // Prediction: feed the actual arrival, then forecast the next
@@ -285,7 +302,13 @@ impl<'a> Simulator<'a> {
                 if decision.used_prediction {
                     report.used_prediction += 1;
                 }
-                self.apply(&mut live, &views, arriving, &decision.assignments, &mut report);
+                self.apply(
+                    &mut live,
+                    &views,
+                    arriving,
+                    &decision.assignments,
+                    &mut report,
+                );
                 // Plan-following dispatch: hold jobs sharing the phantom's
                 // non-preemptable resource to their planned start times, so
                 // the reserved slot survives until the predicted request
@@ -307,7 +330,7 @@ impl<'a> Simulator<'a> {
         }
 
         // Drain: run everything that was admitted to completion.
-        self.advance(&mut live, now, None, &mut report);
+        self.advance(&mut live, now, None, &mut scratch, &mut report);
         debug_assert!(live.is_empty(), "drained simulation must finish all jobs");
         debug_assert_eq!(report.deadline_misses, 0, "admitted task missed a deadline");
         report
@@ -319,25 +342,37 @@ impl<'a> Simulator<'a> {
         live: &mut Vec<LiveJob>,
         now: Time,
         horizon: Option<Time>,
+        scratch: &mut AdvanceScratch,
         report: &mut SimReport,
     ) {
         if live.is_empty() {
             return;
         }
         for resource in self.platform.ids() {
-            let members: Vec<usize> = (0..live.len())
-                .filter(|&i| live[i].resource == resource)
-                .collect();
-            if members.is_empty() {
+            scratch.members.clear();
+            scratch
+                .members
+                .extend((0..live.len()).filter(|&i| live[i].resource == resource));
+            if scratch.members.is_empty() {
                 continue;
             }
-            let planned: Vec<PlannedJob> = members
-                .iter()
-                .map(|&i| live[i].planned(now, self.platform))
-                .collect();
+            scratch.planned.clear();
+            scratch.planned.extend(
+                scratch
+                    .members
+                    .iter()
+                    .map(|&i| live[i].planned(now, self.platform)),
+            );
             let kind = self.platform.resource(resource).kind();
-            let schedule = simulate(kind, now, &planned, horizon);
-            for (&i, outcome) in members.iter().zip(schedule.outcomes()) {
+            simulate_into(
+                kind,
+                now,
+                &scratch.planned,
+                horizon,
+                &mut scratch.edf,
+                &mut scratch.outcomes,
+            );
+            for (&i, outcome) in scratch.members.iter().zip(scratch.outcomes.iter()) {
                 let job = &mut live[i];
                 if outcome.executed > Time::ZERO {
                     report.busy_time[resource.index()] += outcome.executed;

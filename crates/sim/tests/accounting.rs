@@ -101,7 +101,11 @@ fn migration_charges_lump_and_time_overhead() {
     assert_eq!(r.deadline_misses, 0);
     // Slow task: 2 units on cpu0 (energy 1.2), migrates (em 0.5), remaining
     // 80% on cpu1 (0.8 × 8.0 = 6.4); urgent: 3.0. Total 11.1.
-    assert!((r.energy.value() - 11.1).abs() < 1e-6, "energy={}", r.energy);
+    assert!(
+        (r.energy.value() - 11.1).abs() < 1e-6,
+        "energy={}",
+        r.energy
+    );
     // Slow task's remaining busy time on cpu1: 8 + 1 (cm) = 9, starting at
     // t=2 → finishes at 11; urgent finishes at 6; makespan 11.
     assert_eq!(r.makespan, Time::new(11.0));
@@ -128,7 +132,11 @@ fn reservation_gate_holds_the_gpu_for_the_predicted_task() {
     assert_eq!(r.accepted, 2, "reservation must rescue the urgent task");
     assert_eq!(r.deadline_misses, 0);
     // Light task went straight to the CPU (10.0), urgent to the GPU (2.0).
-    assert!((r.energy.value() - 12.0).abs() < 1e-9, "energy={}", r.energy);
+    assert!(
+        (r.energy.value() - 12.0).abs() < 1e-9,
+        "energy={}",
+        r.energy
+    );
 
     // Without prediction the light task grabs the idle GPU, and rescuing
     // the urgent task requires aborting it: one unit of GPU work (0.5 J) is
@@ -202,7 +210,11 @@ fn dvfs_speed_survives_preemption_and_migration() {
         .uniform_migration(Time::new(0.5), Energy::new(0.25))
         .build();
     let catalog = TaskCatalog::new(vec![slow]);
-    let trace = Trace::new(vec![req(0, 0.0, 30.0), req(1, 1.0, 30.0), req(2, 2.0, 30.0)]);
+    let trace = Trace::new(vec![
+        req(0, 0.0, 30.0),
+        req(1, 1.0, 30.0),
+        req(2, 2.0, 30.0),
+    ]);
     let sim = Simulator::new(&platform, &catalog, SimConfig::default());
     let r = sim.run(&trace, &mut ExactRm::new(), None);
     assert_eq!(r.accepted, 3);
@@ -232,7 +244,10 @@ fn task_log_records_outcomes_and_placements() {
     assert_eq!(b.outcome, rtrm_sim::TaskOutcome::Completed);
     assert_eq!(a.restarts, 1, "A was aborted once");
     assert_eq!(b.restarts, 0);
-    assert!(a.finished.unwrap() > b.finished.unwrap(), "A requeued after B");
+    assert!(
+        a.finished.unwrap() > b.finished.unwrap(),
+        "A requeued after B"
+    );
     assert!(!a.placements.is_empty());
 }
 
@@ -263,7 +278,11 @@ fn energy_breakdown_sums_to_total_components() {
     let trace = Trace::new(vec![req(0, 0.0, 100.0), req(1, 2.0, 4.5)]);
     let sim = Simulator::new(&platform, &catalog, SimConfig::default());
     let r = sim.run(&trace, &mut ExactRm::new(), None);
-    assert!((r.wasted_energy.value() - 1.0).abs() < 1e-9, "waste={}", r.wasted_energy);
+    assert!(
+        (r.wasted_energy.value() - 1.0).abs() < 1e-9,
+        "waste={}",
+        r.wasted_energy
+    );
     assert_eq!(r.migration_energy, Energy::ZERO);
     // Total = useful work (2 + 2) + waste (1).
     assert!((r.energy.value() - 5.0).abs() < 1e-9);
@@ -306,7 +325,11 @@ fn utilization_reflects_busy_time() {
     let r = sim.run(&trace, &mut HeuristicRm::new(), None);
     let cpu = platform.ids().next().expect("cpu");
     let gpu = platform.ids().nth(1).expect("gpu");
-    assert!((r.utilization(gpu) - 1.0).abs() < 1e-9, "gpu={}", r.utilization(gpu));
+    assert!(
+        (r.utilization(gpu) - 1.0).abs() < 1e-9,
+        "gpu={}",
+        r.utilization(gpu)
+    );
     assert_eq!(r.utilization(cpu), 0.0);
     assert_eq!(r.busy_time[gpu.index()], Time::new(8.0));
 }

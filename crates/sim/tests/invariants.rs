@@ -11,7 +11,11 @@ fn setup(
     trace_len: usize,
     traces: usize,
     seed: u64,
-) -> (Platform, rtrm_platform::TaskCatalog, Vec<rtrm_platform::Trace>) {
+) -> (
+    Platform,
+    rtrm_platform::TaskCatalog,
+    Vec<rtrm_platform::Trace>,
+) {
     let platform = Platform::paper_default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
@@ -96,7 +100,9 @@ fn exact_rejects_no_more_than_heuristic_on_average() {
     let sim = Simulator::new(&platform, &catalog, SimConfig::default());
     let (mut rej_exact, mut rej_heur) = (0.0, 0.0);
     for trace in &traces {
-        rej_exact += sim.run(trace, &mut ExactRm::new(), None).rejection_percent();
+        rej_exact += sim
+            .run(trace, &mut ExactRm::new(), None)
+            .rejection_percent();
         rej_heur += sim
             .run(trace, &mut HeuristicRm::new(), None)
             .rejection_percent();

@@ -83,7 +83,10 @@ pub fn generate_bursty_trace<R: Rng + ?Sized>(
 ) -> Trace {
     assert!(config.length > 0, "trace must contain at least one request");
     assert!(!catalog.is_empty(), "catalog must not be empty");
-    assert!(config.mean_phase_len >= 1.0, "phases must span >= 1 request");
+    assert!(
+        config.mean_phase_len >= 1.0,
+        "phases must span >= 1 request"
+    );
 
     let burst = Gaussian::new(config.burst_gap.0, config.burst_gap.1);
     let lull = Gaussian::new(config.lull_gap.0, config.lull_gap.1);

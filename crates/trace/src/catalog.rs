@@ -92,10 +92,16 @@ pub fn generate_catalog<R: Rng + ?Sized>(
     config: &CatalogConfig,
     rng: &mut R,
 ) -> TaskCatalog {
-    assert!(config.num_types > 0, "catalog must contain at least one type");
+    assert!(
+        config.num_types > 0,
+        "catalog must contain at least one type"
+    );
     let cpus: Vec<_> = platform.ids_of_kind(ResourceKind::Cpu).collect();
     let gpus: Vec<_> = platform.ids_of_kind(ResourceKind::Gpu).collect();
-    assert!(!cpus.is_empty(), "catalog generation needs at least one CPU");
+    assert!(
+        !cpus.is_empty(),
+        "catalog generation needs at least one CPU"
+    );
 
     let wcet_dist = Gaussian::new(config.cpu_wcet_mean, config.cpu_wcet_std);
     let energy_dist = Gaussian::new(config.cpu_energy_mean, config.cpu_energy_std);
@@ -122,7 +128,11 @@ pub fn generate_catalog<R: Rng + ?Sized>(
         let mut energy_sum = cpu_energies.iter().sum::<f64>();
         for &gpu in &gpus {
             let t_div = uniform(rng, config.gpu_time_divisor.0, config.gpu_time_divisor.1);
-            let e_div = uniform(rng, config.gpu_energy_divisor.0, config.gpu_energy_divisor.1);
+            let e_div = uniform(
+                rng,
+                config.gpu_energy_divisor.0,
+                config.gpu_energy_divisor.1,
+            );
             let (w, e) = (avg_wcet / t_div, avg_energy / e_div);
             builder.profile(gpu, Time::new(w), Energy::new(e));
             wcet_sum += w;
@@ -132,8 +142,16 @@ pub fn generate_catalog<R: Rng + ?Sized>(
         // Migration overhead: one fraction per type for time, one for energy,
         // of the mean over *all* resources (paper Sec 5.1, last paragraph).
         let n = (cpus.len() + gpus.len()) as f64;
-        let t_frac = uniform(rng, config.migration_fraction.0, config.migration_fraction.1);
-        let e_frac = uniform(rng, config.migration_fraction.0, config.migration_fraction.1);
+        let t_frac = uniform(
+            rng,
+            config.migration_fraction.0,
+            config.migration_fraction.1,
+        );
+        let e_frac = uniform(
+            rng,
+            config.migration_fraction.0,
+            config.migration_fraction.1,
+        );
         builder.uniform_migration(
             Time::new(t_frac * wcet_sum / n),
             Energy::new(e_frac * energy_sum / n),
@@ -163,7 +181,10 @@ mod tests {
 
         let cpu0 = ResourceId::new(0);
         let gpu = ResourceId::new(5);
-        let wcets: Vec<f64> = catalog.iter().map(|t| t.wcet(cpu0).unwrap().value()).collect();
+        let wcets: Vec<f64> = catalog
+            .iter()
+            .map(|t| t.wcet(cpu0).unwrap().value())
+            .collect();
         let mean = wcets.iter().sum::<f64>() / wcets.len() as f64;
         assert!((mean - 40.0).abs() < 2.0, "cpu wcet mean={mean}");
 

@@ -20,7 +20,10 @@ impl Gaussian {
     /// Panics if `std` is negative or either parameter is non-finite.
     #[must_use]
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "parameters must be finite"
+        );
         assert!(std >= 0.0, "standard deviation must be non-negative");
         Gaussian { mean, std }
     }

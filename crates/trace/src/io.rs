@@ -197,14 +197,20 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         let err = read_trace_csv("arrival,id\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }), "{err}");
+        assert!(
+            matches!(err, ReadTraceError::Parse { line: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_wrong_field_count() {
         let data = "id,arrival,task_type,deadline\n0,1.0,2\n";
         let err = read_trace_csv(data.as_bytes()).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Parse { line: 2, .. }), "{err}");
+        assert!(
+            matches!(err, ReadTraceError::Parse { line: 2, .. }),
+            "{err}"
+        );
     }
 
     #[test]

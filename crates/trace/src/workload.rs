@@ -176,7 +176,8 @@ pub fn generate_traces(
     use rand::SeedableRng;
     (0..count)
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)));
             generate_trace(catalog, config, &mut rng)
         })
         .collect()
@@ -244,7 +245,12 @@ mod tests {
         let mean = |t: &rtrm_platform::Trace| {
             t.iter().map(|r| r.deadline.value()).sum::<f64>() / t.len() as f64
         };
-        assert!(mean(&lt) > mean(&vt) * 1.5, "vt={} lt={}", mean(&vt), mean(&lt));
+        assert!(
+            mean(&lt) > mean(&vt) * 1.5,
+            "vt={} lt={}",
+            mean(&vt),
+            mean(&lt)
+        );
     }
 
     #[test]

@@ -18,10 +18,8 @@ fn any_trace_config() -> impl Strategy<Value = TraceConfig> {
         prop_oneof![
             Just(Tightness::VeryTight),
             Just(Tightness::LessTight),
-            (1.1f64..3.0, 0.5f64..5.0).prop_map(|(lo, extra)| Tightness::Custom {
-                lo,
-                hi: lo + extra
-            }),
+            (1.1f64..3.0, 0.5f64..5.0)
+                .prop_map(|(lo, extra)| Tightness::Custom { lo, hi: lo + extra }),
         ],
     )
         .prop_map(|(length, mean, std, tightness)| TraceConfig {

@@ -111,10 +111,8 @@ fn main() {
 
     // After observing request k, the next is heavy for even k, light for
     // odd k; the gap alternates 1 and 9.
-    let mut periodic = PeriodicPredictor::new(
-        Time::new(1.0),
-        vec![TaskTypeId::new(0), TaskTypeId::new(1)],
-    );
+    let mut periodic =
+        PeriodicPredictor::new(Time::new(1.0), vec![TaskTypeId::new(0), TaskTypeId::new(1)]);
     let custom = sim.run(&trace, &mut HeuristicRm::new(), Some(&mut periodic));
 
     let mut history = HistoryPredictor::new(catalog.len(), 0.3);

@@ -73,8 +73,12 @@ fn camera_trace(length: usize, seed: u64) -> Trace {
     while requests.len() < length {
         let jitter: f64 = rng.gen_range(-0.3..0.3);
         // (type, offset within burst, relative deadline)
-        let pattern: &[(usize, f64, f64)] =
-            &[(0, 0.0, 7.0), (1, 2.0, 10.0), (1, 3.5, 10.0), (2, 5.0, 30.0)];
+        let pattern: &[(usize, f64, f64)] = &[
+            (0, 0.0, 7.0),
+            (1, 2.0, 10.0),
+            (1, 3.5, 10.0),
+            (2, 5.0, 30.0),
+        ];
         for &(ty, offset, deadline) in pattern {
             if requests.len() >= length {
                 break;
@@ -108,7 +112,10 @@ fn main() {
     );
 
     println!("edge inference server: 2 big + 2 little CPUs + 1 GPU, 300 requests\n");
-    println!("{:<34} {:>9} {:>10} {:>8}", "configuration", "rejected", "energy", "phantom");
+    println!(
+        "{:<34} {:>9} {:>10} {:>8}",
+        "configuration", "rejected", "energy", "phantom"
+    );
 
     let off = sim.run(&trace, &mut HeuristicRm::new(), None);
     println!(

@@ -44,7 +44,11 @@ fn describe(platform: &Platform, decision: &Decision) {
             "    -> {} on {}{}",
             a.key,
             platform.resource(a.resource).name(),
-            if a.restart { " (restarted from scratch)" } else { "" }
+            if a.restart {
+                " (restarted from scratch)"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -63,7 +67,12 @@ fn main() {
     let mut rm = ExactRm::new();
 
     println!("=== scenario (a): no prediction ===");
-    let tau1 = JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::new(0.0), Time::new(8.0));
+    let tau1 = JobView::fresh(
+        JobKey(1),
+        TaskTypeId::new(0),
+        Time::new(0.0),
+        Time::new(8.0),
+    );
     println!("t=0: τ1 arrives (deadline 8)");
     let d1 = rm.decide(&Activation {
         now: Time::new(0.0),
@@ -81,9 +90,14 @@ fn main() {
         resource: d1.assignments[0].resource,
         remaining_fraction: 4.0 / 5.0,
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
-    let tau2 = JobView::fresh(JobKey(2), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    let tau2 = JobView::fresh(
+        JobKey(2),
+        TaskTypeId::new(1),
+        Time::new(1.0),
+        Time::new(6.0),
+    );
     println!("t=1: τ2 arrives (deadline 5, absolute 6); τ1 is running on the GPU");
     let d2 = rm.decide(&Activation {
         now: Time::new(1.0),
@@ -97,7 +111,12 @@ fn main() {
     println!("    acceptance rate: 1/2\n");
 
     println!("=== scenario (b): accurate prediction of τ2 ===");
-    let phantom = JobView::fresh(JobKey(99), TaskTypeId::new(1), Time::new(1.0), Time::new(6.0));
+    let phantom = JobView::fresh(
+        JobKey(99),
+        TaskTypeId::new(1),
+        Time::new(1.0),
+        Time::new(6.0),
+    );
     println!("t=0: τ1 arrives; the predictor announces τ2 at t=1");
     let d1 = rm.decide(&Activation {
         now: Time::new(0.0),
@@ -114,7 +133,7 @@ fn main() {
         resource: d1.assignments[0].resource,
         remaining_fraction: 7.0 / 8.0,
         started: true,
-                speed: 1.0,
+        speed: 1.0,
     });
     println!("t=1: τ2 actually arrives");
     let d2 = rm.decide(&Activation {

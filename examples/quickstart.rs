@@ -49,7 +49,10 @@ fn main() {
         rej[0] += off.rejection_percent();
         rej[1] += on.rejection_percent();
 
-        assert_eq!(off.deadline_misses, 0, "admitted tasks never miss deadlines");
+        assert_eq!(
+            off.deadline_misses, 0,
+            "admitted tasks never miss deadlines"
+        );
         assert_eq!(on.deadline_misses, 0);
     }
 
