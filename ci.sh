@@ -17,4 +17,11 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
+echo "==> differential suites: incremental EDF timeline + unified event queue"
+cargo test -q -p rtrm-sched --test incremental
+cargo test -q -p rtrm-sim --test unified_queue
+
+echo "==> BENCH_*.json schema sanity"
+cargo test -q -p rtrm-bench --test bench_json_schema
+
 echo "CI OK"

@@ -1,0 +1,314 @@
+//! Schema sanity checks for the checked-in `BENCH_*.json` records: a
+//! hand-rolled mini JSON parser (the workspace deliberately carries no JSON
+//! dependency) that fails CI when a bench record goes stale — wrong shape,
+//! missing series, or a depth sweep that no longer covers the acceptance
+//! point (depth 128).
+
+use std::collections::BTreeMap;
+
+/// A minimal JSON value: just enough for flat bench records.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} (found {:?})",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Bench records contain no escapes; pass them through
+                    // verbatim so a malformed file still fails loudly later.
+                    out.push('\\');
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']' (found {other:?})")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => return Err(format!("expected ',' or '}}' (found {other:?})")),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Json {
+    let mut p = Parser::new(text);
+    let v = p.value().expect("valid JSON");
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
+    v
+}
+
+fn load(name: &str) -> Json {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name} must be checked in at the workspace root: {e}"));
+    parse(&text)
+}
+
+/// Common envelope: `bench` name, `units`, non-empty `results` rows each
+/// carrying a positive `depth` and a positive `speedup`, with depth 128
+/// present (the acceptance point the README quotes).
+fn check_envelope(doc: &Json, bench: &str, row_check: impl Fn(&Json)) {
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some(bench));
+    assert_eq!(
+        doc.get("units").and_then(Json::as_str),
+        Some("ns_per_call"),
+        "stale units field"
+    );
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results array");
+    assert!(!results.is_empty(), "empty results");
+    let mut saw_128 = false;
+    for row in results {
+        let depth = row.get("depth").and_then(Json::as_f64).expect("row depth");
+        assert!(depth > 0.0 && depth.fract() == 0.0, "bad depth {depth}");
+        saw_128 |= depth == 128.0;
+        let speedup = row
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .expect("row speedup");
+        assert!(speedup > 0.0, "non-positive speedup");
+        row_check(row);
+    }
+    assert!(saw_128, "depth sweep must include the acceptance point 128");
+}
+
+#[test]
+fn bench_edf_json_schema_is_current() {
+    let doc = load("BENCH_edf.json");
+    check_envelope(&doc, "edf_is_schedulable", |row| {
+        let kind = row.get("kind").and_then(Json::as_str).expect("row kind");
+        assert!(matches!(kind, "cpu" | "gpu"), "unknown kind {kind}");
+        assert!(row.get("event_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(row.get("reference_ns").and_then(Json::as_f64).unwrap() > 0.0);
+    });
+}
+
+#[test]
+fn bench_activation_json_schema_is_current() {
+    let doc = load("BENCH_activation.json");
+    let mut series = Vec::new();
+    check_envelope(&doc, "activation_latency", |row| {
+        let s = row
+            .get("series")
+            .and_then(Json::as_str)
+            .expect("row series");
+        assert!(
+            matches!(
+                s,
+                "heuristic_decide" | "milp_fallback_decide" | "simulate_100_requests_heuristic"
+            ),
+            "unknown series {s}"
+        );
+        assert!(row.get("baseline_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(row.get("incremental_ns").and_then(Json::as_f64).unwrap() > 0.0);
+    });
+    for row in doc.get("results").and_then(Json::as_array).unwrap() {
+        series.push((
+            row.get("series").and_then(Json::as_str).unwrap().to_owned(),
+            row.get("depth").and_then(Json::as_f64).unwrap() as u64,
+            row.get("speedup").and_then(Json::as_f64).unwrap(),
+        ));
+    }
+    // All three series must be present...
+    for want in [
+        "heuristic_decide",
+        "milp_fallback_decide",
+        "simulate_100_requests_heuristic",
+    ] {
+        assert!(
+            series.iter().any(|(s, _, _)| s == want),
+            "missing series {want}"
+        );
+    }
+    // ...and the recorded end-to-end speedup must meet the acceptance bar.
+    let e2e_128 = series
+        .iter()
+        .find(|(s, d, _)| s == "simulate_100_requests_heuristic" && *d == 128)
+        .expect("end-to-end row at depth 128");
+    assert!(
+        e2e_128.2 >= 2.0,
+        "recorded end-to-end speedup at depth 128 regressed below 2x: {}",
+        e2e_128.2
+    );
+}
+
+#[test]
+fn mini_parser_rejects_malformed_records() {
+    let mut p = Parser::new("{\"a\": [1, 2");
+    assert!(p.value().is_err(), "unterminated array must not parse");
+    let mut p = Parser::new("{\"a\" 1}");
+    assert!(p.value().is_err(), "missing colon must not parse");
+    // A stale-formatted record (results as an object) fails the envelope.
+    let stale =
+        parse("{\"bench\": \"edf_is_schedulable\", \"units\": \"ns_per_call\", \"results\": {}}");
+    assert!(stale.get("results").and_then(Json::as_array).is_none());
+}

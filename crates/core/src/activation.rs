@@ -1,12 +1,13 @@
 //! The resource-manager interface: activations, plans, and decisions.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use rtrm_platform::{Energy, Platform, ResourceId, ResourceKind, TaskCatalog, Time};
-use rtrm_sched::{is_schedulable_with, simulate_into, EdfScratch, JobKey, JobOutcome, PlannedJob};
+use rtrm_sched::{
+    is_schedulable_with, simulate_into, EdfScratch, EdfTimeline, JobKey, JobOutcome, PlannedJob,
+};
 
 use crate::cost::Candidate;
 use crate::view::JobView;
@@ -143,38 +144,71 @@ pub trait ResourceManager {
     fn decide(&mut self, activation: &Activation<'_>) -> Decision;
 }
 
-/// A partial plan under construction: per-resource job queues, checked with
-/// the EDF timeline engine. Shared by the heuristic and the exact optimizer.
+/// Reusable state backing [`PlanBuilder`]s: one persistent [`EdfTimeline`]
+/// per resource plus scratch buffers and a memo for the ad-hoc sub-queue
+/// checks of [`PlanBuilder::fits_or_defer`].
 ///
-/// Feasibility checks run through a per-builder [`EdfScratch`] (no allocation
-/// in steady state) and a memoized verdict cache: the exact optimizer's
-/// branch & bound revisits the same `(resource, queue)` configurations many
-/// times while backtracking, and the heuristic probes the same queue once per
-/// candidate. The cache key is the exact queue content (bit patterns, not a
-/// lossy hash), so a hit can never return a wrong verdict.
-#[derive(Debug, Clone)]
-pub struct PlanBuilder<'a> {
-    activation: &'a Activation<'a>,
-    per_resource: Vec<Vec<PlannedJob>>,
-    scratch: RefCell<FitScratch>,
-}
-
-/// Reusable buffers for [`PlanBuilder`] feasibility checks, behind a
-/// `RefCell` so the read-only query API (`fits`, `all_schedulable`) stays
-/// `&self`.
+/// A manager creates one pool per `decide()` call and threads it through
+/// every [`PlanBuilder::new`] of that activation — in particular through all
+/// rungs of the phantom-count fallback ladder — so timeline allocations and
+/// engine-fallback memo entries are shared across the whole placement search
+/// instead of being rebuilt per rung.
 #[derive(Debug, Clone, Default)]
-struct FitScratch {
-    /// EDF engine state.
-    edf: EdfScratch,
-    /// Queue under test (committed jobs + the probed candidate).
+pub struct TimelinePool {
+    /// When `true`, timelines run in oracle mode: every feasibility probe is
+    /// a memoized from-scratch engine run — the pre-incremental baseline,
+    /// kept callable for benchmarks and differential tests.
+    oracle: bool,
+    /// One timeline per resource, reset (not reallocated) per builder.
+    timelines: Vec<EdfTimeline>,
+    /// Queue buffer for sub-queue checks and gate replays.
     queue: Vec<PlannedJob>,
     /// Encoded memo key for the queue under test.
     probe: Vec<u64>,
     /// Outcome buffer for [`PlanBuilder::reservation_gates`].
     outcomes: Vec<JobOutcome>,
-    /// Exact-keyed feasibility verdicts, cleared when it outgrows
+    /// EDF engine state for queue checks outside the timelines.
+    edf: EdfScratch,
+    /// Exact-keyed verdicts for sub-queue checks, cleared when it outgrows
     /// [`MEMO_CAP`].
     memo: HashMap<Vec<u64>, bool>,
+}
+
+impl TimelinePool {
+    /// Creates an empty pool (incremental feasibility, the default).
+    #[must_use]
+    pub fn new() -> Self {
+        TimelinePool::default()
+    }
+
+    /// Creates a pool whose timelines answer every probe with the memoized
+    /// from-scratch engine instead of the incremental tree. Verdicts are
+    /// identical; this exists so benchmarks can compare against the
+    /// pre-incremental baseline inside the same binary.
+    #[must_use]
+    pub fn oracle() -> Self {
+        TimelinePool {
+            oracle: true,
+            ..TimelinePool::default()
+        }
+    }
+}
+
+/// A partial plan under construction: one persistent [`EdfTimeline`] per
+/// resource. Shared by the heuristic and the exact optimizer.
+///
+/// Feasibility probes ([`fits`](PlanBuilder::fits)) splice the candidate into
+/// the retained timeline and read the verdict incrementally in O(log n) for
+/// dense queues — the common case — instead of re-simulating the whole
+/// queue; committing ([`place`](PlanBuilder::place)) and backtracking
+/// ([`unplace_last`](PlanBuilder::unplace_last)) keep the timeline in sync at
+/// the same cost. Queues containing future-released jobs (phantoms, delayed
+/// arrivals) fall back to memoized from-scratch engine runs inside the
+/// timeline, so exactness is never traded away.
+#[derive(Debug)]
+pub struct PlanBuilder<'a> {
+    activation: &'a Activation<'a>,
+    pool: &'a mut TimelinePool,
 }
 
 /// Memo entries kept before the cache is wholesale cleared. Activations plan
@@ -182,40 +216,53 @@ struct FitScratch {
 /// never fills; the cap only bounds memory on adversarial inputs.
 const MEMO_CAP: usize = 4096;
 
-impl FitScratch {
-    /// Feasibility of `self.queue` on `resource`, memoized by exact queue
-    /// content.
-    fn queue_schedulable(&mut self, resource: ResourceId, kind: ResourceKind, now: Time) -> bool {
-        self.probe.clear();
-        self.probe.push(resource.index() as u64);
-        for j in &self.queue {
-            self.probe.push(j.key.0);
-            self.probe.push(j.release.value().to_bits());
-            self.probe.push(j.exec.value().to_bits());
-            self.probe.push(j.deadline.value().to_bits());
-            self.probe.push(u64::from(j.pinned));
-        }
-        if let Some(&verdict) = self.memo.get(self.probe.as_slice()) {
-            return verdict;
-        }
-        let verdict = is_schedulable_with(kind, now, &self.queue, &mut self.edf);
-        if self.memo.len() >= MEMO_CAP {
-            self.memo.clear();
-        }
-        self.memo.insert(self.probe.clone(), verdict);
-        verdict
+/// Feasibility of `queue` on `resource`, memoized by exact queue content
+/// (bit patterns, not a lossy hash — a hit can never return a wrong
+/// verdict).
+fn queue_schedulable(
+    queue: &[PlannedJob],
+    resource: ResourceId,
+    kind: ResourceKind,
+    now: Time,
+    edf: &mut EdfScratch,
+    memo: &mut HashMap<Vec<u64>, bool>,
+    probe: &mut Vec<u64>,
+) -> bool {
+    probe.clear();
+    probe.push(resource.index() as u64);
+    for j in queue {
+        probe.push(j.key.0);
+        probe.push(j.release.value().to_bits());
+        probe.push(j.exec.value().to_bits());
+        probe.push(j.deadline.value().to_bits());
+        probe.push(u64::from(j.pinned));
     }
+    if let Some(&verdict) = memo.get(probe.as_slice()) {
+        return verdict;
+    }
+    let verdict = is_schedulable_with(kind, now, queue, edf);
+    if memo.len() >= MEMO_CAP {
+        memo.clear();
+    }
+    memo.insert(probe.clone(), verdict);
+    verdict
 }
 
 impl<'a> PlanBuilder<'a> {
-    /// Creates an empty plan for the activation's platform.
+    /// Creates an empty plan for the activation's platform, reusing the
+    /// pool's timelines and buffers.
     #[must_use]
-    pub fn new(activation: &'a Activation<'a>) -> Self {
-        PlanBuilder {
-            activation,
-            per_resource: vec![Vec::new(); activation.platform.len()],
-            scratch: RefCell::new(FitScratch::default()),
+    pub fn new(activation: &'a Activation<'a>, pool: &'a mut TimelinePool) -> Self {
+        let oracle = pool.oracle;
+        while pool.timelines.len() < activation.platform.len() {
+            pool.timelines
+                .push(EdfTimeline::new(ResourceKind::Cpu, activation.now));
         }
+        for (timeline, r) in pool.timelines.iter_mut().zip(activation.platform.ids()) {
+            timeline.reset(activation.platform.resource(r).kind(), activation.now);
+            timeline.set_oracle(oracle);
+        }
+        PlanBuilder { activation, pool }
     }
 
     /// The [`PlannedJob`] a (job, candidate) pair contributes to a resource
@@ -232,18 +279,12 @@ impl<'a> PlanBuilder<'a> {
     }
 
     /// Returns `true` if adding `job` via `candidate` keeps that resource's
-    /// queue schedulable (the heuristic's `IsSchedulable`).
+    /// queue schedulable (the heuristic's `IsSchedulable`). An incremental
+    /// probe of the retained timeline: O(log n) on dense queues.
     #[must_use]
-    pub fn fits(&self, job: &JobView, candidate: &Candidate) -> bool {
-        let r = candidate.resource;
-        let kind = self.activation.platform.resource(r).kind();
-        let scratch = &mut *self.scratch.borrow_mut();
-        scratch.queue.clear();
-        scratch
-            .queue
-            .extend_from_slice(&self.per_resource[r.index()]);
-        scratch.queue.push(self.planned_job(job, candidate));
-        scratch.queue_schedulable(r, kind, self.activation.now)
+    pub fn fits(&mut self, job: &JobView, candidate: &Candidate) -> bool {
+        let planned = self.planned_job(job, candidate);
+        self.pool.timelines[candidate.resource.index()].fits(planned)
     }
 
     /// Like [`fits`](PlanBuilder::fits), but *defers* the verdict (returns
@@ -255,74 +296,82 @@ impl<'a> PlanBuilder<'a> {
     /// search must not prune on the partial check; it re-validates complete
     /// plans with [`all_schedulable`](PlanBuilder::all_schedulable).
     #[must_use]
-    pub fn fits_or_defer(&self, job: &JobView, candidate: &Candidate) -> bool {
+    pub fn fits_or_defer(&mut self, job: &JobView, candidate: &Candidate) -> bool {
         let r = candidate.resource;
         let kind = self.activation.platform.resource(r).kind();
         if !kind.is_preemptable() {
             let now = self.activation.now;
-            let future =
-                job.release > now || self.per_resource[r.index()].iter().any(|j| j.release > now);
+            let future = job.release > now
+                || self.pool.timelines[r.index()]
+                    .jobs()
+                    .iter()
+                    .any(|j| j.release > now);
             if future {
                 // Sound necessary condition that survives the anomaly: the
                 // sub-queue of already-released jobs runs in pure EDF order
                 // regardless of the future releases (removing future work
                 // only shortens its prefix sums), so if *it* misses a
                 // deadline, no completion of this partial plan can fix it.
-                let scratch = &mut *self.scratch.borrow_mut();
-                scratch.queue.clear();
-                scratch.queue.extend(
-                    self.per_resource[r.index()]
+                let planned = self.planned_job(job, candidate);
+                let TimelinePool {
+                    timelines,
+                    queue,
+                    probe,
+                    edf,
+                    memo,
+                    ..
+                } = &mut *self.pool;
+                queue.clear();
+                queue.extend(
+                    timelines[r.index()]
+                        .jobs()
                         .iter()
                         .filter(|j| j.release <= now)
                         .copied(),
                 );
-                let planned = self.planned_job(job, candidate);
                 if planned.release <= now {
-                    scratch.queue.push(planned);
+                    queue.push(planned);
                 }
-                return scratch.queue_schedulable(r, kind, now);
+                return queue_schedulable(queue, r, kind, now, edf, memo, probe);
             }
         }
         self.fits(job, candidate)
     }
 
-    /// Commits `job` to `candidate`'s resource.
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug) if the addition violates schedulability; callers must
-    /// check [`fits`](PlanBuilder::fits) first.
+    /// Commits `job` to `candidate`'s resource, splicing it into the
+    /// retained timeline (callers are expected to have checked
+    /// [`fits`](PlanBuilder::fits) first; placing an infeasible job is
+    /// allowed and simply leaves the timeline infeasible).
     pub fn place(&mut self, job: &JobView, candidate: &Candidate) {
         let planned = self.planned_job(job, candidate);
-        self.per_resource[candidate.resource.index()].push(planned);
+        let _ = self.pool.timelines[candidate.resource.index()].push(planned);
     }
 
     /// Removes the most recently placed job from `resource` (backtracking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is placed on `resource`.
     pub fn unplace_last(&mut self, resource: ResourceId) {
-        self.per_resource[resource.index()]
-            .pop()
-            .expect("unplace_last on empty resource queue");
+        let _ = self.pool.timelines[resource.index()].undo();
     }
 
     /// Number of jobs currently placed on `resource`.
     #[must_use]
     pub fn load(&self, resource: ResourceId) -> usize {
-        self.per_resource[resource.index()].len()
+        self.pool.timelines[resource.index()].len()
     }
 
     /// Returns `true` if every resource queue is schedulable (sanity check
-    /// for complete plans).
+    /// for complete plans). Reads the retained verdicts: O(1) per dense
+    /// queue.
     #[must_use]
-    pub fn all_schedulable(&self) -> bool {
-        let scratch = &mut *self.scratch.borrow_mut();
-        self.activation.platform.ids().all(|r| {
-            let kind = self.activation.platform.resource(r).kind();
-            scratch.queue.clear();
-            scratch
-                .queue
-                .extend_from_slice(&self.per_resource[r.index()]);
-            scratch.queue_schedulable(r, kind, self.activation.now)
-        })
+    pub fn all_schedulable(&mut self) -> bool {
+        let PlanBuilder { activation, pool } = self;
+        activation
+            .platform
+            .ids()
+            .all(|r| pool.timelines[r.index()].feasible())
     }
 
     /// Planned start times of the real jobs sharing a phantom's resource,
@@ -333,20 +382,25 @@ impl<'a> PlanBuilder<'a> {
     /// gates: there, preemption at the actual arrival recovers the plan
     /// without reservations.
     #[must_use]
-    pub fn reservation_gates(&self, phantoms: &[JobKey]) -> Vec<(JobKey, Time)> {
+    pub fn reservation_gates(&mut self, phantoms: &[JobKey]) -> Vec<(JobKey, Time)> {
         let mut gates = Vec::new();
-        for resource in self.activation.platform.ids() {
-            let kind = self.activation.platform.resource(resource).kind();
+        let PlanBuilder { activation, pool } = self;
+        let TimelinePool {
+            timelines,
+            edf,
+            outcomes,
+            ..
+        } = &mut **pool;
+        for resource in activation.platform.ids() {
+            let kind = activation.platform.resource(resource).kind();
             if kind.is_preemptable() {
                 continue;
             }
-            let queue = &self.per_resource[resource.index()];
+            let queue = timelines[resource.index()].jobs();
             if !queue.iter().any(|j| phantoms.contains(&j.key)) {
                 continue;
             }
-            let scratch = &mut *self.scratch.borrow_mut();
-            let FitScratch { edf, outcomes, .. } = scratch;
-            simulate_into(kind, self.activation.now, queue, None, edf, outcomes);
+            simulate_into(kind, activation.now, queue, None, edf, outcomes);
             gates.extend(
                 queue
                     .iter()
@@ -416,7 +470,8 @@ mod tests {
             arriving,
             predicted: &[],
         };
-        let mut plan = PlanBuilder::new(&activation);
+        let mut pool = TimelinePool::new();
+        let mut plan = PlanBuilder::new(&activation, &mut pool);
         let cpu = Candidate {
             resource: ResourceId::new(0),
             exec: Time::new(4.0),

@@ -14,7 +14,7 @@
 
 use rtrm_platform::Energy;
 
-use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager};
+use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager, TimelinePool};
 use crate::cost::{candidates, Candidate};
 use crate::driver::{decide_with_fallback, Plan};
 use crate::view::JobView;
@@ -32,6 +32,11 @@ pub struct ExactRm {
     /// [`candidates`](crate::candidates)). Enabled by default; Fig 1's
     /// scenario analysis requires it.
     pub gpu_restart_in_place: bool,
+    /// Answer every feasibility probe with a memoized from-scratch engine
+    /// run instead of the incremental timeline. Verdicts (and hence plans)
+    /// are identical; this is the pre-incremental baseline, kept for
+    /// benchmarks and differential tests.
+    pub oracle_feasibility: bool,
 }
 
 impl Default for ExactRm {
@@ -39,6 +44,7 @@ impl Default for ExactRm {
         ExactRm {
             node_budget: 20_000_000,
             gpu_restart_in_place: true,
+            oracle_feasibility: false,
         }
     }
 }
@@ -59,7 +65,12 @@ impl ExactRm {
         }
     }
 
-    fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Option<Plan> {
+    fn solve(
+        &self,
+        activation: &Activation<'_>,
+        num_phantoms: usize,
+        pool: &mut TimelinePool,
+    ) -> Option<Plan> {
         let jobs: Vec<JobView> = activation
             .jobs_with_phantoms(num_phantoms)
             .copied()
@@ -106,24 +117,25 @@ impl ExactRm {
             suffix_min[pos] = suffix_min[pos + 1] + cand[order[pos]][0].energy;
         }
 
-        let mut search = Search {
-            jobs: &jobs,
-            cand: &cand,
-            order: &order,
-            suffix_min: &suffix_min,
-            plan: PlanBuilder::new(activation),
-            chosen: vec![None; jobs.len()],
-            best: None,
-            nodes: 0,
-            budget: self.node_budget,
+        let (nodes, best) = {
+            let mut search = Search {
+                jobs: &jobs,
+                cand: &cand,
+                order: &order,
+                suffix_min: &suffix_min,
+                plan: PlanBuilder::new(activation, &mut *pool),
+                chosen: vec![None; jobs.len()],
+                best: None,
+                nodes: 0,
+                budget: self.node_budget,
+            };
+            search.dfs(0, Energy::ZERO);
+            (search.nodes, search.best)
         };
-        search.dfs(0, Energy::ZERO);
-
-        let nodes = search.nodes;
-        let (objective, chosen) = search.best?;
+        let (objective, chosen) = best?;
         // Rebuild the winning plan to derive the reservation gates.
         let start_gates = if num_phantoms > 0 {
-            let mut plan = PlanBuilder::new(activation);
+            let mut plan = PlanBuilder::new(activation, pool);
             for (job, c) in jobs.iter().zip(&chosen) {
                 plan.place(job, &c.expect("complete assignment"));
             }
@@ -200,6 +212,13 @@ impl ResourceManager for ExactRm {
     }
 
     fn decide(&mut self, activation: &Activation<'_>) -> Decision {
-        decide_with_fallback(activation, |act, k| self.solve(act, k))
+        // One pool per activation: the fallback ladder's rungs share the
+        // timelines and the engine-fallback memo.
+        let mut pool = if self.oracle_feasibility {
+            TimelinePool::oracle()
+        } else {
+            TimelinePool::new()
+        };
+        decide_with_fallback(activation, |act, k| self.solve(act, k, &mut pool))
     }
 }

@@ -11,15 +11,26 @@
 
 use rtrm_platform::{Energy, ResourceId, Time};
 
-use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager};
+use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager, TimelinePool};
 use crate::cost::{candidates, Candidate};
 use crate::driver::{decide_with_fallback, Plan};
 use crate::view::JobView;
 
 /// The penalty weight `M` that makes deadline-infeasible placements
-/// undesirable (Algorithm 1, line 6). Any value exceeding every realistic
-/// energy works; desirabilities stay finite so regrets remain ordered.
-const BIG_M: f64 = 1e12;
+/// undesirable (Algorithm 1, line 6), derived from the largest candidate
+/// energy of this activation. `M = 2·max_energy + 1` guarantees that every
+/// penalized desirability (`>= M`) strictly exceeds every unpenalized one
+/// (`<= max_energy < M`), so regret comparisons across tasks are never
+/// distorted — a fixed constant would invert them as soon as per-job
+/// energies approached it.
+fn penalty_weight(cand: &[Vec<Candidate>]) -> f64 {
+    let max_energy = cand
+        .iter()
+        .flatten()
+        .map(|c| c.energy.value())
+        .fold(0.0, f64::max);
+    2.0 * max_energy + 1.0
+}
 
 /// The knapsack-based mapping heuristic of Algorithm 1.
 ///
@@ -33,6 +44,11 @@ pub struct HeuristicRm {
     /// input order instead. Only useful for ablation studies; the paper's
     /// algorithm uses regret ordering.
     pub disable_regret_ordering: bool,
+    /// Answer every feasibility probe with a memoized from-scratch engine
+    /// run instead of the incremental timeline. Verdicts (and hence
+    /// decisions) are identical; this is the pre-incremental baseline, kept
+    /// for benchmarks and differential tests.
+    pub oracle_feasibility: bool,
 }
 
 impl HeuristicRm {
@@ -48,10 +64,16 @@ impl HeuristicRm {
     pub fn without_regret_ordering() -> Self {
         HeuristicRm {
             disable_regret_ordering: true,
+            ..HeuristicRm::default()
         }
     }
 
-    fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Option<Plan> {
+    fn solve(
+        &self,
+        activation: &Activation<'_>,
+        num_phantoms: usize,
+        pool: &mut TimelinePool,
+    ) -> Option<Plan> {
         let jobs: Vec<JobView> = activation
             .jobs_with_phantoms(num_phantoms)
             .copied()
@@ -64,9 +86,10 @@ impl HeuristicRm {
             .iter()
             .map(|j| candidates(j, activation.platform, activation.catalog, false))
             .collect();
+        let big_m = penalty_weight(&cand);
         let desirability = |job: &JobView, c: &Candidate| -> f64 {
             let tleft = job.time_left(activation.now);
-            c.energy.value() + if c.exec > tleft { BIG_M } else { 0.0 }
+            c.energy.value() + if c.exec > tleft { big_m } else { 0.0 }
         };
 
         // K̄: every resource starts with the full window as capacity. The
@@ -81,7 +104,7 @@ impl HeuristicRm {
             .unwrap_or(Time::ZERO);
         let mut capacity = vec![window; activation.platform.len()];
 
-        let mut plan = PlanBuilder::new(activation);
+        let mut plan = PlanBuilder::new(activation, pool);
         let mut chosen: Vec<Option<Candidate>> = vec![None; jobs.len()];
         let mut unmapped: Vec<usize> = (0..jobs.len()).collect();
         let mut iterations: u64 = 0;
@@ -179,7 +202,14 @@ impl ResourceManager for HeuristicRm {
     }
 
     fn decide(&mut self, activation: &Activation<'_>) -> Decision {
-        decide_with_fallback(activation, |act, k| self.solve(act, k))
+        // One pool per activation: the fallback ladder's rungs share the
+        // timelines and the engine-fallback memo.
+        let mut pool = if self.oracle_feasibility {
+            TimelinePool::oracle()
+        } else {
+            TimelinePool::new()
+        };
+        decide_with_fallback(activation, |act, k| self.solve(act, k, &mut pool))
     }
 }
 

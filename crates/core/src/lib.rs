@@ -64,7 +64,9 @@ mod milp_rm;
 mod static_rm;
 mod view;
 
-pub use activation::{Activation, Assignment, Decision, PlanBuilder, ResourceManager};
+pub use activation::{
+    Activation, Assignment, Decision, PlanBuilder, ResourceManager, TimelinePool,
+};
 pub use cost::{candidates, min_energy, Candidate};
 pub use driver::{decide_with_fallback, Plan};
 pub use exact::ExactRm;

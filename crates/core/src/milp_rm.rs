@@ -309,7 +309,8 @@ impl MilpRm {
                     .find(|(_, v)| solution.value(**v) > 0.5)
                     .map(|(c, _)| *c)
                     .expect("constraint (1) forces one placement");
-                let mut plan = crate::activation::PlanBuilder::new(activation);
+                let mut pool = crate::activation::TimelinePool::new();
+                let mut plan = crate::activation::PlanBuilder::new(activation, &mut pool);
                 for (job, c) in real_jobs.iter().zip(placements.iter().map(|(_, c)| c)) {
                     plan.place(job, c);
                 }

@@ -20,7 +20,9 @@
 
 use rtrm_platform::{Energy, ResourceId, TaskCatalog};
 
-use crate::activation::{Activation, Assignment, Decision, PlanBuilder, ResourceManager};
+use crate::activation::{
+    Activation, Assignment, Decision, PlanBuilder, ResourceManager, TimelinePool,
+};
 use crate::cost::candidates;
 
 /// Design-time (quasi-static) mapping baseline.
@@ -96,7 +98,8 @@ impl ResourceManager for StaticRm {
     fn decide(&mut self, activation: &Activation<'_>) -> Decision {
         // Rebuild the fixed plan: every active task stays exactly where it
         // is; only the arriving task is placed.
-        let mut plan = PlanBuilder::new(activation);
+        let mut pool = TimelinePool::new();
+        let mut plan = PlanBuilder::new(activation, &mut pool);
         let mut assignments = Vec::with_capacity(activation.active.len() + 1);
         let mut objective = Energy::ZERO;
         for job in activation.active {

@@ -335,7 +335,11 @@ proptest! {
                 let job = jobs.iter().find(|j| j.key == a.key).expect("assigned job exists");
                 let cand = rtrm_core::candidates(job, &platform, &catalog, true)
                     .into_iter()
-                    .find(|c| c.resource == a.resource && c.restart == a.restart)
+                    .find(|c| {
+                        c.resource == a.resource
+                            && c.restart == a.restart
+                            && (c.speed - a.speed).abs() < 1e-12
+                    })
                     .expect("assignment corresponds to a candidate");
                 queues[a.resource.index()].push(rtrm_sched::PlannedJob {
                     key: job.key,

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rtrm_core::{
-    candidates, Activation, Candidate, ExactRm, JobView, PlanBuilder, ResourceManager,
+    candidates, Activation, Candidate, ExactRm, JobView, PlanBuilder, ResourceManager, TimelinePool,
 };
 use rtrm_platform::{Platform, TaskCatalog, TaskTypeId, Time};
 use rtrm_sched::JobKey;
@@ -53,7 +53,8 @@ fn brute_force_best(activation: &Activation<'_>) -> Option<f64> {
     loop {
         // Evaluate the current combination with a *full-plan* check only —
         // no partial pruning — so anomalies cannot hide solutions.
-        let mut plan = PlanBuilder::new(activation);
+        let mut pool = TimelinePool::new();
+        let mut plan = PlanBuilder::new(activation, &mut pool);
         let mut cost = 0.0;
         for (j, job) in jobs.iter().enumerate() {
             let c = &cands[j][index[j]];

@@ -278,3 +278,51 @@ fn static_rm_works_with_the_simulator_end_to_end() {
     assert!(d.admitted);
     assert_eq!(d.assignments[0].resource, ids[1]);
 }
+
+#[test]
+fn penalty_weight_scales_with_pathological_energies() {
+    // The infeasibility penalty `M` in the desirability function must
+    // dominate *any* candidate energy of the activation. With per-job
+    // energies around 1e15, a fixed constant (the old `M = 1e12`) sinks
+    // below the energy terms: the penalized option looks *cheaper*, regret
+    // ordering inverts, and a schedulable pair gets rejected. The derived
+    // `M = 2·max_energy + 1` keeps the ordering intact.
+    let platform = Platform::builder().cpus(2).build();
+    let ids: Vec<_> = platform.ids().collect();
+    // Type A: r1 is energy-cheapest but too slow for A's deadline (6.5 > 6);
+    // r0 fits. Honest desirability must penalize r1, giving A a huge regret.
+    let a = TaskType::builder(0, &platform)
+        .profile(ids[0], Time::new(4.0), Energy::new(2e15))
+        .profile(ids[1], Time::new(6.5), Energy::new(1e15))
+        .build();
+    // Type B: fits either CPU; r0 is cheaper.
+    let b = TaskType::builder(1, &platform)
+        .profile(ids[0], Time::new(4.0), Energy::new(1e15))
+        .profile(ids[1], Time::new(4.0), Energy::new(3e15))
+        .build();
+    let catalog = TaskCatalog::new(vec![a, b]);
+    let active = [JobView::fresh(
+        JobKey(0),
+        TaskTypeId::new(1),
+        Time::ZERO,
+        Time::new(7.0),
+    )];
+    let arriving = JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::ZERO, Time::new(6.0));
+    let d = HeuristicRm::new().decide(&Activation {
+        now: Time::ZERO,
+        platform: &platform,
+        catalog: &catalog,
+        active: &active,
+        arriving,
+        predicted: &[],
+    });
+    // A (regret ≈ 5e15) must map before B (regret 2e15) and claim r0; B
+    // then takes r1. A too-small M would order B first: B fills r0, A's
+    // only remaining option r1 misses its deadline, and the activation is
+    // rejected.
+    assert!(d.admitted, "pathological energies must not distort regret");
+    let a1 = d.assignments.iter().find(|x| x.key == JobKey(1)).unwrap();
+    let a0 = d.assignments.iter().find(|x| x.key == JobKey(0)).unwrap();
+    assert_eq!(a1.resource, rid(0), "high-regret task claims the fast CPU");
+    assert_eq!(a0.resource, rid(1));
+}

@@ -29,8 +29,10 @@
 
 mod edf;
 mod job;
+mod timeline;
 
 pub use edf::{
     is_schedulable, is_schedulable_with, reference, simulate, simulate_into, EdfScratch,
 };
 pub use job::{JobKey, JobOutcome, PlannedJob, Schedule};
+pub use timeline::{EdfTimeline, Feasibility};

@@ -1,0 +1,698 @@
+//! Incremental EDF admission: a persistent per-resource timeline.
+//!
+//! The managers' inner loops (the heuristic's regret-ordered placement
+//! attempts, the exact solver's branch-and-bound, the fallback ladder over
+//! phantom counts) probe feasibility thousands of times per activation, and
+//! consecutive probes differ by a single job. Re-simulating the whole queue —
+//! even with the event-driven engine — makes each probe O(n log n).
+//! [`EdfTimeline`] instead *retains* the timeline between probes:
+//! [`EdfTimeline::push`] splices one job in and re-derives the feasibility
+//! verdict in O(log n), and [`EdfTimeline::undo`] removes it again in
+//! O(log n), so a whole placement search costs about one engine run.
+//!
+//! # How the incremental verdict works
+//!
+//! The common case by far is a *dense* queue: every job is released at (or
+//! before) the activation instant `now`. Under EDF — preemptive or not — a
+//! dense queue executes back-to-back in `(deadline, input order)` order, with
+//! the pinned job (if any) dispatched first. Writing `E_u` for the sum of
+//! execution times of jobs ordered at-or-before job `u` and `B` for the
+//! pinned job's execution time, job `u` finishes at `now + B + E_u`, so the
+//! queue is feasible iff
+//!
+//! ```text
+//! min over u of (deadline_u - E_u)  >=  now + B - TIME_EPSILON
+//! ```
+//!
+//! The timeline maintains the jobs in a balanced order-statistic tree (a
+//! treap keyed by `(deadline, push order)`) whose nodes aggregate the subtree
+//! execution-time sum and the subtree minimum of `deadline_u - E_u`; both
+//! maintain under rotation in O(1), so push/undo are O(log n) and the
+//! feasibility verdict is read off the root.
+//!
+//! Queues containing a *future-released* job (a predicted phantom, or an
+//! arrival delayed by prediction overhead) gain idle gaps and — on
+//! non-preemptable resources — scheduling anomalies that the prefix-sum
+//! argument does not capture. For those the timeline falls back to a
+//! from-scratch run of the event-driven engine over the retained job list,
+//! memoized by exact queue content so the fallback ladder's repeated
+//! re-examinations of the same queue stay cheap.
+//!
+//! The differential property suite in `tests/incremental.rs` asserts that
+//! every push/undo sequence agrees — bit for bit on the verdict — with a
+//! from-scratch [`is_schedulable_with`] over the same jobs.
+
+use std::collections::HashMap;
+
+use rtrm_platform::{ResourceKind, Time, TIME_EPSILON};
+
+use crate::{is_schedulable_with, EdfScratch, PlannedJob};
+
+/// Verdict of an [`EdfTimeline::push`]: is the queue (including the job just
+/// pushed) schedulable on this resource?
+#[must_use = "a feasibility verdict that is not inspected hides an admission failure"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// Every job in the queue meets its deadline.
+    Feasible,
+    /// At least one job misses its deadline.
+    Infeasible,
+}
+
+impl Feasibility {
+    /// Returns `true` for [`Feasibility::Feasible`].
+    #[must_use]
+    pub fn is_feasible(self) -> bool {
+        matches!(self, Feasibility::Feasible)
+    }
+}
+
+impl From<bool> for Feasibility {
+    fn from(feasible: bool) -> Self {
+        if feasible {
+            Feasibility::Feasible
+        } else {
+            Feasibility::Infeasible
+        }
+    }
+}
+
+/// Where a pushed job went, so [`EdfTimeline::undo`] can unwind it.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Dense job: lives in the treap.
+    Tree,
+    /// The pinned job (held outside the tree; it dispatches first).
+    Pinned,
+    /// Released after `now`: forces the engine fallback.
+    Future,
+}
+
+/// Entries allowed in the engine-fallback memo before it is reset; bounds
+/// memory on pathological workloads while never evicting the hot set of a
+/// single placement search.
+const MEMO_CAP: usize = 4096;
+
+/// A persistent single-resource EDF timeline with O(log n) incremental
+/// admission.
+///
+/// Push jobs with [`push`](EdfTimeline::push), retract the most recent one
+/// with [`undo`](EdfTimeline::undo) (strict stack discipline), and read the
+/// current verdict with [`feasible`](EdfTimeline::feasible). The semantics
+/// are exactly those of [`is_schedulable_with`] over
+/// [`jobs`](EdfTimeline::jobs): preemptive EDF on CPUs, work-conserving
+/// non-preemptive EDF on GPUs, pinned job first.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{ResourceKind, Time};
+/// use rtrm_sched::{EdfTimeline, JobKey, PlannedJob};
+///
+/// let now = Time::ZERO;
+/// let mut timeline = EdfTimeline::new(ResourceKind::Cpu, now);
+/// let a = PlannedJob::new(JobKey(0), now, Time::new(3.0), Time::new(5.0));
+/// let b = PlannedJob::new(JobKey(1), now, Time::new(4.0), Time::new(6.0));
+///
+/// assert!(timeline.push(a).is_feasible());
+/// // `b` cannot fit behind `a`'s three units of work: 3 + 4 > 6.
+/// assert!(!timeline.push(b).is_feasible());
+/// let popped = timeline.undo(); // retract `b`; `a` alone is fine again
+/// assert_eq!(popped.key, JobKey(1));
+/// assert!(timeline.feasible());
+/// assert_eq!(timeline.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdfTimeline {
+    kind: ResourceKind,
+    start: Time,
+    /// When set, every verdict uses the memoized from-scratch engine instead
+    /// of the incremental tree — the pre-incremental baseline, kept callable
+    /// for benchmarks and differential tests.
+    oracle: bool,
+    /// All pushed jobs, in push order (= the engine's input order, which
+    /// breaks deadline ties).
+    jobs: Vec<PlannedJob>,
+    /// Per-job placement bookkeeping, parallel to `jobs`.
+    slots: Vec<Slot>,
+    tree: Treap,
+    /// Index into `jobs` of the pinned job, if one was pushed.
+    pinned: Option<usize>,
+    /// Number of jobs with `release > now`: while non-zero, verdicts fall
+    /// back to the engine.
+    future: usize,
+    scratch: EdfScratch,
+    memo: HashMap<Vec<u64>, bool>,
+    probe: Vec<u64>,
+}
+
+impl EdfTimeline {
+    /// Creates an empty timeline for a resource of `kind` whose queue starts
+    /// executing at `now`.
+    #[must_use]
+    pub fn new(kind: ResourceKind, now: Time) -> Self {
+        EdfTimeline {
+            kind,
+            start: now,
+            oracle: false,
+            jobs: Vec::new(),
+            slots: Vec::new(),
+            tree: Treap::default(),
+            pinned: None,
+            future: 0,
+            scratch: EdfScratch::new(),
+            memo: HashMap::new(),
+            probe: Vec::new(),
+        }
+    }
+
+    /// Empties the timeline for reuse, keeping its allocations warm.
+    ///
+    /// The engine-fallback memo survives the reset when `kind` and `now` are
+    /// unchanged (verdicts depend only on the queue content given those two),
+    /// which is what lets the managers' fallback ladder re-examine the same
+    /// queues for free; it is dropped when either changes.
+    pub fn reset(&mut self, kind: ResourceKind, now: Time) {
+        if kind != self.kind || now != self.start {
+            self.memo.clear();
+        }
+        self.kind = kind;
+        self.start = now;
+        self.jobs.clear();
+        self.slots.clear();
+        self.tree.clear();
+        self.pinned = None;
+        self.future = 0;
+    }
+
+    /// Switches between incremental verdicts (default) and the memoized
+    /// from-scratch engine. Both modes agree on every verdict; the oracle
+    /// mode exists as an in-binary baseline for benchmarks and tests.
+    pub fn set_oracle(&mut self, oracle: bool) {
+        self.oracle = oracle;
+    }
+
+    /// The resource kind this timeline schedules for.
+    #[must_use]
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The instant the queue starts executing.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.start
+    }
+
+    /// The jobs currently on the timeline, in push order.
+    #[must_use]
+    pub fn jobs(&self) -> &[PlannedJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs on the timeline.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` if no jobs have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Splices `job` into the timeline and returns whether the whole queue
+    /// (including `job`) is schedulable. O(log n) for dense queues.
+    ///
+    /// The verdict is [`#[must_use]`](Feasibility): an uninspected push is an
+    /// admission decision nobody checked. An infeasible push still retains
+    /// the job — retract it with [`undo`](EdfTimeline::undo) if the caller
+    /// was only probing (or use [`fits`](EdfTimeline::fits)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job.exec` is negative or non-finite, if `job` is pinned on
+    /// a preemptable resource, or if a pinned job is already present.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtrm_platform::{ResourceKind, Time};
+    /// use rtrm_sched::{EdfTimeline, JobKey, PlannedJob};
+    ///
+    /// let mut timeline = EdfTimeline::new(ResourceKind::Cpu, Time::ZERO);
+    /// let job = PlannedJob::new(JobKey(7), Time::ZERO, Time::new(2.0), Time::new(2.0));
+    /// assert!(timeline.push(job).is_feasible(), "an exact fit is feasible");
+    /// ```
+    pub fn push(&mut self, job: PlannedJob) -> Feasibility {
+        assert!(
+            job.exec >= Time::ZERO && job.exec.is_finite(),
+            "job exec must be finite and non-negative"
+        );
+        let slot = if job.pinned {
+            assert!(
+                self.kind == ResourceKind::Gpu,
+                "pinning applies only to non-preemptable resources"
+            );
+            assert!(
+                self.pinned.is_none(),
+                "at most one job may be pinned per resource"
+            );
+            self.pinned = Some(self.jobs.len());
+            Slot::Pinned
+        } else if job.release <= self.start {
+            // `(deadline, push order)` keys make ties deterministic and
+            // identical to the engine's input-order tie-break.
+            self.tree.insert(
+                job.deadline.value(),
+                self.jobs.len() as u32,
+                job.exec.value(),
+            );
+            Slot::Tree
+        } else {
+            // A release even marginally after `now` goes through the engine:
+            // it may open an idle gap (and, on a GPU, a scheduling anomaly)
+            // that the dense prefix-sum argument does not model.
+            self.future += 1;
+            Slot::Future
+        };
+        self.jobs.push(job);
+        self.slots.push(slot);
+        Feasibility::from(self.feasible())
+    }
+
+    /// Removes the most recently pushed job (strict LIFO) and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeline is empty.
+    ///
+    /// # Examples
+    ///
+    /// Backtracking over a placement attempt — push, observe the verdict,
+    /// retract, and the earlier queue state is intact:
+    ///
+    /// ```
+    /// use rtrm_platform::{ResourceKind, Time};
+    /// use rtrm_sched::{EdfTimeline, JobKey, PlannedJob};
+    ///
+    /// let now = Time::ZERO;
+    /// let mut timeline = EdfTimeline::new(ResourceKind::Gpu, now);
+    /// let held = PlannedJob::new(JobKey(0), now, Time::new(4.0), Time::new(9.0));
+    /// let probe = PlannedJob::new(JobKey(1), now, Time::new(6.0), Time::new(7.0));
+    /// assert!(timeline.push(held).is_feasible());
+    /// assert!(!timeline.push(probe).is_feasible(), "4 + 6 > 7");
+    /// assert_eq!(timeline.undo().key, JobKey(1));
+    /// assert!(timeline.feasible(), "the remaining queue is feasible again");
+    /// assert_eq!(timeline.jobs().len(), 1);
+    /// ```
+    #[must_use = "the retracted job is the caller's to re-place or drop"]
+    pub fn undo(&mut self) -> PlannedJob {
+        let job = self.jobs.pop().expect("undo on an empty timeline");
+        match self.slots.pop().expect("slots parallel jobs") {
+            Slot::Tree => self
+                .tree
+                .remove(job.deadline.value(), self.jobs.len() as u32),
+            Slot::Pinned => self.pinned = None,
+            Slot::Future => self.future -= 1,
+        }
+        job
+    }
+
+    /// Returns `true` if every job on the timeline meets its deadline —
+    /// the same verdict as [`is_schedulable_with`] over
+    /// [`jobs`](EdfTimeline::jobs).
+    #[must_use]
+    pub fn feasible(&mut self) -> bool {
+        if self.oracle || self.future > 0 {
+            return self.engine_feasible();
+        }
+        if let Some(i) = self.pinned {
+            // Mirror the engine's fast necessary condition exactly: the
+            // pinned job's raw release participates even though dispatch
+            // ignores it.
+            let j = &self.jobs[i];
+            if !(j.release.max(self.start) + j.exec).meets(j.deadline) {
+                return false;
+            }
+        }
+        let base = self.pinned.map_or(0.0, |i| self.jobs[i].exec.value());
+        self.tree.root_min_gap() >= self.start.value() + base - TIME_EPSILON
+    }
+
+    /// Probes `job` without retaining it: `push` + `undo`, returning the
+    /// verdict. The caller's timeline is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// As [`push`](EdfTimeline::push).
+    #[must_use]
+    pub fn fits(&mut self, job: PlannedJob) -> bool {
+        let verdict = self.push(job).is_feasible();
+        let _ = self.undo();
+        verdict
+    }
+
+    /// From-scratch engine verdict over the retained queue, memoized by
+    /// exact queue content.
+    fn engine_feasible(&mut self) -> bool {
+        self.probe.clear();
+        for j in &self.jobs {
+            self.probe.push(j.release.value().to_bits());
+            self.probe.push(j.exec.value().to_bits());
+            self.probe.push(j.deadline.value().to_bits());
+            self.probe.push(u64::from(j.pinned));
+        }
+        if let Some(&verdict) = self.memo.get(&self.probe) {
+            return verdict;
+        }
+        let verdict = is_schedulable_with(self.kind, self.start, &self.jobs, &mut self.scratch);
+        if self.memo.len() >= MEMO_CAP {
+            self.memo.clear();
+        }
+        self.memo.insert(self.probe.clone(), verdict);
+        verdict
+    }
+}
+
+/// Arena-allocated treap over `(deadline, seq)` keys with subtree aggregates
+/// `sum` (total exec) and `min_gap` (minimum of `deadline_u - E_u` over the
+/// subtree, `E_u` the in-order exec prefix sum *within the subtree*).
+///
+/// `min_gap` composes under concatenation: for a node `v` with left subtree
+/// `L` and right subtree `R`, the prefix of `v` is `sum(L) + exec_v` and
+/// every gap in `R` shifts down by that amount, so
+/// `min_gap(v) = min(min_gap(L), deadline_v - prefix_v, min_gap(R) - prefix_v)`.
+#[derive(Debug, Clone)]
+struct Treap {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    rng: u64,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    deadline: f64,
+    seq: u32,
+    prio: u64,
+    exec: f64,
+    left: u32,
+    right: u32,
+    sum: f64,
+    min_gap: f64,
+}
+
+impl Default for Treap {
+    fn default() -> Self {
+        Treap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            // Any non-zero seed works; priorities only need to be
+            // uncorrelated with insertion order. Deterministic so runs are
+            // reproducible.
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Lexicographic `(deadline, seq)` order; deadlines by `total_cmp` so the
+/// tree key order matches the engine's heap order bit for bit.
+fn key_less(ad: f64, aseq: u32, bd: f64, bseq: u32) -> bool {
+    match ad.total_cmp(&bd) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => aseq < bseq,
+    }
+}
+
+impl Treap {
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        // xorshift64: cheap, deterministic, no external RNG dependency.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn sum(&self, v: u32) -> f64 {
+        if v == NIL {
+            0.0
+        } else {
+            self.nodes[v as usize].sum
+        }
+    }
+
+    fn min_gap(&self, v: u32) -> f64 {
+        if v == NIL {
+            f64::INFINITY
+        } else {
+            self.nodes[v as usize].min_gap
+        }
+    }
+
+    /// The queue-wide minimum of `deadline_u - E_u`, `+inf` when empty.
+    fn root_min_gap(&self) -> f64 {
+        self.min_gap(self.root)
+    }
+
+    /// Recomputes `v`'s aggregates from its children.
+    fn pull(&mut self, v: u32) {
+        let n = self.nodes[v as usize];
+        let prefix = self.sum(n.left) + n.exec;
+        let min_gap = self
+            .min_gap(n.left)
+            .min(n.deadline - prefix)
+            .min(self.min_gap(n.right) - prefix);
+        let sum = prefix + self.sum(n.right);
+        let n = &mut self.nodes[v as usize];
+        n.sum = sum;
+        n.min_gap = min_gap;
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
+            let merged = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = merged;
+            self.pull(a);
+            a
+        } else {
+            let merged = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = merged;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Splits by key into (`< (d, seq)`, `>= (d, seq)`).
+    fn split(&mut self, v: u32, d: f64, seq: u32) -> (u32, u32) {
+        if v == NIL {
+            return (NIL, NIL);
+        }
+        let n = self.nodes[v as usize];
+        if key_less(n.deadline, n.seq, d, seq) {
+            let (a, b) = self.split(n.right, d, seq);
+            self.nodes[v as usize].right = a;
+            self.pull(v);
+            (v, b)
+        } else {
+            let (a, b) = self.split(n.left, d, seq);
+            self.nodes[v as usize].left = b;
+            self.pull(v);
+            (a, v)
+        }
+    }
+
+    fn insert(&mut self, deadline: f64, seq: u32, exec: f64) {
+        let node = Node {
+            deadline,
+            seq,
+            prio: self.next_prio(),
+            exec,
+            left: NIL,
+            right: NIL,
+            sum: exec,
+            min_gap: deadline - exec,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        let (a, b) = self.split(self.root, deadline, seq);
+        let left = self.merge(a, idx);
+        self.root = self.merge(left, b);
+    }
+
+    fn remove(&mut self, deadline: f64, seq: u32) {
+        let (a, rest) = self.split(self.root, deadline, seq);
+        // `seq` is unique, so the exact-key slice is the single target node.
+        let (target, c) = self.split(rest, deadline, seq + 1);
+        debug_assert!(target != NIL, "removing a job that was never inserted");
+        debug_assert!(
+            self.nodes[target as usize].left == NIL && self.nodes[target as usize].right == NIL,
+            "exact-key split must isolate one node"
+        );
+        self.free.push(target);
+        self.root = self.merge(a, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_schedulable, JobKey};
+
+    fn j(key: u64, release: f64, exec: f64, deadline: f64) -> PlannedJob {
+        PlannedJob::new(
+            JobKey(key),
+            Time::new(release),
+            Time::new(exec),
+            Time::new(deadline),
+        )
+    }
+
+    const T0: Time = Time::ZERO;
+
+    #[test]
+    fn dense_cpu_matches_engine() {
+        let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
+        let jobs = [j(0, 0.0, 4.0, 100.0), j(1, 0.0, 2.0, 5.0)];
+        for job in jobs {
+            assert!(tl.push(job).is_feasible());
+        }
+        assert!(is_schedulable(ResourceKind::Cpu, T0, &jobs));
+        // Tighten: a third job that overflows job 0's slack.
+        let c = j(2, 0.0, 95.0, 100.0);
+        assert!(!tl.push(c).is_feasible());
+        assert!(!is_schedulable(
+            ResourceKind::Cpu,
+            T0,
+            &[jobs[0], jobs[1], c]
+        ));
+        let _ = tl.undo();
+        assert!(tl.feasible());
+    }
+
+    #[test]
+    fn pinned_job_occupies_the_head() {
+        let mut tl = EdfTimeline::new(ResourceKind::Gpu, T0);
+        let mut running = j(0, 0.0, 4.0, 100.0);
+        running.pinned = true;
+        assert!(tl.push(running).is_feasible());
+        // An urgent job cannot jump the pinned one: 4 + 1 > 2.
+        assert!(!tl.push(j(1, 0.0, 1.0, 2.0)).is_feasible());
+        let _ = tl.undo();
+        assert!(tl.push(j(2, 0.0, 1.0, 5.0)).is_feasible());
+    }
+
+    #[test]
+    fn future_release_falls_back_to_engine() {
+        let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
+        assert!(tl.push(j(0, 0.0, 10.0, 30.0)).is_feasible());
+        // Released at 3 with deadline 6: preempts and fits (engine path).
+        assert!(tl.push(j(1, 3.0, 2.0, 6.0)).is_feasible());
+        // Same but deadline 4: 3 + 2 > 4, infeasible.
+        let _ = tl.undo();
+        assert!(!tl.push(j(2, 3.0, 2.0, 4.0)).is_feasible());
+        let _ = tl.undo();
+        // Back to a dense queue: incremental path again.
+        assert!(tl.feasible());
+        assert_eq!(tl.len(), 1);
+    }
+
+    #[test]
+    fn fits_leaves_timeline_unchanged() {
+        let mut tl = EdfTimeline::new(ResourceKind::Gpu, T0);
+        let _ = tl.push(j(0, 0.0, 3.0, 50.0));
+        let before = tl.jobs().to_vec();
+        assert!(tl.fits(j(1, 0.0, 3.0, 10.0)));
+        assert!(!tl.fits(j(2, 0.0, 3.0, 2.0)));
+        assert_eq!(tl.jobs(), &before[..]);
+    }
+
+    #[test]
+    fn reset_keeps_memo_only_for_same_instant() {
+        let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
+        let _ = tl.push(j(0, 2.0, 1.0, 10.0)); // future: engine + memo
+        tl.reset(ResourceKind::Cpu, T0);
+        assert!(tl.is_empty());
+        assert_eq!(tl.memo.len(), 1, "same (kind, now): memo retained");
+        tl.reset(ResourceKind::Cpu, Time::new(1.0));
+        assert!(tl.memo.is_empty(), "different now: memo dropped");
+    }
+
+    #[test]
+    fn oracle_mode_agrees() {
+        let mut incremental = EdfTimeline::new(ResourceKind::Cpu, T0);
+        let mut oracle = EdfTimeline::new(ResourceKind::Cpu, T0);
+        oracle.set_oracle(true);
+        for job in [
+            j(0, 0.0, 2.0, 9.0),
+            j(1, 0.0, 3.0, 4.0),
+            j(2, 0.0, 3.5, 9.0),
+        ] {
+            assert_eq!(
+                incremental.push(job).is_feasible(),
+                oracle.push(job).is_feasible()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undo on an empty timeline")]
+    fn undo_empty_panics() {
+        let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
+        let _ = tl.undo();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one job may be pinned")]
+    fn second_pinned_rejected() {
+        let mut tl = EdfTimeline::new(ResourceKind::Gpu, T0);
+        let mut a = j(0, 0.0, 1.0, 5.0);
+        a.pinned = true;
+        let mut b = j(1, 0.0, 1.0, 5.0);
+        b.pinned = true;
+        let _ = tl.push(a);
+        let _ = tl.push(b);
+    }
+
+    #[test]
+    fn interleaved_push_undo_tracks_tree_state() {
+        // Regression shape: remove from the middle of the deadline order.
+        let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
+        let _ = tl.push(j(0, 0.0, 1.0, 10.0));
+        let _ = tl.push(j(1, 0.0, 1.0, 5.0));
+        let _ = tl.push(j(2, 0.0, 1.0, 7.5));
+        let popped = tl.undo();
+        assert_eq!(popped.key, JobKey(2));
+        // 1 + 4.5 > 5: the new job overflows the slack before its deadline.
+        assert!(!tl.push(j(3, 0.0, 4.5, 5.0)).is_feasible());
+        let _ = tl.undo();
+        assert!(tl.feasible());
+    }
+}

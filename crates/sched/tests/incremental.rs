@@ -1,0 +1,243 @@
+//! Differential property suite: incremental [`EdfTimeline`] push/undo against
+//! the from-scratch event-driven engine ([`is_schedulable_with`] /
+//! [`simulate_into`]) over the very same job list.
+//!
+//! Two float regimes are exercised:
+//!
+//! * **lattice** — every time is a multiple of 1/8, so prefix sums are exact
+//!   in `f64` no matter the association order; the incremental tree verdict
+//!   must then agree with the sequential engine *bit for bit*;
+//! * **continuous** — uniform floats, checking verdict-level agreement on
+//!   arbitrary magnitudes (sums may associate differently, but verdicts only
+//!   diverge on knife-edge queues that uniform sampling never hits).
+
+use proptest::prelude::*;
+use rtrm_platform::{ResourceKind, Time};
+use rtrm_sched::{is_schedulable_with, simulate_into, EdfScratch, EdfTimeline, JobKey, PlannedJob};
+
+/// One step of a randomized admission episode.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push a job with these offsets from the episode's `now`.
+    Push {
+        release: f64,
+        exec: f64,
+        deadline: f64,
+        pinned: bool,
+    },
+    /// Retract the most recent job (no-op on an empty timeline).
+    Undo,
+}
+
+/// Times that are exact multiples of 1/8: all sums are exact dyadics.
+fn lattice(steps: std::ops::Range<u32>) -> impl Strategy<Value = f64> {
+    steps.prop_map(|i| f64::from(i) * 0.125)
+}
+
+fn lattice_op() -> impl Strategy<Value = Op> {
+    (lattice(0..32), lattice(0..48), lattice(1..320), 0u8..10).prop_map(
+        |(release, exec, deadline, sel)| match sel {
+            // ~1 in 5 ops retracts; the rest push (~1 in 5 pushes pinned).
+            0..=1 => Op::Undo,
+            2..=3 => Op::Push {
+                release,
+                exec,
+                deadline,
+                pinned: true,
+            },
+            _ => Op::Push {
+                release,
+                exec,
+                deadline,
+                pinned: false,
+            },
+        },
+    )
+}
+
+fn continuous_op() -> impl Strategy<Value = Op> {
+    (0.01f64..30.0, 0.0f64..50.0, 0.1f64..250.0, 0u8..10).prop_map(
+        |(release, exec, deadline, sel)| match sel {
+            0..=1 => Op::Undo,
+            2..=3 => Op::Push {
+                // Dense queues are the common case: most pushes release at
+                // `now` (and are eligible for pinning on a GPU).
+                release: 0.0,
+                exec,
+                deadline,
+                pinned: true,
+            },
+            4..=6 => Op::Push {
+                release: 0.0,
+                exec,
+                deadline,
+                pinned: false,
+            },
+            _ => Op::Push {
+                release,
+                exec,
+                deadline,
+                pinned: false,
+            },
+        },
+    )
+}
+
+/// Replays `ops` on an [`EdfTimeline`] while maintaining the plain job list,
+/// asserting after every step that the retained queue and the incremental
+/// verdict agree with a from-scratch engine run.
+fn run_differential(kind: ResourceKind, now: f64, ops: &[Op]) -> Result<(), TestCaseError> {
+    let now = Time::new(now);
+    let mut timeline = EdfTimeline::new(kind, now);
+    let mut model: Vec<PlannedJob> = Vec::new();
+    let mut scratch = EdfScratch::new();
+    let mut outcomes = Vec::new();
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Push {
+                release,
+                exec,
+                deadline,
+                pinned,
+            } => {
+                let mut job = PlannedJob::new(
+                    JobKey(step as u64),
+                    now + Time::new(release),
+                    Time::new(exec),
+                    now + Time::new(deadline),
+                );
+                // Respect the engine's invariants: pinning is GPU-only and
+                // at most one job per resource.
+                job.pinned = pinned
+                    && kind == ResourceKind::Gpu
+                    && release == 0.0
+                    && !model.iter().any(|j| j.pinned);
+                let verdict = timeline.push(job).is_feasible();
+                model.push(job);
+                let expected = is_schedulable_with(kind, now, &model, &mut scratch);
+                prop_assert_eq!(
+                    verdict,
+                    expected,
+                    "push verdict diverged at step {} on {:?}",
+                    step,
+                    &model
+                );
+            }
+            Op::Undo => {
+                if model.is_empty() {
+                    continue;
+                }
+                let popped = timeline.undo();
+                let expected = model.pop().expect("model mirrors timeline");
+                prop_assert_eq!(popped, expected, "undo returned the wrong job");
+            }
+        }
+        // The retained queue is the model, element for element.
+        prop_assert_eq!(timeline.jobs(), &model[..]);
+        // Verdict parity with `is_schedulable_with`...
+        let expected = is_schedulable_with(kind, now, &model, &mut scratch);
+        prop_assert_eq!(
+            timeline.feasible(),
+            expected,
+            "feasible() diverged at step {} on {:?}",
+            step,
+            &model
+        );
+        // ... and with a full `simulate_into` run of the same queue.
+        simulate_into(kind, now, &model, None, &mut scratch, &mut outcomes);
+        let simulated = outcomes
+            .iter()
+            .zip(&model)
+            .all(|(o, j)| o.meets(j.deadline));
+        // `is_schedulable_with` also applies the per-job necessary condition
+        // `release.max(now) + exec <= deadline`, which simulation implies:
+        // no job can finish earlier than that.
+        prop_assert_eq!(
+            timeline.feasible(),
+            simulated,
+            "simulate_into disagreed at step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// CPU, exact dyadic times: bit-for-bit verdict agreement.
+    #[test]
+    fn cpu_lattice_matches_engine(
+        now in lattice(0..64),
+        ops in prop::collection::vec(lattice_op(), 1..40),
+    ) {
+        run_differential(ResourceKind::Cpu, now, &ops)?;
+    }
+
+    /// GPU (non-preemptive, pinned jobs), exact dyadic times.
+    #[test]
+    fn gpu_lattice_matches_engine(
+        now in lattice(0..64),
+        ops in prop::collection::vec(lattice_op(), 1..40),
+    ) {
+        run_differential(ResourceKind::Gpu, now, &ops)?;
+    }
+
+    /// CPU, continuous times: verdict-level agreement.
+    #[test]
+    fn cpu_continuous_matches_engine(
+        now in 0.0f64..100.0,
+        ops in prop::collection::vec(continuous_op(), 1..30),
+    ) {
+        run_differential(ResourceKind::Cpu, now, &ops)?;
+    }
+
+    /// GPU, continuous times: verdict-level agreement.
+    #[test]
+    fn gpu_continuous_matches_engine(
+        now in 0.0f64..100.0,
+        ops in prop::collection::vec(continuous_op(), 1..30),
+    ) {
+        run_differential(ResourceKind::Gpu, now, &ops)?;
+    }
+
+    /// The oracle mode (memoized from-scratch engine) and the incremental
+    /// mode agree on every verdict of every episode.
+    #[test]
+    fn oracle_and_incremental_agree(
+        now in lattice(0..64),
+        ops in prop::collection::vec(lattice_op(), 1..40),
+        kind in prop_oneof![Just(ResourceKind::Cpu), Just(ResourceKind::Gpu)],
+    ) {
+        let now = Time::new(now);
+        let mut incremental = EdfTimeline::new(kind, now);
+        let mut oracle = EdfTimeline::new(kind, now);
+        oracle.set_oracle(true);
+        let mut pinned_present = false;
+        for (step, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Push { release, exec, deadline, pinned } => {
+                    let mut job = PlannedJob::new(
+                        JobKey(step as u64),
+                        now + Time::new(release),
+                        Time::new(exec),
+                        now + Time::new(deadline),
+                    );
+                    job.pinned = pinned && kind == ResourceKind::Gpu && !pinned_present;
+                    pinned_present |= job.pinned;
+                    prop_assert_eq!(
+                        incremental.push(job).is_feasible(),
+                        oracle.push(job).is_feasible(),
+                    );
+                }
+                Op::Undo => {
+                    if incremental.is_empty() {
+                        continue;
+                    }
+                    let popped = incremental.undo();
+                    pinned_present &= !popped.pinned;
+                    prop_assert_eq!(popped, oracle.undo());
+                }
+            }
+            prop_assert_eq!(incremental.feasible(), oracle.feasible());
+        }
+    }
+}

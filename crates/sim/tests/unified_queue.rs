@@ -1,0 +1,192 @@
+//! Differential tests for the unified global event queue: the single-heap
+//! advance path must reproduce the per-resource timeline replay **bit for
+//! bit** (both paths feed one shared outcome-application loop, so the whole
+//! [`rtrm_sim::SimReport`] — energies included — must compare equal), and
+//! multi-speed (DVFS) candidate disambiguation must survive end-to-end runs.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rtrm_core::{Activation, Decision, ExactRm, HeuristicRm, ResourceManager};
+use rtrm_platform::{
+    Energy, Platform, Request, RequestId, TaskCatalog, TaskType, TaskTypeId, Time, Trace,
+};
+use rtrm_predict::OraclePredictor;
+use rtrm_sim::{SimConfig, Simulator};
+use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
+
+fn world(seed: u64, dvfs: bool) -> (Platform, TaskCatalog, Vec<Trace>) {
+    let platform = if dvfs {
+        let mut b = Platform::builder();
+        b.cpu_with_dvfs("big0", &[0.5, 1.0]);
+        b.cpu_with_dvfs("big1", &[0.5, 1.0]);
+        b.gpu("gpu");
+        b.build()
+    } else {
+        Platform::paper_default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let cfg = TraceConfig {
+        length: 50,
+        ..TraceConfig::calibrated_vt()
+    };
+    let traces = generate_traces(&catalog, &cfg, 2, seed);
+    (platform, catalog, traces)
+}
+
+fn config(unified: bool) -> SimConfig {
+    SimConfig {
+        record_task_log: true,
+        unified_event_queue: unified,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole's correctness bar: for random workloads — with and
+    /// without prediction (future-released phantoms exercise preemption and
+    /// reservation gates), on plain and DVFS platforms, under both managers
+    /// — the unified path's report equals the reference path's exactly.
+    #[test]
+    fn unified_queue_matches_per_resource_replay(
+        seed in any::<u64>(),
+        dvfs in any::<bool>(),
+        use_predictor in any::<bool>(),
+        exact in any::<bool>(),
+    ) {
+        let (platform, catalog, traces) = world(seed, dvfs);
+        let unified = Simulator::new(&platform, &catalog, config(true));
+        let reference = Simulator::new(&platform, &catalog, config(false));
+        for trace in &traces {
+            let run = |sim: &Simulator| {
+                let mut heur = HeuristicRm::new();
+                let mut ex = ExactRm::new();
+                let rm: &mut dyn ResourceManager =
+                    if exact { &mut ex } else { &mut heur };
+                if use_predictor {
+                    let mut oracle = OraclePredictor::perfect(trace, catalog.len());
+                    sim.run(trace, rm, Some(&mut oracle))
+                } else {
+                    sim.run(trace, rm, None)
+                }
+            };
+            prop_assert_eq!(run(&unified), run(&reference));
+        }
+    }
+}
+
+/// Wraps a manager and records every distinct DVFS speed it admits, so a
+/// test can prove multiple speed levels were actually exercised.
+struct SpeedRecorder<R> {
+    inner: R,
+    speeds: Vec<f64>,
+}
+
+impl<R: ResourceManager> ResourceManager for SpeedRecorder<R> {
+    fn name(&self) -> &str {
+        "speed-recorder"
+    }
+
+    fn decide(&mut self, activation: &Activation<'_>) -> Decision {
+        let d = self.inner.decide(activation);
+        if d.admitted {
+            for a in &d.assignments {
+                if !self.speeds.iter().any(|s| (s - a.speed).abs() < 1e-12) {
+                    self.speeds.push(a.speed);
+                }
+            }
+        }
+        d
+    }
+}
+
+/// Regression for multi-speed candidate disambiguation: the simulator's
+/// assignment-to-candidate match must key on `(resource, restart, speed)`.
+/// A DVFS CPU offers two candidates that differ *only* in speed; if the
+/// match ignored speed, the half-speed admission below would bind to the
+/// full-speed candidate and the energy accounting (2 J vs 8 J) would break.
+#[test]
+fn dvfs_two_speed_levels_end_to_end() {
+    let platform = {
+        let mut b = Platform::builder();
+        b.cpu_with_dvfs("big0", &[0.5, 1.0]);
+        b.build()
+    };
+    let ids: Vec<_> = platform.ids().collect();
+    let ty = TaskType::builder(0, &platform)
+        .profile(ids[0], Time::new(4.0), Energy::new(8.0))
+        .build();
+    let catalog = TaskCatalog::new(vec![ty]);
+    let req = |i: usize, arrival: f64, deadline: f64| Request {
+        id: RequestId::new(i),
+        arrival: Time::new(arrival),
+        task_type: TaskTypeId::new(0),
+        deadline: Time::new(deadline),
+    };
+    // Loose relative deadline: half speed (8 time units, 2 J). Tight
+    // relative deadline (4.5, only the full-speed WCET of 4 fits): 8 J.
+    let trace = Trace::new(vec![req(0, 0.0, 50.0), req(1, 20.0, 4.5)]);
+
+    for unified in [true, false] {
+        let sim = Simulator::new(&platform, &catalog, config(unified));
+        let mut rm = SpeedRecorder {
+            inner: ExactRm::new(),
+            speeds: Vec::new(),
+        };
+        let r = sim.run(&trace, &mut rm, None);
+        assert_eq!(r.accepted, 2);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.deadline_misses, 0);
+        rm.speeds.sort_by(f64::total_cmp);
+        assert_eq!(rm.speeds, vec![0.5, 1.0], "both DVFS levels exercised");
+        assert!(
+            (r.energy.value() - 10.0).abs() < 1e-9,
+            "half-speed run must charge the half-speed profile: energy={}",
+            r.energy
+        );
+    }
+}
+
+/// The two advance paths also agree on deterministic corner scenarios that
+/// hit pinned GPU jobs, aborts, and reservation gates (the accounting-test
+/// worlds), not just generated traces.
+#[test]
+fn unified_queue_matches_on_abort_and_gate_scenarios() {
+    let platform = Platform::builder().cpus(1).gpu("g").build();
+    let ids: Vec<_> = platform.ids().collect();
+    let ty = TaskType::builder(0, &platform)
+        .profile(ids[0], Time::new(10.0), Energy::new(10.0))
+        .profile(ids[1], Time::new(4.0), Energy::new(2.0))
+        .uniform_migration(Time::new(1.0), Energy::new(0.5))
+        .build();
+    let catalog = TaskCatalog::new(vec![ty]);
+    let req = |i: usize, arrival: f64, deadline: f64| Request {
+        id: RequestId::new(i),
+        arrival: Time::new(arrival),
+        task_type: TaskTypeId::new(0),
+        deadline: Time::new(deadline),
+    };
+    // GPU abort-restart scenario plus a trailing queue-up.
+    let trace = Trace::new(vec![
+        req(0, 0.0, 100.0),
+        req(1, 2.0, 4.5),
+        req(2, 5.0, 60.0),
+        req(3, 5.5, 70.0),
+    ]);
+    let a =
+        Simulator::new(&platform, &catalog, config(true)).run(&trace, &mut ExactRm::new(), None);
+    let b =
+        Simulator::new(&platform, &catalog, config(false)).run(&trace, &mut ExactRm::new(), None);
+    assert_eq!(a, b);
+
+    // Reservation-gate scenario under a perfect oracle.
+    let gated = Trace::new(vec![req(0, 0.0, 30.0), req(1, 1.0, 5.0)]);
+    let run = |unified: bool| {
+        let sim = Simulator::new(&platform, &catalog, config(unified));
+        let mut oracle = OraclePredictor::perfect(&gated, catalog.len());
+        sim.run(&gated, &mut HeuristicRm::new(), Some(&mut oracle))
+    };
+    assert_eq!(run(true), run(false));
+}
