@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rustdoc gate: cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -17,9 +20,10 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
-echo "==> differential suites: incremental EDF timeline + unified event queue"
+echo "==> differential suites: incremental EDF timeline + unified event queue + warm-pool sweep"
 cargo test -q -p rtrm-sched --test incremental
 cargo test -q -p rtrm-sim --test unified_queue
+cargo test -q -p rtrm-bench --test sweep_differential
 
 echo "==> BENCH_*.json schema sanity"
 cargo test -q -p rtrm-bench --test bench_json_schema

@@ -1,0 +1,158 @@
+//! Warm-pool throughput bench for the batch runner: a full trace batch
+//! through [`rtrm_sim::run_batch_with`] on a single worker with one
+//! persistent [`rtrm_sim::SimScratch`] (warm, zero steady-state allocation)
+//! against per-trace cold state (fresh `Simulator` + scratch each trace, the
+//! pre-pool behaviour). Records `BENCH_sweep.json` at the workspace root at
+//! batch sizes 64 and 512 (see README, "Performance").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtrm_bench::{workload, Group, Scale};
+use rtrm_core::HeuristicRm;
+use rtrm_platform::Trace;
+use rtrm_sim::{run_batch_with, BatchOptions, SimConfig, Simulator};
+
+const BATCHES: [usize; 2] = [64, 512];
+
+fn setup(
+    batch: usize,
+) -> (
+    rtrm_platform::Platform,
+    rtrm_platform::TaskCatalog,
+    Vec<Trace>,
+) {
+    // Short traces: the regime where per-run state setup matters. Long
+    // traces amortize their own allocations; a sweep over many short traces
+    // is exactly where the warm scratch pays.
+    let w = workload(
+        &[Group::Vt],
+        Scale {
+            traces: batch,
+            trace_len: 10,
+            seed: 1,
+        },
+    );
+    let traces = w.traces.into_iter().next().expect("one group").1;
+    (w.platform, w.catalog, traces)
+}
+
+/// Mean ns per call over a self-calibrated iteration count.
+fn measure<R>(mut f: impl FnMut() -> R) -> f64 {
+    let warmup = std::time::Instant::now();
+    let mut calibration = 0u64;
+    while warmup.elapsed() < std::time::Duration::from_millis(50) {
+        std::hint::black_box(f());
+        calibration += 1;
+    }
+    let iters = calibration.max(1) * 3;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_throughput");
+    for batch in BATCHES {
+        let (platform, catalog, traces) = setup(batch);
+        let config = SimConfig::default();
+        // Single worker isolates scratch reuse from parallel speedup.
+        let options = BatchOptions {
+            workers: Some(1),
+            ..BatchOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("warm_pool", batch), &batch, |b, _| {
+            b.iter(|| {
+                run_batch_with(
+                    &platform,
+                    &catalog,
+                    &config,
+                    &traces,
+                    |_| Box::new(HeuristicRm::new()),
+                    |_| None,
+                    &options,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cold_state", batch), &batch, |b, _| {
+            b.iter(|| {
+                traces
+                    .iter()
+                    .map(|t| {
+                        let sim = Simulator::new(&platform, &catalog, config.clone());
+                        sim.run(t, &mut HeuristicRm::new(), None)
+                    })
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+
+    // The recorded comparison: per-trace cost, warm single-worker pool vs
+    // per-trace cold state.
+    let mut rows = Vec::new();
+    for batch in BATCHES {
+        let (platform, catalog, traces) = setup(batch);
+        let config = SimConfig::default();
+        let options = BatchOptions {
+            workers: Some(1),
+            ..BatchOptions::default()
+        };
+        let measure_warm = || {
+            measure(|| {
+                run_batch_with(
+                    &platform,
+                    &catalog,
+                    &config,
+                    &traces,
+                    |_| Box::new(HeuristicRm::new()),
+                    |_| None,
+                    &options,
+                )
+            }) / batch as f64
+        };
+        let measure_cold = || {
+            measure(|| {
+                traces
+                    .iter()
+                    .map(|t| {
+                        let sim = Simulator::new(&platform, &catalog, config.clone());
+                        sim.run(t, &mut HeuristicRm::new(), None)
+                    })
+                    .collect::<Vec<_>>()
+            }) / batch as f64
+        };
+        // Alternate the two paths and keep each one's best pass, so a noise
+        // spike hitting one side does not masquerade as a throughput delta.
+        let (w1, c1) = (measure_warm(), measure_cold());
+        let (w2, c2) = (measure_warm(), measure_cold());
+        let warm_ns = w1.min(w2);
+        let cold_ns = c1.min(c2);
+        let speedup = cold_ns / warm_ns;
+        println!(
+            "sweep bench: batch={batch:>4} cold={cold_ns:.0}ns/trace \
+             warm={warm_ns:.0}ns/trace speedup={speedup:.2}x"
+        );
+        rows.push(format!(
+            "    {{\"series\": \"warm_pool_vs_cold\", \"depth\": {batch}, \
+             \"baseline_ns\": {cold_ns:.1}, \"incremental_ns\": {warm_ns:.1}, \
+             \"speedup\": {speedup:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"units\": \"ns_per_trace\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep_throughput
+}
+criterion_main!(benches);

@@ -5,83 +5,14 @@
 //! the MILP and by 2.6 % (LT) / 10.2 % (VT) for the heuristic; the
 //! heuristic trails the MILP by ≈4 % (VT, on) and ≈5.5 % (VT, off).
 //!
+//! Thin wrapper over the `fig2` sweep (`rtrm_bench::figs`); resumes from
+//! `results/fig2.sweep.json` when present.
+//!
 //! `cargo run --release -p rtrm-bench --bin fig2`
 
-use rtrm_bench::chart::{bar_chart, write_svg, Series};
-use rtrm_bench::{run_config, workload, write_csv, Group, Oracle, Policy, Scale};
-use rtrm_predict::{ErrorModel, OverheadModel};
-use rtrm_sim::mean_rejection_percent;
+use rtrm_bench::figs;
+use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let scale = Scale::from_env();
-    let w = workload(&[Group::Lt, Group::Vt], scale);
-    println!(
-        "Fig 2: {} traces x {} requests per configuration",
-        scale.traces, scale.trace_len
-    );
-    println!(
-        "{:>6} {:>10} {:>10} {:>12} {:>12}",
-        "group", "policy", "pred off%", "pred on%", "reduction"
-    );
-
-    let mut rows = Vec::new();
-    let mut bars: Vec<(String, [f64; 2])> = Vec::new();
-    for (group, traces) in &w.traces {
-        for policy in [Policy::Milp, Policy::Heuristic] {
-            let off = mean_rejection_percent(&run_config(
-                &w,
-                *group,
-                traces,
-                policy,
-                Oracle::Off,
-                OverheadModel::none(),
-                scale.seed,
-            ));
-            let on = mean_rejection_percent(&run_config(
-                &w,
-                *group,
-                traces,
-                policy,
-                Oracle::On(ErrorModel::perfect()),
-                OverheadModel::none(),
-                scale.seed,
-            ));
-            println!(
-                "{:>6} {:>10} {:>10.2} {:>10.2} {:>12.2}",
-                group.name(),
-                policy.name(),
-                off,
-                on,
-                off - on
-            );
-            rows.push(format!(
-                "{},{},{off:.4},{on:.4}",
-                group.name(),
-                policy.name()
-            ));
-            bars.push((format!("{} {}", group.name(), policy.name()), [off, on]));
-        }
-    }
-
-    let svg = bar_chart(
-        "Fig 2: rejection %, prediction off vs on",
-        "rejection %",
-        &["prediction off", "prediction on"],
-        &bars
-            .iter()
-            .map(|(label, v)| Series::new(label.clone(), v.to_vec()))
-            .collect::<Vec<_>>(),
-    );
-    let svg_path = write_svg("fig2", &svg);
-    println!("wrote {}", svg_path.display());
-
-    let path = write_csv(
-        "fig2",
-        "group,policy,rejection_percent_pred_off,rejection_percent_pred_on",
-        &rows,
-    );
-    println!(
-        "\npaper reductions: LT 1.0 (MILP) / 2.6 (heuristic); VT 9.17 (MILP) / 10.2 (heuristic)"
-    );
-    println!("wrote {}", path.display());
+    let _ = figs::run("fig2", &SweepOptions::default()).expect("fig2 is a named sweep");
 }

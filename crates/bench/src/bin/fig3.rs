@@ -6,85 +6,14 @@
 //! heuristic on VT. Bars are normalized to the largest value within each
 //! group (the paper does not state its normalization; see DESIGN.md §5).
 //!
+//! Thin wrapper over the `fig3` sweep (`rtrm_bench::figs`); resumes from
+//! `results/fig3.sweep.json` when present.
+//!
 //! `cargo run --release -p rtrm-bench --bin fig3`
 
-use rtrm_bench::{run_config, workload, write_csv, Group, Oracle, Policy, Scale};
-use rtrm_predict::{ErrorModel, OverheadModel};
-use rtrm_sim::{mean_energy, mean_rejection_percent};
+use rtrm_bench::figs;
+use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let scale = Scale::from_env();
-    let w = workload(&[Group::Lt, Group::Vt], scale);
-    println!(
-        "Fig 3: {} traces x {} requests per configuration",
-        scale.traces, scale.trace_len
-    );
-
-    let mut rows = Vec::new();
-    for (group, traces) in &w.traces {
-        // Collect raw energies for the four bars of this group.
-        let mut bars = Vec::new();
-        for policy in [Policy::Milp, Policy::Heuristic] {
-            for (label, oracle) in [
-                ("off", Oracle::Off),
-                ("on", Oracle::On(ErrorModel::perfect())),
-            ] {
-                let reports = run_config(
-                    &w,
-                    *group,
-                    traces,
-                    policy,
-                    oracle,
-                    OverheadModel::none(),
-                    scale.seed,
-                );
-                bars.push((
-                    policy,
-                    label,
-                    mean_energy(&reports),
-                    mean_rejection_percent(&reports),
-                ));
-            }
-        }
-        let max_energy = bars
-            .iter()
-            .map(|(_, _, e, _)| *e)
-            .fold(f64::MIN_POSITIVE, f64::max);
-
-        println!(
-            "\n  {} group (energy normalized to the largest bar):",
-            group.name()
-        );
-        println!(
-            "  {:>10} {:>6} {:>12} {:>12} {:>12}",
-            "policy", "pred", "norm energy", "raw energy", "rejection%"
-        );
-        for (policy, label, energy, rejection) in &bars {
-            println!(
-                "  {:>10} {:>6} {:>12.4} {:>12.1} {:>12.2}",
-                policy.name(),
-                label,
-                energy / max_energy,
-                energy,
-                rejection
-            );
-            rows.push(format!(
-                "{},{},{},{:.6},{:.2},{:.4}",
-                group.name(),
-                policy.name(),
-                label,
-                energy / max_energy,
-                energy,
-                rejection
-            ));
-        }
-    }
-
-    let path = write_csv(
-        "fig3",
-        "group,policy,prediction,normalized_energy,raw_energy,rejection_percent",
-        &rows,
-    );
-    println!("\npaper shape: smaller rejection => higher energy, within each group");
-    println!("wrote {}", path.display());
+    let _ = figs::run("fig3", &SweepOptions::default()).expect("fig3 is a named sweep");
 }

@@ -5,109 +5,14 @@
 //! Paper: rejection climbs toward the predictor-off level as accuracy
 //! drops; at 0.25 accuracy prediction offers no sensible benefit.
 //!
+//! Thin wrapper over the `fig4` sweep (`rtrm_bench::figs`); resumes from
+//! `results/fig4.sweep.json` when present.
+//!
 //! `cargo run --release -p rtrm-bench --bin fig4`
 
-use rtrm_bench::chart::{line_chart, write_svg, Series};
-use rtrm_bench::{run_config, workload, write_csv, Group, Oracle, Policy, Scale};
-use rtrm_predict::{ErrorModel, OverheadModel};
-use rtrm_sim::mean_rejection_percent;
-
-const LEVELS: [f64; 4] = [1.0, 0.75, 0.5, 0.25];
+use rtrm_bench::figs;
+use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let scale = Scale::from_env();
-    let w = workload(&[Group::Vt], scale);
-    let (group, traces) = (&w.traces[0].0, &w.traces[0].1);
-    println!(
-        "Fig 4: VT group, {} traces x {} requests per point",
-        scale.traces, scale.trace_len
-    );
-
-    let mut rows = Vec::new();
-    let mut panel_series: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
-    for (panel, make_error) in [
-        (
-            "a:type",
-            ErrorModel::with_type_accuracy as fn(f64) -> ErrorModel,
-        ),
-        ("b:arrival", ErrorModel::with_arrival_accuracy),
-    ] {
-        println!("\n  panel {panel}:");
-        println!(
-            "  {:>9} {:>12} {:>12}",
-            "accuracy", "MILP rej%", "heur rej%"
-        );
-        let mut milp_series = Vec::new();
-        let mut heur_series = Vec::new();
-        for accuracy in LEVELS {
-            let error = make_error(accuracy);
-            let milp = mean_rejection_percent(&run_config(
-                &w,
-                *group,
-                traces,
-                Policy::Milp,
-                Oracle::On(error),
-                OverheadModel::none(),
-                scale.seed,
-            ));
-            let heur = mean_rejection_percent(&run_config(
-                &w,
-                *group,
-                traces,
-                Policy::Heuristic,
-                Oracle::On(error),
-                OverheadModel::none(),
-                scale.seed,
-            ));
-            println!("  {accuracy:>9.2} {milp:>12.2} {heur:>12.2}");
-            rows.push(format!("{panel},{accuracy},{milp:.4},{heur:.4}"));
-            milp_series.push(milp);
-            heur_series.push(heur);
-        }
-        panel_series.push((panel.to_string(), milp_series, heur_series));
-        // Baseline: predictor off.
-        let milp_off = mean_rejection_percent(&run_config(
-            &w,
-            *group,
-            traces,
-            Policy::Milp,
-            Oracle::Off,
-            OverheadModel::none(),
-            scale.seed,
-        ));
-        let heur_off = mean_rejection_percent(&run_config(
-            &w,
-            *group,
-            traces,
-            Policy::Heuristic,
-            Oracle::Off,
-            OverheadModel::none(),
-            scale.seed,
-        ));
-        println!("  {:>9} {milp_off:>12.2} {heur_off:>12.2}", "off");
-        rows.push(format!("{panel},off,{milp_off:.4},{heur_off:.4}"));
-    }
-
-    for (panel, milp_series, heur_series) in &panel_series {
-        let name = format!("fig4{}", &panel[..1]);
-        let svg = line_chart(
-            &format!("Fig 4 ({panel}): rejection % vs prediction accuracy (VT)"),
-            "rejection %",
-            "accuracy",
-            &LEVELS,
-            &[
-                Series::new("MILP", milp_series.clone()),
-                Series::new("heuristic", heur_series.clone()),
-            ],
-        );
-        let svg_path = write_svg(&name, &svg);
-        println!("wrote {}", svg_path.display());
-    }
-    let path = write_csv(
-        "fig4",
-        "panel,accuracy,milp_rejection_percent,heuristic_rejection_percent",
-        &rows,
-    );
-    println!("\npaper shape: rejection rises toward the off level as accuracy falls");
-    println!("wrote {}", path.display());
+    let _ = figs::run("fig4", &SweepOptions::default()).expect("fig4 is a named sweep");
 }

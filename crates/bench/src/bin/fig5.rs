@@ -9,107 +9,14 @@
 //! this harness sweeps a wider range and reports where the curve crosses
 //! the predictor-off baseline.
 //!
+//! Thin wrapper over the `fig5` sweep (`rtrm_bench::figs`); resumes from
+//! `results/fig5.sweep.json` when present.
+//!
 //! `cargo run --release -p rtrm-bench --bin fig5`
 
-use rtrm_bench::chart::{line_chart, write_svg, Series};
-use rtrm_bench::{run_config, workload, write_csv, Group, Oracle, Policy, Scale};
-use rtrm_predict::{ErrorModel, OverheadModel};
-use rtrm_sim::mean_rejection_percent;
-
-const COEFFS: [f64; 8] = [0.0, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28];
+use rtrm_bench::figs;
+use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let scale = Scale::from_env();
-    let w = workload(&[Group::Vt], scale);
-    let (group, traces) = (&w.traces[0].0, &w.traces[0].1);
-    println!(
-        "Fig 5: VT group, {} traces x {} requests per point, perfect prediction",
-        scale.traces, scale.trace_len
-    );
-
-    let milp_off = mean_rejection_percent(&run_config(
-        &w,
-        *group,
-        traces,
-        Policy::Milp,
-        Oracle::Off,
-        OverheadModel::none(),
-        scale.seed,
-    ));
-    let heur_off = mean_rejection_percent(&run_config(
-        &w,
-        *group,
-        traces,
-        Policy::Heuristic,
-        Oracle::Off,
-        OverheadModel::none(),
-        scale.seed,
-    ));
-    println!("  predictor off: MILP {milp_off:.2}%  heuristic {heur_off:.2}%\n");
-    println!(
-        "  {:>10} {:>12} {:>12}",
-        "coeff*100", "MILP rej%", "heur rej%"
-    );
-
-    let mut rows = vec![format!("off,{milp_off:.4},{heur_off:.4}")];
-    let mut crossover: Option<f64> = None;
-    let mut series_milp = Vec::new();
-    let mut series_heur = Vec::new();
-    for coeff in COEFFS {
-        let overhead = OverheadModel::fraction_of_interarrival(coeff);
-        let milp = mean_rejection_percent(&run_config(
-            &w,
-            *group,
-            traces,
-            Policy::Milp,
-            Oracle::On(ErrorModel::perfect()),
-            overhead,
-            scale.seed,
-        ));
-        let heur = mean_rejection_percent(&run_config(
-            &w,
-            *group,
-            traces,
-            Policy::Heuristic,
-            Oracle::On(ErrorModel::perfect()),
-            overhead,
-            scale.seed,
-        ));
-        println!("  {:>10.0} {milp:>12.2} {heur:>12.2}", coeff * 100.0);
-        rows.push(format!("{},{milp:.4},{heur:.4}", coeff * 100.0));
-        series_milp.push(milp);
-        series_heur.push(heur);
-        if crossover.is_none() && heur > heur_off {
-            crossover = Some(coeff * 100.0);
-        }
-    }
-
-    let xs: Vec<f64> = COEFFS.iter().map(|c| c * 100.0).collect();
-    let svg = line_chart(
-        "Fig 5: rejection % vs prediction overhead (VT, perfect prediction)",
-        "rejection %",
-        "overhead coefficient x 100",
-        &xs,
-        &[
-            Series::new("MILP", series_milp),
-            Series::new("heuristic", series_heur),
-            Series::new("MILP off", vec![milp_off; xs.len()]),
-            Series::new("heuristic off", vec![heur_off; xs.len()]),
-        ],
-    );
-    let svg_path = write_svg("fig5", &svg);
-    println!("wrote {}", svg_path.display());
-
-    match crossover {
-        Some(c) => println!(
-            "\nheuristic crossover (prediction worse than off) at coefficient*100 ~ {c:.0}"
-        ),
-        None => println!("\nno crossover within the swept range"),
-    }
-    let path = write_csv(
-        "fig5",
-        "coefficient_times_100,milp_rejection_percent,heuristic_rejection_percent",
-        &rows,
-    );
-    println!("wrote {}", path.display());
+    let _ = figs::run("fig5", &SweepOptions::default()).expect("fig5 is a named sweep");
 }

@@ -1,0 +1,46 @@
+//! Declarative sweep CLI: runs named experiment grids on the warm worker
+//! pool with checkpoint/resume under `results/`.
+//!
+//! ```text
+//! cargo run --release -p rtrm-bench --bin sweep -- [--fresh] <name>... | all
+//! ```
+//!
+//! Names: `tab1`, `fig2`, `fig3`, `fig4`, `fig5` (see EXPERIMENTS.md for
+//! the figure-to-command map). `--fresh` ignores existing checkpoints. A
+//! killed sweep restarts from its completed cells on the next invocation.
+
+use rtrm_bench::figs;
+use rtrm_bench::sweep::SweepOptions;
+
+fn main() {
+    let mut options = SweepOptions::default();
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fresh" => options.fresh = true,
+            "--quiet" => options.quiet = true,
+            "all" => names.extend(figs::NAMES.iter().map(|n| (*n).to_string())),
+            name if figs::NAMES.contains(&name) => names.push(name.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    if names.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        figs::run(name, &options).expect("names were vetted against figs::NAMES");
+    }
+}
+
+fn usage() {
+    eprintln!("usage: sweep [--fresh] [--quiet] <name>... | all");
+    eprintln!("names: {}", figs::NAMES.join(", "));
+}

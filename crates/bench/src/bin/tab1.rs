@@ -2,92 +2,14 @@
 //! the simulator (see also `examples/motivational.rs` for the API-level
 //! walk-through).
 //!
+//! Thin wrapper over the `tab1` sweep (`rtrm_bench::figs`); resumes from
+//! `results/tab1.sweep.json` when present.
+//!
 //! `cargo run --release -p rtrm-bench --bin tab1`
 
-use rtrm_core::{ExactRm, HeuristicRm, ResourceManager};
-use rtrm_platform::{
-    Energy, Platform, Request, RequestId, TaskCatalog, TaskType, TaskTypeId, Time, Trace,
-};
-use rtrm_predict::OraclePredictor;
-use rtrm_sim::{PhantomDeadline, SimConfig, Simulator};
-
-fn setup() -> (Platform, TaskCatalog, Trace) {
-    let platform = Platform::builder()
-        .cpu("cpu1")
-        .cpu("cpu2")
-        .gpu("gpu")
-        .build();
-    let ids: Vec<_> = platform.ids().collect();
-    let tau1 = TaskType::builder(0, &platform)
-        .profile(ids[0], Time::new(8.0), Energy::new(7.3))
-        .profile(ids[1], Time::new(12.0), Energy::new(8.4))
-        .profile(ids[2], Time::new(5.0), Energy::new(2.0))
-        .build();
-    let tau2 = TaskType::builder(1, &platform)
-        .profile(ids[0], Time::new(7.0), Energy::new(6.2))
-        .profile(ids[1], Time::new(8.5), Energy::new(7.5))
-        .profile(ids[2], Time::new(3.0), Energy::new(1.5))
-        .build();
-    let catalog = TaskCatalog::new(vec![tau1, tau2]);
-    let trace = Trace::new(vec![
-        Request {
-            id: RequestId::new(0),
-            arrival: Time::new(0.0),
-            task_type: TaskTypeId::new(0),
-            deadline: Time::new(8.0),
-        },
-        Request {
-            id: RequestId::new(1),
-            arrival: Time::new(1.0),
-            task_type: TaskTypeId::new(1),
-            deadline: Time::new(5.0),
-        },
-    ]);
-    (platform, catalog, trace)
-}
+use rtrm_bench::figs;
+use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let (platform, catalog, trace) = setup();
-    // The phantom deadline model must reproduce τ2's relative deadline 5:
-    // mean WCET of τ2 = (7 + 8.5 + 3)/3 ≈ 6.17, so ×0.8108 ≈ 5.0.
-    let config = SimConfig {
-        phantom_deadline: PhantomDeadline::Fixed(Time::new(5.0)),
-        ..SimConfig::default()
-    };
-    let sim = Simulator::new(&platform, &catalog, config);
-
-    println!("Table 1 / Fig 1 motivational example\n");
-    println!(
-        "{:<24} {:>10} {:>10} {:>12}",
-        "scenario", "accepted", "rejected", "energy (J)"
-    );
-    for (label, rm) in [
-        ("MILP", &mut ExactRm::new() as &mut dyn ResourceManager),
-        ("heuristic", &mut HeuristicRm::new()),
-    ] {
-        let off = sim.run(&trace, rm, None);
-        println!(
-            "{:<24} {:>10} {:>10} {:>12.2}",
-            format!("{label}, no prediction"),
-            off.accepted,
-            off.rejected,
-            off.energy.value()
-        );
-    }
-    for (label, rm) in [
-        ("MILP", &mut ExactRm::new() as &mut dyn ResourceManager),
-        ("heuristic", &mut HeuristicRm::new()),
-    ] {
-        let mut oracle = OraclePredictor::perfect(&trace, catalog.len());
-        let on = sim.run(&trace, rm, Some(&mut oracle));
-        println!(
-            "{:<24} {:>10} {:>10} {:>12.2}",
-            format!("{label}, prediction"),
-            on.accepted,
-            on.rejected,
-            on.energy.value()
-        );
-    }
-    println!("\npaper: without prediction 1/2 accepted (scenario a);");
-    println!("       with accurate prediction 2/2 accepted at 8.8 J (scenario b)");
+    let _ = figs::run("tab1", &SweepOptions::default()).expect("tab1 is a named sweep");
 }

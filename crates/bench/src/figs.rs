@@ -1,0 +1,463 @@
+//! Named sweeps for the paper's figures and tables.
+//!
+//! Each figure/table is a [`SweepSpec`] (the grid) plus a renderer that
+//! turns the sweep's cell metrics into the binary's console rows, CSV, and
+//! SVG charts. The experiment binaries (`fig2` … `tab1`) and the `sweep`
+//! CLI are thin wrappers over [`run`].
+
+use rtrm_platform::{
+    Energy, Platform, Request, RequestId, TaskCatalog, TaskType, TaskTypeId, Time, Trace,
+};
+use rtrm_predict::ErrorModel;
+use rtrm_sim::PhantomDeadline;
+
+use crate::chart::{bar_chart, line_chart, write_svg, Series};
+use crate::sweep::{run_sweep, GridWorkload, PredictorSpec, SweepOptions, SweepOutcome, SweepSpec};
+use crate::{write_csv, Group, Oracle, Policy, Scale};
+
+/// The named sweeps, in suggested execution order.
+pub const NAMES: [&str; 5] = ["tab1", "fig2", "fig3", "fig4", "fig5"];
+
+/// Fig 4's accuracy levels, shared between the spec and the renderer.
+const LEVELS: [f64; 4] = [1.0, 0.75, 0.5, 0.25];
+const TYPE_LABELS: [&str; 4] = ["type@1.00", "type@0.75", "type@0.50", "type@0.25"];
+const ARRIVAL_LABELS: [&str; 4] = ["arr@1.00", "arr@0.75", "arr@0.50", "arr@0.25"];
+
+/// Fig 5's overhead coefficients (`label`, `coefficient`); the paper's
+/// horizontal axis is `coefficient × 100`.
+const COEFFS: [(&str, f64); 8] = [
+    ("ovh@0", 0.0),
+    ("ovh@2", 0.02),
+    ("ovh@4", 0.04),
+    ("ovh@8", 0.08),
+    ("ovh@16", 0.16),
+    ("ovh@32", 0.32),
+    ("ovh@64", 0.64),
+    ("ovh@128", 1.28),
+];
+
+const BOTH_POLICIES: [Policy; 2] = [Policy::Milp, Policy::Heuristic];
+
+/// The grid of the named sweep, or `None` for an unknown name. Scale comes
+/// from the environment (`RTRM_TRACES` etc.), except `tab1` whose workload
+/// is the paper's fixed two-request example.
+#[must_use]
+pub fn spec(name: &str) -> Option<SweepSpec> {
+    let scale = Scale::from_env();
+    match name {
+        "fig2" => Some(SweepSpec {
+            name: "fig2",
+            scale,
+            workload: GridWorkload::Paper {
+                groups: vec![Group::Lt, Group::Vt],
+            },
+            policies: BOTH_POLICIES.to_vec(),
+            predictors: vec![PredictorSpec::off(), PredictorSpec::perfect()],
+        }),
+        "fig3" => Some(SweepSpec {
+            name: "fig3",
+            scale,
+            workload: GridWorkload::Paper {
+                groups: vec![Group::Lt, Group::Vt],
+            },
+            policies: BOTH_POLICIES.to_vec(),
+            predictors: vec![PredictorSpec::off(), PredictorSpec::perfect()],
+        }),
+        "fig4" => {
+            let mut predictors = vec![PredictorSpec::off()];
+            for (i, &accuracy) in LEVELS.iter().enumerate() {
+                predictors.push(PredictorSpec {
+                    label: TYPE_LABELS[i],
+                    oracle: Oracle::On(ErrorModel::with_type_accuracy(accuracy)),
+                    overhead_coeff: 0.0,
+                });
+            }
+            for (i, &accuracy) in LEVELS.iter().enumerate() {
+                predictors.push(PredictorSpec {
+                    label: ARRIVAL_LABELS[i],
+                    oracle: Oracle::On(ErrorModel::with_arrival_accuracy(accuracy)),
+                    overhead_coeff: 0.0,
+                });
+            }
+            Some(SweepSpec {
+                name: "fig4",
+                scale,
+                workload: GridWorkload::Paper {
+                    groups: vec![Group::Vt],
+                },
+                policies: BOTH_POLICIES.to_vec(),
+                predictors,
+            })
+        }
+        "fig5" => {
+            let mut predictors = vec![PredictorSpec::off()];
+            for (label, coeff) in COEFFS {
+                predictors.push(PredictorSpec {
+                    label,
+                    oracle: Oracle::On(ErrorModel::perfect()),
+                    overhead_coeff: coeff,
+                });
+            }
+            Some(SweepSpec {
+                name: "fig5",
+                scale,
+                workload: GridWorkload::Paper {
+                    groups: vec![Group::Vt],
+                },
+                policies: BOTH_POLICIES.to_vec(),
+                predictors,
+            })
+        }
+        "tab1" => {
+            let (platform, catalog, trace) = motivational_workload();
+            Some(SweepSpec {
+                name: "tab1",
+                // The motivational example is fixed; env scale does not apply.
+                scale: Scale {
+                    traces: 1,
+                    trace_len: 2,
+                    seed: 1,
+                },
+                workload: GridWorkload::Custom {
+                    label: "motivational",
+                    platform,
+                    catalog,
+                    traces: vec![trace],
+                    // The phantom deadline model must reproduce τ2's relative
+                    // deadline of 5.
+                    phantom_deadline: PhantomDeadline::Fixed(Time::new(5.0)),
+                },
+                policies: BOTH_POLICIES.to_vec(),
+                predictors: vec![PredictorSpec::off(), PredictorSpec::perfect()],
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Runs the named sweep (checkpointed under `results/`) and renders its
+/// figure/table output, or returns `None` for an unknown name.
+pub fn run(name: &str, options: &SweepOptions) -> Option<SweepOutcome> {
+    let spec = spec(name)?;
+    let outcome = run_sweep(&spec, options);
+    match name {
+        "fig2" => render_fig2(&spec, &outcome),
+        "fig3" => render_fig3(&spec, &outcome),
+        "fig4" => render_fig4(&spec, &outcome),
+        "fig5" => render_fig5(&spec, &outcome),
+        "tab1" => render_tab1(&outcome),
+        _ => unreachable!("spec() vetted the name"),
+    }
+    println!("sweep checkpoint: {}", outcome.checkpoint_path.display());
+    Some(outcome)
+}
+
+/// Platform, catalog, and trace of the Table 1 / Fig 1 motivational example.
+#[must_use]
+pub fn motivational_workload() -> (Platform, TaskCatalog, Trace) {
+    let platform = Platform::builder()
+        .cpu("cpu1")
+        .cpu("cpu2")
+        .gpu("gpu")
+        .build();
+    let ids: Vec<_> = platform.ids().collect();
+    let tau1 = TaskType::builder(0, &platform)
+        .profile(ids[0], Time::new(8.0), Energy::new(7.3))
+        .profile(ids[1], Time::new(12.0), Energy::new(8.4))
+        .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+        .build();
+    let tau2 = TaskType::builder(1, &platform)
+        .profile(ids[0], Time::new(7.0), Energy::new(6.2))
+        .profile(ids[1], Time::new(8.5), Energy::new(7.5))
+        .profile(ids[2], Time::new(3.0), Energy::new(1.5))
+        .build();
+    let catalog = TaskCatalog::new(vec![tau1, tau2]);
+    let trace = Trace::new(vec![
+        Request {
+            id: RequestId::new(0),
+            arrival: Time::new(0.0),
+            task_type: TaskTypeId::new(0),
+            deadline: Time::new(8.0),
+        },
+        Request {
+            id: RequestId::new(1),
+            arrival: Time::new(1.0),
+            task_type: TaskTypeId::new(1),
+            deadline: Time::new(5.0),
+        },
+    ]);
+    (platform, catalog, trace)
+}
+
+fn render_fig2(spec: &SweepSpec, outcome: &SweepOutcome) {
+    println!(
+        "Fig 2: {} traces x {} requests per configuration",
+        spec.scale.traces, spec.scale.trace_len
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "group", "policy", "pred off%", "pred on%", "reduction"
+    );
+
+    let mut rows = Vec::new();
+    let mut bars: Vec<(String, [f64; 2])> = Vec::new();
+    for group in [Group::Lt, Group::Vt] {
+        for policy in BOTH_POLICIES {
+            let off = outcome
+                .metrics(group.name(), policy, "off")
+                .mean_rejection_percent;
+            let on = outcome
+                .metrics(group.name(), policy, "perfect")
+                .mean_rejection_percent;
+            println!(
+                "{:>6} {:>10} {:>10.2} {:>10.2} {:>12.2}",
+                group.name(),
+                policy.name(),
+                off,
+                on,
+                off - on
+            );
+            rows.push(format!(
+                "{},{},{off:.4},{on:.4}",
+                group.name(),
+                policy.name()
+            ));
+            bars.push((format!("{} {}", group.name(), policy.name()), [off, on]));
+        }
+    }
+
+    let svg = bar_chart(
+        "Fig 2: rejection %, prediction off vs on",
+        "rejection %",
+        &["prediction off", "prediction on"],
+        &bars
+            .iter()
+            .map(|(label, v)| Series::new(label.clone(), v.to_vec()))
+            .collect::<Vec<_>>(),
+    );
+    let svg_path = write_svg("fig2", &svg);
+    println!("wrote {}", svg_path.display());
+
+    let path = write_csv(
+        "fig2",
+        "group,policy,rejection_percent_pred_off,rejection_percent_pred_on",
+        &rows,
+    );
+    println!(
+        "\npaper reductions: LT 1.0 (MILP) / 2.6 (heuristic); VT 9.17 (MILP) / 10.2 (heuristic)"
+    );
+    println!("wrote {}", path.display());
+}
+
+fn render_fig3(spec: &SweepSpec, outcome: &SweepOutcome) {
+    println!(
+        "Fig 3: {} traces x {} requests per configuration",
+        spec.scale.traces, spec.scale.trace_len
+    );
+
+    let mut rows = Vec::new();
+    for group in [Group::Lt, Group::Vt] {
+        let mut bars = Vec::new();
+        for policy in BOTH_POLICIES {
+            for (label, predictor) in [("off", "off"), ("on", "perfect")] {
+                let m = outcome.metrics(group.name(), policy, predictor);
+                bars.push((policy, label, m.mean_energy, m.mean_rejection_percent));
+            }
+        }
+        let max_energy = bars
+            .iter()
+            .map(|(_, _, e, _)| *e)
+            .fold(f64::MIN_POSITIVE, f64::max);
+
+        println!(
+            "\n  {} group (energy normalized to the largest bar):",
+            group.name()
+        );
+        println!(
+            "  {:>10} {:>6} {:>12} {:>12} {:>12}",
+            "policy", "pred", "norm energy", "raw energy", "rejection%"
+        );
+        for (policy, label, energy, rejection) in &bars {
+            println!(
+                "  {:>10} {:>6} {:>12.4} {:>12.1} {:>12.2}",
+                policy.name(),
+                label,
+                energy / max_energy,
+                energy,
+                rejection
+            );
+            rows.push(format!(
+                "{},{},{},{:.6},{:.2},{:.4}",
+                group.name(),
+                policy.name(),
+                label,
+                energy / max_energy,
+                energy,
+                rejection
+            ));
+        }
+    }
+
+    let path = write_csv(
+        "fig3",
+        "group,policy,prediction,normalized_energy,raw_energy,rejection_percent",
+        &rows,
+    );
+    println!("\npaper shape: smaller rejection => higher energy, within each group");
+    println!("wrote {}", path.display());
+}
+
+fn render_fig4(spec: &SweepSpec, outcome: &SweepOutcome) {
+    println!(
+        "Fig 4: VT group, {} traces x {} requests per point",
+        spec.scale.traces, spec.scale.trace_len
+    );
+
+    let mut rows = Vec::new();
+    let mut panel_series: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    for (panel, labels) in [("a:type", TYPE_LABELS), ("b:arrival", ARRIVAL_LABELS)] {
+        println!("\n  panel {panel}:");
+        println!(
+            "  {:>9} {:>12} {:>12}",
+            "accuracy", "MILP rej%", "heur rej%"
+        );
+        let mut milp_series = Vec::new();
+        let mut heur_series = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let accuracy = LEVELS[i];
+            let milp = outcome
+                .metrics("VT", Policy::Milp, label)
+                .mean_rejection_percent;
+            let heur = outcome
+                .metrics("VT", Policy::Heuristic, label)
+                .mean_rejection_percent;
+            println!("  {accuracy:>9.2} {milp:>12.2} {heur:>12.2}");
+            rows.push(format!("{panel},{accuracy},{milp:.4},{heur:.4}"));
+            milp_series.push(milp);
+            heur_series.push(heur);
+        }
+        panel_series.push((panel.to_string(), milp_series, heur_series));
+        // Baseline: predictor off.
+        let milp_off = outcome
+            .metrics("VT", Policy::Milp, "off")
+            .mean_rejection_percent;
+        let heur_off = outcome
+            .metrics("VT", Policy::Heuristic, "off")
+            .mean_rejection_percent;
+        println!("  {:>9} {milp_off:>12.2} {heur_off:>12.2}", "off");
+        rows.push(format!("{panel},off,{milp_off:.4},{heur_off:.4}"));
+    }
+
+    for (panel, milp_series, heur_series) in &panel_series {
+        let name = format!("fig4{}", &panel[..1]);
+        let svg = line_chart(
+            &format!("Fig 4 ({panel}): rejection % vs prediction accuracy (VT)"),
+            "rejection %",
+            "accuracy",
+            &LEVELS,
+            &[
+                Series::new("MILP", milp_series.clone()),
+                Series::new("heuristic", heur_series.clone()),
+            ],
+        );
+        let svg_path = write_svg(&name, &svg);
+        println!("wrote {}", svg_path.display());
+    }
+    let path = write_csv(
+        "fig4",
+        "panel,accuracy,milp_rejection_percent,heuristic_rejection_percent",
+        &rows,
+    );
+    println!("\npaper shape: rejection rises toward the off level as accuracy falls");
+    println!("wrote {}", path.display());
+}
+
+fn render_fig5(spec: &SweepSpec, outcome: &SweepOutcome) {
+    println!(
+        "Fig 5: VT group, {} traces x {} requests per point, perfect prediction",
+        spec.scale.traces, spec.scale.trace_len
+    );
+
+    let milp_off = outcome
+        .metrics("VT", Policy::Milp, "off")
+        .mean_rejection_percent;
+    let heur_off = outcome
+        .metrics("VT", Policy::Heuristic, "off")
+        .mean_rejection_percent;
+    println!("  predictor off: MILP {milp_off:.2}%  heuristic {heur_off:.2}%\n");
+    println!(
+        "  {:>10} {:>12} {:>12}",
+        "coeff*100", "MILP rej%", "heur rej%"
+    );
+
+    let mut rows = vec![format!("off,{milp_off:.4},{heur_off:.4}")];
+    let mut crossover: Option<f64> = None;
+    let mut series_milp = Vec::new();
+    let mut series_heur = Vec::new();
+    for (label, coeff) in COEFFS {
+        let milp = outcome
+            .metrics("VT", Policy::Milp, label)
+            .mean_rejection_percent;
+        let heur = outcome
+            .metrics("VT", Policy::Heuristic, label)
+            .mean_rejection_percent;
+        println!("  {:>10.0} {milp:>12.2} {heur:>12.2}", coeff * 100.0);
+        rows.push(format!("{},{milp:.4},{heur:.4}", coeff * 100.0));
+        series_milp.push(milp);
+        series_heur.push(heur);
+        if crossover.is_none() && heur > heur_off {
+            crossover = Some(coeff * 100.0);
+        }
+    }
+
+    let xs: Vec<f64> = COEFFS.iter().map(|(_, c)| c * 100.0).collect();
+    let svg = line_chart(
+        "Fig 5: rejection % vs prediction overhead (VT, perfect prediction)",
+        "rejection %",
+        "overhead coefficient x 100",
+        &xs,
+        &[
+            Series::new("MILP", series_milp),
+            Series::new("heuristic", series_heur),
+            Series::new("MILP off", vec![milp_off; xs.len()]),
+            Series::new("heuristic off", vec![heur_off; xs.len()]),
+        ],
+    );
+    let svg_path = write_svg("fig5", &svg);
+    println!("wrote {}", svg_path.display());
+
+    match crossover {
+        Some(c) => println!(
+            "\nheuristic crossover (prediction worse than off) at coefficient*100 ~ {c:.0}"
+        ),
+        None => println!("\nno crossover within the swept range"),
+    }
+    let path = write_csv(
+        "fig5",
+        "coefficient_times_100,milp_rejection_percent,heuristic_rejection_percent",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}
+
+fn render_tab1(outcome: &SweepOutcome) {
+    println!("Table 1 / Fig 1 motivational example\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>12}",
+        "scenario", "accepted", "rejected", "energy (J)"
+    );
+    for (suffix, predictor) in [("no prediction", "off"), ("prediction", "perfect")] {
+        for policy in BOTH_POLICIES {
+            let m = outcome.metrics("motivational", policy, predictor);
+            println!(
+                "{:<24} {:>10} {:>10} {:>12.2}",
+                format!("{}, {suffix}", policy.name()),
+                m.accepted,
+                m.rejected,
+                m.mean_energy
+            );
+        }
+    }
+    println!("\npaper: without prediction 1/2 accepted (scenario a);");
+    println!("       with accurate prediction 2/2 accepted at 8.8 J (scenario b)");
+}

@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod figs;
+pub mod sweep;
 
 use std::fs;
 use std::io::Write as _;

@@ -1,0 +1,796 @@
+//! Declarative sweep engine for cluster-scale experiment batches.
+//!
+//! The paper's evaluation (Sec 5) averages rejection and energy over
+//! hundreds of traces per configuration across a (workload × policy ×
+//! predictor) grid. Instead of every experiment binary re-implementing that
+//! grid loop, a [`SweepSpec`] *declares* the grid and [`run_sweep`] executes
+//! it on the warm worker pool ([`rtrm_sim::run_batch_with`]): one
+//! [`rtrm_sim::SimScratch`] per worker, chunked dispatch, deterministic
+//! per-cell seed derivation ([`cell_seed`]), and checkpoint/resume so a
+//! killed sweep restarts from completed cells.
+//!
+//! Outputs under `results/` (created on demand):
+//!
+//! * `<name>.sweep.json` — the checkpoint/result document, rewritten
+//!   atomically after every completed cell (schema validated by
+//!   `crates/bench/tests/bench_json_schema.rs`);
+//! * `<name>_sweep.csv` — one row per cell, written when the sweep
+//!   completes.
+//!
+//! The per-trace reports of a freshly computed cell are bit-identical to
+//! sequential [`rtrm_sim::Simulator::run`] calls with the same derived
+//! seeds — asserted by `crates/bench/tests/sweep_differential.rs`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtrm_platform::{Platform, TaskCatalog, Trace};
+use rtrm_predict::{ErrorModel, OraclePredictor, OverheadModel, Predictor};
+use rtrm_sim::{
+    mean_energy, mean_rejection_percent, run_batch_with, BatchOptions, PhantomDeadline, SimConfig,
+    SimReport,
+};
+use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig};
+
+use crate::{write_csv, Group, Oracle, Policy, Scale};
+
+/// Checkpoint document version; bumped on schema changes so stale files are
+/// discarded instead of misread.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One predictor configuration on the grid's predictor axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorSpec {
+    /// Stable label identifying the cell in checkpoints, CSV, and lookups
+    /// (e.g. `"off"`, `"perfect"`, `"type@0.75"`). Must be unique within a
+    /// spec.
+    pub label: &'static str,
+    /// Oracle configuration (off, or on with an error model).
+    pub oracle: Oracle,
+    /// Prediction runtime overhead as a fraction of the mean interarrival
+    /// time (Sec 5.5); `0.0` charges nothing.
+    pub overhead_coeff: f64,
+}
+
+impl PredictorSpec {
+    /// Prediction disabled.
+    #[must_use]
+    pub fn off() -> Self {
+        PredictorSpec {
+            label: "off",
+            oracle: Oracle::Off,
+            overhead_coeff: 0.0,
+        }
+    }
+
+    /// Perfectly accurate oracle, no overhead.
+    #[must_use]
+    pub fn perfect() -> Self {
+        PredictorSpec {
+            label: "perfect",
+            oracle: Oracle::On(ErrorModel::perfect()),
+            overhead_coeff: 0.0,
+        }
+    }
+
+    fn overhead(&self) -> OverheadModel {
+        if self.overhead_coeff > 0.0 {
+            OverheadModel::fraction_of_interarrival(self.overhead_coeff)
+        } else {
+            OverheadModel::none()
+        }
+    }
+}
+
+/// The workload axis of a sweep grid.
+pub enum GridWorkload {
+    /// The paper's generated workload: one batch of [`Scale::traces`]
+    /// traces per deadline-tightness group, derived from the master seed
+    /// exactly like [`crate::workload`].
+    Paper {
+        /// Deadline-tightness groups to sweep.
+        groups: Vec<Group>,
+    },
+    /// A fixed, caller-supplied workload (e.g. the Table 1 motivational
+    /// example), swept over the policy × predictor axes only.
+    Custom {
+        /// Label identifying the workload in cell keys.
+        label: &'static str,
+        /// The platform.
+        platform: Platform,
+        /// The task catalog.
+        catalog: TaskCatalog,
+        /// The traces of the batch.
+        traces: Vec<Trace>,
+        /// Deadline model for predicted phantom tasks.
+        phantom_deadline: PhantomDeadline,
+    },
+}
+
+impl std::fmt::Debug for GridWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridWorkload::Paper { groups } => {
+                f.debug_struct("Paper").field("groups", groups).finish()
+            }
+            GridWorkload::Custom { label, traces, .. } => f
+                .debug_struct("Custom")
+                .field("label", label)
+                .field("traces", &traces.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// A declarative experiment grid: workloads × policies × predictors, plus
+/// the scale shared by every cell.
+#[derive(Debug)]
+pub struct SweepSpec {
+    /// Output-file stem and checkpoint identity.
+    pub name: &'static str,
+    /// Traces per cell / requests per trace / master seed.
+    pub scale: Scale,
+    /// The workload axis.
+    pub workload: GridWorkload,
+    /// The policy axis.
+    pub policies: Vec<Policy>,
+    /// The predictor axis.
+    pub predictors: Vec<PredictorSpec>,
+}
+
+/// Aggregated metrics of one completed grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Traces simulated.
+    pub traces: usize,
+    /// Total requests over the cell's traces.
+    pub requests: usize,
+    /// Total accepted requests.
+    pub accepted: usize,
+    /// Total rejected requests.
+    pub rejected: usize,
+    /// Mean per-trace rejection percentage (the paper's headline metric).
+    pub mean_rejection_percent: f64,
+    /// Mean per-trace total energy.
+    pub mean_energy: f64,
+    /// Wall-clock milliseconds the cell took on the pool.
+    pub elapsed_ms: f64,
+}
+
+/// One grid cell with its identity and result.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Workload label (group name, or the custom workload's label).
+    pub workload: String,
+    /// Policy label ([`Policy::name`]).
+    pub policy: String,
+    /// Predictor label ([`PredictorSpec::label`]).
+    pub predictor: String,
+    /// Aggregated metrics.
+    pub metrics: CellMetrics,
+    /// Per-trace reports — `None` when the cell was resumed from a
+    /// checkpoint (only aggregates are persisted).
+    pub reports: Option<Vec<SimReport>>,
+}
+
+impl CellResult {
+    /// The cell's stable identity inside checkpoints.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.policy, self.predictor)
+    }
+}
+
+/// Everything a completed sweep produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The spec's name.
+    pub name: &'static str,
+    /// Every grid cell, in expansion order (workload × policy × predictor).
+    pub cells: Vec<CellResult>,
+    /// Cells that were loaded from the checkpoint instead of recomputed.
+    pub resumed: usize,
+    /// Path of the checkpoint/result JSON.
+    pub checkpoint_path: PathBuf,
+    /// Path of the per-cell CSV.
+    pub csv_path: PathBuf,
+}
+
+impl SweepOutcome {
+    /// Metrics of the `(workload, policy, predictor)` cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is not on the grid — a spec/render mismatch is
+    /// a programming error.
+    #[must_use]
+    pub fn metrics(&self, workload: &str, policy: Policy, predictor: &str) -> &CellMetrics {
+        &self
+            .cells
+            .iter()
+            .find(|c| {
+                c.workload == workload && c.policy == policy.name() && c.predictor == predictor
+            })
+            .unwrap_or_else(|| panic!("cell {workload}/{}/{predictor} not in sweep", policy.name()))
+            .metrics
+    }
+}
+
+/// Execution options for [`run_sweep`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Ignore (and overwrite) an existing checkpoint instead of resuming.
+    pub fresh: bool,
+    /// Suppress per-cell progress lines.
+    pub quiet: bool,
+}
+
+/// Deterministic per-cell seed: FNV-1a of the cell key folded with the
+/// master seed. Stable across grid reordering and resume, so cell results
+/// never depend on which other cells ran (or in which order). Trace `i` of
+/// a cell derives its predictor seed as `cell_seed ^ i`.
+#[must_use]
+pub fn cell_seed(master: u64, key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ master
+}
+
+/// One expanded job of the grid.
+struct Job {
+    workload: String,
+    policy: Policy,
+    predictor: PredictorSpec,
+    group: Option<Group>,
+}
+
+/// Runs the sweep: expands the grid, skips cells already in the checkpoint
+/// (unless [`SweepOptions::fresh`]), executes the rest on the warm worker
+/// pool, and persists checkpoint + CSV under `results/`.
+///
+/// # Panics
+///
+/// Panics when `results/` cannot be written — the harness has nothing
+/// sensible to do without its outputs.
+#[must_use]
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepOutcome {
+    let dir = crate::results_dir_for_charts();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let checkpoint_path = dir.join(format!("{}.sweep.json", spec.name));
+
+    let trace_len = match &spec.workload {
+        GridWorkload::Paper { .. } => spec.scale.trace_len,
+        GridWorkload::Custom { .. } => 0,
+    };
+    let mut done: BTreeMap<String, CellMetrics> = BTreeMap::new();
+    if !options.fresh {
+        if let Ok(text) = fs::read_to_string(&checkpoint_path) {
+            done = load_checkpoint(&text, spec, trace_len).unwrap_or_default();
+        }
+    }
+
+    // Generated workloads are shared across the cells of a group; custom
+    // workloads come with the spec.
+    let paper_platform = Platform::paper_default();
+    let paper_catalog = match &spec.workload {
+        GridWorkload::Paper { .. } => {
+            let mut rng = StdRng::seed_from_u64(spec.scale.seed);
+            Some(generate_catalog(
+                &paper_platform,
+                &CatalogConfig::paper(),
+                &mut rng,
+            ))
+        }
+        GridWorkload::Custom { .. } => None,
+    };
+    let mut group_traces: BTreeMap<&'static str, Vec<Trace>> = BTreeMap::new();
+
+    let mut jobs: Vec<Job> = Vec::new();
+    match &spec.workload {
+        GridWorkload::Paper { groups } => {
+            for &g in groups {
+                for &policy in &spec.policies {
+                    for &predictor in &spec.predictors {
+                        jobs.push(Job {
+                            workload: g.name().to_string(),
+                            policy,
+                            predictor,
+                            group: Some(g),
+                        });
+                    }
+                }
+            }
+        }
+        GridWorkload::Custom { label, .. } => {
+            for &policy in &spec.policies {
+                for &predictor in &spec.predictors {
+                    jobs.push(Job {
+                        workload: (*label).to_string(),
+                        policy,
+                        predictor,
+                        group: None,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut cells: Vec<CellResult> = Vec::with_capacity(jobs.len());
+    let mut resumed = 0;
+    for job in &jobs {
+        let key = format!(
+            "{}/{}/{}",
+            job.workload,
+            job.policy.name(),
+            job.predictor.label
+        );
+        if let Some(metrics) = done.get(&key) {
+            resumed += 1;
+            if !options.quiet {
+                println!("sweep {}: cell {key} resumed from checkpoint", spec.name);
+            }
+            cells.push(CellResult {
+                workload: job.workload.clone(),
+                policy: job.policy.name().to_string(),
+                predictor: job.predictor.label.to_string(),
+                metrics: metrics.clone(),
+                reports: None,
+            });
+            continue;
+        }
+
+        let (platform, catalog, traces, config) = match (&spec.workload, job.group) {
+            (GridWorkload::Paper { .. }, Some(g)) => {
+                let catalog = paper_catalog.as_ref().expect("paper catalog generated");
+                let traces = group_traces.entry(g.name()).or_insert_with(|| {
+                    let cfg = g.trace_config(spec.scale.trace_len);
+                    generate_traces(
+                        catalog,
+                        &cfg,
+                        spec.scale.traces,
+                        spec.scale.seed ^ (g as u64 + 1) << 32,
+                    )
+                });
+                let config = SimConfig {
+                    overhead: job.predictor.overhead(),
+                    phantom_deadline: PhantomDeadline::MinWcetTimes(g.phantom_coefficient()),
+                    ..SimConfig::default()
+                };
+                (&paper_platform, catalog, traces.as_slice(), config)
+            }
+            (
+                GridWorkload::Custom {
+                    platform,
+                    catalog,
+                    traces,
+                    phantom_deadline,
+                    ..
+                },
+                _,
+            ) => {
+                let config = SimConfig {
+                    overhead: job.predictor.overhead(),
+                    phantom_deadline: *phantom_deadline,
+                    ..SimConfig::default()
+                };
+                (platform, catalog, traces.as_slice(), config)
+            }
+            (GridWorkload::Paper { .. }, None) => unreachable!("paper jobs carry their group"),
+        };
+
+        let seed = cell_seed(spec.scale.seed, &key);
+        let catalog_len = catalog.len();
+        let began = Instant::now();
+        let (reports, _stats) = run_batch_with(
+            platform,
+            catalog,
+            &config,
+            traces,
+            |_| job.policy.build(),
+            |i| match job.predictor.oracle {
+                Oracle::Off => None,
+                Oracle::On(error) => {
+                    let p: Box<dyn Predictor + Send> = Box::new(OraclePredictor::new(
+                        &traces[i],
+                        catalog_len,
+                        error,
+                        seed ^ i as u64,
+                    ));
+                    Some(p)
+                }
+            },
+            &BatchOptions::default(),
+        );
+        let elapsed_ms = began.elapsed().as_secs_f64() * 1e3;
+
+        let metrics = CellMetrics {
+            traces: reports.len(),
+            requests: reports.iter().map(|r| r.requests).sum(),
+            accepted: reports.iter().map(|r| r.accepted).sum(),
+            rejected: reports.iter().map(|r| r.rejected).sum(),
+            mean_rejection_percent: mean_rejection_percent(&reports),
+            mean_energy: mean_energy(&reports),
+            elapsed_ms,
+        };
+        if !options.quiet {
+            println!(
+                "sweep {}: cell {key}: rejection {:.2}%, energy {:.1}, {:.0} ms",
+                spec.name, metrics.mean_rejection_percent, metrics.mean_energy, elapsed_ms
+            );
+        }
+        cells.push(CellResult {
+            workload: job.workload.clone(),
+            policy: job.policy.name().to_string(),
+            predictor: job.predictor.label.to_string(),
+            metrics,
+            reports: Some(reports),
+        });
+        save_checkpoint(&checkpoint_path, spec, trace_len, &cells);
+    }
+
+    // A fully resumed sweep still rewrites the checkpoint (refreshing a
+    // partially written file) and the CSV.
+    save_checkpoint(&checkpoint_path, spec, trace_len, &cells);
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let m = &c.metrics;
+            format!(
+                "{},{},{},{},{},{},{},{:.6},{:.6},{:.3}",
+                c.workload,
+                c.policy,
+                c.predictor,
+                m.traces,
+                m.requests,
+                m.accepted,
+                m.rejected,
+                m.mean_rejection_percent,
+                m.mean_energy,
+                m.elapsed_ms
+            )
+        })
+        .collect();
+    let csv_path = write_csv(
+        &format!("{}_sweep", spec.name),
+        "workload,policy,predictor,traces,requests,accepted,rejected,\
+         mean_rejection_percent,mean_energy,elapsed_ms",
+        &rows,
+    );
+
+    SweepOutcome {
+        name: spec.name,
+        cells,
+        resumed,
+        checkpoint_path,
+        csv_path,
+    }
+}
+
+/// Serializes the checkpoint document and writes it atomically (temp file +
+/// rename), so a sweep killed mid-write never leaves a torn checkpoint.
+fn save_checkpoint(path: &PathBuf, spec: &SweepSpec, trace_len: usize, cells: &[CellResult]) {
+    let mut rows = Vec::with_capacity(cells.len());
+    for c in cells {
+        let m = &c.metrics;
+        // `{}` on f64 is the shortest round-trip representation, so a
+        // resumed cell's metrics compare bit-equal to the originals.
+        rows.push(format!(
+            "    {{\"key\": \"{}\", \"workload\": \"{}\", \"policy\": \"{}\", \
+             \"predictor\": \"{}\", \"traces\": {}, \"requests\": {}, \"accepted\": {}, \
+             \"rejected\": {}, \"mean_rejection_percent\": {}, \"mean_energy\": {}, \
+             \"elapsed_ms\": {}}}",
+            c.key(),
+            c.workload,
+            c.policy,
+            c.predictor,
+            m.traces,
+            m.requests,
+            m.accepted,
+            m.rejected,
+            m.mean_rejection_percent,
+            m.mean_energy,
+            m.elapsed_ms
+        ));
+    }
+    let doc = format!(
+        "{{\n  \"sweep\": \"{}\",\n  \"version\": {},\n  \"seed\": {},\n  \
+         \"traces_per_cell\": {},\n  \"trace_len\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        spec.name,
+        CHECKPOINT_VERSION,
+        spec.scale.seed,
+        spec.scale.traces,
+        trace_len,
+        rows.join(",\n")
+    );
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, doc).expect("write sweep checkpoint");
+    fs::rename(&tmp, path).expect("publish sweep checkpoint");
+}
+
+/// Parses a checkpoint and returns its completed cells, or `None` when the
+/// header does not match this spec (different name, version, seed, or
+/// scale — a stale file from another configuration is discarded, not
+/// misread).
+fn load_checkpoint(
+    text: &str,
+    spec: &SweepSpec,
+    trace_len: usize,
+) -> Option<BTreeMap<String, CellMetrics>> {
+    let doc = json::parse(text)?;
+    if doc.get_str("sweep")? != spec.name
+        || doc.get_f64("version")? != CHECKPOINT_VERSION as f64
+        || doc.get_f64("seed")? != spec.scale.seed as f64
+        || doc.get_f64("traces_per_cell")? != spec.scale.traces as f64
+        || doc.get_f64("trace_len")? != trace_len as f64
+    {
+        return None;
+    }
+    let mut done = BTreeMap::new();
+    for cell in doc.get_array("cells")? {
+        done.insert(
+            cell.get_str("key")?.to_string(),
+            CellMetrics {
+                traces: cell.get_f64("traces")? as usize,
+                requests: cell.get_f64("requests")? as usize,
+                accepted: cell.get_f64("accepted")? as usize,
+                rejected: cell.get_f64("rejected")? as usize,
+                mean_rejection_percent: cell.get_f64("mean_rejection_percent")?,
+                mean_energy: cell.get_f64("mean_energy")?,
+                elapsed_ms: cell.get_f64("elapsed_ms")?,
+            },
+        );
+    }
+    Some(done)
+}
+
+/// A minimal JSON reader for the checkpoint format this module itself
+/// writes (the workspace deliberately carries no JSON dependency). Strings
+/// contain no escapes; numbers are plain decimals. Malformed input yields
+/// `None`, which [`run_sweep`] treats as "no checkpoint".
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn get_str(&self, key: &str) -> Option<&str> {
+            match self.get(key)? {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn get_f64(&self, key: &str) -> Option<f64> {
+            match self.get(key)? {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn get_array(&self, key: &str) -> Option<&[Value]> {
+            match self.get(key)? {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(m) => m.get(key),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Option<Value> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        (p.pos == p.bytes.len()).then_some(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, b: u8) -> Option<()> {
+            (self.peek()? == b).then(|| self.pos += 1)
+        }
+
+        fn value(&mut self) -> Option<Value> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Some(Value::String(self.string()?)),
+                _ => self.number(),
+            }
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.eat(b'"')?;
+            let start = self.pos;
+            while *self.bytes.get(self.pos)? != b'"' {
+                self.pos += 1;
+            }
+            let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+            self.pos += 1;
+            Some(s.to_string())
+        }
+
+        fn number(&mut self) -> Option<Value> {
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()?
+                .parse()
+                .ok()
+                .map(Value::Number)
+        }
+
+        fn array(&mut self) -> Option<Value> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Some(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Some(Value::Array(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+
+        fn object(&mut self) -> Option<Value> {
+            self.eat(b'{')?;
+            let mut map = BTreeMap::new();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Some(Value::Object(map));
+            }
+            loop {
+                let key = self.string()?;
+                self.eat(b':')?;
+                map.insert(key, self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Some(Value::Object(map));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(name: &'static str) -> SweepSpec {
+        SweepSpec {
+            name,
+            scale: Scale {
+                traces: 2,
+                trace_len: 20,
+                seed: 7,
+            },
+            workload: GridWorkload::Paper {
+                groups: vec![Group::Vt],
+            },
+            policies: vec![Policy::Heuristic],
+            predictors: vec![PredictorSpec::off(), PredictorSpec::perfect()],
+        }
+    }
+
+    #[test]
+    fn cell_seed_is_stable_and_key_sensitive() {
+        assert_eq!(
+            cell_seed(1, "VT/heuristic/off"),
+            cell_seed(1, "VT/heuristic/off")
+        );
+        assert_ne!(
+            cell_seed(1, "VT/heuristic/off"),
+            cell_seed(1, "VT/heuristic/perfect")
+        );
+        assert_ne!(
+            cell_seed(1, "VT/heuristic/off"),
+            cell_seed(2, "VT/heuristic/off")
+        );
+    }
+
+    #[test]
+    fn sweep_runs_checkpoints_and_resumes() {
+        let spec = tiny_spec("unit_sweep_smoke");
+        let options = SweepOptions {
+            fresh: true,
+            quiet: true,
+        };
+        let first = run_sweep(&spec, &options);
+        assert_eq!(first.cells.len(), 2);
+        assert_eq!(first.resumed, 0);
+        assert!(first.cells.iter().all(|c| c.reports.is_some()));
+        assert!(first.checkpoint_path.exists());
+
+        // Resume: every cell comes from the checkpoint, metrics identical.
+        let second = run_sweep(
+            &spec,
+            &SweepOptions {
+                fresh: false,
+                quiet: true,
+            },
+        );
+        assert_eq!(second.resumed, 2);
+        for (a, b) in first.cells.iter().zip(&second.cells) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.metrics, b.metrics);
+            assert!(b.reports.is_none(), "resumed cells carry no reports");
+        }
+
+        // A different scale invalidates the checkpoint header.
+        let rescaled = SweepSpec {
+            scale: Scale {
+                traces: 3,
+                ..spec.scale
+            },
+            ..tiny_spec("unit_sweep_smoke")
+        };
+        let third = run_sweep(
+            &rescaled,
+            &SweepOptions {
+                fresh: false,
+                quiet: true,
+            },
+        );
+        assert_eq!(third.resumed, 0, "stale checkpoint must be discarded");
+
+        let _ = fs::remove_file(&first.checkpoint_path);
+        let _ = fs::remove_file(&first.csv_path);
+    }
+}

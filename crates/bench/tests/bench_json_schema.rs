@@ -301,6 +301,137 @@ fn bench_activation_json_schema_is_current() {
     );
 }
 
+/// `BENCH_sweep.json` has its own acceptance points (batch sizes 64 and
+/// 512), so it does not go through [`check_envelope`] (which pins 128).
+#[test]
+fn bench_sweep_json_schema_is_current() {
+    let doc = load("BENCH_sweep.json");
+    assert_eq!(
+        doc.get("bench").and_then(Json::as_str),
+        Some("sweep_throughput")
+    );
+    assert_eq!(
+        doc.get("units").and_then(Json::as_str),
+        Some("ns_per_trace"),
+        "stale units field"
+    );
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results array");
+    assert!(!results.is_empty(), "empty results");
+    let mut batches = Vec::new();
+    for row in results {
+        assert_eq!(
+            row.get("series").and_then(Json::as_str),
+            Some("warm_pool_vs_cold"),
+            "unknown series"
+        );
+        let depth = row.get("depth").and_then(Json::as_f64).expect("row depth");
+        assert!(depth > 0.0 && depth.fract() == 0.0, "bad depth {depth}");
+        batches.push(depth as u64);
+        assert!(row.get("baseline_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(row.get("incremental_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        let speedup = row
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .expect("row speedup");
+        assert!(speedup > 0.0, "non-positive speedup");
+    }
+    for want in [64, 512] {
+        assert!(
+            batches.contains(&want),
+            "batch-size sweep must include the acceptance point {want}"
+        );
+    }
+}
+
+/// The sweep driver's checkpoint document: run a tiny sweep and validate
+/// the file it persists under `results/` — header identity fields plus the
+/// full per-cell metric set, so `load_checkpoint` and external consumers
+/// agree on the schema.
+#[test]
+fn sweep_checkpoint_schema_is_current() {
+    use rtrm_bench::sweep::{run_sweep, GridWorkload, PredictorSpec, SweepOptions, SweepSpec};
+    use rtrm_bench::{Group, Policy, Scale};
+
+    let spec = SweepSpec {
+        name: "test_checkpoint_schema",
+        scale: Scale {
+            traces: 2,
+            trace_len: 20,
+            seed: 5,
+        },
+        workload: GridWorkload::Paper {
+            groups: vec![Group::Vt],
+        },
+        policies: vec![Policy::Heuristic],
+        predictors: vec![PredictorSpec::off(), PredictorSpec::perfect()],
+    };
+    let outcome = run_sweep(
+        &spec,
+        &SweepOptions {
+            fresh: true,
+            quiet: true,
+        },
+    );
+    let text = std::fs::read_to_string(&outcome.checkpoint_path).expect("checkpoint written");
+    let doc = parse(&text);
+
+    assert_eq!(
+        doc.get("sweep").and_then(Json::as_str),
+        Some("test_checkpoint_schema")
+    );
+    for (key, want) in [
+        ("version", 1.0),
+        ("seed", 5.0),
+        ("traces_per_cell", 2.0),
+        ("trace_len", 20.0),
+    ] {
+        assert_eq!(
+            doc.get(key).and_then(Json::as_f64),
+            Some(want),
+            "header {key}"
+        );
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .expect("cells array");
+    assert_eq!(cells.len(), 2, "one cell per predictor");
+    for cell in cells {
+        for key in ["key", "workload", "policy", "predictor"] {
+            assert!(
+                cell.get(key).and_then(Json::as_str).is_some(),
+                "cell string field {key}"
+            );
+        }
+        for key in [
+            "traces",
+            "requests",
+            "accepted",
+            "rejected",
+            "mean_rejection_percent",
+            "mean_energy",
+            "elapsed_ms",
+        ] {
+            assert!(
+                cell.get(key).and_then(Json::as_f64).is_some(),
+                "cell numeric field {key}"
+            );
+        }
+        let key = cell.get("key").and_then(Json::as_str).unwrap();
+        let parts: Vec<&str> = key.split('/').collect();
+        assert_eq!(parts.len(), 3, "key is workload/policy/predictor: {key}");
+        assert_eq!(cell.get("workload").and_then(Json::as_str), Some(parts[0]));
+        assert_eq!(cell.get("policy").and_then(Json::as_str), Some(parts[1]));
+        assert_eq!(cell.get("predictor").and_then(Json::as_str), Some(parts[2]));
+    }
+
+    let _ = std::fs::remove_file(&outcome.checkpoint_path);
+    let _ = std::fs::remove_file(&outcome.csv_path);
+}
+
 #[test]
 fn mini_parser_rejects_malformed_records() {
     let mut p = Parser::new("{\"a\": [1, 2");

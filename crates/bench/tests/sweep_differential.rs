@@ -1,0 +1,111 @@
+//! Differential acceptance test for the sweep driver: a 4-cell grid over
+//! 200 traces executed on the warm worker pool must be bit-identical to a
+//! per-trace sequential reproduction with fresh `Simulator::run` calls —
+//! same traces, same derived seeds, no pool, no scratch reuse.
+//!
+//! This pins the whole warm-pool stack at once: chunked dispatch order,
+//! per-worker `SimScratch` reuse across traces, cross-activation
+//! `TimelinePool` reuse inside the managers, and the sweep's deterministic
+//! `cell_seed` derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtrm_bench::sweep::{
+    cell_seed, run_sweep, GridWorkload, PredictorSpec, SweepOptions, SweepSpec,
+};
+use rtrm_bench::{Group, Oracle, Policy, Scale};
+use rtrm_core::HeuristicRm;
+use rtrm_predict::OraclePredictor;
+use rtrm_sim::{PhantomDeadline, SimConfig, Simulator};
+use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig};
+
+#[test]
+fn sweep_is_bit_identical_to_sequential_runs() {
+    let scale = Scale {
+        traces: 50,
+        trace_len: 30,
+        seed: 11,
+    };
+    let groups = [Group::Vt, Group::Lt];
+    let predictors = [PredictorSpec::off(), PredictorSpec::perfect()];
+    let spec = SweepSpec {
+        name: "test_differential",
+        scale,
+        workload: GridWorkload::Paper {
+            groups: groups.to_vec(),
+        },
+        policies: vec![Policy::Heuristic],
+        predictors: predictors.to_vec(),
+    };
+    let outcome = run_sweep(
+        &spec,
+        &SweepOptions {
+            fresh: true,
+            quiet: true,
+        },
+    );
+    assert_eq!(outcome.cells.len(), 4, "2 groups x 1 policy x 2 predictors");
+    assert_eq!(
+        outcome
+            .cells
+            .iter()
+            .map(|c| c.metrics.traces)
+            .sum::<usize>(),
+        200,
+        "the grid must cover 200 traces"
+    );
+
+    // Sequential reproduction: regenerate the workload the way the sweep
+    // does and run every trace through a fresh simulator, fresh manager,
+    // and fresh per-run state.
+    let platform = rtrm_platform::Platform::paper_default();
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let mut checked = 0;
+    for g in groups {
+        let cfg = g.trace_config(scale.trace_len);
+        let traces = generate_traces(
+            &catalog,
+            &cfg,
+            scale.traces,
+            scale.seed ^ (g as u64 + 1) << 32,
+        );
+        for predictor in predictors {
+            let key = format!("{}/heuristic/{}", g.name(), predictor.label);
+            let seed = cell_seed(scale.seed, &key);
+            let config = SimConfig {
+                phantom_deadline: PhantomDeadline::MinWcetTimes(g.phantom_coefficient()),
+                ..SimConfig::default()
+            };
+            let cell = outcome
+                .cells
+                .iter()
+                .find(|c| c.key() == key)
+                .unwrap_or_else(|| panic!("cell {key} missing"));
+            let reports = cell.reports.as_ref().expect("fresh cells carry reports");
+            assert_eq!(reports.len(), traces.len());
+            for (i, trace) in traces.iter().enumerate() {
+                let simulator = Simulator::new(&platform, &catalog, config.clone());
+                let mut manager = HeuristicRm::new();
+                let expected = match predictor.oracle {
+                    Oracle::Off => simulator.run(trace, &mut manager, None),
+                    Oracle::On(error) => {
+                        let mut oracle =
+                            OraclePredictor::new(trace, catalog.len(), error, seed ^ i as u64);
+                        simulator.run(trace, &mut manager, Some(&mut oracle))
+                    }
+                };
+                assert_eq!(
+                    reports[i], expected,
+                    "cell {key}, trace {i}: sweep report diverged from sequential run"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 200);
+
+    let _ = std::fs::remove_file(&outcome.checkpoint_path);
+    let _ = std::fs::remove_file(&outcome.csv_path);
+}

@@ -142,17 +142,44 @@ pub trait ResourceManager {
     /// Implementations must follow the paper's fallback rule: if no feasible
     /// plan honours the predicted task, retry without it before rejecting.
     fn decide(&mut self, activation: &Activation<'_>) -> Decision;
+
+    /// Like [`decide`](ResourceManager::decide), but planning inside a
+    /// caller-held [`TimelinePool`] so timelines, scratch buffers, and
+    /// engine-fallback memo entries stay warm across activations (and across
+    /// traces, when the caller simulates a batch).
+    ///
+    /// The decision is identical to [`decide`](ResourceManager::decide) —
+    /// pools carry no plan state, only reusable allocations and exact-keyed
+    /// memo entries. The default implementation ignores the pool; managers
+    /// with a hot placement search ([`HeuristicRm`](crate::HeuristicRm),
+    /// [`ExactRm`](crate::ExactRm)) override it.
+    fn decide_with_pool(
+        &mut self,
+        activation: &Activation<'_>,
+        pool: &mut TimelinePool,
+    ) -> Decision {
+        let _ = pool;
+        self.decide(activation)
+    }
 }
 
 /// Reusable state backing [`PlanBuilder`]s: one persistent [`EdfTimeline`]
 /// per resource plus scratch buffers and a memo for the ad-hoc sub-queue
 /// checks of [`PlanBuilder::fits_or_defer`].
 ///
-/// A manager creates one pool per `decide()` call and threads it through
-/// every [`PlanBuilder::new`] of that activation — in particular through all
-/// rungs of the phantom-count fallback ladder — so timeline allocations and
-/// engine-fallback memo entries are shared across the whole placement search
-/// instead of being rebuilt per rung.
+/// A manager threads one pool through every [`PlanBuilder::new`] of an
+/// activation — in particular through all rungs of the phantom-count
+/// fallback ladder — so timeline allocations and engine-fallback memo
+/// entries are shared across the whole placement search instead of being
+/// rebuilt per rung.
+///
+/// Pools may also outlive a single activation: a caller that simulates many
+/// traces can hold one warm pool per worker and pass it to
+/// [`ResourceManager::decide_with_pool`] on every activation, eliminating
+/// the steady-state timeline/buffer allocations. This is safe because every
+/// memoized verdict is keyed by the exact probe content *including* the
+/// activation instant and the resource's preemptability, and
+/// [`PlanBuilder::new`] resets the timelines for the new instant.
 #[derive(Debug, Clone, Default)]
 pub struct TimelinePool {
     /// When `true`, timelines run in oracle mode: every feasibility probe is
@@ -172,6 +199,11 @@ pub struct TimelinePool {
     /// Exact-keyed verdicts for sub-queue checks, cleared when it outgrows
     /// [`MEMO_CAP`].
     memo: HashMap<Vec<u64>, bool>,
+    /// Instant of the last [`PlanBuilder::new`]. Memo keys include the
+    /// instant, so entries from other instants can never hit again; the
+    /// builder flushes them instead of letting a long-lived pool drag a
+    /// memo full of dead keys through every lookup.
+    last_now: Option<Time>,
 }
 
 impl TimelinePool {
@@ -191,6 +223,16 @@ impl TimelinePool {
             oracle: true,
             ..TimelinePool::default()
         }
+    }
+
+    /// Switches the pool between incremental feasibility (the default,
+    /// `false`) and the memoized from-scratch engine baseline (`true`).
+    /// Managers that accept an external pool
+    /// ([`ResourceManager::decide_with_pool`]) call this on every activation
+    /// so the pool's mode always matches the manager's own
+    /// `oracle_feasibility` flag, whichever pool it is handed.
+    pub fn set_oracle(&mut self, oracle: bool) {
+        self.oracle = oracle;
     }
 }
 
@@ -218,7 +260,9 @@ const MEMO_CAP: usize = 4096;
 
 /// Feasibility of `queue` on `resource`, memoized by exact queue content
 /// (bit patterns, not a lossy hash — a hit can never return a wrong
-/// verdict).
+/// verdict). The key includes the activation instant and the resource's
+/// preemptability, so a pool reused across activations — or even across
+/// simulators — can never serve a stale verdict.
 fn queue_schedulable(
     queue: &[PlannedJob],
     resource: ResourceId,
@@ -230,6 +274,8 @@ fn queue_schedulable(
 ) -> bool {
     probe.clear();
     probe.push(resource.index() as u64);
+    probe.push(now.value().to_bits());
+    probe.push(u64::from(kind.is_preemptable()));
     for j in queue {
         probe.push(j.key.0);
         probe.push(j.release.value().to_bits());
@@ -254,6 +300,10 @@ impl<'a> PlanBuilder<'a> {
     #[must_use]
     pub fn new(activation: &'a Activation<'a>, pool: &'a mut TimelinePool) -> Self {
         let oracle = pool.oracle;
+        if pool.last_now != Some(activation.now) {
+            pool.memo.clear();
+            pool.last_now = Some(activation.now);
+        }
         while pool.timelines.len() < activation.platform.len() {
             pool.timelines
                 .push(EdfTimeline::new(ResourceKind::Cpu, activation.now));
@@ -456,6 +506,37 @@ mod tests {
         assert_eq!(activation.window(), Time::new(20.0));
         assert_eq!(activation.jobs_with_prediction().count(), 2);
         assert_eq!(activation.jobs_without_prediction().count(), 2);
+    }
+
+    #[test]
+    fn reused_pool_matches_fresh_pool_across_activations() {
+        // A warm pool handed to decide_with_pool across activations with
+        // different instants (and hence different memo keys) must produce
+        // exactly the decisions of per-activation fresh pools.
+        let (platform, catalog) = setup();
+        let mut warm = TimelinePool::new();
+        let mut rm_warm = crate::HeuristicRm::new();
+        let mut rm_fresh = crate::HeuristicRm::new();
+        for step in 0..4u64 {
+            let now = Time::new(step as f64 * 1.5);
+            let arriving = JobView::fresh(
+                JobKey(step),
+                TaskTypeId::new(0),
+                now,
+                now + Time::new(2.5 + step as f64),
+            );
+            let activation = Activation {
+                now,
+                platform: &platform,
+                catalog: &catalog,
+                active: &[],
+                arriving,
+                predicted: &[],
+            };
+            let with_warm = rm_warm.decide_with_pool(&activation, &mut warm);
+            let with_fresh = rm_fresh.decide(&activation);
+            assert_eq!(with_warm, with_fresh, "step {step}");
+        }
     }
 
     #[test]

@@ -212,13 +212,18 @@ impl ResourceManager for ExactRm {
     }
 
     fn decide(&mut self, activation: &Activation<'_>) -> Decision {
-        // One pool per activation: the fallback ladder's rungs share the
-        // timelines and the engine-fallback memo.
-        let mut pool = if self.oracle_feasibility {
-            TimelinePool::oracle()
-        } else {
-            TimelinePool::new()
-        };
-        decide_with_fallback(activation, |act, k| self.solve(act, k, &mut pool))
+        // The fallback ladder's rungs share the timelines and the
+        // engine-fallback memo through the pool.
+        let mut pool = TimelinePool::new();
+        self.decide_with_pool(activation, &mut pool)
+    }
+
+    fn decide_with_pool(
+        &mut self,
+        activation: &Activation<'_>,
+        pool: &mut TimelinePool,
+    ) -> Decision {
+        pool.set_oracle(self.oracle_feasibility);
+        decide_with_fallback(activation, |act, k| self.solve(act, k, pool))
     }
 }

@@ -8,8 +8,12 @@
 //! overheads and energy wasted in GPU aborts, and enforcing the paper's
 //! invariant that admitted tasks never miss deadlines.
 //!
-//! [`run_batch`] parallelizes independent traces across worker threads for
-//! the paper-scale experiments.
+//! [`run_batch`] parallelizes independent traces across a persistent worker
+//! pool for the paper-scale experiments: workers claim chunks of trace
+//! indices and keep one warm [`SimScratch`] each (engine heaps plus the
+//! manager-side timeline pool), so large batches allocate nothing in the
+//! simulator at steady state. [`run_batch_with`] exposes the tuning knobs
+//! (worker count, chunk size, per-trace hooks).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -20,6 +24,8 @@ mod simulator;
 mod stats;
 
 pub use report::{mean_energy, mean_rejection_percent, SimReport, TaskOutcome, TaskRecord};
-pub use runner::run_batch;
-pub use simulator::{PhantomDeadline, SimConfig, Simulator};
+pub use runner::{
+    resolve_workers, run_batch, run_batch_with, BatchOptions, BatchStats, TraceStats,
+};
+pub use simulator::{PhantomDeadline, SimConfig, SimScratch, Simulator};
 pub use stats::Summary;

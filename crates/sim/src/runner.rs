@@ -2,21 +2,107 @@
 //!
 //! The paper's experiments average over hundreds of traces per
 //! configuration; traces are independent, so they parallelize trivially.
-//! Workers pull trace indices from a shared counter (`std::thread::scope`),
-//! and each builds its own manager/predictor from the supplied factories so
-//! no cross-trace state leaks. Each report lands in its own write-once slot
-//! — the index counter hands every trace to exactly one worker, so no lock
-//! is ever contended on the results.
+//! A persistent pool of workers pulls *chunks* of trace indices from a
+//! shared counter (`std::thread::scope`), and each worker keeps one warm
+//! [`SimScratch`] — engine heaps, staging buffers, and the manager-side
+//! [`rtrm_core::TimelinePool`] — for its whole lifetime, so the steady
+//! state of a large batch allocates nothing in the simulator. Each report
+//! lands in its own write-once slot — the chunked counter hands every trace
+//! to exactly one worker, so no lock is ever contended on the results.
+//!
+//! Worker count resolution (documented clamping rule): an explicit
+//! [`BatchOptions::workers`] wins, then the `RTRM_WORKERS` environment
+//! variable, then [`std::thread::available_parallelism`]; whatever the
+//! source, the count is clamped to at least 1 and at most the number of
+//! traces (a worker with no possible work is never spawned).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use rtrm_core::ResourceManager;
 use rtrm_platform::{Platform, TaskCatalog, Trace};
 use rtrm_predict::Predictor;
 
 use crate::report::SimReport;
-use crate::simulator::{SimConfig, Simulator};
+use crate::simulator::{SimConfig, SimScratch, Simulator};
+
+/// Per-trace measurement handed to [`BatchOptions::on_trace`] and recorded
+/// in [`BatchStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Index of the trace in the batch.
+    pub trace: usize,
+    /// Index of the worker that simulated it.
+    pub worker: usize,
+    /// Wall-clock nanoseconds the simulation took (manager and predictor
+    /// construction included — that is part of the per-trace cost).
+    pub nanos: u64,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests the manager accepted.
+    pub accepted: usize,
+}
+
+/// Batch-level counters returned by [`run_batch_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Workers actually spawned (after the clamping rule).
+    pub workers: usize,
+    /// Chunk size used for dispatch.
+    pub chunk: usize,
+    /// Wall-clock nanoseconds per trace, in trace order.
+    pub trace_nanos: Vec<u64>,
+}
+
+/// Tuning knobs for [`run_batch_with`]. `BatchOptions::default()` matches
+/// the behaviour of [`run_batch`].
+#[derive(Clone, Copy, Default)]
+pub struct BatchOptions<'a> {
+    /// Worker thread count. `None` reads `RTRM_WORKERS`, falling back to
+    /// [`std::thread::available_parallelism`]. Whatever the source, the
+    /// count is clamped to `1..=traces` (see [`resolve_workers`]).
+    pub workers: Option<usize>,
+    /// Traces claimed per counter increment. `None` picks
+    /// `traces / (workers * 8)` clamped to `1..=32`: big enough to amortize
+    /// the shared atomic, small enough that the slowest trace cannot strand
+    /// a long tail behind one worker.
+    pub chunk: Option<usize>,
+    /// Called on the worker thread after each trace completes. Hooks must
+    /// be cheap and thread-safe; they run inside the pool.
+    pub on_trace: Option<&'a (dyn Fn(&TraceStats) + Sync)>,
+}
+
+impl std::fmt::Debug for BatchOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchOptions")
+            .field("workers", &self.workers)
+            .field("chunk", &self.chunk)
+            .field("on_trace", &self.on_trace.map(|_| "Fn(&TraceStats)"))
+            .finish()
+    }
+}
+
+/// Resolves the worker count for a batch of `traces` traces: `explicit`
+/// wins, then the `RTRM_WORKERS` environment variable, then
+/// [`std::thread::available_parallelism`] — and the result is clamped to
+/// **at least 1 and at most `traces`** (with a floor of 1 for empty
+/// batches). The clamp is pinned by unit tests.
+#[must_use]
+pub fn resolve_workers(explicit: Option<usize>, traces: usize) -> usize {
+    let requested = explicit
+        .or_else(|| {
+            std::env::var("RTRM_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        });
+    requested.clamp(1, traces.max(1))
+}
 
 /// Runs every trace through a fresh manager (and optional fresh predictor)
 /// and returns the per-trace reports in trace order.
@@ -25,19 +111,28 @@ use crate::simulator::{SimConfig, Simulator};
 /// on the worker thread that simulates it. Returning `None` from
 /// `make_predictor` disables prediction for that trace.
 ///
+/// Equivalent to [`run_batch_with`] with default [`BatchOptions`]; worker
+/// count follows the `RTRM_WORKERS` / available-parallelism rule of
+/// [`resolve_workers`].
+///
 /// # Examples
+///
+/// With the predictor path enabled — each trace gets its own perfectly
+/// accurate oracle, so the managers plan around the true next request:
 ///
 /// ```
 /// use rand::SeedableRng;
 /// use rtrm_core::HeuristicRm;
 /// use rtrm_platform::Platform;
+/// use rtrm_predict::{OraclePredictor, Predictor};
 /// use rtrm_sim::{run_batch, SimConfig};
 /// use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
 ///
 /// let platform = Platform::paper_default();
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
 /// let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
-/// let traces = generate_traces(&catalog, &TraceConfig::calibrated_vt(), 4, 5);
+/// let cfg = TraceConfig { length: 30, ..TraceConfig::calibrated_vt() };
+/// let traces = generate_traces(&catalog, &cfg, 4, 5);
 ///
 /// let reports = run_batch(
 ///     &platform,
@@ -45,9 +140,16 @@ use crate::simulator::{SimConfig, Simulator};
 ///     &SimConfig::default(),
 ///     &traces,
 ///     |_| Box::new(HeuristicRm::new()),
-///     |_| None,
+///     |i| {
+///         let oracle: Box<dyn Predictor + Send> =
+///             Box::new(OraclePredictor::perfect(&traces[i], catalog.len()));
+///         Some(oracle)
+///     },
 /// );
 /// assert_eq!(reports.len(), 4);
+/// // The oracle is consulted on every activation; at least some plans
+/// // honour the predicted request.
+/// assert!(reports.iter().any(|r| r.used_prediction > 0));
 /// ```
 pub fn run_batch<M, P>(
     platform: &Platform,
@@ -61,41 +163,105 @@ where
     M: Fn(usize) -> Box<dyn ResourceManager + Send> + Sync,
     P: Fn(usize) -> Option<Box<dyn Predictor + Send>> + Sync,
 {
+    run_batch_with(
+        platform,
+        catalog,
+        config,
+        traces,
+        make_manager,
+        make_predictor,
+        &BatchOptions::default(),
+    )
+    .0
+}
+
+/// [`run_batch`] with explicit [`BatchOptions`], additionally returning the
+/// per-trace timing and dispatch counters.
+///
+/// The reports are bit-identical to per-trace sequential
+/// [`Simulator::run`] calls regardless of worker count, chunk size, or
+/// scratch reuse (workers keep one warm [`SimScratch`] each); the
+/// differential suite in `crates/bench/tests/sweep_differential.rs` asserts
+/// this at batch scale.
+pub fn run_batch_with<M, P>(
+    platform: &Platform,
+    catalog: &TaskCatalog,
+    config: &SimConfig,
+    traces: &[Trace],
+    make_manager: M,
+    make_predictor: P,
+    options: &BatchOptions<'_>,
+) -> (Vec<SimReport>, BatchStats)
+where
+    M: Fn(usize) -> Box<dyn ResourceManager + Send> + Sync,
+    P: Fn(usize) -> Option<Box<dyn Predictor + Send>> + Sync,
+{
+    let workers = resolve_workers(options.workers, traces.len());
+    let chunk = options
+        .chunk
+        .unwrap_or_else(|| (traces.len() / (workers * 8)).clamp(1, 32));
     let next = AtomicUsize::new(0);
     let results: Vec<OnceLock<SimReport>> = (0..traces.len()).map(|_| OnceLock::new()).collect();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(traces.len().max(1));
+    let nanos: Vec<OnceLock<u64>> = (0..traces.len()).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for worker in 0..workers {
+            let next = &next;
+            let results = &results;
+            let nanos = &nanos;
+            let make_manager = &make_manager;
+            let make_predictor = &make_predictor;
+            scope.spawn(move || {
                 let simulator = Simulator::new(platform, catalog, config.clone());
+                let mut scratch = SimScratch::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= traces.len() {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= traces.len() {
                         break;
                     }
-                    let mut manager = make_manager(i);
-                    let mut predictor = make_predictor(i);
-                    let report = simulator.run(
-                        &traces[i],
-                        manager.as_mut(),
-                        predictor.as_deref_mut().map(|p| p as &mut dyn Predictor),
-                    );
-                    results[i]
-                        .set(report)
-                        .expect("trace index dispatched to exactly one worker");
+                    for i in start..(start + chunk).min(traces.len()) {
+                        let began = Instant::now();
+                        let mut manager = make_manager(i);
+                        let mut predictor = make_predictor(i);
+                        let report = simulator.run_with_scratch(
+                            &traces[i],
+                            manager.as_mut(),
+                            predictor.as_deref_mut().map(|p| p as &mut dyn Predictor),
+                            &mut scratch,
+                        );
+                        let elapsed = began.elapsed().as_nanos() as u64;
+                        if let Some(hook) = options.on_trace {
+                            hook(&TraceStats {
+                                trace: i,
+                                worker,
+                                nanos: elapsed,
+                                requests: report.requests,
+                                accepted: report.accepted,
+                            });
+                        }
+                        nanos[i].set(elapsed).expect("trace timed exactly once");
+                        results[i]
+                            .set(report)
+                            .expect("trace index dispatched to exactly one worker");
+                    }
                 }
             });
         }
     });
 
-    results
+    let reports = results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every trace simulated"))
-        .collect()
+        .collect();
+    let stats = BatchStats {
+        workers,
+        chunk,
+        trace_nanos: nanos
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every trace timed"))
+            .collect(),
+    };
+    (reports, stats)
 }
 
 #[cfg(test)]
@@ -105,17 +271,21 @@ mod tests {
     use rtrm_core::HeuristicRm;
     use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
 
-    #[test]
-    fn batch_matches_sequential() {
+    fn fixture(traces: usize, length: usize, seed: u64) -> (Platform, TaskCatalog, Vec<Trace>) {
         let platform = Platform::paper_default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
         let cfg = TraceConfig {
-            length: 60,
+            length,
             ..TraceConfig::calibrated_vt()
         };
-        let traces = generate_traces(&catalog, &cfg, 6, 8);
+        let traces = generate_traces(&catalog, &cfg, traces, seed);
+        (platform, catalog, traces)
+    }
 
+    #[test]
+    fn batch_matches_sequential() {
+        let (platform, catalog, traces) = fixture(6, 60, 8);
         let config = SimConfig::default();
         let parallel = run_batch(
             &platform,
@@ -135,22 +305,100 @@ mod tests {
 
     #[test]
     fn batch_of_one_trace_uses_single_worker() {
-        let platform = Platform::paper_default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
-        let cfg = TraceConfig {
-            length: 20,
-            ..TraceConfig::calibrated_vt()
-        };
-        let traces = generate_traces(&catalog, &cfg, 1, 3);
-        let reports = run_batch(
+        let (platform, catalog, traces) = fixture(1, 20, 11);
+        let (reports, stats) = run_batch_with(
             &platform,
             &catalog,
             &SimConfig::default(),
             &traces,
             |_| Box::new(HeuristicRm::new()),
             |_| None,
+            &BatchOptions {
+                workers: Some(64),
+                ..BatchOptions::default()
+            },
         );
         assert_eq!(reports.len(), 1);
+        assert_eq!(stats.workers, 1, "workers are clamped to the trace count");
+    }
+
+    #[test]
+    fn worker_clamp_rule_is_pinned() {
+        // The documented rule: >= 1 always, <= traces (floor 1 on empty).
+        assert_eq!(resolve_workers(Some(0), 10), 1);
+        assert_eq!(resolve_workers(Some(64), 6), 6);
+        assert_eq!(resolve_workers(Some(4), 4), 4);
+        assert_eq!(resolve_workers(Some(4), 0), 1);
+        assert_eq!(resolve_workers(Some(1), 1), 1);
+    }
+
+    #[test]
+    fn rtrm_workers_env_overrides_parallelism() {
+        // Set-then-resolve runs on this thread; no other test in this
+        // binary reads the variable with `workers: None` concurrently.
+        std::env::set_var("RTRM_WORKERS", "3");
+        assert_eq!(resolve_workers(None, 100), 3);
+        assert_eq!(resolve_workers(None, 2), 2, "env count is still clamped");
+        assert_eq!(resolve_workers(Some(5), 100), 5, "explicit beats env");
+        std::env::remove_var("RTRM_WORKERS");
+    }
+
+    #[test]
+    fn chunked_dispatch_keeps_trace_order_and_stats() {
+        let (platform, catalog, traces) = fixture(9, 30, 3);
+        let config = SimConfig::default();
+        let hits = AtomicUsize::new(0);
+        let (chunked, stats) = run_batch_with(
+            &platform,
+            &catalog,
+            &config,
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+            &BatchOptions {
+                workers: Some(2),
+                chunk: Some(4),
+                on_trace: Some(&|t: &TraceStats| {
+                    assert!(t.nanos > 0);
+                    assert_eq!(t.requests, 30);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }),
+            },
+        );
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.chunk, 4);
+        assert_eq!(stats.trace_nanos.len(), 9);
+        assert!(stats.trace_nanos.iter().all(|&n| n > 0));
+        assert_eq!(hits.load(Ordering::Relaxed), 9);
+
+        let sequential = run_batch_with(
+            &platform,
+            &catalog,
+            &config,
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+            &BatchOptions {
+                workers: Some(1),
+                chunk: Some(1),
+                ..BatchOptions::default()
+            },
+        )
+        .0;
+        assert_eq!(chunked, sequential, "chunking must not change results");
+    }
+
+    #[test]
+    fn warm_scratch_across_traces_matches_fresh_runs() {
+        let (platform, catalog, traces) = fixture(5, 40, 21);
+        let config = SimConfig::default();
+        let simulator = Simulator::new(&platform, &catalog, config);
+        let mut warm = SimScratch::new();
+        for trace in &traces {
+            let with_warm =
+                simulator.run_with_scratch(trace, &mut HeuristicRm::new(), None, &mut warm);
+            let fresh = simulator.run(trace, &mut HeuristicRm::new(), None);
+            assert_eq!(with_warm, fresh, "scratch reuse must be invisible");
+        }
     }
 }

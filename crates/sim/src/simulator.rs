@@ -5,7 +5,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rtrm_core::{Activation, Assignment, Candidate, JobView, Placement, ResourceManager};
+use rtrm_core::{
+    Activation, Assignment, Candidate, JobView, Placement, ResourceManager, TimelinePool,
+};
 use rtrm_platform::{
     Energy, Platform, ResourceId, TaskCatalog, TaskTypeId, Time, Trace, TIME_EPSILON,
 };
@@ -208,6 +210,35 @@ struct LaneJob {
     finish: Option<f64>,
 }
 
+/// Reusable per-run state for [`Simulator::run_with_scratch`]: the advance
+/// engine's heaps and lanes, the live-job and view staging vectors, and a
+/// [`rtrm_core::TimelinePool`] handed to the manager on every activation
+/// ([`rtrm_core::ResourceManager::decide_with_pool`]).
+///
+/// One trace run performs an activation per request and an EDF pass per
+/// activation; with a warm scratch all of that state is reused, so a worker
+/// simulating thousands of traces reaches zero steady-state allocation in
+/// the simulator itself (managers may still allocate internally). A scratch
+/// carries no results — reusing one across traces, managers, or simulators
+/// yields bit-identical [`SimReport`]s to fresh state, which
+/// `crates/bench/tests/sweep_differential.rs` asserts at batch scale.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    advance: AdvanceScratch,
+    pool: TimelinePool,
+    live: Vec<LiveJob>,
+    views: Vec<JobView>,
+    phantoms: Vec<JobView>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch; buffers grow on first use and stay warm.
+    #[must_use]
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+}
+
 /// Bit-exact mirror of the EDF engine's `advance_job`, so the unified queue
 /// reproduces [`simulate_into`] outcomes down to the last ULP (asserted by
 /// the differential property suite in `tests/unified_queue.rs`).
@@ -365,10 +396,40 @@ impl<'a> Simulator<'a> {
         &self,
         trace: &Trace,
         manager: &mut dyn ResourceManager,
-        mut predictor: Option<&mut dyn Predictor>,
+        predictor: Option<&mut dyn Predictor>,
     ) -> SimReport {
-        let mut live: Vec<LiveJob> = Vec::new();
-        let mut scratch = AdvanceScratch::default();
+        self.run_with_scratch(trace, manager, predictor, &mut SimScratch::new())
+    }
+
+    /// Like [`run`](Simulator::run), but simulating inside a caller-held
+    /// [`SimScratch`] so the engine heaps, staging vectors, and the
+    /// manager's [`TimelinePool`] stay warm across traces. The report is
+    /// bit-identical to [`run`](Simulator::run) with fresh state.
+    ///
+    /// This is the batch workers' entry point
+    /// ([`run_batch`](crate::run_batch) holds one scratch per worker); call
+    /// it directly when driving many traces through one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if an admitted task misses its deadline, like
+    /// [`run`](Simulator::run).
+    #[must_use]
+    pub fn run_with_scratch(
+        &self,
+        trace: &Trace,
+        manager: &mut dyn ResourceManager,
+        mut predictor: Option<&mut dyn Predictor>,
+        scratch: &mut SimScratch,
+    ) -> SimReport {
+        let SimScratch {
+            advance: scratch,
+            pool,
+            live,
+            views,
+            phantoms,
+        } = scratch;
+        live.clear();
         let mut now = Time::ZERO;
         let mut report = SimReport {
             requests: trace.len(),
@@ -403,39 +464,35 @@ impl<'a> Simulator<'a> {
         };
 
         for request in trace.iter() {
-            self.advance(
-                &mut live,
-                now,
-                Some(request.arrival),
-                &mut scratch,
-                &mut report,
-            );
+            self.advance(live, now, Some(request.arrival), scratch, &mut report);
             now = request.arrival;
 
             // Prediction: feed the actual arrival, then forecast the next
             // `lookahead` requests.
-            let phantoms: Vec<JobView> = predictor
-                .as_deref_mut()
-                .map(|p| {
-                    p.observe(request);
-                    p.predict_horizon(self.config.lookahead)
-                })
-                .unwrap_or_default()
-                .into_iter()
-                .enumerate()
-                .map(|(i, pred): (usize, Prediction)| {
-                    let rel = self
-                        .config
-                        .phantom_deadline
-                        .relative(self.catalog, pred.task_type);
-                    JobView::fresh(
-                        JobKey(u64::MAX - (request.id.index() * 64 + i) as u64),
-                        pred.task_type,
-                        pred.arrival.max(now),
-                        pred.arrival.max(now) + rel,
-                    )
-                })
-                .collect();
+            phantoms.clear();
+            phantoms.extend(
+                predictor
+                    .as_deref_mut()
+                    .map(|p| {
+                        p.observe(request);
+                        p.predict_horizon(self.config.lookahead)
+                    })
+                    .unwrap_or_default()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, pred): (usize, Prediction)| {
+                        let rel = self
+                            .config
+                            .phantom_deadline
+                            .relative(self.catalog, pred.task_type);
+                        JobView::fresh(
+                            JobKey(u64::MAX - (request.id.index() * 64 + i) as u64),
+                            pred.task_type,
+                            pred.arrival.max(now),
+                            pred.arrival.max(now) + rel,
+                        )
+                    }),
+            );
 
             let arriving = JobView::fresh(
                 JobKey(request.id.index() as u64),
@@ -443,15 +500,19 @@ impl<'a> Simulator<'a> {
                 request.arrival + overhead,
                 request.absolute_deadline(),
             );
-            let views: Vec<JobView> = live.iter().map(|j| j.view(self.catalog)).collect();
-            let decision = manager.decide(&Activation {
-                now,
-                platform: self.platform,
-                catalog: self.catalog,
-                active: &views,
-                arriving,
-                predicted: &phantoms,
-            });
+            views.clear();
+            views.extend(live.iter().map(|j| j.view(self.catalog)));
+            let decision = manager.decide_with_pool(
+                &Activation {
+                    now,
+                    platform: self.platform,
+                    catalog: self.catalog,
+                    active: views,
+                    arriving,
+                    predicted: phantoms,
+                },
+                pool,
+            );
             report.rm_nodes += decision.nodes;
 
             if decision.admitted {
@@ -459,13 +520,7 @@ impl<'a> Simulator<'a> {
                 if decision.used_prediction {
                     report.used_prediction += 1;
                 }
-                self.apply(
-                    &mut live,
-                    &views,
-                    arriving,
-                    &decision.assignments,
-                    &mut report,
-                );
+                self.apply(live, views, arriving, &decision.assignments, &mut report);
                 // Plan-following dispatch: hold jobs sharing the phantom's
                 // non-preemptable resource to their planned start times, so
                 // the reserved slot survives until the predicted request
@@ -487,7 +542,7 @@ impl<'a> Simulator<'a> {
         }
 
         // Drain: run everything that was admitted to completion.
-        self.advance(&mut live, now, None, &mut scratch, &mut report);
+        self.advance(live, now, None, scratch, &mut report);
         debug_assert!(live.is_empty(), "drained simulation must finish all jobs");
         debug_assert_eq!(report.deadline_misses, 0, "admitted task missed a deadline");
         report
