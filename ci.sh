@@ -25,6 +25,11 @@ cargo test -q -p rtrm-sched --test incremental
 cargo test -q -p rtrm-sim --test unified_queue
 cargo test -q -p rtrm-bench --test sweep_differential
 
+echo "==> fault injection: anytime MILP ladder + batch quarantine + sweep persistence"
+cargo test -q -p rtrm-sim --test anytime_milp
+cargo test -q -p rtrm-sim --test fault_injection
+cargo test -q -p rtrm-bench --test fault_injection
+
 echo "==> BENCH_*.json schema sanity"
 cargo test -q -p rtrm-bench --test bench_json_schema
 

@@ -14,5 +14,8 @@ use rtrm_bench::figs;
 use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let _ = figs::run("fig2", &SweepOptions::default()).expect("fig2 is a named sweep");
+    if let Err(err) = figs::run("fig2", &SweepOptions::default()) {
+        eprintln!("fig2 failed: {err}");
+        std::process::exit(1);
+    }
 }

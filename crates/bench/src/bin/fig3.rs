@@ -15,5 +15,8 @@ use rtrm_bench::figs;
 use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let _ = figs::run("fig3", &SweepOptions::default()).expect("fig3 is a named sweep");
+    if let Err(err) = figs::run("fig3", &SweepOptions::default()) {
+        eprintln!("fig3 failed: {err}");
+        std::process::exit(1);
+    }
 }

@@ -14,5 +14,8 @@ use rtrm_bench::figs;
 use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let _ = figs::run("fig4", &SweepOptions::default()).expect("fig4 is a named sweep");
+    if let Err(err) = figs::run("fig4", &SweepOptions::default()) {
+        eprintln!("fig4 failed: {err}");
+        std::process::exit(1);
+    }
 }

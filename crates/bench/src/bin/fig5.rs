@@ -18,5 +18,8 @@ use rtrm_bench::figs;
 use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let _ = figs::run("fig5", &SweepOptions::default()).expect("fig5 is a named sweep");
+    if let Err(err) = figs::run("fig5", &SweepOptions::default()) {
+        eprintln!("fig5 failed: {err}");
+        std::process::exit(1);
+    }
 }

@@ -8,6 +8,9 @@
 //! Names: `tab1`, `fig2`, `fig3`, `fig4`, `fig5` (see EXPERIMENTS.md for
 //! the figure-to-command map). `--fresh` ignores existing checkpoints. A
 //! killed sweep restarts from its completed cells on the next invocation.
+//! Each sweep holds `results/<name>.sweep.lock` while it runs; when another
+//! live process owns it, the default is to fail fast — pass `--wait-lease`
+//! to queue behind the owner instead.
 
 use rtrm_bench::figs;
 use rtrm_bench::sweep::SweepOptions;
@@ -19,6 +22,7 @@ fn main() {
         match arg.as_str() {
             "--fresh" => options.fresh = true,
             "--quiet" => options.quiet = true,
+            "--wait-lease" => options.lease_wait = true,
             "all" => names.extend(figs::NAMES.iter().map(|n| (*n).to_string())),
             name if figs::NAMES.contains(&name) => names.push(name.to_string()),
             other => {
@@ -36,11 +40,14 @@ fn main() {
         if i > 0 {
             println!();
         }
-        figs::run(name, &options).expect("names were vetted against figs::NAMES");
+        if let Err(err) = figs::run(name, &options) {
+            eprintln!("sweep {name} failed: {err}");
+            std::process::exit(1);
+        }
     }
 }
 
 fn usage() {
-    eprintln!("usage: sweep [--fresh] [--quiet] <name>... | all");
+    eprintln!("usage: sweep [--fresh] [--quiet] [--wait-lease] <name>... | all");
     eprintln!("names: {}", figs::NAMES.join(", "));
 }

@@ -11,5 +11,8 @@ use rtrm_bench::figs;
 use rtrm_bench::sweep::SweepOptions;
 
 fn main() {
-    let _ = figs::run("tab1", &SweepOptions::default()).expect("tab1 is a named sweep");
+    if let Err(err) = figs::run("tab1", &SweepOptions::default()) {
+        eprintln!("tab1 failed: {err}");
+        std::process::exit(1);
+    }
 }

@@ -12,7 +12,9 @@ use rtrm_predict::ErrorModel;
 use rtrm_sim::PhantomDeadline;
 
 use crate::chart::{bar_chart, line_chart, write_svg, Series};
-use crate::sweep::{run_sweep, GridWorkload, PredictorSpec, SweepOptions, SweepOutcome, SweepSpec};
+use crate::sweep::{
+    run_sweep, GridWorkload, PredictorSpec, SweepError, SweepOptions, SweepOutcome, SweepSpec,
+};
 use crate::{write_csv, Group, Oracle, Policy, Scale};
 
 /// The named sweeps, in suggested execution order.
@@ -136,20 +138,29 @@ pub fn spec(name: &str) -> Option<SweepSpec> {
 }
 
 /// Runs the named sweep (checkpointed under `results/`) and renders its
-/// figure/table output, or returns `None` for an unknown name.
-pub fn run(name: &str, options: &SweepOptions) -> Option<SweepOutcome> {
-    let spec = spec(name)?;
-    let outcome = run_sweep(&spec, options);
+/// figure/table output.
+///
+/// # Errors
+///
+/// [`SweepError::UnknownSweep`] for a name outside [`NAMES`]; otherwise
+/// whatever [`run_sweep`] or the renderer's cell lookups surface.
+pub fn run(name: &str, options: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+    let Some(spec) = spec(name) else {
+        return Err(SweepError::UnknownSweep {
+            name: name.to_string(),
+        });
+    };
+    let outcome = run_sweep(&spec, options)?;
     match name {
-        "fig2" => render_fig2(&spec, &outcome),
-        "fig3" => render_fig3(&spec, &outcome),
-        "fig4" => render_fig4(&spec, &outcome),
-        "fig5" => render_fig5(&spec, &outcome),
-        "tab1" => render_tab1(&outcome),
+        "fig2" => render_fig2(&spec, &outcome)?,
+        "fig3" => render_fig3(&spec, &outcome)?,
+        "fig4" => render_fig4(&spec, &outcome)?,
+        "fig5" => render_fig5(&spec, &outcome)?,
+        "tab1" => render_tab1(&outcome)?,
         _ => unreachable!("spec() vetted the name"),
     }
     println!("sweep checkpoint: {}", outcome.checkpoint_path.display());
-    Some(outcome)
+    Ok(outcome)
 }
 
 /// Platform, catalog, and trace of the Table 1 / Fig 1 motivational example.
@@ -189,7 +200,7 @@ pub fn motivational_workload() -> (Platform, TaskCatalog, Trace) {
     (platform, catalog, trace)
 }
 
-fn render_fig2(spec: &SweepSpec, outcome: &SweepOutcome) {
+fn render_fig2(spec: &SweepSpec, outcome: &SweepOutcome) -> Result<(), SweepError> {
     println!(
         "Fig 2: {} traces x {} requests per configuration",
         spec.scale.traces, spec.scale.trace_len
@@ -204,10 +215,10 @@ fn render_fig2(spec: &SweepSpec, outcome: &SweepOutcome) {
     for group in [Group::Lt, Group::Vt] {
         for policy in BOTH_POLICIES {
             let off = outcome
-                .metrics(group.name(), policy, "off")
+                .metrics(group.name(), policy, "off")?
                 .mean_rejection_percent;
             let on = outcome
-                .metrics(group.name(), policy, "perfect")
+                .metrics(group.name(), policy, "perfect")?
                 .mean_rejection_percent;
             println!(
                 "{:>6} {:>10} {:>10.2} {:>10.2} {:>12.2}",
@@ -247,9 +258,10 @@ fn render_fig2(spec: &SweepSpec, outcome: &SweepOutcome) {
         "\npaper reductions: LT 1.0 (MILP) / 2.6 (heuristic); VT 9.17 (MILP) / 10.2 (heuristic)"
     );
     println!("wrote {}", path.display());
+    Ok(())
 }
 
-fn render_fig3(spec: &SweepSpec, outcome: &SweepOutcome) {
+fn render_fig3(spec: &SweepSpec, outcome: &SweepOutcome) -> Result<(), SweepError> {
     println!(
         "Fig 3: {} traces x {} requests per configuration",
         spec.scale.traces, spec.scale.trace_len
@@ -260,7 +272,7 @@ fn render_fig3(spec: &SweepSpec, outcome: &SweepOutcome) {
         let mut bars = Vec::new();
         for policy in BOTH_POLICIES {
             for (label, predictor) in [("off", "off"), ("on", "perfect")] {
-                let m = outcome.metrics(group.name(), policy, predictor);
+                let m = outcome.metrics(group.name(), policy, predictor)?;
                 bars.push((policy, label, m.mean_energy, m.mean_rejection_percent));
             }
         }
@@ -305,9 +317,10 @@ fn render_fig3(spec: &SweepSpec, outcome: &SweepOutcome) {
     );
     println!("\npaper shape: smaller rejection => higher energy, within each group");
     println!("wrote {}", path.display());
+    Ok(())
 }
 
-fn render_fig4(spec: &SweepSpec, outcome: &SweepOutcome) {
+fn render_fig4(spec: &SweepSpec, outcome: &SweepOutcome) -> Result<(), SweepError> {
     println!(
         "Fig 4: VT group, {} traces x {} requests per point",
         spec.scale.traces, spec.scale.trace_len
@@ -326,10 +339,10 @@ fn render_fig4(spec: &SweepSpec, outcome: &SweepOutcome) {
         for (i, label) in labels.iter().enumerate() {
             let accuracy = LEVELS[i];
             let milp = outcome
-                .metrics("VT", Policy::Milp, label)
+                .metrics("VT", Policy::Milp, label)?
                 .mean_rejection_percent;
             let heur = outcome
-                .metrics("VT", Policy::Heuristic, label)
+                .metrics("VT", Policy::Heuristic, label)?
                 .mean_rejection_percent;
             println!("  {accuracy:>9.2} {milp:>12.2} {heur:>12.2}");
             rows.push(format!("{panel},{accuracy},{milp:.4},{heur:.4}"));
@@ -339,10 +352,10 @@ fn render_fig4(spec: &SweepSpec, outcome: &SweepOutcome) {
         panel_series.push((panel.to_string(), milp_series, heur_series));
         // Baseline: predictor off.
         let milp_off = outcome
-            .metrics("VT", Policy::Milp, "off")
+            .metrics("VT", Policy::Milp, "off")?
             .mean_rejection_percent;
         let heur_off = outcome
-            .metrics("VT", Policy::Heuristic, "off")
+            .metrics("VT", Policy::Heuristic, "off")?
             .mean_rejection_percent;
         println!("  {:>9} {milp_off:>12.2} {heur_off:>12.2}", "off");
         rows.push(format!("{panel},off,{milp_off:.4},{heur_off:.4}"));
@@ -370,19 +383,20 @@ fn render_fig4(spec: &SweepSpec, outcome: &SweepOutcome) {
     );
     println!("\npaper shape: rejection rises toward the off level as accuracy falls");
     println!("wrote {}", path.display());
+    Ok(())
 }
 
-fn render_fig5(spec: &SweepSpec, outcome: &SweepOutcome) {
+fn render_fig5(spec: &SweepSpec, outcome: &SweepOutcome) -> Result<(), SweepError> {
     println!(
         "Fig 5: VT group, {} traces x {} requests per point, perfect prediction",
         spec.scale.traces, spec.scale.trace_len
     );
 
     let milp_off = outcome
-        .metrics("VT", Policy::Milp, "off")
+        .metrics("VT", Policy::Milp, "off")?
         .mean_rejection_percent;
     let heur_off = outcome
-        .metrics("VT", Policy::Heuristic, "off")
+        .metrics("VT", Policy::Heuristic, "off")?
         .mean_rejection_percent;
     println!("  predictor off: MILP {milp_off:.2}%  heuristic {heur_off:.2}%\n");
     println!(
@@ -396,10 +410,10 @@ fn render_fig5(spec: &SweepSpec, outcome: &SweepOutcome) {
     let mut series_heur = Vec::new();
     for (label, coeff) in COEFFS {
         let milp = outcome
-            .metrics("VT", Policy::Milp, label)
+            .metrics("VT", Policy::Milp, label)?
             .mean_rejection_percent;
         let heur = outcome
-            .metrics("VT", Policy::Heuristic, label)
+            .metrics("VT", Policy::Heuristic, label)?
             .mean_rejection_percent;
         println!("  {:>10.0} {milp:>12.2} {heur:>12.2}", coeff * 100.0);
         rows.push(format!("{},{milp:.4},{heur:.4}", coeff * 100.0));
@@ -438,9 +452,10 @@ fn render_fig5(spec: &SweepSpec, outcome: &SweepOutcome) {
         &rows,
     );
     println!("wrote {}", path.display());
+    Ok(())
 }
 
-fn render_tab1(outcome: &SweepOutcome) {
+fn render_tab1(outcome: &SweepOutcome) -> Result<(), SweepError> {
     println!("Table 1 / Fig 1 motivational example\n");
     println!(
         "{:<24} {:>10} {:>10} {:>12}",
@@ -448,7 +463,7 @@ fn render_tab1(outcome: &SweepOutcome) {
     );
     for (suffix, predictor) in [("no prediction", "off"), ("prediction", "perfect")] {
         for policy in BOTH_POLICIES {
-            let m = outcome.metrics("motivational", policy, predictor);
+            let m = outcome.metrics("motivational", policy, predictor)?;
             println!(
                 "{:<24} {:>10} {:>10} {:>12.2}",
                 format!("{}, {suffix}", policy.name()),
@@ -460,4 +475,5 @@ fn render_tab1(outcome: &SweepOutcome) {
     }
     println!("\npaper: without prediction 1/2 accepted (scenario a);");
     println!("       with accurate prediction 2/2 accepted at 8.8 J (scenario b)");
+    Ok(())
 }

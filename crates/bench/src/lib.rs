@@ -237,18 +237,27 @@ pub fn run_config(
 }
 
 /// Writes a CSV into `results/<name>.csv` (created on demand), returning the
-/// path. Errors are surfaced as panics: the harness has nothing sensible to
-/// do without its output.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+/// path.
+///
+/// # Errors
+///
+/// Any I/O error creating the directory or writing the file, unmodified.
+pub fn try_write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
-    fs::create_dir_all(&dir).expect("create results dir");
+    fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write csv header");
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
     for row in rows {
-        writeln!(f, "{row}").expect("write csv row");
+        writeln!(f, "{row}")?;
     }
-    path
+    Ok(path)
+}
+
+/// [`try_write_csv`], with errors surfaced as panics — for renderers and
+/// binaries that have nothing sensible to do without their output.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    try_write_csv(name, header, rows).expect("write csv under results/")
 }
 
 /// Results directory, shared with the chart renderer.

@@ -20,11 +20,28 @@
 //! The per-trace reports of a freshly computed cell are bit-identical to
 //! sequential [`rtrm_sim::Simulator::run`] calls with the same derived
 //! seeds — asserted by `crates/bench/tests/sweep_differential.rs`.
+//!
+//! ## Fault tolerance
+//!
+//! * **Crash-safe checkpoints** — the checkpoint is rewritten atomically
+//!   (temp file + rename) after every cell, and publishing retries transient
+//!   filesystem errors with bounded backoff. A checkpoint that still ends up
+//!   corrupt (torn write, disk fault) is backed up to
+//!   `<name>.sweep.json.corrupt` and salvaged line by line: only the cells
+//!   lost to the damaged region are recomputed.
+//! * **Leases** — a sweep holds `results/<name>.sweep.lock` (owner id +
+//!   heartbeat) for its whole run, so two processes sweeping the same name
+//!   cannot interleave checkpoint writes. A heartbeat older than
+//!   [`LEASE_STALE_SECS`] marks a crashed owner and the lease is taken over;
+//!   [`SweepOptions::lease_wait`] chooses between waiting for a live owner
+//!   and failing fast with [`SweepError::LeaseHeld`].
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::PathBuf;
-use std::time::Instant;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,11 +54,90 @@ use rtrm_sim::{
 };
 use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig};
 
-use crate::{write_csv, Group, Oracle, Policy, Scale};
+use crate::{try_write_csv, Group, Oracle, Policy, Scale};
 
 /// Checkpoint document version; bumped on schema changes so stale files are
 /// discarded instead of misread.
 pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Seconds without a heartbeat after which a sweep lease counts as abandoned
+/// (crashed owner) and is taken over by the next acquirer.
+pub const LEASE_STALE_SECS: u64 = 30;
+
+/// Publish attempts for the checkpoint beyond the first, with doubling
+/// backoff, before the transient-looking filesystem error is surfaced.
+const PUBLISH_RETRIES: u32 = 3;
+
+/// Everything that can go wrong executing a sweep or reading its results.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A filesystem operation failed (for checkpoint publishing: after
+    /// bounded retries).
+    Io {
+        /// The file or directory the operation was about.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A renderer asked for a cell that is not on the sweep's grid — a
+    /// spec/render mismatch.
+    MissingCell {
+        /// Requested workload label.
+        workload: String,
+        /// Requested policy label.
+        policy: String,
+        /// Requested predictor label.
+        predictor: String,
+    },
+    /// Another live process holds the sweep's lease and
+    /// [`SweepOptions::lease_wait`] was off.
+    LeaseHeld {
+        /// The lease file.
+        path: PathBuf,
+        /// Owner id recorded in the lease.
+        owner: String,
+    },
+    /// The requested sweep name is not one of [`crate::figs::NAMES`].
+    UnknownSweep {
+        /// The unrecognized name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io { path, source } => {
+                write!(f, "sweep I/O failed on {}: {source}", path.display())
+            }
+            SweepError::MissingCell {
+                workload,
+                policy,
+                predictor,
+            } => write!(f, "cell {workload}/{policy}/{predictor} not in sweep"),
+            SweepError::LeaseHeld { path, owner } => write!(
+                f,
+                "sweep lease {} is held by {owner} (rerun with --wait-lease to queue behind it)",
+                path.display()
+            ),
+            SweepError::UnknownSweep { name } => {
+                write!(
+                    f,
+                    "unknown sweep '{name}' (known: tab1, fig2, fig3, fig4, fig5)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// One predictor configuration on the grid's predictor axis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,20 +300,27 @@ pub struct SweepOutcome {
 impl SweepOutcome {
     /// Metrics of the `(workload, policy, predictor)` cell.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the cell is not on the grid — a spec/render mismatch is
-    /// a programming error.
-    #[must_use]
-    pub fn metrics(&self, workload: &str, policy: Policy, predictor: &str) -> &CellMetrics {
-        &self
-            .cells
+    /// [`SweepError::MissingCell`] when the cell is not on the grid — a
+    /// spec/render mismatch.
+    pub fn metrics(
+        &self,
+        workload: &str,
+        policy: Policy,
+        predictor: &str,
+    ) -> Result<&CellMetrics, SweepError> {
+        self.cells
             .iter()
             .find(|c| {
                 c.workload == workload && c.policy == policy.name() && c.predictor == predictor
             })
-            .unwrap_or_else(|| panic!("cell {workload}/{}/{predictor} not in sweep", policy.name()))
-            .metrics
+            .map(|c| &c.metrics)
+            .ok_or_else(|| SweepError::MissingCell {
+                workload: workload.to_string(),
+                policy: policy.name().to_string(),
+                predictor: predictor.to_string(),
+            })
     }
 }
 
@@ -228,6 +331,9 @@ pub struct SweepOptions {
     pub fresh: bool,
     /// Suppress per-cell progress lines.
     pub quiet: bool,
+    /// When another live process holds the sweep's lease, poll until it is
+    /// released instead of failing with [`SweepError::LeaseHeld`].
+    pub lease_wait: bool,
 }
 
 /// Deterministic per-cell seed: FNV-1a of the cell key folded with the
@@ -256,14 +362,26 @@ struct Job {
 /// (unless [`SweepOptions::fresh`]), executes the rest on the warm worker
 /// pool, and persists checkpoint + CSV under `results/`.
 ///
-/// # Panics
+/// The whole run holds the sweep's lease (`results/<name>.sweep.lock`), so
+/// concurrent processes sweeping the same name serialize instead of racing
+/// on the checkpoint (see the module docs).
 ///
-/// Panics when `results/` cannot be written — the harness has nothing
-/// sensible to do without its outputs.
-#[must_use]
-pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepOutcome {
+/// # Errors
+///
+/// [`SweepError::Io`] when `results/` cannot be created or the checkpoint /
+/// CSV cannot be published (after bounded retries), and
+/// [`SweepError::LeaseHeld`] when another live process owns the lease and
+/// [`SweepOptions::lease_wait`] is off.
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcome, SweepError> {
     let dir = crate::results_dir_for_charts();
-    fs::create_dir_all(&dir).expect("create results dir");
+    fs::create_dir_all(&dir).map_err(|source| SweepError::Io {
+        path: dir.clone(),
+        source,
+    })?;
+    let lease = SweepLease::acquire(
+        dir.join(format!("{}.sweep.lock", spec.name)),
+        options.lease_wait,
+    )?;
     let checkpoint_path = dir.join(format!("{}.sweep.json", spec.name));
 
     let trace_len = match &spec.workload {
@@ -273,7 +391,15 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepOutcome {
     let mut done: BTreeMap<String, CellMetrics> = BTreeMap::new();
     if !options.fresh {
         if let Ok(text) = fs::read_to_string(&checkpoint_path) {
-            done = load_checkpoint(&text, spec, trace_len).unwrap_or_default();
+            match load_checkpoint(&text, spec, trace_len) {
+                Loaded::Cells(cells) => done = cells,
+                // A stale file from another configuration: recompute
+                // silently, exactly as before.
+                Loaded::HeaderMismatch => {}
+                Loaded::Corrupt => {
+                    done = salvage_checkpoint(&checkpoint_path, &text, spec, trace_len);
+                }
+            }
         }
     }
 
@@ -326,6 +452,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepOutcome {
     let mut cells: Vec<CellResult> = Vec::with_capacity(jobs.len());
     let mut resumed = 0;
     for job in &jobs {
+        lease.refresh();
         let key = format!(
             "{}/{}/{}",
             job.workload,
@@ -433,12 +560,12 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepOutcome {
             metrics,
             reports: Some(reports),
         });
-        save_checkpoint(&checkpoint_path, spec, trace_len, &cells);
+        save_checkpoint(&checkpoint_path, spec, trace_len, &cells)?;
     }
 
     // A fully resumed sweep still rewrites the checkpoint (refreshing a
     // partially written file) and the CSV.
-    save_checkpoint(&checkpoint_path, spec, trace_len, &cells);
+    save_checkpoint(&checkpoint_path, spec, trace_len, &cells)?;
     let rows: Vec<String> = cells
         .iter()
         .map(|c| {
@@ -458,25 +585,39 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> SweepOutcome {
             )
         })
         .collect();
-    let csv_path = write_csv(
-        &format!("{}_sweep", spec.name),
+    let csv_name = format!("{}_sweep", spec.name);
+    let csv_path = try_write_csv(
+        &csv_name,
         "workload,policy,predictor,traces,requests,accepted,rejected,\
          mean_rejection_percent,mean_energy,elapsed_ms",
         &rows,
-    );
+    )
+    .map_err(|source| SweepError::Io {
+        path: dir.join(format!("{csv_name}.csv")),
+        source,
+    })?;
+    drop(lease);
 
-    SweepOutcome {
+    Ok(SweepOutcome {
         name: spec.name,
         cells,
         resumed,
         checkpoint_path,
         csv_path,
-    }
+    })
 }
 
 /// Serializes the checkpoint document and writes it atomically (temp file +
 /// rename), so a sweep killed mid-write never leaves a torn checkpoint.
-fn save_checkpoint(path: &PathBuf, spec: &SweepSpec, trace_len: usize, cells: &[CellResult]) {
+/// Transient publish failures (the `sweep::publish` fail point injects one)
+/// are retried [`PUBLISH_RETRIES`] times with doubling backoff before the
+/// error is surfaced.
+fn save_checkpoint(
+    path: &Path,
+    spec: &SweepSpec,
+    trace_len: usize,
+    cells: &[CellResult],
+) -> Result<(), SweepError> {
     let mut rows = Vec::with_capacity(cells.len());
     for c in cells {
         let m = &c.metrics;
@@ -511,44 +652,260 @@ fn save_checkpoint(path: &PathBuf, spec: &SweepSpec, trace_len: usize, cells: &[
         rows.join(",\n")
     );
     let tmp = path.with_extension("json.tmp");
-    fs::write(&tmp, doc).expect("write sweep checkpoint");
-    fs::rename(&tmp, path).expect("publish sweep checkpoint");
+    let mut delay = Duration::from_millis(10);
+    let mut attempt = 0;
+    loop {
+        match publish(&tmp, path, &doc) {
+            Ok(()) => return Ok(()),
+            Err(source) if attempt < PUBLISH_RETRIES => {
+                attempt += 1;
+                eprintln!(
+                    "sweep {}: publishing checkpoint failed ({source}); \
+                     retry {attempt}/{PUBLISH_RETRIES} in {delay:?}",
+                    spec.name
+                );
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(source) => {
+                return Err(SweepError::Io {
+                    path: path.to_path_buf(),
+                    source,
+                })
+            }
+        }
+    }
 }
 
-/// Parses a checkpoint and returns its completed cells, or `None` when the
-/// header does not match this spec (different name, version, seed, or
-/// scale — a stale file from another configuration is discarded, not
-/// misread).
-fn load_checkpoint(
+/// One checkpoint publish attempt: write the temp file, then rename it over
+/// the live checkpoint (atomic on POSIX). The `sweep::publish` fail point
+/// injects a transient error here.
+fn publish(tmp: &Path, path: &Path, doc: &str) -> io::Result<()> {
+    if rtrm_testkit::should_fail_io("sweep::publish") {
+        return Err(io::Error::other("injected transient failure"));
+    }
+    fs::write(tmp, doc)?;
+    fs::rename(tmp, path)
+}
+
+/// What reading an existing checkpoint file yielded.
+enum Loaded {
+    /// Parsed, and the header matches this spec: these cells are done.
+    Cells(BTreeMap<String, CellMetrics>),
+    /// Parsed, but written by a different configuration (name, version,
+    /// seed, or scale) — discarded, not misread.
+    HeaderMismatch,
+    /// Unparseable — a torn write or disk corruption; candidate for
+    /// [`salvage_checkpoint`].
+    Corrupt,
+}
+
+/// Parses a checkpoint and classifies it (see [`Loaded`]).
+fn load_checkpoint(text: &str, spec: &SweepSpec, trace_len: usize) -> Loaded {
+    let Some(doc) = json::parse(text) else {
+        return Loaded::Corrupt;
+    };
+    let header_matches = (|| {
+        Some(
+            doc.get_str("sweep")? == spec.name
+                && doc.get_f64("version")? == CHECKPOINT_VERSION as f64
+                && doc.get_f64("seed")? == spec.scale.seed as f64
+                && doc.get_f64("traces_per_cell")? == spec.scale.traces as f64
+                && doc.get_f64("trace_len")? == trace_len as f64,
+        )
+    })();
+    match header_matches {
+        None => return Loaded::Corrupt,
+        Some(false) => return Loaded::HeaderMismatch,
+        Some(true) => {}
+    }
+    let Some(cells) = doc.get_array("cells") else {
+        return Loaded::Corrupt;
+    };
+    let mut done = BTreeMap::new();
+    for cell in cells {
+        let Some((key, metrics)) = parse_cell(cell) else {
+            return Loaded::Corrupt;
+        };
+        done.insert(key, metrics);
+    }
+    Loaded::Cells(done)
+}
+
+/// Parses one cell object of the checkpoint's `cells` array.
+fn parse_cell(cell: &json::Value) -> Option<(String, CellMetrics)> {
+    Some((
+        cell.get_str("key")?.to_string(),
+        CellMetrics {
+            traces: cell.get_f64("traces")? as usize,
+            requests: cell.get_f64("requests")? as usize,
+            accepted: cell.get_f64("accepted")? as usize,
+            rejected: cell.get_f64("rejected")? as usize,
+            mean_rejection_percent: cell.get_f64("mean_rejection_percent")?,
+            mean_energy: cell.get_f64("mean_energy")?,
+            elapsed_ms: cell.get_f64("elapsed_ms")?,
+        },
+    ))
+}
+
+/// Handles a corrupt checkpoint: preserves the damaged file as
+/// `<name>.sweep.json.corrupt`, then recovers every intact cell so the sweep
+/// recomputes only what the damaged region actually lost.
+///
+/// Line-oriented salvage is sound because [`save_checkpoint`] emits exactly
+/// one cell per `    {"key": ...}` line; a cell line caught mid-write fails
+/// to parse and is skipped. No cell is trusted unless the header fields
+/// (name, version, seed, scale) are all present verbatim — a corrupt file
+/// from another configuration salvages nothing.
+fn salvage_checkpoint(
+    path: &Path,
     text: &str,
     spec: &SweepSpec,
     trace_len: usize,
-) -> Option<BTreeMap<String, CellMetrics>> {
-    let doc = json::parse(text)?;
-    if doc.get_str("sweep")? != spec.name
-        || doc.get_f64("version")? != CHECKPOINT_VERSION as f64
-        || doc.get_f64("seed")? != spec.scale.seed as f64
-        || doc.get_f64("traces_per_cell")? != spec.scale.traces as f64
-        || doc.get_f64("trace_len")? != trace_len as f64
-    {
-        return None;
+) -> BTreeMap<String, CellMetrics> {
+    let backup = path.with_extension("json.corrupt");
+    match fs::rename(path, &backup) {
+        Ok(()) => eprintln!(
+            "sweep {}: checkpoint {} is corrupt; backed up to {}",
+            spec.name,
+            path.display(),
+            backup.display()
+        ),
+        Err(err) => eprintln!(
+            "sweep {}: checkpoint {} is corrupt and could not be backed up ({err})",
+            spec.name,
+            path.display()
+        ),
+    }
+    let header_ok = text.contains(&format!("\"sweep\": \"{}\"", spec.name))
+        && text.contains(&format!("\"version\": {CHECKPOINT_VERSION}"))
+        && text.contains(&format!("\"seed\": {}", spec.scale.seed))
+        && text.contains(&format!("\"traces_per_cell\": {}", spec.scale.traces))
+        && text.contains(&format!("\"trace_len\": {trace_len}"));
+    if !header_ok {
+        return BTreeMap::new();
     }
     let mut done = BTreeMap::new();
-    for cell in doc.get_array("cells")? {
-        done.insert(
-            cell.get_str("key")?.to_string(),
-            CellMetrics {
-                traces: cell.get_f64("traces")? as usize,
-                requests: cell.get_f64("requests")? as usize,
-                accepted: cell.get_f64("accepted")? as usize,
-                rejected: cell.get_f64("rejected")? as usize,
-                mean_rejection_percent: cell.get_f64("mean_rejection_percent")?,
-                mean_energy: cell.get_f64("mean_energy")?,
-                elapsed_ms: cell.get_f64("elapsed_ms")?,
-            },
+    for line in text.lines() {
+        if !line.starts_with("    {\"key\": ") {
+            continue;
+        }
+        let candidate = line.trim().trim_end_matches(',');
+        if let Some((key, metrics)) = json::parse(candidate).as_ref().and_then(parse_cell) {
+            done.insert(key, metrics);
+        }
+    }
+    eprintln!(
+        "sweep {}: salvaged {} intact cell(s); the rest will be recomputed",
+        spec.name,
+        done.len()
+    );
+    done
+}
+
+/// Monotonic-enough wall-clock seconds for lease heartbeats.
+fn epoch_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+fn lease_owner(content: &str) -> Option<&str> {
+    content.lines().find_map(|l| l.strip_prefix("owner "))
+}
+
+fn lease_heartbeat(content: &str) -> Option<u64> {
+    content
+        .lines()
+        .find_map(|l| l.strip_prefix("heartbeat "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Whether a lease file's owner should be presumed dead. A missing
+/// heartbeat line means the owner was caught between create and first
+/// write, so the file's mtime stands in for the heartbeat.
+fn lease_is_stale(path: &Path, content: &str) -> bool {
+    if let Some(beat) = lease_heartbeat(content) {
+        return epoch_secs().saturating_sub(beat) > LEASE_STALE_SECS;
+    }
+    match fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(modified) => SystemTime::now()
+            .duration_since(modified)
+            .is_ok_and(|age| age.as_secs() > LEASE_STALE_SECS),
+        // The file vanished under us (owner released it): retry the create.
+        Err(_) => true,
+    }
+}
+
+/// Process-unique suffix so two sweeps in one process get distinct owner ids.
+static LEASE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An exclusive whole-run lease on one sweep name, held as
+/// `results/<name>.sweep.lock`. See the module docs for the protocol.
+#[derive(Debug)]
+struct SweepLease {
+    path: PathBuf,
+    owner: String,
+}
+
+impl SweepLease {
+    /// Takes the lease: atomically creates the lock file, taking over a
+    /// stale one (heartbeat older than [`LEASE_STALE_SECS`]) and either
+    /// polling a live one (`wait`) or failing with
+    /// [`SweepError::LeaseHeld`].
+    fn acquire(path: PathBuf, wait: bool) -> Result<SweepLease, SweepError> {
+        let owner = format!(
+            "{}-{}",
+            std::process::id(),
+            LEASE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    // Heartbeat write is best effort: if it fails, the mtime
+                    // fallback in `lease_is_stale` still covers us.
+                    let _ = write!(file, "owner {owner}\nheartbeat {}\n", epoch_secs());
+                    return Ok(SweepLease { path, owner });
+                }
+                Err(err) if err.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path).unwrap_or_default();
+                    if lease_is_stale(&path, &holder) {
+                        // Crashed owner: remove the lock and race for the
+                        // recreate (exactly one contender wins `create_new`).
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if !wait {
+                        return Err(SweepError::LeaseHeld {
+                            path,
+                            owner: lease_owner(&holder).unwrap_or("unknown").to_string(),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(source) => return Err(SweepError::Io { path, source }),
+            }
+        }
+    }
+
+    /// Refreshes the heartbeat (best effort — a transient failure only
+    /// risks a takeover, never wrong results).
+    fn refresh(&self) {
+        let _ = fs::write(
+            &self.path,
+            format!("owner {}\nheartbeat {}\n", self.owner, epoch_secs()),
         );
     }
-    Some(done)
+}
+
+impl Drop for SweepLease {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
 }
 
 /// A minimal JSON reader for the checkpoint format this module itself
@@ -751,8 +1108,9 @@ mod tests {
         let options = SweepOptions {
             fresh: true,
             quiet: true,
+            ..SweepOptions::default()
         };
-        let first = run_sweep(&spec, &options);
+        let first = run_sweep(&spec, &options).expect("sweep runs");
         assert_eq!(first.cells.len(), 2);
         assert_eq!(first.resumed, 0);
         assert!(first.cells.iter().all(|c| c.reports.is_some()));
@@ -762,10 +1120,11 @@ mod tests {
         let second = run_sweep(
             &spec,
             &SweepOptions {
-                fresh: false,
                 quiet: true,
+                ..SweepOptions::default()
             },
-        );
+        )
+        .expect("sweep resumes");
         assert_eq!(second.resumed, 2);
         for (a, b) in first.cells.iter().zip(&second.cells) {
             assert_eq!(a.key(), b.key());
@@ -784,10 +1143,11 @@ mod tests {
         let third = run_sweep(
             &rescaled,
             &SweepOptions {
-                fresh: false,
                 quiet: true,
+                ..SweepOptions::default()
             },
-        );
+        )
+        .expect("rescaled sweep runs");
         assert_eq!(third.resumed, 0, "stale checkpoint must be discarded");
 
         let _ = fs::remove_file(&first.checkpoint_path);

@@ -373,8 +373,10 @@ fn sweep_checkpoint_schema_is_current() {
         &SweepOptions {
             fresh: true,
             quiet: true,
+            ..SweepOptions::default()
         },
-    );
+    )
+    .expect("sweep runs");
     let text = std::fs::read_to_string(&outcome.checkpoint_path).expect("checkpoint written");
     let doc = parse(&text);
 

@@ -1,0 +1,219 @@
+//! Fault-injection suite for the sweep persistence layer: corrupt
+//! checkpoints are backed up and salvaged (only the cells the damage lost
+//! are recomputed), transient publish failures are retried with bounded
+//! backoff, and the whole-run lease fails fast on a live owner but takes
+//! over a stale one.
+
+use std::fs;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use rtrm_bench::sweep::{
+    run_sweep, CellMetrics, GridWorkload, PredictorSpec, SweepError, SweepOptions, SweepSpec,
+};
+use rtrm_bench::{Group, Policy, Scale};
+
+/// The `sweep::publish` fail point is process-global and every test here
+/// runs sweeps through `save_checkpoint`, so the whole suite serializes.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny_spec(name: &'static str, predictors: Vec<PredictorSpec>) -> SweepSpec {
+    SweepSpec {
+        name,
+        scale: Scale {
+            traces: 2,
+            trace_len: 20,
+            seed: 7,
+        },
+        workload: GridWorkload::Paper {
+            groups: vec![Group::Vt],
+        },
+        policies: vec![Policy::Heuristic],
+        predictors,
+    }
+}
+
+fn fresh() -> SweepOptions {
+    SweepOptions {
+        fresh: true,
+        quiet: true,
+        ..SweepOptions::default()
+    }
+}
+
+fn resume() -> SweepOptions {
+    SweepOptions {
+        quiet: true,
+        ..SweepOptions::default()
+    }
+}
+
+/// The deterministic fields of a cell's metrics (everything except the
+/// wall-clock `elapsed_ms`, which a recomputed cell cannot reproduce).
+fn stable(m: &CellMetrics) -> (usize, usize, usize, usize, f64, f64) {
+    (
+        m.traces,
+        m.requests,
+        m.accepted,
+        m.rejected,
+        m.mean_rejection_percent,
+        m.mean_energy,
+    )
+}
+
+/// Acceptance case: a torn checkpoint (cut mid-cell, closing bracket gone)
+/// is backed up to `.corrupt` and salvaged line by line — the sweep resumes
+/// losing only the cell the damage destroyed.
+#[test]
+fn corrupt_checkpoint_is_salvaged_and_only_lost_cells_recompute() {
+    let _serial = lock();
+    let spec = tiny_spec(
+        "test_fault_salvage",
+        vec![PredictorSpec::off(), PredictorSpec::perfect()],
+    );
+    let first = run_sweep(&spec, &fresh()).expect("seed sweep runs");
+    assert_eq!(first.cells.len(), 2);
+
+    // Tear the file inside the second cell line: the document no longer
+    // parses, but the first cell's line is intact.
+    let text = fs::read_to_string(&first.checkpoint_path).expect("checkpoint written");
+    let cut = text.rfind("\"mean_energy\"").expect("cell line present");
+    let torn = &text[..cut];
+    fs::write(&first.checkpoint_path, torn).expect("tear checkpoint");
+
+    let second = run_sweep(&spec, &resume()).expect("salvaging sweep runs");
+    assert_eq!(
+        second.resumed, 1,
+        "exactly the intact cell is salvaged; the torn one recomputes"
+    );
+    for (a, b) in first.cells.iter().zip(&second.cells) {
+        assert_eq!(a.key(), b.key());
+        assert_eq!(
+            stable(&a.metrics),
+            stable(&b.metrics),
+            "salvage/recompute must not alter results"
+        );
+    }
+    // The salvaged cell round-trips bit-equal, elapsed time included.
+    assert_eq!(first.cells[0].metrics, second.cells[0].metrics);
+
+    let backup = first.checkpoint_path.with_extension("json.corrupt");
+    assert_eq!(
+        fs::read_to_string(&backup).expect(".corrupt backup exists"),
+        torn,
+        "the damaged bytes are preserved verbatim"
+    );
+
+    let _ = fs::remove_file(&first.checkpoint_path);
+    let _ = fs::remove_file(&first.csv_path);
+    let _ = fs::remove_file(&backup);
+}
+
+/// A corrupt checkpoint whose header does not match the spec salvages
+/// nothing: cells from another configuration are never trusted.
+#[test]
+fn salvage_rejects_cells_from_another_configuration() {
+    let _serial = lock();
+    let spec = tiny_spec("test_fault_salvage_header", vec![PredictorSpec::off()]);
+    let first = run_sweep(&spec, &fresh()).expect("seed sweep runs");
+
+    // Corrupt the file AND change its seed: the cell line is intact but the
+    // header no longer matches, so it must not be salvaged.
+    let text = fs::read_to_string(&first.checkpoint_path).expect("checkpoint written");
+    let torn = text.replace("\"seed\": 7", "\"seed\": 8");
+    let torn = &torn[..torn.len() - 4]; // drop the closing "]\n}\n"
+    fs::write(&first.checkpoint_path, torn).expect("tear checkpoint");
+
+    let second = run_sweep(&spec, &resume()).expect("sweep recomputes");
+    assert_eq!(second.resumed, 0, "foreign cells must not be salvaged");
+
+    let _ = fs::remove_file(&first.checkpoint_path);
+    let _ = fs::remove_file(&first.csv_path);
+    let _ = fs::remove_file(first.checkpoint_path.with_extension("json.corrupt"));
+}
+
+/// Transient publish failures are retried with backoff; two injected
+/// failures are absorbed without surfacing an error.
+#[test]
+fn publish_retries_transient_failures() {
+    let _serial = lock();
+    let spec = tiny_spec("test_fault_publish_retry", vec![PredictorSpec::off()]);
+    let guard = rtrm_testkit::arm_with(
+        "sweep::publish",
+        rtrm_testkit::Action::IoError,
+        None,
+        Some(2),
+    );
+    let outcome = run_sweep(&spec, &fresh()).expect("retries absorb two transient failures");
+    assert_eq!(guard.hits(), 2, "both injected failures fired");
+    drop(guard);
+    assert!(outcome.checkpoint_path.exists());
+
+    let _ = fs::remove_file(&outcome.checkpoint_path);
+    let _ = fs::remove_file(&outcome.csv_path);
+}
+
+/// A persistent publish failure surfaces as [`SweepError::Io`] naming the
+/// checkpoint — after the bounded retries, not before.
+#[test]
+fn persistent_publish_failure_surfaces_an_io_error() {
+    let _serial = lock();
+    let spec = tiny_spec("test_fault_publish_fail", vec![PredictorSpec::off()]);
+    let guard = rtrm_testkit::arm("sweep::publish", rtrm_testkit::Action::IoError);
+    let err = run_sweep(&spec, &fresh()).expect_err("unbounded failures must surface");
+    assert!(guard.hits() >= 4, "first attempt plus three retries");
+    drop(guard);
+    match err {
+        SweepError::Io { path, .. } => {
+            assert!(
+                path.to_string_lossy()
+                    .ends_with("test_fault_publish_fail.sweep.json"),
+                "error names the checkpoint: {}",
+                path.display()
+            );
+        }
+        other => panic!("expected SweepError::Io, got {other}"),
+    }
+}
+
+/// The whole-run lease: a live owner makes a second sweep fail fast with
+/// [`SweepError::LeaseHeld`] (naming the owner); a stale heartbeat marks a
+/// crashed owner and the lease is taken over; the lease is released when the
+/// run finishes.
+#[test]
+fn live_lease_fails_fast_and_stale_lease_is_taken_over() {
+    let _serial = lock();
+    let spec = tiny_spec("test_fault_lease", vec![PredictorSpec::off()]);
+    let first = run_sweep(&spec, &fresh()).expect("seed sweep runs");
+    let dir = first
+        .checkpoint_path
+        .parent()
+        .expect("checkpoint lives under results/")
+        .to_path_buf();
+    let lock_path = dir.join("test_fault_lease.sweep.lock");
+    assert!(!lock_path.exists(), "lease released after the seed run");
+
+    // A live owner (fresh heartbeat): fail fast, naming them.
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("epoch time")
+        .as_secs();
+    fs::write(&lock_path, format!("owner tester\nheartbeat {now}\n")).expect("plant lease");
+    match run_sweep(&spec, &resume()).expect_err("live lease must fail fast") {
+        SweepError::LeaseHeld { owner, .. } => assert_eq!(owner, "tester"),
+        other => panic!("expected SweepError::LeaseHeld, got {other}"),
+    }
+
+    // A crashed owner (ancient heartbeat): take the lease over and run.
+    fs::write(&lock_path, "owner crashed\nheartbeat 1\n").expect("plant stale lease");
+    let outcome = run_sweep(&spec, &resume()).expect("stale lease is taken over");
+    assert_eq!(outcome.resumed, 1, "checkpoint survives the takeover");
+    assert!(!lock_path.exists(), "lease released after the run");
+
+    let _ = fs::remove_file(&first.checkpoint_path);
+    let _ = fs::remove_file(&first.csv_path);
+}

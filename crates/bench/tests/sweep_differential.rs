@@ -1,7 +1,10 @@
-//! Differential acceptance test for the sweep driver: a 4-cell grid over
+//! Differential acceptance tests for the sweep driver: a 4-cell grid over
 //! 200 traces executed on the warm worker pool must be bit-identical to a
 //! per-trace sequential reproduction with fresh `Simulator::run` calls —
-//! same traces, same derived seeds, no pool, no scratch reuse.
+//! same traces, same derived seeds, no pool, no scratch reuse — and the
+//! same holds for the MILP policy with its anytime node budget. Two sweeps
+//! contending for one lease must serialize into a single consistent
+//! checkpoint with no lost cells.
 //!
 //! This pins the whole warm-pool stack at once: chunked dispatch order,
 //! per-worker `SimScratch` reuse across traces, cross-activation
@@ -12,10 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rtrm_bench::sweep::{
-    cell_seed, run_sweep, GridWorkload, PredictorSpec, SweepOptions, SweepSpec,
+    cell_seed, run_sweep, CellMetrics, GridWorkload, PredictorSpec, SweepOptions, SweepSpec,
 };
 use rtrm_bench::{Group, Oracle, Policy, Scale};
-use rtrm_core::HeuristicRm;
+use rtrm_core::{ExactRm, HeuristicRm};
 use rtrm_predict::OraclePredictor;
 use rtrm_sim::{PhantomDeadline, SimConfig, Simulator};
 use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig};
@@ -43,8 +46,10 @@ fn sweep_is_bit_identical_to_sequential_runs() {
         &SweepOptions {
             fresh: true,
             quiet: true,
+            ..SweepOptions::default()
         },
-    );
+    )
+    .expect("sweep runs");
     assert_eq!(outcome.cells.len(), 4, "2 groups x 1 policy x 2 predictors");
     assert_eq!(
         outcome
@@ -108,4 +113,196 @@ fn sweep_is_bit_identical_to_sequential_runs() {
 
     let _ = std::fs::remove_file(&outcome.checkpoint_path);
     let _ = std::fs::remove_file(&outcome.csv_path);
+}
+
+/// The MILP policy resolves to `ExactRm` with the production node budget;
+/// its pool-run cells must also be bit-identical to sequential fresh runs,
+/// pinning the fig2-style MILP series against the anytime plumbing.
+#[test]
+fn milp_policy_sweep_matches_sequential_exact_runs() {
+    let scale = Scale {
+        traces: 4,
+        trace_len: 25,
+        seed: 13,
+    };
+    let predictors = [PredictorSpec::off(), PredictorSpec::perfect()];
+    let spec = SweepSpec {
+        name: "test_differential_milp",
+        scale,
+        workload: GridWorkload::Paper {
+            groups: vec![Group::Vt],
+        },
+        policies: vec![Policy::Milp],
+        predictors: predictors.to_vec(),
+    };
+    let outcome = run_sweep(
+        &spec,
+        &SweepOptions {
+            fresh: true,
+            quiet: true,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("sweep runs");
+    assert_eq!(outcome.cells.len(), 2);
+
+    let platform = rtrm_platform::Platform::paper_default();
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let g = Group::Vt;
+    let cfg = g.trace_config(scale.trace_len);
+    let traces = generate_traces(
+        &catalog,
+        &cfg,
+        scale.traces,
+        scale.seed ^ (g as u64 + 1) << 32,
+    );
+    let config = SimConfig {
+        phantom_deadline: PhantomDeadline::MinWcetTimes(g.phantom_coefficient()),
+        ..SimConfig::default()
+    };
+    for predictor in predictors {
+        let key = format!("{}/MILP/{}", g.name(), predictor.label);
+        let seed = cell_seed(scale.seed, &key);
+        let cell = outcome
+            .cells
+            .iter()
+            .find(|c| c.key() == key)
+            .unwrap_or_else(|| panic!("cell {key} missing"));
+        let reports = cell.reports.as_ref().expect("fresh cells carry reports");
+        for (i, trace) in traces.iter().enumerate() {
+            let simulator = Simulator::new(&platform, &catalog, config.clone());
+            // The production binding of `Policy::Milp` (see `Policy::build`).
+            let mut manager = ExactRm::with_node_budget(25_000);
+            let expected = match predictor.oracle {
+                Oracle::Off => simulator.run(trace, &mut manager, None),
+                Oracle::On(error) => {
+                    let mut oracle =
+                        OraclePredictor::new(trace, catalog.len(), error, seed ^ i as u64);
+                    simulator.run(trace, &mut manager, Some(&mut oracle))
+                }
+            };
+            assert_eq!(
+                reports[i], expected,
+                "cell {key}, trace {i}: MILP sweep report diverged"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_file(&outcome.checkpoint_path);
+    let _ = std::fs::remove_file(&outcome.csv_path);
+}
+
+/// A generous wall-clock budget on the exact optimizer must not perturb the
+/// search at all — the reports are bit-identical to the no-budget manager,
+/// pinning that the checked-in sweep results are reproduced exactly when a
+/// budget is configured but never hit.
+#[test]
+fn generous_wall_clock_budget_leaves_exact_results_untouched() {
+    let platform = rtrm_platform::Platform::paper_default();
+    let mut rng = StdRng::seed_from_u64(19);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let cfg = Group::Vt.trace_config(30);
+    let traces = generate_traces(&catalog, &cfg, 3, 19);
+    let simulator = Simulator::new(&platform, &catalog, SimConfig::default());
+    for trace in &traces {
+        let mut oracle = OraclePredictor::perfect(trace, catalog.len());
+        let budgeted = simulator.run(trace, &mut ExactRm::with_wall_clock(1e9), Some(&mut oracle));
+        let mut oracle = OraclePredictor::perfect(trace, catalog.len());
+        let plain = simulator.run(trace, &mut ExactRm::new(), Some(&mut oracle));
+        assert_eq!(budgeted, plain, "a never-hit budget must be invisible");
+    }
+}
+
+/// The deterministic fields of a cell's metrics (everything except the
+/// wall-clock `elapsed_ms`).
+fn stable(m: &CellMetrics) -> (usize, usize, usize, usize, f64, f64) {
+    (
+        m.traces,
+        m.requests,
+        m.accepted,
+        m.rejected,
+        m.mean_rejection_percent,
+        m.mean_energy,
+    )
+}
+
+/// Re-entrancy: two sweeps of the same name contending for one lease
+/// serialize — one computes the grid, the other queues behind the lease and
+/// resumes every cell from the finished checkpoint. No cell is lost, no
+/// checkpoint write interleaves, and the lease is released at the end.
+#[test]
+fn contending_sweeps_share_one_lease_without_losing_cells() {
+    let make_spec = || SweepSpec {
+        name: "test_lease_contention",
+        scale: Scale {
+            traces: 2,
+            trace_len: 20,
+            seed: 9,
+        },
+        workload: GridWorkload::Paper {
+            groups: vec![Group::Vt],
+        },
+        policies: vec![Policy::Heuristic],
+        predictors: vec![PredictorSpec::off(), PredictorSpec::perfect()],
+    };
+
+    // Learn the expected metrics (and the output paths), then wipe the
+    // checkpoint so the contenders start from nothing.
+    let probe = run_sweep(
+        &make_spec(),
+        &SweepOptions {
+            fresh: true,
+            quiet: true,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("probe sweep runs");
+    let expected: Vec<_> = probe
+        .cells
+        .iter()
+        .map(|c| (c.key(), stable(&c.metrics)))
+        .collect();
+    std::fs::remove_file(&probe.checkpoint_path).expect("wipe checkpoint");
+
+    let contend = || {
+        run_sweep(
+            &make_spec(),
+            &SweepOptions {
+                quiet: true,
+                lease_wait: true,
+                ..SweepOptions::default()
+            },
+        )
+    };
+    let (a, b) = std::thread::scope(|scope| {
+        let a = scope.spawn(contend);
+        let b = scope.spawn(contend);
+        (
+            a.join().expect("contender A"),
+            b.join().expect("contender B"),
+        )
+    });
+    let a = a.expect("contender A completes");
+    let b = b.expect("contender B completes");
+
+    // The lease serialized them: one computed both cells, the other resumed
+    // both from the finished checkpoint — nothing lost, nothing doubled.
+    assert_eq!(a.resumed + b.resumed, 2, "one computes, one resumes");
+    for outcome in [&a, &b] {
+        assert_eq!(outcome.cells.len(), 2);
+        for (cell, (key, metrics)) in outcome.cells.iter().zip(&expected) {
+            assert_eq!(&cell.key(), key);
+            assert_eq!(&stable(&cell.metrics), metrics, "cell {key}");
+        }
+    }
+    let lock_path = probe
+        .checkpoint_path
+        .parent()
+        .expect("results dir")
+        .join("test_lease_contention.sweep.lock");
+    assert!(!lock_path.exists(), "lease released after both runs");
+
+    let _ = std::fs::remove_file(&probe.checkpoint_path);
+    let _ = std::fs::remove_file(&probe.csv_path);
 }

@@ -113,6 +113,14 @@ pub struct Decision {
     /// listed job back to its planned start until the next activation
     /// replans.
     pub start_gates: Vec<(JobKey, Time)>,
+    /// Fallback-ladder rungs whose solver hit its wall-clock budget during
+    /// this activation (0 unless an anytime budget is configured).
+    pub solver_timeouts: u32,
+    /// `true` when the plan came from a rung *below* one that timed out —
+    /// i.e. the decision was degraded by solver latency, not by genuine
+    /// infeasibility of the higher rungs (the paper's normal Sec 4.1
+    /// fallback is not degradation).
+    pub degraded: bool,
 }
 
 impl Decision {
@@ -126,6 +134,8 @@ impl Decision {
             used_prediction: false,
             nodes: 0,
             start_gates: Vec::new(),
+            solver_timeouts: 0,
+            degraded: false,
         }
     }
 }

@@ -50,6 +50,29 @@ impl Plan {
             } else {
                 Vec::new()
             },
+            solver_timeouts: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// Outcome of one solver rung on the fallback ladder: the plan (if any) and
+/// whether the rung's solver hit its wall-clock budget. A rung can time out
+/// *and* still produce a plan — the anytime incumbent.
+#[derive(Debug, Clone, Default)]
+pub struct Attempt {
+    /// The plan, when the rung found one.
+    pub plan: Option<Plan>,
+    /// `true` when the rung's solver hit its wall-clock budget.
+    pub timed_out: bool,
+}
+
+impl From<Option<Plan>> for Attempt {
+    /// A solver without a wall-clock budget never times out.
+    fn from(plan: Option<Plan>) -> Self {
+        Attempt {
+            plan,
+            timed_out: false,
         }
     }
 }
@@ -67,13 +90,62 @@ pub fn decide_with_fallback<F>(activation: &Activation<'_>, mut solve: F) -> Dec
 where
     F: FnMut(&Activation<'_>, usize) -> Option<Plan>,
 {
+    decide_with_fallback_tracked(activation, |act, k| Attempt::from(solve(act, k)), |_| None)
+}
+
+/// The fault-tolerant form of [`decide_with_fallback`]: rungs report
+/// wall-clock expiry through [`Attempt`], the returned [`Decision`] carries
+/// the timeout/degradation accounting, and when *every* rung fails with at
+/// least one timeout among them, the `floor` solver (typically the paper's
+/// heuristic, planning without phantoms) gets a last chance before the
+/// arriving task is rejected — so an activation is never dropped just
+/// because the solver ran long.
+///
+/// Degradation bookkeeping: a decision is `degraded` when its plan came
+/// from a rung below one that timed out (a failed higher rung that was
+/// *infeasible* is the paper's normal fallback, not degradation), or from
+/// the `floor`.
+pub fn decide_with_fallback_tracked<F, G>(
+    activation: &Activation<'_>,
+    mut solve: F,
+    mut floor: G,
+) -> Decision
+where
+    F: FnMut(&Activation<'_>, usize) -> Attempt,
+    G: FnMut(&Activation<'_>) -> Option<Plan>,
+{
+    let mut timeouts: u32 = 0;
+    let mut timed_out_above = false;
+    let finish = |plan: Plan, used_prediction: bool, degraded: bool, timeouts: u32| {
+        let mut decision = plan.into_decision(used_prediction);
+        decision.solver_timeouts = timeouts;
+        decision.degraded = degraded;
+        decision
+    };
     for k in (1..=activation.predicted.len()).rev() {
-        if let Some(plan) = solve(activation, k) {
-            return plan.into_decision(true);
+        let attempt = solve(activation, k);
+        if attempt.timed_out {
+            timeouts += 1;
+        }
+        if let Some(plan) = attempt.plan {
+            return finish(plan, true, timed_out_above, timeouts);
+        }
+        timed_out_above |= attempt.timed_out;
+    }
+    let attempt = solve(activation, 0);
+    if attempt.timed_out {
+        timeouts += 1;
+    }
+    if let Some(plan) = attempt.plan {
+        return finish(plan, false, timed_out_above, timeouts);
+    }
+    timed_out_above |= attempt.timed_out;
+    if timed_out_above {
+        if let Some(plan) = floor(activation) {
+            return finish(plan, false, true, timeouts);
         }
     }
-    match solve(activation, 0) {
-        Some(plan) => plan.into_decision(false),
-        None => Decision::reject(),
-    }
+    let mut decision = Decision::reject();
+    decision.solver_timeouts = timeouts;
+    decision
 }

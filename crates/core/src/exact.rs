@@ -12,11 +12,14 @@
 //! its accumulated energy plus the sum of every unassigned task's cheapest
 //! candidate can no longer beat the incumbent.
 
+use std::time::{Duration, Instant};
+
 use rtrm_platform::Energy;
 
 use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager, TimelinePool};
 use crate::cost::{candidates, Candidate};
-use crate::driver::{decide_with_fallback, Plan};
+use crate::driver::{decide_with_fallback_tracked, Attempt, Plan};
+use crate::heuristic::HeuristicRm;
 use crate::view::JobView;
 
 /// Exact energy-optimal mapping via branch & bound (the paper's "MILP"
@@ -37,6 +40,12 @@ pub struct ExactRm {
     /// are identical; this is the pre-incremental baseline, kept for
     /// benchmarks and differential tests.
     pub oracle_feasibility: bool,
+    /// Anytime wall-clock budget in seconds *per fallback rung*. `None`
+    /// (the default) never reads the clock, so results stay bit-identical
+    /// run to run. With a budget, expiry keeps the best incumbent found so
+    /// far; with no incumbent the activation degrades down the fallback
+    /// ladder to the paper's heuristic as a floor.
+    pub wall_clock_budget: Option<f64>,
 }
 
 impl Default for ExactRm {
@@ -45,6 +54,7 @@ impl Default for ExactRm {
             node_budget: 20_000_000,
             gpu_restart_in_place: true,
             oracle_feasibility: false,
+            wall_clock_budget: None,
         }
     }
 }
@@ -65,12 +75,22 @@ impl ExactRm {
         }
     }
 
+    /// Creates an optimizer with an anytime wall-clock budget per rung (see
+    /// [`ExactRm::wall_clock_budget`]).
+    #[must_use]
+    pub fn with_wall_clock(secs: f64) -> Self {
+        ExactRm {
+            wall_clock_budget: Some(secs),
+            ..ExactRm::default()
+        }
+    }
+
     fn solve(
         &self,
         activation: &Activation<'_>,
         num_phantoms: usize,
         pool: &mut TimelinePool,
-    ) -> Option<Plan> {
+    ) -> Attempt {
         let jobs: Vec<JobView> = activation
             .jobs_with_phantoms(num_phantoms)
             .copied()
@@ -97,7 +117,7 @@ impl ExactRm {
             })
             .collect();
         if cand.iter().any(Vec::is_empty) {
-            return None;
+            return Attempt::default();
         }
 
         // Branching order: most constrained task first (fewest candidates),
@@ -117,7 +137,7 @@ impl ExactRm {
             suffix_min[pos] = suffix_min[pos + 1] + cand[order[pos]][0].energy;
         }
 
-        let (nodes, best) = {
+        let (nodes, best, timed_out) = {
             let mut search = Search {
                 jobs: &jobs,
                 cand: &cand,
@@ -128,11 +148,20 @@ impl ExactRm {
                 best: None,
                 nodes: 0,
                 budget: self.node_budget,
+                deadline: self
+                    .wall_clock_budget
+                    .map(|secs| Instant::now() + Duration::from_secs_f64(secs.clamp(0.0, 1e9))),
+                timed_out: false,
             };
             search.dfs(0, Energy::ZERO);
-            (search.nodes, search.best)
+            (search.nodes, search.best, search.timed_out)
         };
-        let (objective, chosen) = best?;
+        let Some((objective, chosen)) = best else {
+            return Attempt {
+                plan: None,
+                timed_out,
+            };
+        };
         // Rebuild the winning plan to derive the reservation gates.
         let start_gates = if num_phantoms > 0 {
             let mut plan = PlanBuilder::new(activation, pool);
@@ -147,16 +176,19 @@ impl ExactRm {
         } else {
             Vec::new()
         };
-        Some(Plan {
-            placements: jobs[..n_real]
-                .iter()
-                .enumerate()
-                .map(|(j, view)| (view.key, chosen[j].expect("complete assignment")))
-                .collect(),
-            objective,
-            nodes,
-            start_gates,
-        })
+        Attempt {
+            plan: Some(Plan {
+                placements: jobs[..n_real]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, view)| (view.key, chosen[j].expect("complete assignment")))
+                    .collect(),
+                objective,
+                nodes,
+                start_gates,
+            }),
+            timed_out,
+        }
     }
 }
 
@@ -170,11 +202,19 @@ struct Search<'a, 'b> {
     best: Option<(Energy, Vec<Option<Candidate>>)>,
     nodes: u64,
     budget: u64,
+    deadline: Option<Instant>,
+    timed_out: bool,
 }
 
 impl Search<'_, '_> {
     fn dfs(&mut self, pos: usize, cost: Energy) {
-        if self.nodes >= self.budget {
+        if self.timed_out || self.nodes >= self.budget {
+            return;
+        }
+        // Amortize the clock read: no syscall unless a budget is set, and
+        // then only once every 1024 nodes.
+        if self.nodes & 0x3ff == 0 && self.deadline.is_some_and(|at| Instant::now() >= at) {
+            self.timed_out = true;
             return;
         }
         if pos == self.order.len() {
@@ -201,6 +241,9 @@ impl Search<'_, '_> {
                 self.dfs(pos + 1, cost + c.energy);
                 self.chosen[j] = None;
                 self.plan.unplace_last(c.resource);
+                if self.timed_out {
+                    return;
+                }
             }
         }
     }
@@ -224,6 +267,19 @@ impl ResourceManager for ExactRm {
         pool: &mut TimelinePool,
     ) -> Decision {
         pool.set_oracle(self.oracle_feasibility);
-        decide_with_fallback(activation, |act, k| self.solve(act, k, pool))
+        let oracle = self.oracle_feasibility;
+        decide_with_fallback_tracked(
+            activation,
+            |act, k| self.solve(act, k, pool),
+            // Heuristic floor: only consulted when every branch & bound rung
+            // failed and at least one failure was a wall-clock expiry. It
+            // plans in a fresh pool because the ladder's pool is still
+            // borrowed by the rung closure.
+            |act| {
+                let mut floor_pool = TimelinePool::new();
+                floor_pool.set_oracle(oracle);
+                HeuristicRm::new().solve(act, 0, &mut floor_pool)
+            },
+        )
     }
 }

@@ -68,7 +68,7 @@ impl HeuristicRm {
         }
     }
 
-    fn solve(
+    pub(crate) fn solve(
         &self,
         activation: &Activation<'_>,
         num_phantoms: usize,

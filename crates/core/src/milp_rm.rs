@@ -35,12 +35,13 @@
 //! predicted task and without overhead the two optimizers agree exactly
 //! (asserted by cross-validation tests).
 
-use rtrm_milp::{Model, Sense, SolveOptions, VarId};
+use rtrm_milp::{Model, Sense, SolveError, SolveOptions, Termination, VarId};
 use rtrm_platform::{Energy, ResourceKind, Time};
 
-use crate::activation::{Activation, Decision, ResourceManager};
+use crate::activation::{Activation, Decision, ResourceManager, TimelinePool};
 use crate::cost::{candidates, Candidate};
-use crate::driver::{decide_with_fallback, Plan};
+use crate::driver::{decide_with_fallback_tracked, Attempt, Plan};
+use crate::heuristic::HeuristicRm;
 use crate::view::JobView;
 
 /// Resource manager that solves the paper's Sec 4.2 MILP with the bundled
@@ -70,7 +71,20 @@ impl MilpRm {
         MilpRm::default()
     }
 
-    fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Option<Plan> {
+    /// Creates a manager whose solver runs anytime under `max_wall_clock_secs`
+    /// of wall-clock budget *per fallback rung*: on expiry the best incumbent
+    /// is used, and when no incumbent exists the activation degrades down the
+    /// ladder (k phantoms, k−1, …, none) to the paper's heuristic as a floor —
+    /// an arriving task is never dropped because the solver ran long.
+    #[must_use]
+    pub fn with_wall_clock(max_wall_clock_secs: f64) -> Self {
+        MilpRm {
+            options: SolveOptions::with_wall_clock(max_wall_clock_secs),
+            ..MilpRm::default()
+        }
+    }
+
+    fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Attempt {
         let real_jobs: Vec<JobView> = activation.jobs_without_prediction().copied().collect();
         // The paper's formulation models a single predicted task; with a
         // longer lookahead this encoding honours the nearest phantom only
@@ -99,11 +113,11 @@ impl MilpRm {
         };
         let real_cands: Vec<Vec<Candidate>> = real_jobs.iter().map(collect).collect();
         if real_cands.iter().any(Vec::is_empty) {
-            return None;
+            return Attempt::default();
         }
         let pred_cands: Vec<Candidate> = predicted.map(collect).unwrap_or_default();
         if predicted.is_some() && pred_cands.is_empty() {
-            return None;
+            return Attempt::default();
         }
 
         let mut model = Model::new(Sense::Minimize);
@@ -287,7 +301,19 @@ impl MilpRm {
             }
         }
 
-        let solution = model.solve_with(&self.options).ok()?;
+        let solution = match model.solve_with(&self.options) {
+            Ok(solution) => solution,
+            // Wall-clock expiry with no incumbent: this rung failed *because
+            // of time*, which the ladder must know to engage its floor.
+            Err(SolveError::TimedOut) => {
+                return Attempt {
+                    plan: None,
+                    timed_out: true,
+                }
+            }
+            Err(_) => return Attempt::default(),
+        };
+        let timed_out = solution.termination() == Termination::TimedOut;
 
         let placements: Vec<_> = real_jobs
             .iter()
@@ -319,12 +345,15 @@ impl MilpRm {
             }
             None => Vec::new(),
         };
-        Some(Plan {
-            placements,
-            objective: Energy::new(solution.objective()),
-            nodes: solution.nodes_explored(),
-            start_gates,
-        })
+        Attempt {
+            plan: Some(Plan {
+                placements,
+                objective: Energy::new(solution.objective()),
+                nodes: solution.nodes_explored(),
+                start_gates,
+            }),
+            timed_out,
+        }
     }
 }
 
@@ -334,6 +363,15 @@ impl ResourceManager for MilpRm {
     }
 
     fn decide(&mut self, activation: &Activation<'_>) -> Decision {
-        decide_with_fallback(activation, |act, k| self.solve(act, k))
+        decide_with_fallback_tracked(
+            activation,
+            |act, k| self.solve(act, k),
+            // Heuristic floor: only consulted when every MILP rung failed and
+            // at least one of those failures was a wall-clock expiry.
+            |act| {
+                let mut pool = TimelinePool::new();
+                HeuristicRm::new().solve(act, 0, &mut pool)
+            },
+        )
     }
 }

@@ -151,6 +151,8 @@ impl ResourceManager for StaticRm {
                     used_prediction: false,
                     nodes: 1,
                     start_gates: Vec::new(),
+                    solver_timeouts: 0,
+                    degraded: false,
                 };
             }
         }

@@ -1,10 +1,18 @@
 //! Depth-first branch & bound over the LP relaxation.
 
-use crate::model::{Model, Sense, Solution, SolveError, VarKind};
-use crate::simplex::{solve_lp, LpOutcome};
+use crate::model::{Model, Sense, Solution, SolveError, Termination, VarKind};
+use crate::simplex::{solve_lp, Deadline, LpOutcome};
 use crate::SolveOptions;
 
 /// Solves `model` to proven optimality (or reports why it could not).
+///
+/// The search is *anytime* along three axes — node budget, simplex pivot
+/// budget, and the wall-clock deadline of
+/// [`SolveOptions::max_wall_clock_secs`]: when any of them cuts the search
+/// short, the best incumbent found so far is returned with the matching
+/// [`Termination`] label, and only a cut-off with no incumbent at all is an
+/// error. The `milp::stall` fail point (keyed by the node count) forces the
+/// deadline check to fire deterministically in fault-injection tests.
 pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
     let lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
     let upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
@@ -15,20 +23,26 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
         Sense::Maximize => -1.0,
     };
 
+    let deadline = Deadline::new(options.max_wall_clock_secs);
     let mut best: Option<(f64, Vec<f64>)> = None; // (dir·objective, values)
     let mut nodes: u64 = 0;
     let mut stack = vec![(lower, upper)];
     let mut hit_node_limit = false;
     let mut hit_iteration_limit = false;
+    let mut hit_time_limit = false;
 
     while let Some((lb, ub)) = stack.pop() {
+        if rtrm_testkit::triggered("milp::stall", nodes) || deadline.expired() {
+            hit_time_limit = true;
+            break;
+        }
         if nodes >= options.max_nodes {
             hit_node_limit = true;
             break;
         }
         nodes += 1;
 
-        let outcome = solve_lp(model, &lb, &ub, options.max_simplex_iterations);
+        let outcome = solve_lp(model, &lb, &ub, options.max_simplex_iterations, &deadline);
         let (objective, values) = match outcome {
             LpOutcome::Optimal { objective, values } => (objective, values),
             LpOutcome::Infeasible => continue,
@@ -42,6 +56,10 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
             LpOutcome::IterationLimit => {
                 hit_iteration_limit = true;
                 continue;
+            }
+            LpOutcome::TimedOut => {
+                hit_time_limit = true;
+                break;
             }
         };
 
@@ -111,12 +129,23 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
     match best {
         Some((_, values)) => {
             let objective = model.objective_at(&values);
+            let termination = if hit_time_limit {
+                Termination::TimedOut
+            } else if hit_node_limit {
+                Termination::NodeLimit
+            } else if hit_iteration_limit {
+                Termination::IterationLimit
+            } else {
+                Termination::Optimal
+            };
             Ok(Solution {
                 values,
                 objective,
                 nodes,
+                termination,
             })
         }
+        None if hit_time_limit => Err(SolveError::TimedOut),
         None if hit_node_limit => Err(SolveError::NodeLimit),
         None if hit_iteration_limit => Err(SolveError::IterationLimit),
         None => Err(SolveError::Infeasible),

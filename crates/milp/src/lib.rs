@@ -42,7 +42,7 @@ mod lp_format;
 mod model;
 mod simplex;
 
-pub use model::{Cmp, Model, Sense, Solution, SolveError, VarId, VarKind, Variable};
+pub use model::{Cmp, Model, Sense, Solution, SolveError, Termination, VarId, VarKind, Variable};
 
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +59,25 @@ pub struct SolveOptions {
     /// Nodes whose relaxation cannot improve the incumbent by more than this
     /// are pruned.
     pub objective_tolerance: f64,
+    /// Wall-clock budget in seconds for the whole solve (branch & bound and
+    /// the simplex iterations inside each node). `f64::INFINITY` (the
+    /// default) disables the deadline entirely — no clock is ever read. On
+    /// expiry the best incumbent is returned labelled
+    /// [`Termination::TimedOut`]; with no incumbent the solve fails with
+    /// [`SolveError::TimedOut`]. This is the *anytime* knob: a runtime
+    /// resource manager sets it to its per-decision latency budget.
+    pub max_wall_clock_secs: f64,
+}
+
+impl SolveOptions {
+    /// Default options with an explicit wall-clock budget in seconds.
+    #[must_use]
+    pub fn with_wall_clock(secs: f64) -> Self {
+        SolveOptions {
+            max_wall_clock_secs: secs,
+            ..SolveOptions::default()
+        }
+    }
 }
 
 impl Default for SolveOptions {
@@ -68,6 +87,7 @@ impl Default for SolveOptions {
             max_simplex_iterations: 50_000,
             integrality_tolerance: 1e-6,
             objective_tolerance: 1e-9,
+            max_wall_clock_secs: f64::INFINITY,
         }
     }
 }

@@ -216,7 +216,11 @@ impl Model {
     ///
     /// # Errors
     ///
-    /// See [`solve`](Model::solve).
+    /// See [`solve`](Model::solve); additionally returns
+    /// [`SolveError::TimedOut`] when
+    /// [`SolveOptions::max_wall_clock_secs`](crate::SolveOptions::max_wall_clock_secs)
+    /// expires before any incumbent is found (an expiry *with* an incumbent
+    /// returns it, labelled [`Termination::TimedOut`]).
     pub fn solve_with(&self, options: &crate::SolveOptions) -> Result<Solution, SolveError> {
         crate::branch::solve(self, options)
     }
@@ -272,12 +276,30 @@ impl Model {
     }
 }
 
+/// How a returned [`Solution`] was obtained: proven optimal, or the best
+/// incumbent when a budget cut the search short (the *anytime* outcomes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Termination {
+    /// The search space was exhausted; the solution is proven optimal.
+    #[default]
+    Optimal,
+    /// The node budget ran out; the solution is the best incumbent found.
+    NodeLimit,
+    /// The wall-clock budget ([`crate::SolveOptions::max_wall_clock_secs`])
+    /// expired; the solution is the best incumbent found.
+    TimedOut,
+    /// A node's simplex hit its pivot budget, so parts of the tree were
+    /// skipped; the solution is the best incumbent found.
+    IterationLimit,
+}
+
 /// An optimal (or best-found) solution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Solution {
     pub(crate) values: Vec<f64>,
     pub(crate) objective: f64,
     pub(crate) nodes: u64,
+    pub(crate) termination: Termination,
 }
 
 impl Solution {
@@ -304,6 +326,18 @@ impl Solution {
     pub fn nodes_explored(&self) -> u64 {
         self.nodes
     }
+
+    /// Whether the solution is proven optimal or an anytime incumbent.
+    #[must_use]
+    pub fn termination(&self) -> Termination {
+        self.termination
+    }
+
+    /// `true` when the search terminated with a proof of optimality.
+    #[must_use]
+    pub fn is_optimal(&self) -> bool {
+        self.termination == Termination::Optimal
+    }
 }
 
 /// Why a model could not be solved to optimality.
@@ -317,6 +351,8 @@ pub enum SolveError {
     NodeLimit,
     /// The simplex iteration limit was hit (numerical trouble).
     IterationLimit,
+    /// The wall-clock budget expired before any incumbent was found.
+    TimedOut,
 }
 
 impl fmt::Display for SolveError {
@@ -326,6 +362,7 @@ impl fmt::Display for SolveError {
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::NodeLimit => write!(f, "branch and bound node limit exceeded"),
             SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::TimedOut => write!(f, "wall-clock budget expired with no incumbent"),
         }
     }
 }

@@ -11,10 +11,38 @@
 //! Problem sizes in this workspace are small (tens of variables), so a dense
 //! tableau is the simplest robust choice.
 
+use std::time::{Duration, Instant};
+
 use crate::model::{Cmp, Model, Sense};
 
 const PIVOT_EPS: f64 = 1e-9;
 const FEAS_EPS: f64 = 1e-7;
+
+/// Wall-clock cut-off shared by branch & bound and the simplex inside each
+/// node. An unbounded deadline never reads the clock, so the default
+/// configuration pays nothing for the anytime machinery.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `max_secs` from now; `f64::INFINITY` (or any non-finite
+    /// value) means no deadline.
+    pub(crate) fn new(max_secs: f64) -> Self {
+        let at = max_secs
+            .is_finite()
+            // Clamp: `from_secs_f64` rejects negatives and overflows, and
+            // ~31 years is as good as unbounded.
+            .then(|| Instant::now() + Duration::from_secs_f64(max_secs.clamp(0.0, 1e9)));
+        Deadline { at }
+    }
+
+    /// `true` once the wall clock has passed the deadline.
+    pub(crate) fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
 
 /// Outcome of an LP solve, in model space.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +55,8 @@ pub(crate) enum LpOutcome {
     Unbounded,
     /// Iteration budget exhausted (numerical trouble).
     IterationLimit,
+    /// The wall-clock deadline expired mid-solve.
+    TimedOut,
 }
 
 /// How one model variable is recovered from standard-form variables.
@@ -49,6 +79,7 @@ pub(crate) fn solve_lp(
     lower: &[f64],
     upper: &[f64],
     max_iterations: usize,
+    deadline: &Deadline,
 ) -> LpOutcome {
     debug_assert_eq!(lower.len(), model.num_vars());
     debug_assert_eq!(upper.len(), model.num_vars());
@@ -209,7 +240,14 @@ pub(crate) fn solve_lp(
         for c in cost1.iter_mut().skip(n_struct + n_slack) {
             *c = 1.0;
         }
-        match run_simplex(&mut tab, &mut basis, &cost1, &mut iterations_left, n_total) {
+        match run_simplex(
+            &mut tab,
+            &mut basis,
+            &cost1,
+            &mut iterations_left,
+            n_total,
+            deadline,
+        ) {
             SimplexEnd::Optimal(obj1) => {
                 if obj1 > FEAS_EPS {
                     return LpOutcome::Infeasible;
@@ -217,6 +255,7 @@ pub(crate) fn solve_lp(
             }
             SimplexEnd::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
             SimplexEnd::IterationLimit => return LpOutcome::IterationLimit,
+            SimplexEnd::TimedOut => return LpOutcome::TimedOut,
         }
         // Drive any artificial still basic (at zero) out of the basis.
         for i in 0..m {
@@ -234,10 +273,18 @@ pub(crate) fn solve_lp(
     let mut cost2 = vec![0.0; n_total];
     cost2[..n_struct].copy_from_slice(&c);
     let eligible = n_struct + n_slack; // artificials may not re-enter
-    match run_simplex(&mut tab, &mut basis, &cost2, &mut iterations_left, eligible) {
+    match run_simplex(
+        &mut tab,
+        &mut basis,
+        &cost2,
+        &mut iterations_left,
+        eligible,
+        deadline,
+    ) {
         SimplexEnd::Optimal(_) => {}
         SimplexEnd::Unbounded => return LpOutcome::Unbounded,
         SimplexEnd::IterationLimit => return LpOutcome::IterationLimit,
+        SimplexEnd::TimedOut => return LpOutcome::TimedOut,
     }
 
     // ---- Recover model-space solution ------------------------------------
@@ -263,6 +310,7 @@ enum SimplexEnd {
     Optimal(f64),
     Unbounded,
     IterationLimit,
+    TimedOut,
 }
 
 /// Runs primal simplex on the tableau in place. `eligible` limits the
@@ -274,6 +322,7 @@ fn run_simplex(
     cost: &[f64],
     iterations_left: &mut usize,
     eligible: usize,
+    deadline: &Deadline,
 ) -> SimplexEnd {
     let m = tab.len();
     let n_total = cost.len();
@@ -286,6 +335,10 @@ fn run_simplex(
     loop {
         if *iterations_left == 0 {
             return SimplexEnd::IterationLimit;
+        }
+        // Amortize the clock read: pivots are cheap, deadlines coarse.
+        if iter & 127 == 0 && deadline.expired() {
+            return SimplexEnd::TimedOut;
         }
         *iterations_left -= 1;
         iter += 1;
@@ -374,7 +427,7 @@ mod tests {
     fn solve(model: &Model) -> LpOutcome {
         let lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
         let upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
-        solve_lp(model, &lower, &upper, 10_000)
+        solve_lp(model, &lower, &upper, 10_000, &Deadline::new(f64::INFINITY))
     }
 
     fn optimal(model: &Model) -> (f64, Vec<f64>) {

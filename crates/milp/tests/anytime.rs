@@ -1,0 +1,119 @@
+//! The anytime wall-clock contract of the solver: a budget cut-off returns
+//! the best incumbent (labelled), never a wrong answer; no budget means the
+//! behaviour is byte-for-byte what it always was.
+
+use std::sync::Mutex;
+
+use rtrm_milp::{Model, Sense, Solution, SolveError, SolveOptions, Termination};
+
+/// Fail points are process-global; every test in this binary that solves a
+/// model takes this lock so an armed `milp::stall` cannot leak into a
+/// concurrently running test.
+static STALL: Mutex<()> = Mutex::new(());
+
+/// A small knapsack-flavoured MILP with a known optimum and enough binaries
+/// that branch & bound explores a non-trivial tree.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n).map(|i| m.binary(1.0 + (i % 7) as f64)).collect();
+    // Interlocking capacity rows keep the LP relaxation fractional.
+    for w in 0..3 {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + ((i + w) % 5) as f64))
+            .collect();
+        m.add_le(&terms, 2.0 * n as f64 / 3.0);
+    }
+    m
+}
+
+fn solve_default(m: &Model) -> Solution {
+    m.solve_with(&SolveOptions::default())
+        .expect("knapsack is feasible")
+}
+
+#[test]
+fn zero_budget_times_out_without_incumbent() {
+    let _serial = STALL.lock().unwrap();
+    let m = knapsack(12);
+    let err = m
+        .solve_with(&SolveOptions::with_wall_clock(0.0))
+        .expect_err("a zero budget cannot produce an incumbent");
+    assert_eq!(err, SolveError::TimedOut);
+}
+
+#[test]
+fn unbounded_budget_matches_default_solve() {
+    let _serial = STALL.lock().unwrap();
+    let m = knapsack(12);
+    let reference = solve_default(&m);
+    assert_eq!(reference.termination(), Termination::Optimal);
+    assert!(reference.is_optimal());
+
+    // An explicit but generous budget must not perturb the search at all.
+    let budgeted = m
+        .solve_with(&SolveOptions::with_wall_clock(1e6))
+        .expect("budget far above the solve time");
+    assert_eq!(budgeted, reference);
+
+    // And infinity is the default: no deadline is even constructed.
+    let infinite = m
+        .solve_with(&SolveOptions::with_wall_clock(f64::INFINITY))
+        .expect("infinite budget");
+    assert_eq!(infinite, reference);
+}
+
+#[test]
+fn injected_stall_returns_incumbent_labelled_timed_out() {
+    let _serial = STALL.lock().unwrap();
+    let m = knapsack(12);
+    let reference = solve_default(&m);
+    // DFS dives toward integral solutions quickly: the incumbent found by
+    // the time the stall fires (well past the first dive) is feasible.
+    let _stall =
+        rtrm_testkit::arm_with("milp::stall", rtrm_testkit::Action::Trigger, Some(40), None);
+    let sol = m
+        .solve_with(&SolveOptions::default())
+        .expect("40 nodes are enough for a first incumbent");
+    assert_eq!(sol.termination(), Termination::TimedOut);
+    assert!(!sol.is_optimal());
+    assert!(sol.nodes_explored() <= 40);
+    // The incumbent is a feasible integral point, no better than optimal.
+    assert!(m.is_feasible_point(sol.values(), 1e-6));
+    assert!(sol.objective() <= reference.objective() + 1e-9);
+}
+
+#[test]
+fn injected_stall_at_the_root_times_out_without_incumbent() {
+    let _serial = STALL.lock().unwrap();
+    let m = knapsack(12);
+    let _stall =
+        rtrm_testkit::arm_with("milp::stall", rtrm_testkit::Action::Trigger, Some(0), None);
+    let err = m
+        .solve_with(&SolveOptions::default())
+        .expect_err("stall before the root node leaves no incumbent");
+    assert_eq!(err, SolveError::TimedOut);
+}
+
+#[test]
+fn tiny_real_budget_never_misreports_optimality() {
+    let _serial = STALL.lock().unwrap();
+    // A real (non-injected) expiry: whatever the machine's speed, the
+    // result is either a correct optimum or an honestly labelled incumbent
+    // / timeout — never a wrong answer.
+    let m = knapsack(14);
+    let reference = solve_default(&m);
+    for budget in [1e-9, 1e-6, 1e-4] {
+        match m.solve_with(&SolveOptions::with_wall_clock(budget)) {
+            Ok(sol) => {
+                assert!(m.is_feasible_point(sol.values(), 1e-6), "budget {budget}");
+                assert!(sol.objective() <= reference.objective() + 1e-9);
+                if sol.is_optimal() {
+                    assert_eq!(sol.objective(), reference.objective());
+                }
+            }
+            Err(err) => assert_eq!(err, SolveError::TimedOut, "budget {budget}"),
+        }
+    }
+}

@@ -25,7 +25,7 @@ mod stats;
 
 pub use report::{mean_energy, mean_rejection_percent, SimReport, TaskOutcome, TaskRecord};
 pub use runner::{
-    resolve_workers, run_batch, run_batch_with, BatchOptions, BatchStats, TraceStats,
+    resolve_workers, run_batch, run_batch_with, BatchOptions, BatchStats, TraceFault, TraceStats,
 };
 pub use simulator::{PhantomDeadline, SimConfig, SimScratch, Simulator};
 pub use stats::Summary;

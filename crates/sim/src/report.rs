@@ -58,6 +58,14 @@ pub struct SimReport {
     pub used_prediction: usize,
     /// Total search effort reported by the manager.
     pub rm_nodes: u64,
+    /// Fallback-ladder rungs whose solver hit its wall-clock budget, summed
+    /// over all activations (0 unless the manager runs with an anytime
+    /// budget).
+    pub solver_timeouts: u64,
+    /// Activations whose plan was *degraded*: taken from a ladder rung below
+    /// one that timed out, or from the heuristic floor after every rung
+    /// timed out or failed.
+    pub degraded_activations: usize,
     /// Completion time of the last task.
     pub makespan: Time,
     /// Per-request records (empty unless
@@ -140,6 +148,8 @@ mod tests {
             wasted_energy: Energy::ZERO,
             used_prediction: 0,
             rm_nodes: 0,
+            solver_timeouts: 0,
+            degraded_activations: 0,
             makespan: Time::ZERO,
             task_log: Vec::new(),
             busy_time: Vec::new(),

@@ -15,9 +15,16 @@
 //! variable, then [`std::thread::available_parallelism`]; whatever the
 //! source, the count is clamped to at least 1 and at most the number of
 //! traces (a worker with no possible work is never spawned).
+//!
+//! Fault isolation: a panic while simulating one trace does not take down
+//! the batch. The worker catches it, **quarantines** that trace (index and
+//! panic payload land in [`BatchStats::quarantined`]), rebuilds its warm
+//! scratch — a panicking simulation can leave it in any state — and moves
+//! on. Every other trace's report is bit-identical to a clean run.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use rtrm_core::ResourceManager;
@@ -44,6 +51,15 @@ pub struct TraceStats {
     pub accepted: usize,
 }
 
+/// A trace that panicked mid-simulation and was quarantined by its worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFault {
+    /// Index of the trace in the batch.
+    pub trace: usize,
+    /// The panic payload, stringified.
+    pub panic: String,
+}
+
 /// Batch-level counters returned by [`run_batch_with`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchStats {
@@ -51,8 +67,12 @@ pub struct BatchStats {
     pub workers: usize,
     /// Chunk size used for dispatch.
     pub chunk: usize,
-    /// Wall-clock nanoseconds per trace, in trace order.
+    /// Wall-clock nanoseconds per trace, in trace order (for a quarantined
+    /// trace: the time until its panic).
     pub trace_nanos: Vec<u64>,
+    /// Traces that panicked and were quarantined, in trace order. Their
+    /// reports are missing from the result vector.
+    pub quarantined: Vec<TraceFault>,
 }
 
 /// Tuning knobs for [`run_batch_with`]. `BatchOptions::default()` matches
@@ -111,6 +131,12 @@ pub fn resolve_workers(explicit: Option<usize>, traces: usize) -> usize {
 /// on the worker thread that simulates it. Returning `None` from
 /// `make_predictor` disables prediction for that trace.
 ///
+/// # Panics
+///
+/// Panics if any trace's simulation panicked (after the whole batch has
+/// finished — the workers quarantine faults rather than abort). Use
+/// [`run_batch_with`] to inspect [`BatchStats::quarantined`] instead.
+///
 /// Equivalent to [`run_batch_with`] with default [`BatchOptions`]; worker
 /// count follows the `RTRM_WORKERS` / available-parallelism rule of
 /// [`resolve_workers`].
@@ -163,7 +189,7 @@ where
     M: Fn(usize) -> Box<dyn ResourceManager + Send> + Sync,
     P: Fn(usize) -> Option<Box<dyn Predictor + Send>> + Sync,
 {
-    run_batch_with(
+    let (reports, stats) = run_batch_with(
         platform,
         catalog,
         config,
@@ -171,8 +197,11 @@ where
         make_manager,
         make_predictor,
         &BatchOptions::default(),
-    )
-    .0
+    );
+    if let Some(fault) = stats.quarantined.first() {
+        panic!("trace {} panicked: {}", fault.trace, fault.panic);
+    }
+    reports
 }
 
 /// [`run_batch`] with explicit [`BatchOptions`], additionally returning the
@@ -183,6 +212,12 @@ where
 /// scratch reuse (workers keep one warm [`SimScratch`] each); the
 /// differential suite in `crates/bench/tests/sweep_differential.rs` asserts
 /// this at batch scale.
+///
+/// A trace whose simulation panics is quarantined rather than aborting the
+/// batch: its report is omitted (the result vector holds the surviving
+/// reports, still in trace order) and the fault is recorded in
+/// [`BatchStats::quarantined`]. The worker rebuilds its warm scratch before
+/// continuing, so the surviving reports are unaffected by the fault.
 pub fn run_batch_with<M, P>(
     platform: &Platform,
     catalog: &TaskCatalog,
@@ -203,12 +238,14 @@ where
     let next = AtomicUsize::new(0);
     let results: Vec<OnceLock<SimReport>> = (0..traces.len()).map(|_| OnceLock::new()).collect();
     let nanos: Vec<OnceLock<u64>> = (0..traces.len()).map(|_| OnceLock::new()).collect();
+    let faults: Mutex<Vec<TraceFault>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for worker in 0..workers {
             let next = &next;
             let results = &results;
             let nanos = &nanos;
+            let faults = &faults;
             let make_manager = &make_manager;
             let make_predictor = &make_predictor;
             scope.spawn(move || {
@@ -221,37 +258,68 @@ where
                     }
                     for i in start..(start + chunk).min(traces.len()) {
                         let began = Instant::now();
-                        let mut manager = make_manager(i);
-                        let mut predictor = make_predictor(i);
-                        let report = simulator.run_with_scratch(
-                            &traces[i],
-                            manager.as_mut(),
-                            predictor.as_deref_mut().map(|p| p as &mut dyn Predictor),
-                            &mut scratch,
-                        );
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            rtrm_testkit::maybe_panic("batch::trace", i as u64);
+                            let mut manager = make_manager(i);
+                            let mut predictor = make_predictor(i);
+                            simulator.run_with_scratch(
+                                &traces[i],
+                                manager.as_mut(),
+                                predictor.as_deref_mut().map(|p| p as &mut dyn Predictor),
+                                &mut scratch,
+                            )
+                        }));
                         let elapsed = began.elapsed().as_nanos() as u64;
-                        if let Some(hook) = options.on_trace {
-                            hook(&TraceStats {
-                                trace: i,
-                                worker,
-                                nanos: elapsed,
-                                requests: report.requests,
-                                accepted: report.accepted,
-                            });
-                        }
                         nanos[i].set(elapsed).expect("trace timed exactly once");
-                        results[i]
-                            .set(report)
-                            .expect("trace index dispatched to exactly one worker");
+                        match outcome {
+                            Ok(report) => {
+                                if let Some(hook) = options.on_trace {
+                                    hook(&TraceStats {
+                                        trace: i,
+                                        worker,
+                                        nanos: elapsed,
+                                        requests: report.requests,
+                                        accepted: report.accepted,
+                                    });
+                                }
+                                results[i]
+                                    .set(report)
+                                    .expect("trace index dispatched to exactly one worker");
+                            }
+                            Err(payload) => {
+                                // The unwound simulation can leave the warm
+                                // scratch in any state; quarantine the trace
+                                // and start the next one from a fresh one.
+                                scratch = SimScratch::new();
+                                faults
+                                    .lock()
+                                    .expect("fault list poisoned")
+                                    .push(TraceFault {
+                                        trace: i,
+                                        // `&*`: downcast the payload, not the box.
+                                        panic: panic_message(&*payload),
+                                    });
+                            }
+                        }
                     }
                 }
             });
         }
     });
 
+    let mut quarantined = faults.into_inner().expect("fault list poisoned");
+    quarantined.sort_by_key(|f| f.trace);
     let reports = results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every trace simulated"))
+        .enumerate()
+        .filter_map(|(i, slot)| {
+            let report = slot.into_inner();
+            assert!(
+                report.is_some() || quarantined.iter().any(|f| f.trace == i),
+                "trace {i} neither simulated nor quarantined"
+            );
+            report
+        })
         .collect();
     let stats = BatchStats {
         workers,
@@ -260,8 +328,21 @@ where
             .into_iter()
             .map(|slot| slot.into_inner().expect("every trace timed"))
             .collect(),
+        quarantined,
     };
     (reports, stats)
+}
+
+/// Best-effort stringification of a caught panic payload (`&str` and
+/// `String` payloads cover `panic!` with and without formatting).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -442,6 +442,8 @@ impl<'a> Simulator<'a> {
             wasted_energy: Energy::ZERO,
             used_prediction: 0,
             rm_nodes: 0,
+            solver_timeouts: 0,
+            degraded_activations: 0,
             makespan: Time::ZERO,
             task_log: Vec::new(),
             busy_time: vec![Time::ZERO; self.platform.len()],
@@ -514,6 +516,8 @@ impl<'a> Simulator<'a> {
                 pool,
             );
             report.rm_nodes += decision.nodes;
+            report.solver_timeouts += u64::from(decision.solver_timeouts);
+            report.degraded_activations += usize::from(decision.degraded);
 
             if decision.admitted {
                 report.accepted += 1;

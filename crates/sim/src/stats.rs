@@ -110,6 +110,8 @@ mod tests {
             wasted_energy: Energy::ZERO,
             used_prediction: 0,
             rm_nodes: 0,
+            solver_timeouts: 0,
+            degraded_activations: 0,
             makespan: Time::ZERO,
             task_log: Vec::new(),
             busy_time: Vec::new(),

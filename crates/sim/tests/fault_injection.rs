@@ -1,0 +1,162 @@
+//! Fault-injection suite for the execution layer: an injected solver stall
+//! degrades every activation through the fallback ladder to the heuristic
+//! floor — counted in the report — and the run still completes; an injected
+//! per-trace panic quarantines exactly that trace while every surviving
+//! report stays bit-identical to a clean run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use rand::SeedableRng;
+use rtrm_core::{HeuristicRm, MilpRm};
+use rtrm_platform::{Platform, TaskCatalog, Trace};
+use rtrm_predict::OraclePredictor;
+use rtrm_sim::{run_batch, run_batch_with, BatchOptions, SimConfig, Simulator, TraceFault};
+use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
+
+/// Fail points are process-global; the tests arming `batch::trace` take this
+/// lock so an armed point cannot leak into a concurrently running test.
+static BATCH: Mutex<()> = Mutex::new(());
+
+fn fixture(traces: usize, length: usize, seed: u64) -> (Platform, TaskCatalog, Vec<Trace>) {
+    let platform = Platform::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let cfg = TraceConfig {
+        length,
+        ..TraceConfig::calibrated_vt()
+    };
+    let traces = generate_traces(&catalog, &cfg, traces, seed);
+    (platform, catalog, traces)
+}
+
+/// Acceptance case (a): with the solver stalled at the root of every branch
+/// & bound tree, each MILP rung times out without an incumbent, the ladder
+/// exhausts, and the heuristic floor plans every activation — the run
+/// completes, the expiries are counted, and (modulo that accounting) the
+/// result IS the pure heuristic's.
+#[test]
+fn injected_solver_stall_degrades_to_the_heuristic_floor() {
+    let (platform, catalog, traces) = fixture(2, 30, 17);
+    let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+
+    let baseline: Vec<_> = traces
+        .iter()
+        .map(|t| sim.run(t, &mut HeuristicRm::new(), None))
+        .collect();
+
+    let _stall =
+        rtrm_testkit::arm_with("milp::stall", rtrm_testkit::Action::Trigger, Some(0), None);
+    for (trace, expected) in traces.iter().zip(&baseline) {
+        let mut manager = MilpRm::new();
+        let mut oracle = OraclePredictor::perfect(trace, catalog.len());
+        let report = sim.run(trace, &mut manager, Some(&mut oracle));
+
+        assert_eq!(
+            report.deadline_misses, 0,
+            "degraded plans must stay feasible"
+        );
+        assert!(report.accepted > 0, "the floor must keep admitting work");
+        assert!(
+            report.solver_timeouts > 0,
+            "every rung's wall-clock expiry must be counted"
+        );
+        assert_eq!(
+            report.degraded_activations, report.accepted,
+            "with the solver fully stalled, every admission comes from the floor"
+        );
+        let mut normalized = report.clone();
+        normalized.solver_timeouts = 0;
+        normalized.degraded_activations = 0;
+        assert_eq!(
+            &normalized, expected,
+            "the fully degraded run must equal the pure heuristic run"
+        );
+    }
+}
+
+/// Acceptance case (b): a batch with one injected per-trace panic quarantines
+/// exactly that trace; every other report is bit-identical to the clean run.
+#[test]
+fn injected_panic_quarantines_exactly_that_trace() {
+    let _serial = BATCH.lock().unwrap_or_else(|e| e.into_inner());
+    let (platform, catalog, traces) = fixture(8, 40, 5);
+    let config = SimConfig::default();
+    let run = || {
+        run_batch_with(
+            &platform,
+            &catalog,
+            &config,
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+            &BatchOptions::default(),
+        )
+    };
+
+    let (clean, clean_stats) = run();
+    assert!(clean_stats.quarantined.is_empty());
+    assert_eq!(clean.len(), traces.len());
+
+    let guard = rtrm_testkit::arm_with(
+        "batch::trace",
+        rtrm_testkit::Action::Panic("injected trace fault".to_string()),
+        Some(3),
+        None,
+    );
+    let (survivors, stats) = run();
+    drop(guard);
+
+    assert_eq!(
+        stats.quarantined,
+        vec![TraceFault {
+            trace: 3,
+            panic: "injected trace fault".to_string(),
+        }]
+    );
+    assert_eq!(
+        stats.trace_nanos.len(),
+        traces.len(),
+        "every trace is timed"
+    );
+    let expected: Vec<_> = clean
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 3)
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert_eq!(
+        survivors, expected,
+        "surviving traces must be bit-identical to the clean run"
+    );
+}
+
+/// The quarantine does not weaken [`run_batch`]'s contract: it still panics
+/// on a faulted trace — but only after the whole batch has drained.
+#[test]
+fn run_batch_still_panics_on_a_quarantined_trace() {
+    let _serial = BATCH.lock().unwrap_or_else(|e| e.into_inner());
+    let (platform, catalog, traces) = fixture(4, 20, 9);
+    let _guard = rtrm_testkit::arm_with(
+        "batch::trace",
+        rtrm_testkit::Action::Panic("boom".to_string()),
+        Some(1),
+        None,
+    );
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        run_batch(
+            &platform,
+            &catalog,
+            &SimConfig::default(),
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+        )
+    }))
+    .expect_err("run_batch keeps its panicking contract");
+    let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        message.contains("trace 1 panicked: boom"),
+        "message: {message}"
+    );
+}

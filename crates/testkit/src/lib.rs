@@ -1,0 +1,248 @@
+//! # rtrm-testkit
+//!
+//! A tiny fail-point registry for deterministic fault injection, in the
+//! spirit of the `fail` crate (which the offline workspace cannot depend
+//! on). Production code plants named *hooks* at the places where faults can
+//! strike — a solver deadline check, a per-trace simulation, a checkpoint
+//! publish — and tests *arm* those hooks with an [`Action`] to inject a
+//! stall, a panic, or an I/O error exactly where and as often as they want.
+//!
+//! The registry is always compiled (cfg-gating a library for its own
+//! integration tests does not compose across crates), but the disarmed fast
+//! path is a single relaxed atomic load, so hooks cost nothing in
+//! production.
+//!
+//! Fail points are process-global: tests that arm the same name must not run
+//! concurrently within one test binary (use distinct names per test).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtrm_testkit as fail;
+//!
+//! // Production code plants a hook:
+//! fn publish() -> Result<(), String> {
+//!     if fail::should_fail_io("doc::publish") {
+//!         return Err("injected".to_string());
+//!     }
+//!     Ok(())
+//! }
+//!
+//! assert!(publish().is_ok()); // disarmed: nothing happens
+//! let guard = fail::arm_with("doc::publish", fail::Action::IoError, None, Some(1));
+//! assert!(publish().is_err()); // armed: first call fails ...
+//! assert!(publish().is_ok()); // ... and the budget of 1 is spent
+//! assert_eq!(guard.hits(), 1);
+//! drop(guard); // disarm (automatic at end of scope)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What an armed fail point does when its hook fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// [`maybe_panic`] panics with the given message.
+    Panic(String),
+    /// [`triggered`] returns `true` (used to force timeouts/stalls).
+    Trigger,
+    /// [`should_fail_io`] returns `true` (the caller fabricates the error).
+    IoError,
+}
+
+#[derive(Debug)]
+struct FailPoint {
+    action: Action,
+    /// Only fire when the hook passes this key (`None` = fire for any key).
+    key: Option<u64>,
+    /// Remaining firings (`None` = unlimited).
+    remaining: Option<u32>,
+    /// Times this point has fired.
+    hits: u32,
+}
+
+/// Number of currently armed fail points; the disarmed fast path.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, FailPoint>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FailPoint>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Disarms its fail point when dropped.
+///
+/// Returned by [`arm`]/[`arm_with`]; hold it for the duration of the test.
+#[derive(Debug)]
+#[must_use = "dropping the guard disarms the fail point immediately"]
+pub struct Guard {
+    name: String,
+}
+
+impl Guard {
+    /// How many times the armed point has fired so far.
+    #[must_use]
+    pub fn hits(&self) -> u32 {
+        registry()
+            .lock()
+            .expect("fail-point registry poisoned")
+            .get(&self.name)
+            .map_or(0, |p| p.hits)
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let mut map = registry().lock().expect("fail-point registry poisoned");
+        if map.remove(&self.name).is_some() {
+            ARMED.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Arms `name` with `action` for every key, unlimited firings.
+pub fn arm(name: &str, action: Action) -> Guard {
+    arm_with(name, action, None, None)
+}
+
+/// Arms `name` with `action`, optionally restricted to one hook `key` and a
+/// maximum number of firings (`times`).
+///
+/// Re-arming an already armed name replaces its configuration.
+///
+/// # Panics
+///
+/// Panics if the registry mutex is poisoned (a previous test panicked while
+/// holding it — which the registry never does).
+pub fn arm_with(name: &str, action: Action, key: Option<u64>, times: Option<u32>) -> Guard {
+    let mut map = registry().lock().expect("fail-point registry poisoned");
+    let previous = map.insert(
+        name.to_string(),
+        FailPoint {
+            action,
+            key,
+            remaining: times,
+            hits: 0,
+        },
+    );
+    if previous.is_none() {
+        ARMED.fetch_add(1, Ordering::Relaxed);
+    }
+    Guard {
+        name: name.to_string(),
+    }
+}
+
+/// Checks whether `name` is armed for `key` and, if so, consumes one firing
+/// and returns its action.
+fn fire(name: &str, key: u64) -> Option<Action> {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let mut map = registry().lock().expect("fail-point registry poisoned");
+    let point = map.get_mut(name)?;
+    if point.key.is_some_and(|k| k != key) {
+        return None;
+    }
+    match &mut point.remaining {
+        Some(0) => return None,
+        Some(n) => *n -= 1,
+        None => {}
+    }
+    point.hits += 1;
+    Some(point.action.clone())
+}
+
+/// Hook: `true` when `name` is armed with [`Action::Trigger`] for `key`.
+///
+/// Plant at the condition a test wants to force (e.g. "the wall-clock
+/// deadline expired").
+#[must_use]
+pub fn triggered(name: &str, key: u64) -> bool {
+    matches!(fire(name, key), Some(Action::Trigger))
+}
+
+/// Hook: panics when `name` is armed with [`Action::Panic`] for `key`.
+///
+/// # Panics
+///
+/// Panics with the armed message — that is the point.
+pub fn maybe_panic(name: &str, key: u64) {
+    if let Some(Action::Panic(message)) = fire(name, key) {
+        panic!("{message}");
+    }
+}
+
+/// Hook: `true` when `name` is armed with [`Action::IoError`] (any key).
+///
+/// The caller fabricates the `std::io::Error` itself, keeping this crate
+/// dependency-free.
+#[must_use]
+pub fn should_fail_io(name: &str) -> bool {
+    matches!(fire(name, 0), Some(Action::IoError))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test arms its own unique name: fail points are process-global
+    // and the test harness runs these concurrently.
+
+    #[test]
+    fn disarmed_hooks_do_nothing() {
+        assert!(!triggered("t::never-armed", 0));
+        assert!(!should_fail_io("t::never-armed"));
+        maybe_panic("t::never-armed", 0); // must not panic
+    }
+
+    #[test]
+    fn trigger_fires_and_guard_disarms() {
+        let guard = arm("t::trigger", Action::Trigger);
+        assert!(triggered("t::trigger", 0));
+        assert!(triggered("t::trigger", 42));
+        assert_eq!(guard.hits(), 2);
+        drop(guard);
+        assert!(!triggered("t::trigger", 0));
+    }
+
+    #[test]
+    fn key_restricts_firing() {
+        let _guard = arm_with("t::keyed", Action::Trigger, Some(3), None);
+        assert!(!triggered("t::keyed", 2));
+        assert!(triggered("t::keyed", 3));
+        assert!(!triggered("t::keyed", 4));
+    }
+
+    #[test]
+    fn times_bounds_firing() {
+        let guard = arm_with("t::bounded", Action::IoError, None, Some(2));
+        assert!(should_fail_io("t::bounded"));
+        assert!(should_fail_io("t::bounded"));
+        assert!(!should_fail_io("t::bounded"));
+        assert_eq!(guard.hits(), 2);
+    }
+
+    #[test]
+    fn panic_action_panics_with_message() {
+        let _guard = arm("t::panic", Action::Panic("injected boom".to_string()));
+        let err = std::panic::catch_unwind(|| maybe_panic("t::panic", 7))
+            .expect_err("armed panic point must panic");
+        let message = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic! with a formatted message yields a String payload");
+        assert_eq!(message, "injected boom");
+    }
+
+    #[test]
+    fn rearming_replaces_configuration() {
+        let _a = arm_with("t::rearm", Action::Trigger, Some(1), None);
+        let _b = arm_with("t::rearm", Action::Trigger, Some(2), None);
+        assert!(!triggered("t::rearm", 1));
+        assert!(triggered("t::rearm", 2));
+    }
+}
