@@ -178,6 +178,51 @@ fn bench_activation_latency(c: &mut Criterion) {
             .decide(&activation)
         });
         push_row("milp_fallback_decide", depth, baseline_ns, incremental_ns);
+
+        // With-phantom rows: the same decide() planning around one
+        // future-released predicted task, so every rung of the fallback
+        // ladder probes queues containing a future job. The incremental
+        // mode answers those with the segmented demand-criterion sweep on
+        // the CPUs; the baseline routes them through the memoized engine.
+        let phantom = [JobView::fresh(
+            JobKey(10_001),
+            TaskTypeId::new(0),
+            Time::new(2.0),
+            Time::new(4_002.0),
+        )];
+        let activation_ph = Activation {
+            predicted: &phantom,
+            ..activation
+        };
+        let incremental_ns = measure(|| HeuristicRm::new().decide(&activation_ph));
+        let baseline_ns = measure(|| {
+            HeuristicRm {
+                oracle_feasibility: true,
+                ..HeuristicRm::default()
+            }
+            .decide(&activation_ph)
+        });
+        push_row(
+            "heuristic_decide_phantom",
+            depth,
+            baseline_ns,
+            incremental_ns,
+        );
+
+        let incremental_ns = measure(|| ExactRm::with_node_budget(2_000).decide(&activation_ph));
+        let baseline_ns = measure(|| {
+            ExactRm {
+                oracle_feasibility: true,
+                ..ExactRm::with_node_budget(2_000)
+            }
+            .decide(&activation_ph)
+        });
+        push_row(
+            "milp_fallback_decide_phantom",
+            depth,
+            baseline_ns,
+            incremental_ns,
+        );
     }
 
     for depth in DEPTHS {

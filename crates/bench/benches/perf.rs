@@ -202,6 +202,35 @@ fn bench_edf_sweep(c: &mut Criterion) {
     }
     group.finish();
 
+    /// Mean ns per with-phantom probe (push + verdict + undo) of a depth-`n`
+    /// dense timeline, incremental vs oracle mode. The phantom's exec varies
+    /// per probe so the oracle's exact-content memo cannot short-circuit the
+    /// engine run it is supposed to measure.
+    fn measure_phantom_probe(kind: rtrm_platform::ResourceKind, n: usize, oracle: bool) -> f64 {
+        use rtrm_sched::EdfTimeline;
+        // Start at 2.0 so the fixture's staggered releases (0..3) are all
+        // dense; the phantom at 5.0 is the only future job.
+        let now = Time::new(2.0);
+        let mut tl = EdfTimeline::new(kind, now);
+        tl.set_oracle(oracle);
+        for job in queue(n) {
+            let _ = tl.push(job);
+        }
+        let mut i = 0u64;
+        measure(move || {
+            i += 1;
+            let phantom = PlannedJob::new(
+                JobKey(1_000_000),
+                Time::new(5.0),
+                Time::new(0.5 + (i % 8192) as f64 * 1e-4),
+                Time::new(2_000.0 + 8.0 * i as f64 % 64.0),
+            );
+            let verdict = tl.push(phantom).is_feasible();
+            let _ = tl.undo();
+            verdict
+        })
+    }
+
     let mut rows = Vec::new();
     for n in DEPTHS {
         let jobs = queue(n);
@@ -211,13 +240,25 @@ fn bench_edf_sweep(c: &mut Criterion) {
                 measure(|| is_schedulable_with(kind, Time::new(0.0), &jobs, &mut scratch));
             let reference_ns = measure(|| reference::is_schedulable(kind, Time::new(0.0), &jobs));
             let speedup = reference_ns / event_ns;
+            // With-phantom columns: the timeline's incremental verdict over
+            // a queue holding one future-released job (the segment sweep on
+            // CPUs, the engine fallback on GPUs) vs the memoized-engine
+            // oracle baseline over the same probes.
+            let timeline_phantom_ns = measure_phantom_probe(kind, n, false);
+            let oracle_phantom_ns = measure_phantom_probe(kind, n, true);
+            let phantom_speedup = oracle_phantom_ns / timeline_phantom_ns;
             println!(
                 "edf sweep: depth={n:>4} kind={label} event={event_ns:.0}ns \
-                 reference={reference_ns:.0}ns speedup={speedup:.1}x"
+                 reference={reference_ns:.0}ns speedup={speedup:.1}x \
+                 phantom={timeline_phantom_ns:.0}ns oracle_phantom={oracle_phantom_ns:.0}ns \
+                 phantom_speedup={phantom_speedup:.1}x"
             );
             rows.push(format!(
                 "    {{\"depth\": {n}, \"kind\": \"{label}\", \"event_ns\": {event_ns:.1}, \
-                 \"reference_ns\": {reference_ns:.1}, \"speedup\": {speedup:.2}}}"
+                 \"reference_ns\": {reference_ns:.1}, \"speedup\": {speedup:.2}, \
+                 \"timeline_phantom_ns\": {timeline_phantom_ns:.1}, \
+                 \"oracle_phantom_ns\": {oracle_phantom_ns:.1}, \
+                 \"phantom_speedup\": {phantom_speedup:.2}}}"
             ));
         }
     }

@@ -249,7 +249,45 @@ fn bench_edf_json_schema_is_current() {
         assert!(matches!(kind, "cpu" | "gpu"), "unknown kind {kind}");
         assert!(row.get("event_ns").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(row.get("reference_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        // With-phantom columns: incremental timeline probe vs the memoized
+        // engine oracle over a queue holding one future-released job.
+        assert!(
+            row.get("timeline_phantom_ns")
+                .and_then(Json::as_f64)
+                .expect("row timeline_phantom_ns")
+                > 0.0
+        );
+        assert!(
+            row.get("oracle_phantom_ns")
+                .and_then(Json::as_f64)
+                .expect("row oracle_phantom_ns")
+                > 0.0
+        );
+        assert!(
+            row.get("phantom_speedup")
+                .and_then(Json::as_f64)
+                .expect("row phantom_speedup")
+                > 0.0
+        );
     });
+    // On the preemptable kind at the acceptance depth the segment sweep must
+    // clearly beat re-running the engine per probe.
+    let results = doc.get("results").and_then(Json::as_array).unwrap();
+    let cpu_128 = results
+        .iter()
+        .find(|r| {
+            r.get("kind").and_then(Json::as_str) == Some("cpu")
+                && r.get("depth").and_then(Json::as_f64) == Some(128.0)
+        })
+        .expect("cpu row at depth 128");
+    let phantom_speedup = cpu_128
+        .get("phantom_speedup")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(
+        phantom_speedup >= 2.0,
+        "cpu phantom probe speedup at depth 128 regressed below 2x: {phantom_speedup}"
+    );
 }
 
 #[test]
@@ -264,7 +302,11 @@ fn bench_activation_json_schema_is_current() {
         assert!(
             matches!(
                 s,
-                "heuristic_decide" | "milp_fallback_decide" | "simulate_100_requests_heuristic"
+                "heuristic_decide"
+                    | "milp_fallback_decide"
+                    | "heuristic_decide_phantom"
+                    | "milp_fallback_decide_phantom"
+                    | "simulate_100_requests_heuristic"
             ),
             "unknown series {s}"
         );
@@ -278,10 +320,12 @@ fn bench_activation_json_schema_is_current() {
             row.get("speedup").and_then(Json::as_f64).unwrap(),
         ));
     }
-    // All three series must be present...
+    // All five series must be present...
     for want in [
         "heuristic_decide",
         "milp_fallback_decide",
+        "heuristic_decide_phantom",
+        "milp_fallback_decide_phantom",
         "simulate_100_requests_heuristic",
     ] {
         assert!(
@@ -289,16 +333,24 @@ fn bench_activation_json_schema_is_current() {
             "missing series {want}"
         );
     }
-    // ...and the recorded end-to-end speedup must meet the acceptance bar.
-    let e2e_128 = series
-        .iter()
-        .find(|(s, d, _)| s == "simulate_100_requests_heuristic" && *d == 128)
-        .expect("end-to-end row at depth 128");
-    assert!(
-        e2e_128.2 >= 2.0,
-        "recorded end-to-end speedup at depth 128 regressed below 2x: {}",
-        e2e_128.2
-    );
+    // ...and the recorded speedups must meet the acceptance bars: 2x
+    // end-to-end, and 2x for the with-phantom decide() series now that
+    // preemptable future releases stay on the incremental path.
+    for (want, label) in [
+        ("simulate_100_requests_heuristic", "end-to-end"),
+        ("heuristic_decide_phantom", "with-phantom heuristic"),
+        ("milp_fallback_decide_phantom", "with-phantom milp fallback"),
+    ] {
+        let row_128 = series
+            .iter()
+            .find(|(s, d, _)| s == want && *d == 128)
+            .unwrap_or_else(|| panic!("{want} row at depth 128"));
+        assert!(
+            row_128.2 >= 2.0,
+            "recorded {label} speedup at depth 128 regressed below 2x: {}",
+            row_128.2
+        );
+    }
 }
 
 /// `BENCH_sweep.json` has its own acceptance points (batch sizes 64 and

@@ -244,6 +244,25 @@ impl TimelinePool {
     pub fn set_oracle(&mut self, oracle: bool) {
         self.oracle = oracle;
     }
+
+    /// The per-resource timelines currently held by the pool (shorter than
+    /// the platform until the first [`PlanBuilder::new`] sizes it).
+    #[must_use]
+    pub fn timelines(&self) -> &[EdfTimeline] {
+        &self.timelines
+    }
+
+    /// Total feasibility verdicts the pool's timelines answered with the
+    /// from-scratch engine (memo hits included) instead of the incremental
+    /// trees. Diagnostics: tests assert that probes on preemptable resources
+    /// — phantoms included — never route through the engine.
+    #[must_use]
+    pub fn engine_verdicts(&self) -> u64 {
+        self.timelines
+            .iter()
+            .map(EdfTimeline::engine_verdicts)
+            .sum()
+    }
 }
 
 /// A partial plan under construction: one persistent [`EdfTimeline`] per
@@ -255,8 +274,11 @@ impl TimelinePool {
 /// queue; committing ([`place`](PlanBuilder::place)) and backtracking
 /// ([`unplace_last`](PlanBuilder::unplace_last)) keep the timeline in sync at
 /// the same cost. Queues containing future-released jobs (phantoms, delayed
-/// arrivals) fall back to memoized from-scratch engine runs inside the
-/// timeline, so exactness is never traded away.
+/// arrivals) stay incremental on preemptable resources — the timeline answers
+/// them with a per-release-segment demand-criterion sweep — and fall back to
+/// memoized from-scratch engine runs only on non-preemptable ones, where the
+/// scheduling anomaly genuinely needs the engine; exactness is never traded
+/// away.
 #[derive(Debug)]
 pub struct PlanBuilder<'a> {
     activation: &'a Activation<'a>,
@@ -361,11 +383,12 @@ impl<'a> PlanBuilder<'a> {
         let kind = self.activation.platform.resource(r).kind();
         if !kind.is_preemptable() {
             let now = self.activation.now;
-            let future = job.release > now
-                || self.pool.timelines[r.index()]
-                    .jobs()
-                    .iter()
-                    .any(|j| j.release > now);
+            // `released_by` is the same epsilon-tolerant predicate the engine
+            // and the timelines classify with, and `has_future` reads the
+            // timeline's retained release stack in O(1) instead of rescanning
+            // the queue.
+            let future =
+                !job.release.released_by(now) || self.pool.timelines[r.index()].has_future();
             if future {
                 // Sound necessary condition that survives the anomaly: the
                 // sub-queue of already-released jobs runs in pure EDF order
@@ -386,10 +409,10 @@ impl<'a> PlanBuilder<'a> {
                     timelines[r.index()]
                         .jobs()
                         .iter()
-                        .filter(|j| j.release <= now)
+                        .filter(|j| j.release.released_by(now))
                         .copied(),
                 );
-                if planned.release <= now {
+                if planned.release.released_by(now) {
                     queue.push(planned);
                 }
                 return queue_schedulable(queue, r, kind, now, edf, memo, probe);

@@ -208,6 +208,19 @@ impl Time {
     pub fn meets(self, deadline: Time) -> bool {
         self.0 <= deadline.0 + TIME_EPSILON
     }
+
+    /// Returns `true` if a job released at `self` counts as released (ready
+    /// to execute) at instant `now`, within [`TIME_EPSILON`] tolerance.
+    ///
+    /// This is *the* future-release predicate of the whole stack: the EDF
+    /// engine's ready/pending split, `EdfTimeline`'s dense/future
+    /// classification, and the managers' defer logic all key on it, so a
+    /// release within epsilon of the activation instant is treated
+    /// identically everywhere.
+    #[must_use]
+    pub fn released_by(self, now: Time) -> bool {
+        self.0 <= now.0 + TIME_EPSILON
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +258,15 @@ mod tests {
         let d = Time::new(10.0);
         assert!(Time::new(10.0 + 1e-12).meets(d));
         assert!(!Time::new(10.1).meets(d));
+    }
+
+    #[test]
+    fn released_by_tolerates_epsilon() {
+        let now = Time::new(10.0);
+        assert!(Time::new(9.0).released_by(now));
+        assert!(Time::new(10.0).released_by(now));
+        assert!(Time::new(10.0 + TIME_EPSILON / 2.0).released_by(now));
+        assert!(!Time::new(10.0 + 2.0 * TIME_EPSILON).released_by(now));
     }
 
     #[test]

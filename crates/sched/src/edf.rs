@@ -253,6 +253,10 @@ fn run_engine(
         if Some(i) == pinned {
             continue;
         }
+        // Same epsilon-tolerant predicate as `Time::released_by`: a release
+        // within TIME_EPSILON of `now` is ready, and the timeline's
+        // dense/future classification and the managers' defer logic key on
+        // the identical comparison.
         if release <= now + TIME_EPSILON {
             scratch.ready.push(Reverse(ReadyKey {
                 deadline: j.deadline,

@@ -30,17 +30,46 @@
 //! maintain under rotation in O(1), so push/undo are O(log n) and the
 //! feasibility verdict is read off the root.
 //!
+//! # Future releases on preemptable resources
+//!
 //! Queues containing a *future-released* job (a predicted phantom, or an
-//! arrival delayed by prediction overhead) gain idle gaps and — on
-//! non-preemptable resources — scheduling anomalies that the prefix-sum
-//! argument does not capture. For those the timeline falls back to a
+//! arrival delayed by prediction overhead) gain idle gaps, so one prefix
+//! bound no longer suffices. On a *preemptable* resource, though, EDF is
+//! optimal, and single-processor feasibility is exactly the processor-demand
+//! criterion: for every interval `[s, d]` with `s` an (effective) release
+//! instant and `d` a deadline, the total execution of jobs released at or
+//! after `s` with deadlines at or before `d` must fit in `d - s`. Only two
+//! kinds of interval start matter — `now` (every dense job's effective
+//! release) and the exact release of each future job — so the verdict
+//! decomposes into the dense-prefix argument *per release segment*:
+//!
+//! ```text
+//! for every segment s in {now} ∪ {future releases}:
+//!     min over u with release_u >= s of (deadline_u - E_u^(s))  >=  s
+//! ```
+//!
+//! where `E_u^(s)` sums execution over jobs released at-or-after `s`, taken
+//! in `(deadline, push order)`. The `now` segment covers *all* jobs (future
+//! releases included — their release is at-or-after `now`), so it is read
+//! off the main treap root in O(1). Segments strictly after `now` contain
+//! only the future jobs; [`EdfTimeline::feasible`] answers them by sweeping
+//! the release-ordered future set from the latest release down, splicing
+//! each segment's jobs into a second, scratch tree keyed by
+//! `(deadline, push order)` and reading its root min-gap per segment. With
+//! `k` future jobs a verdict costs O(log n + k log k) — O(log n) for the
+//! single-phantom queue that dominates the managers' fallback ladder.
+//!
+//! *Non-preemptable* resources additionally suffer scheduling anomalies
+//! under future releases (delaying one dispatch can repair another), which
+//! the demand criterion does not capture; those queues fall back to a
 //! from-scratch run of the event-driven engine over the retained job list,
 //! memoized by exact queue content so the fallback ladder's repeated
 //! re-examinations of the same queue stay cheap.
 //!
 //! The differential property suite in `tests/incremental.rs` asserts that
 //! every push/undo sequence agrees — bit for bit on the verdict — with a
-//! from-scratch [`is_schedulable_with`] over the same jobs.
+//! from-scratch [`is_schedulable_with`] over the same jobs and with the
+//! scan-based [`crate::reference`] oracle.
 
 use std::collections::HashMap;
 
@@ -80,11 +109,14 @@ impl From<bool> for Feasibility {
 /// Where a pushed job went, so [`EdfTimeline::undo`] can unwind it.
 #[derive(Debug, Clone, Copy)]
 enum Slot {
-    /// Dense job: lives in the treap.
+    /// Dense job: lives in the deadline treap.
     Tree,
     /// The pinned job (held outside the tree; it dispatches first).
     Pinned,
-    /// Released after `now`: forces the engine fallback.
+    /// Released after `now` (beyond [`TIME_EPSILON`]): lives in the deadline
+    /// treap *and* on the release stack, so verdicts can run the
+    /// demand-criterion sweep per release segment (preemptable resources) or
+    /// the engine fallback (non-preemptable ones).
     Future,
 }
 
@@ -138,9 +170,19 @@ pub struct EdfTimeline {
     tree: Treap,
     /// Index into `jobs` of the pinned job, if one was pushed.
     pinned: Option<usize>,
-    /// Number of jobs with `release > now`: while non-zero, verdicts fall
-    /// back to the engine.
-    future: usize,
+    /// Indices (into `jobs`) of future-released jobs, in push order. Undo is
+    /// strict LIFO over all pushes, so this behaves as a stack too.
+    future_stack: Vec<u32>,
+    /// Scratch: `future_stack` sorted by `(release, push order)` for the
+    /// per-segment sweep of [`EdfTimeline::feasible`].
+    seg_order: Vec<u32>,
+    /// Scratch tree keyed by `(deadline, push order)` rebuilt over the
+    /// future jobs during the per-segment sweep.
+    seg_tree: Treap,
+    /// Verdicts answered by the from-scratch engine (memoized or not)
+    /// instead of the incremental trees, since construction. Cumulative
+    /// across [`reset`](EdfTimeline::reset); diagnostics only.
+    engine_verdicts: u64,
     scratch: EdfScratch,
     memo: HashMap<Vec<u64>, bool>,
     probe: Vec<u64>,
@@ -159,7 +201,10 @@ impl EdfTimeline {
             slots: Vec::new(),
             tree: Treap::default(),
             pinned: None,
-            future: 0,
+            future_stack: Vec::new(),
+            seg_order: Vec::new(),
+            seg_tree: Treap::default(),
+            engine_verdicts: 0,
             scratch: EdfScratch::new(),
             memo: HashMap::new(),
             probe: Vec::new(),
@@ -182,7 +227,7 @@ impl EdfTimeline {
         self.slots.clear();
         self.tree.clear();
         self.pinned = None;
-        self.future = 0;
+        self.future_stack.clear();
     }
 
     /// Switches between incremental verdicts (default) and the memoized
@@ -261,7 +306,7 @@ impl EdfTimeline {
             );
             self.pinned = Some(self.jobs.len());
             Slot::Pinned
-        } else if job.release <= self.start {
+        } else if job.release.released_by(self.start) {
             // `(deadline, push order)` keys make ties deterministic and
             // identical to the engine's input-order tie-break.
             self.tree.insert(
@@ -271,10 +316,16 @@ impl EdfTimeline {
             );
             Slot::Tree
         } else {
-            // A release even marginally after `now` goes through the engine:
-            // it may open an idle gap (and, on a GPU, a scheduling anomaly)
-            // that the dense prefix-sum argument does not model.
-            self.future += 1;
+            // Future release: the job still joins the deadline treap — the
+            // `now` segment of the demand criterion spans every job — and its
+            // index is stacked for the per-segment sweep (preemptable) or to
+            // trigger the engine fallback (non-preemptable).
+            self.tree.insert(
+                job.deadline.value(),
+                self.jobs.len() as u32,
+                job.exec.value(),
+            );
+            self.future_stack.push(self.jobs.len() as u32);
             Slot::Future
         };
         self.jobs.push(job);
@@ -315,7 +366,15 @@ impl EdfTimeline {
                 .tree
                 .remove(job.deadline.value(), self.jobs.len() as u32),
             Slot::Pinned => self.pinned = None,
-            Slot::Future => self.future -= 1,
+            Slot::Future => {
+                self.tree
+                    .remove(job.deadline.value(), self.jobs.len() as u32);
+                let idx = self
+                    .future_stack
+                    .pop()
+                    .expect("future stack parallels future slots");
+                debug_assert_eq!(idx as usize, self.jobs.len(), "undo is strict LIFO");
+            }
         }
         job
     }
@@ -325,8 +384,19 @@ impl EdfTimeline {
     /// [`jobs`](EdfTimeline::jobs).
     #[must_use]
     pub fn feasible(&mut self) -> bool {
-        if self.oracle || self.future > 0 {
+        if self.oracle {
             return self.engine_feasible();
+        }
+        if !self.future_stack.is_empty() {
+            // Preemptable queues answer future releases with the
+            // demand-criterion sweep; non-preemptable dispatch suffers
+            // scheduling anomalies the criterion does not model, so only
+            // the engine is authoritative there.
+            return if self.kind.is_preemptable() {
+                self.segmented_feasible()
+            } else {
+                self.engine_feasible()
+            };
         }
         if let Some(i) = self.pinned {
             // Mirror the engine's fast necessary condition exactly: the
@@ -339,6 +409,58 @@ impl EdfTimeline {
         }
         let base = self.pinned.map_or(0.0, |i| self.jobs[i].exec.value());
         self.tree.root_min_gap() >= self.start.value() + base - TIME_EPSILON
+    }
+
+    /// Returns `true` if any job on the timeline is released after `now`
+    /// (beyond [`TIME_EPSILON`]). O(1); the managers' defer logic keys on
+    /// this instead of rescanning the queue.
+    #[must_use]
+    pub fn has_future(&self) -> bool {
+        !self.future_stack.is_empty()
+    }
+
+    /// Number of verdicts answered by the from-scratch engine (memo hits
+    /// included) instead of the incremental trees, since construction.
+    /// Diagnostics: tests assert preemptable probes stay off the engine.
+    #[must_use]
+    pub fn engine_verdicts(&self) -> u64 {
+        self.engine_verdicts
+    }
+
+    /// Demand-criterion verdict for a preemptable queue containing future
+    /// releases: the `now` segment is read off the main treap root (it spans
+    /// every job), then the future set is swept latest-release-first through
+    /// the scratch deadline tree, checking one segment per insertion.
+    fn segmented_feasible(&mut self) -> bool {
+        debug_assert!(self.pinned.is_none(), "pinning is non-preemptable only");
+        if self.tree.root_min_gap() < self.start.value() - TIME_EPSILON {
+            return false;
+        }
+        // Destructure for disjoint borrows: the sort comparator reads `jobs`
+        // while the sweep mutates `seg_tree`.
+        let EdfTimeline {
+            jobs,
+            future_stack,
+            seg_order,
+            seg_tree,
+            ..
+        } = self;
+        seg_order.clear();
+        seg_order.extend_from_slice(future_stack);
+        seg_order
+            .sort_unstable_by(|&a, &b| jobs[b as usize].release.cmp(&jobs[a as usize].release));
+        seg_tree.clear();
+        for &idx in seg_order.iter() {
+            let job = &jobs[idx as usize];
+            seg_tree.insert(job.deadline.value(), idx, job.exec.value());
+            // Checking after every insertion (not once per distinct release)
+            // is equivalent: a partial release group only reports larger gaps
+            // than the full group, whose own check still runs.
+            if seg_tree.root_min_gap() < job.release.value() - TIME_EPSILON {
+                return false;
+            }
+        }
+        true
     }
 
     /// Probes `job` without retaining it: `push` + `undo`, returning the
@@ -357,6 +479,7 @@ impl EdfTimeline {
     /// From-scratch engine verdict over the retained queue, memoized by
     /// exact queue content.
     fn engine_feasible(&mut self) -> bool {
+        self.engine_verdicts += 1;
         self.probe.clear();
         for j in &self.jobs {
             self.probe.push(j.release.value().to_bits());
@@ -610,18 +733,50 @@ mod tests {
     }
 
     #[test]
-    fn future_release_falls_back_to_engine() {
+    fn future_release_on_cpu_stays_incremental() {
         let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
         assert!(tl.push(j(0, 0.0, 10.0, 30.0)).is_feasible());
-        // Released at 3 with deadline 6: preempts and fits (engine path).
+        // Released at 3 with deadline 6: preempts and fits (segment sweep).
         assert!(tl.push(j(1, 3.0, 2.0, 6.0)).is_feasible());
+        assert!(tl.has_future());
         // Same but deadline 4: 3 + 2 > 4, infeasible.
         let _ = tl.undo();
         assert!(!tl.push(j(2, 3.0, 2.0, 4.0)).is_feasible());
         let _ = tl.undo();
-        // Back to a dense queue: incremental path again.
+        // Back to a dense queue: both trees restored.
+        assert!(!tl.has_future());
         assert!(tl.feasible());
         assert_eq!(tl.len(), 1);
+        assert_eq!(
+            tl.engine_verdicts(),
+            0,
+            "preemptable future releases must never route through the engine"
+        );
+    }
+
+    #[test]
+    fn future_release_on_gpu_falls_back_to_engine() {
+        let mut tl = EdfTimeline::new(ResourceKind::Gpu, T0);
+        assert!(tl.push(j(0, 0.0, 10.0, 30.0)).is_feasible());
+        // Non-preemptable: the future job waits for the running one, so a
+        // release at 3 with deadline 6 cannot fit behind 10 units of work.
+        assert!(!tl.push(j(1, 3.0, 2.0, 6.0)).is_feasible());
+        assert!(
+            tl.engine_verdicts() > 0,
+            "GPU future releases use the engine"
+        );
+        let _ = tl.undo();
+        assert!(tl.feasible());
+    }
+
+    #[test]
+    fn epsilon_release_counts_as_dense() {
+        // A release within TIME_EPSILON of `now` is "ready" to the engine;
+        // the timeline must classify it identically (no future stack entry).
+        let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
+        assert!(tl.push(j(0, TIME_EPSILON / 2.0, 2.0, 5.0)).is_feasible());
+        assert!(!tl.has_future());
+        assert_eq!(tl.engine_verdicts(), 0);
     }
 
     #[test]
@@ -636,12 +791,14 @@ mod tests {
 
     #[test]
     fn reset_keeps_memo_only_for_same_instant() {
-        let mut tl = EdfTimeline::new(ResourceKind::Cpu, T0);
+        // Gpu: a future release is the one case that still memoizes engine
+        // verdicts (preemptable future releases are answered incrementally).
+        let mut tl = EdfTimeline::new(ResourceKind::Gpu, T0);
         let _ = tl.push(j(0, 2.0, 1.0, 10.0)); // future: engine + memo
-        tl.reset(ResourceKind::Cpu, T0);
+        tl.reset(ResourceKind::Gpu, T0);
         assert!(tl.is_empty());
         assert_eq!(tl.memo.len(), 1, "same (kind, now): memo retained");
-        tl.reset(ResourceKind::Cpu, Time::new(1.0));
+        tl.reset(ResourceKind::Gpu, Time::new(1.0));
         assert!(tl.memo.is_empty(), "different now: memo dropped");
     }
 

@@ -12,8 +12,10 @@
 //!   diverge on knife-edge queues that uniform sampling never hits).
 
 use proptest::prelude::*;
-use rtrm_platform::{ResourceKind, Time};
-use rtrm_sched::{is_schedulable_with, simulate_into, EdfScratch, EdfTimeline, JobKey, PlannedJob};
+use rtrm_platform::{ResourceKind, Time, TIME_EPSILON};
+use rtrm_sched::{
+    is_schedulable_with, reference, simulate_into, EdfScratch, EdfTimeline, JobKey, PlannedJob,
+};
 
 /// One step of a randomized admission episode.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +47,35 @@ fn lattice_op() -> impl Strategy<Value = Op> {
                 deadline,
                 pinned: true,
             },
+            _ => Op::Push {
+                release,
+                exec,
+                deadline,
+                pinned: false,
+            },
+        },
+    )
+}
+
+/// Release offsets straddling the epsilon boundary around `now`, mixed with
+/// genuinely dense and genuinely future releases. Offsets within
+/// [`TIME_EPSILON`] of zero must classify as dense everywhere (engine,
+/// timeline, defer logic); anything beyond takes the future path.
+fn eps_release() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-TIME_EPSILON / 2.0),
+        Just(TIME_EPSILON / 2.0),
+        Just(TIME_EPSILON),
+        Just(2.0 * TIME_EPSILON),
+        lattice(1..24),
+    ]
+}
+
+fn eps_op() -> impl Strategy<Value = Op> {
+    (eps_release(), lattice(0..48), lattice(1..320), 0u8..10).prop_map(
+        |(release, exec, deadline, sel)| match sel {
+            0..=1 => Op::Undo,
             _ => Op::Push {
                 release,
                 exec,
@@ -158,6 +189,14 @@ fn run_differential(kind: ResourceKind, now: f64, ops: &[Op]) -> Result<(), Test
             "simulate_into disagreed at step {}",
             step
         );
+        // ... and with the scan-based reference oracle, bit for bit.
+        prop_assert_eq!(
+            timeline.feasible(),
+            reference::is_schedulable(kind, now, &model),
+            "reference oracle disagreed at step {} on {:?}",
+            step,
+            &model
+        );
     }
     Ok(())
 }
@@ -197,6 +236,19 @@ proptest! {
         ops in prop::collection::vec(continuous_op(), 1..30),
     ) {
         run_differential(ResourceKind::Gpu, now, &ops)?;
+    }
+
+    /// Mixed dense / epsilon-boundary / future releases: the segment sweep,
+    /// `undo()` restoration of both trees, and the dense classification must
+    /// keep every verdict in lockstep with the engine and the reference
+    /// oracle on both resource kinds.
+    #[test]
+    fn epsilon_boundary_releases_match_reference(
+        now in lattice(0..64),
+        ops in prop::collection::vec(eps_op(), 1..32),
+        kind in prop_oneof![Just(ResourceKind::Cpu), Just(ResourceKind::Gpu)],
+    ) {
+        run_differential(kind, now, &ops)?;
     }
 
     /// The oracle mode (memoized from-scratch engine) and the incremental
@@ -240,4 +292,75 @@ proptest! {
             prop_assert_eq!(incremental.feasible(), oracle.feasible());
         }
     }
+}
+
+/// The fallback ladder's probe pattern from the managers' point of view: a
+/// dense working set plus `k` future-released phantoms, re-probed at rung
+/// `k`, then `k-1`, …, then `0`. On a preemptable resource every one of those
+/// verdicts must come from the incremental trees — zero engine fallbacks —
+/// while agreeing with the engine and the reference oracle throughout.
+#[test]
+fn phantom_ladder_stays_incremental_on_cpu() {
+    let now = Time::new(4.0);
+    let kind = ResourceKind::Cpu;
+    let mut tl = EdfTimeline::new(kind, now);
+    let mut model: Vec<PlannedJob> = Vec::new();
+    let mut scratch = EdfScratch::new();
+
+    // Dense working set, deliberately near saturation so phantom probes flip
+    // between feasible and infeasible across rungs.
+    for i in 0..6u64 {
+        let job = PlannedJob::new(
+            JobKey(i),
+            now,
+            Time::new(1.0 + 0.25 * i as f64),
+            now + Time::new(3.0 + 2.5 * i as f64),
+        );
+        let verdict = tl.push(job).is_feasible();
+        model.push(job);
+        assert_eq!(
+            verdict,
+            is_schedulable_with(kind, now, &model, &mut scratch)
+        );
+    }
+
+    for k in (0..=4usize).rev() {
+        for p in 0..k {
+            let phantom = PlannedJob::new(
+                JobKey(100 + p as u64),
+                now + Time::new(2.0 + p as f64), // strictly future
+                Time::new(1.5),
+                now + Time::new(4.0 + 2.0 * p as f64),
+            );
+            let verdict = tl.push(phantom).is_feasible();
+            model.push(phantom);
+            assert_eq!(
+                verdict,
+                is_schedulable_with(kind, now, &model, &mut scratch),
+                "rung {k}, phantom {p}"
+            );
+            assert_eq!(
+                verdict,
+                reference::is_schedulable(kind, now, &model),
+                "rung {k}, phantom {p} (reference)"
+            );
+        }
+        // The rung failed or succeeded; either way the ladder unwinds the
+        // phantoms before trying the next k. Both trees must be restored.
+        for _ in 0..k {
+            let _ = tl.undo();
+            let _ = model.pop();
+        }
+        assert!(!tl.has_future(), "all phantoms retracted at rung {k}");
+        assert_eq!(
+            tl.feasible(),
+            is_schedulable_with(kind, now, &model, &mut scratch)
+        );
+    }
+
+    assert_eq!(
+        tl.engine_verdicts(),
+        0,
+        "preemptable ladder probes must never route through the engine"
+    );
 }
