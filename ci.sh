@@ -27,6 +27,10 @@ cargo test -q -p rtrm-sim --test phantom_differential
 cargo test -q -p rtrm-sim --test unified_queue
 cargo test -q -p rtrm-bench --test sweep_differential
 
+echo "==> service: sharded-vs-sequential differential + overload degradation"
+cargo test -q -p rtrm-service --test service_differential
+cargo test -q -p rtrm-service --test overload
+
 echo "==> fault injection: anytime MILP ladder + batch quarantine + sweep persistence"
 cargo test -q -p rtrm-sim --test anytime_milp
 cargo test -q -p rtrm-sim --test fault_injection

@@ -1,0 +1,133 @@
+//! Service-mode latency record: drives the streaming admission service
+//! (`rtrm-service`) under two open-loop regimes and writes
+//! `BENCH_service.json` at the workspace root (schema-pinned by
+//! `tests/bench_json_schema.rs`).
+//!
+//! * `poisson` — a paced Poisson load on the heuristic manager with no
+//!   budget control: the steady-state regime, measuring decide-latency
+//!   tails (p50/p99/p999) and throughput.
+//! * `overload` — a bursty firehose (no pacing) into the MILP manager with
+//!   a near-zero anytime budget: the overload regime, where the budget
+//!   ladder must convert backlog into *degraded* verdicts (anytime
+//!   incumbents / heuristic floor) instead of unbounded queueing.
+//!
+//! Run with `cargo run --release -p rtrm-bench --bin service`.
+
+use rand::SeedableRng;
+use rtrm_core::{HeuristicRm, MilpRm};
+use rtrm_platform::Platform;
+use rtrm_service::{
+    generate_load, run_service, Arrivals, LoadConfig, OverloadPolicy, ServiceConfig, ServiceReport,
+};
+use rtrm_trace::{generate_catalog, BurstyConfig, CatalogConfig};
+
+fn row(name: &str, report: &ServiceReport) -> String {
+    format!(
+        "    {{\"scenario\": \"{name}\", \"shards\": {}, \"requests\": {}, \
+         \"admitted\": {}, \"rejected\": {}, \"degraded\": {}, \
+         \"solver_timeouts\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"p999_ns\": {}, \"max_ns\": {}, \"throughput_per_sec\": {:.1}, \
+         \"max_backlog\": {}, \"backpressure_waits\": {}}}",
+        report.shards,
+        report.requests,
+        report.admitted,
+        report.rejected,
+        report.degraded,
+        report.solver_timeouts,
+        report.decide.quantile(0.5),
+        report.decide.quantile(0.99),
+        report.decide.quantile(0.999),
+        report.decide.max(),
+        report.throughput_per_sec,
+        report.max_backlog,
+        report.backpressure_waits,
+    )
+}
+
+fn main() {
+    let platform = Platform::paper_default();
+    let catalog = generate_catalog(
+        &platform,
+        &CatalogConfig::paper(),
+        &mut rand::rngs::StdRng::seed_from_u64(7),
+    );
+
+    // Steady state: paced Poisson arrivals, heuristic manager, no budget.
+    let poisson_load = generate_load(
+        &catalog,
+        &LoadConfig {
+            traces: 8,
+            trace_len: 250,
+            seed: 7,
+            arrivals: Arrivals::Poisson { mean_gap: 2.8 },
+        },
+    );
+    let poisson = run_service(
+        &platform,
+        &catalog,
+        &ServiceConfig {
+            shards: 4,
+            ingress_capacity: 64,
+            // ~1 ms of wall clock per simulated unit: ≈0.7 s of paced load.
+            time_scale: 1e-3,
+            ..ServiceConfig::default()
+        },
+        &poisson_load,
+        |_| Box::new(HeuristicRm::new()),
+    );
+    println!(
+        "poisson : {} reqs, p50={}ns p99={}ns p999={}ns, {:.0} verdicts/s",
+        poisson.requests,
+        poisson.decide.quantile(0.5),
+        poisson.decide.quantile(0.99),
+        poisson.decide.quantile(0.999),
+        poisson.throughput_per_sec,
+    );
+
+    // Overload: bursty firehose into the MILP manager with a near-zero
+    // anytime budget — the ladder converts pressure into degraded verdicts.
+    let overload_load = generate_load(
+        &catalog,
+        &LoadConfig {
+            traces: 4,
+            trace_len: 100,
+            seed: 13,
+            arrivals: Arrivals::Bursty(BurstyConfig::default()),
+        },
+    );
+    let overload = run_service(
+        &platform,
+        &catalog,
+        &ServiceConfig {
+            shards: 2,
+            ingress_capacity: 8,
+            budget: Some(1e-6),
+            overload: OverloadPolicy {
+                backlog_lo: 0,
+                backlog_hi: 4,
+            },
+            time_scale: 0.0,
+            ..ServiceConfig::default()
+        },
+        &overload_load,
+        |_| Box::new(MilpRm::new()),
+    );
+    println!(
+        "overload: {} reqs, degraded={} timeouts={} max_backlog={} p99={}ns",
+        overload.requests,
+        overload.degraded,
+        overload.solver_timeouts,
+        overload.max_backlog,
+        overload.decide.quantile(0.99),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"service_latency\",\n  \"units\": \"ns\",\n  \
+         \"scenarios\": [\n{},\n{}\n  ]\n}}\n",
+        row("poisson", &poisson),
+        row("overload", &overload),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

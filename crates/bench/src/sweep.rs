@@ -826,15 +826,31 @@ fn lease_heartbeat(content: &str) -> Option<u64> {
 /// write, so the file's mtime stands in for the heartbeat.
 fn lease_is_stale(path: &Path, content: &str) -> bool {
     if let Some(beat) = lease_heartbeat(content) {
-        return epoch_secs().saturating_sub(beat) > LEASE_STALE_SECS;
+        return heartbeat_is_stale(epoch_secs(), beat);
     }
     match fs::metadata(path).and_then(|m| m.modified()) {
-        Ok(modified) => SystemTime::now()
-            .duration_since(modified)
-            .is_ok_and(|age| age.as_secs() > LEASE_STALE_SECS),
+        Ok(modified) => mtime_is_stale(SystemTime::now(), modified),
         // The file vanished under us (owner released it): retry the create.
         Err(_) => true,
     }
+}
+
+/// Staleness rule for a heartbeat, judged at `now_secs` (both in seconds
+/// since the Unix epoch). A heartbeat in the *future* — an NTP step on this
+/// machine or clock skew against the owner's — must read as **fresh**:
+/// presuming a live owner dead and stealing its lease corrupts the sweep,
+/// while waiting out a genuinely dead one merely delays takeover. The
+/// `saturating_sub` pins the future case to age 0.
+fn heartbeat_is_stale(now_secs: u64, beat: u64) -> bool {
+    now_secs.saturating_sub(beat) > LEASE_STALE_SECS
+}
+
+/// Staleness rule for the mtime fallback, judged at `now`. Same skew
+/// discipline as [`heartbeat_is_stale`]: a modification time in the future
+/// makes `duration_since` fail, which reads as fresh.
+fn mtime_is_stale(now: SystemTime, modified: SystemTime) -> bool {
+    now.duration_since(modified)
+        .is_ok_and(|age| age.as_secs() > LEASE_STALE_SECS)
 }
 
 /// Process-unique suffix so two sweeps in one process get distinct owner ids.
@@ -1152,5 +1168,40 @@ mod tests {
 
         let _ = fs::remove_file(&first.checkpoint_path);
         let _ = fs::remove_file(&first.csv_path);
+    }
+
+    #[test]
+    fn future_heartbeat_reads_fresh() {
+        let now = 1_000_000u64;
+        // A heartbeat ahead of the local clock (NTP step, cross-machine
+        // skew) must never mark the lease stale — stealing a live owner's
+        // lease corrupts the sweep.
+        assert!(!heartbeat_is_stale(now, now + 1));
+        assert!(!heartbeat_is_stale(now, now + 10 * LEASE_STALE_SECS));
+        assert!(!heartbeat_is_stale(now, u64::MAX));
+        // The boundary: exactly LEASE_STALE_SECS old is still fresh, one
+        // second older is stale.
+        assert!(!heartbeat_is_stale(now, now));
+        assert!(!heartbeat_is_stale(now, now - LEASE_STALE_SECS));
+        assert!(heartbeat_is_stale(now, now - LEASE_STALE_SECS - 1));
+    }
+
+    #[test]
+    fn future_mtime_reads_fresh() {
+        let now = UNIX_EPOCH + Duration::from_secs(1_000_000);
+        assert!(!mtime_is_stale(now, now + Duration::from_secs(1)));
+        assert!(!mtime_is_stale(
+            now,
+            now + Duration::from_secs(10 * LEASE_STALE_SECS)
+        ));
+        assert!(!mtime_is_stale(now, now));
+        assert!(!mtime_is_stale(
+            now,
+            now - Duration::from_secs(LEASE_STALE_SECS)
+        ));
+        assert!(mtime_is_stale(
+            now,
+            now - Duration::from_secs(LEASE_STALE_SECS + 1)
+        ));
     }
 }

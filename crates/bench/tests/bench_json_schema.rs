@@ -398,6 +398,86 @@ fn bench_sweep_json_schema_is_current() {
     }
 }
 
+/// `BENCH_service.json` — the streaming service's latency record. Two
+/// scenarios must be present: `poisson` (paced steady state, no budget —
+/// so no timeout or degradation can appear) and `overload` (firehose with
+/// a near-zero anytime budget — which must show the budget ladder working:
+/// degraded verdicts and counted expiries, with the backlog still bounded).
+#[test]
+fn bench_service_json_schema_is_current() {
+    let doc = load("BENCH_service.json");
+    assert_eq!(
+        doc.get("bench").and_then(Json::as_str),
+        Some("service_latency")
+    );
+    assert_eq!(
+        doc.get("units").and_then(Json::as_str),
+        Some("ns"),
+        "stale units field"
+    );
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .expect("scenarios array");
+    let mut names = Vec::new();
+    for row in scenarios {
+        let name = row
+            .get("scenario")
+            .and_then(Json::as_str)
+            .expect("scenario name");
+        names.push(name.to_owned());
+        let field = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{name}: numeric field {key}"))
+        };
+        let requests = field("requests");
+        assert!(requests > 0.0, "{name}: empty run");
+        assert_eq!(
+            field("admitted") + field("rejected"),
+            requests,
+            "{name}: every request needs a verdict"
+        );
+        assert!(field("shards") >= 1.0);
+        let (p50, p99, p999, max) = (
+            field("p50_ns"),
+            field("p99_ns"),
+            field("p999_ns"),
+            field("max_ns"),
+        );
+        assert!(p50 > 0.0, "{name}: zero p50");
+        assert!(
+            p50 <= p99 && p99 <= p999 && p999 <= max,
+            "{name}: quantiles must be nondecreasing ({p50} / {p99} / {p999} / {max})"
+        );
+        assert!(field("throughput_per_sec") > 0.0, "{name}: no throughput");
+        assert!(field("max_backlog") >= 0.0);
+        assert!(field("backpressure_waits") >= 0.0);
+        match name {
+            "poisson" => {
+                assert_eq!(field("degraded"), 0.0, "unbudgeted run cannot degrade");
+                assert_eq!(field("solver_timeouts"), 0.0);
+            }
+            "overload" => {
+                assert!(
+                    field("degraded") > 0.0,
+                    "overload must show the budget ladder degrading verdicts"
+                );
+                assert!(field("solver_timeouts") > 0.0);
+                assert_eq!(
+                    field("degraded"),
+                    field("admitted"),
+                    "near-zero budget: every admission comes from the ladder's floor"
+                );
+            }
+            other => panic!("unknown scenario {other}"),
+        }
+    }
+    for want in ["poisson", "overload"] {
+        assert!(names.iter().any(|n| n == want), "missing scenario {want}");
+    }
+}
+
 /// The sweep driver's checkpoint document: run a tiny sweep and validate
 /// the file it persists under `results/` — header identity fields plus the
 /// full per-cell metric set, so `load_checkpoint` and external consumers

@@ -171,6 +171,20 @@ pub trait ResourceManager {
         let _ = pool;
         self.decide(activation)
     }
+
+    /// Sets the per-decision wall-clock budget in seconds (`None` removes
+    /// it), effective from the next [`decide`](ResourceManager::decide).
+    ///
+    /// This is the overload-control knob of the anytime fallback ladder: a
+    /// caller watching its backlog shrinks the budget toward `Some(0.0)`,
+    /// which forces every rung to expire immediately and degrades each
+    /// decision to the heuristic floor — bounded decide latency instead of
+    /// an unbounded queue. Managers without an anytime solver ignore it
+    /// (the default); [`MilpRm`](crate::MilpRm) and
+    /// [`ExactRm`](crate::ExactRm) honour it.
+    fn set_wall_clock(&mut self, budget: Option<f64>) {
+        let _ = budget;
+    }
 }
 
 /// Reusable state backing [`PlanBuilder`]s: one persistent [`EdfTimeline`]

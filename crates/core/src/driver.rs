@@ -103,8 +103,9 @@ where
 ///
 /// Degradation bookkeeping: a decision is `degraded` when its plan came
 /// from a rung below one that timed out (a failed higher rung that was
-/// *infeasible* is the paper's normal fallback, not degradation), or from
-/// the `floor`.
+/// *infeasible* is the paper's normal fallback, not degradation), when the
+/// *winning* rung itself timed out and handed back its anytime incumbent
+/// (the plan is feasible but possibly suboptimal), or from the `floor`.
 pub fn decide_with_fallback_tracked<F, G>(
     activation: &Activation<'_>,
     mut solve: F,
@@ -128,7 +129,7 @@ where
             timeouts += 1;
         }
         if let Some(plan) = attempt.plan {
-            return finish(plan, true, timed_out_above, timeouts);
+            return finish(plan, true, timed_out_above || attempt.timed_out, timeouts);
         }
         timed_out_above |= attempt.timed_out;
     }
@@ -137,7 +138,7 @@ where
         timeouts += 1;
     }
     if let Some(plan) = attempt.plan {
-        return finish(plan, false, timed_out_above, timeouts);
+        return finish(plan, false, timed_out_above || attempt.timed_out, timeouts);
     }
     timed_out_above |= attempt.timed_out;
     if timed_out_above {
@@ -148,4 +149,138 @@ where
     let mut decision = Decision::reject();
     decision.solver_timeouts = timeouts;
     decision
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtrm_platform::{Platform, TaskCatalog, TaskTypeId};
+
+    use crate::view::JobView;
+
+    fn plan() -> Plan {
+        Plan {
+            placements: Vec::new(),
+            objective: Energy::new(1.0),
+            nodes: 1,
+            start_gates: Vec::new(),
+        }
+    }
+
+    /// Drives `decide_with_fallback_tracked` over a fabricated one-phantom
+    /// activation with a scripted rung outcome per `k`.
+    fn run_ladder(rungs: impl Fn(usize) -> Attempt, floor: impl Fn() -> Option<Plan>) -> Decision {
+        let platform = Platform::paper_default();
+        let catalog = TaskCatalog::new(Vec::new());
+        let arriving = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(1.0));
+        let phantom = [JobView::fresh(
+            JobKey(u64::MAX),
+            TaskTypeId::new(0),
+            Time::new(1.0),
+            Time::new(2.0),
+        )];
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &[],
+            arriving,
+            predicted: &phantom,
+        };
+        decide_with_fallback_tracked(&activation, |_, k| rungs(k), |_| floor())
+    }
+
+    #[test]
+    fn winning_rung_incumbent_on_timeout_is_degraded() {
+        // The top rung times out but hands back its anytime incumbent: the
+        // plan is feasible yet possibly suboptimal, so the decision must be
+        // counted as degraded (and the timeout recorded).
+        let decision = run_ladder(
+            |_| Attempt {
+                plan: Some(plan()),
+                timed_out: true,
+            },
+            || None,
+        );
+        assert!(decision.admitted);
+        assert!(decision.used_prediction);
+        assert!(decision.degraded, "incumbent-on-timeout must degrade");
+        assert_eq!(decision.solver_timeouts, 1);
+    }
+
+    #[test]
+    fn phantom_free_rung_incumbent_on_timeout_is_degraded() {
+        // Top rung infeasible (clean failure), k=0 rung times out with an
+        // incumbent: degraded, two distinct accounting paths.
+        let decision = run_ladder(
+            |k| {
+                if k > 0 {
+                    Attempt::default()
+                } else {
+                    Attempt {
+                        plan: Some(plan()),
+                        timed_out: true,
+                    }
+                }
+            },
+            || None,
+        );
+        assert!(decision.admitted);
+        assert!(!decision.used_prediction);
+        assert!(decision.degraded);
+        assert_eq!(decision.solver_timeouts, 1);
+    }
+
+    #[test]
+    fn clean_win_below_infeasible_rung_is_not_degraded() {
+        // A failed higher rung that was *infeasible* (no timeout) is the
+        // paper's normal fallback, not degradation.
+        let decision = run_ladder(
+            |k| {
+                if k > 0 {
+                    Attempt::default()
+                } else {
+                    Attempt::from(Some(plan()))
+                }
+            },
+            || None,
+        );
+        assert!(decision.admitted);
+        assert!(!decision.degraded);
+        assert_eq!(decision.solver_timeouts, 0);
+    }
+
+    #[test]
+    fn win_below_timed_out_rung_is_degraded() {
+        let decision = run_ladder(
+            |k| {
+                if k > 0 {
+                    Attempt {
+                        plan: None,
+                        timed_out: true,
+                    }
+                } else {
+                    Attempt::from(Some(plan()))
+                }
+            },
+            || None,
+        );
+        assert!(decision.admitted);
+        assert!(decision.degraded);
+        assert_eq!(decision.solver_timeouts, 1);
+    }
+
+    #[test]
+    fn floor_after_all_timeouts_is_degraded() {
+        let decision = run_ladder(
+            |_| Attempt {
+                plan: None,
+                timed_out: true,
+            },
+            || Some(plan()),
+        );
+        assert!(decision.admitted);
+        assert!(decision.degraded);
+        assert_eq!(decision.solver_timeouts, 2);
+    }
 }

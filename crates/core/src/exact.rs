@@ -282,4 +282,8 @@ impl ResourceManager for ExactRm {
             },
         )
     }
+
+    fn set_wall_clock(&mut self, budget: Option<f64>) {
+        self.wall_clock_budget = budget;
+    }
 }

@@ -374,4 +374,8 @@ impl ResourceManager for MilpRm {
             },
         )
     }
+
+    fn set_wall_clock(&mut self, budget: Option<f64>) {
+        self.options.max_wall_clock_secs = budget.unwrap_or(f64::INFINITY);
+    }
 }

@@ -1,0 +1,284 @@
+//! A bounded lock-free MPMC ring buffer (Vyukov's sequence-numbered slot
+//! design), used as the service's ingress and completion queues.
+//!
+//! Every slot carries its own sequence counter: a producer claims a slot by
+//! advancing the enqueue cursor when the slot's sequence says it is empty
+//! for this lap, writes the value, then publishes by bumping the sequence;
+//! consumers mirror the dance on the dequeue cursor. No slot is ever read
+//! and written concurrently, the queue never allocates after construction,
+//! and a full queue reports backpressure instead of growing — the property
+//! the admission service leans on to keep its ingress bounded under
+//! overload.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One slot: the sequence number encodes which lap the slot belongs to and
+/// whether it currently holds a value.
+struct Slot<T> {
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer multi-consumer queue.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_service::Ring;
+///
+/// let ring: Ring<u32> = Ring::with_capacity(4);
+/// assert!(ring.try_push(1).is_ok());
+/// assert!(ring.try_push(2).is_ok());
+/// assert_eq!(ring.try_pop(), Some(1));
+/// assert_eq!(ring.try_pop(), Some(2));
+/// assert_eq!(ring.try_pop(), None);
+/// ```
+pub struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Enqueue cursor: the next position a producer will claim.
+    head: AtomicUsize,
+    /// Dequeue cursor: the next position a consumer will claim.
+    tail: AtomicUsize,
+}
+
+// SAFETY: values move through the queue by ownership; the sequence protocol
+// guarantees a slot is accessed by exactly one thread at a time.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> std::fmt::Debug for Ring<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at least `capacity` elements (rounded up to
+    /// the next power of two, minimum 2).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            slots,
+            mask: capacity - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate number of queued elements (exact when no push/pop is in
+    /// flight). This is the service workers' backlog signal.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        head.saturating_sub(tail)
+    }
+
+    /// Whether the queue is (approximately) empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `value`, or hands it back when the queue is full — the
+    /// caller decides whether to spin (backpressure) or drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the queue is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // The slot is empty for this lap: race to claim it.
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the claim above makes this thread the
+                        // slot's only writer until the sequence is bumped.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The slot still holds a value from the previous lap: full.
+                return Err(value);
+            } else {
+                // Another producer claimed this position; follow the cursor.
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest element, or `None` when the queue is empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the claim above makes this thread the
+                        // slot's only reader; the producer's Release store
+                        // of the sequence made the value visible.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.sequence
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let ring: Ring<usize> = Ring::with_capacity(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.try_push(i).is_ok());
+        }
+        assert_eq!(ring.try_push(99), Err(99), "full ring refuses the value");
+        assert_eq!(ring.len(), 4);
+        for i in 0..4 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Ring::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(Ring::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(Ring::<u8>::with_capacity(4).capacity(), 4);
+        assert_eq!(Ring::<u8>::with_capacity(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let ring: Ring<usize> = Ring::with_capacity(2);
+        for i in 0..1000 {
+            assert!(ring.try_push(i).is_ok());
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drops_remaining_values() {
+        // A ring dropped half-full must drop its values exactly once.
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ring: Ring<Counted> = Ring::with_capacity(8);
+        for _ in 0..5 {
+            assert!(ring.try_push(Counted).is_ok());
+        }
+        drop(ring.try_pop());
+        drop(ring);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn mpsc_stress_preserves_per_producer_order_and_loses_nothing() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 5_000;
+        let ring: Ring<u64> = Ring::with_capacity(64);
+        let mut seen: Vec<Vec<u64>> = vec![Vec::new(); PRODUCERS as usize];
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut item = p * PER_PRODUCER + i;
+                        loop {
+                            match ring.try_push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let mut received = 0;
+            while received < PRODUCERS * PER_PRODUCER {
+                if let Some(v) = ring.try_pop() {
+                    seen[(v / PER_PRODUCER) as usize].push(v % PER_PRODUCER);
+                    received += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        for (p, values) in seen.iter().enumerate() {
+            assert_eq!(
+                values.len(),
+                PER_PRODUCER as usize,
+                "producer {p} lost items"
+            );
+            assert!(
+                values.windows(2).all(|w| w[0] < w[1]),
+                "producer {p} order violated"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Overload behaviour of the service: with the MILP solver stalled (every
+//! branch & bound deadline check "expires") and the whole load released as
+//! a firehose, the service must *degrade* through the anytime-budget ladder
+//! — every admission coming from the heuristic floor, every expiry counted
+//! — rather than queue unboundedly or fail. This is the acceptance-criteria
+//! fault-injection pin for the overload path.
+
+use std::sync::Mutex;
+
+use rand::SeedableRng;
+use rtrm_core::MilpRm;
+use rtrm_platform::{Platform, TaskCatalog, Trace};
+use rtrm_service::{
+    generate_load, run_service, Arrivals, LoadConfig, OverloadPolicy, ServiceConfig,
+};
+use rtrm_trace::{generate_catalog, BurstyConfig, CatalogConfig};
+
+/// Fail points are process-global; serialize the tests that arm one.
+static STALL: Mutex<()> = Mutex::new(());
+
+fn world(seed: u64, traces: usize, trace_len: usize) -> (Platform, TaskCatalog, Vec<Trace>) {
+    let platform = Platform::paper_default();
+    let catalog = generate_catalog(
+        &platform,
+        &CatalogConfig::paper(),
+        &mut rand::rngs::StdRng::seed_from_u64(seed),
+    );
+    let load = generate_load(
+        &catalog,
+        &LoadConfig {
+            traces,
+            trace_len,
+            seed,
+            arrivals: Arrivals::Bursty(BurstyConfig::default()),
+        },
+    );
+    (platform, catalog, load)
+}
+
+/// Firehose load into a stalled MILP: the run completes, nothing waits in
+/// an unbounded queue (the ingress rings are the only queues and they are
+/// bounded by construction), and every admission is a degraded one — the
+/// budget ladder's floor — with the expiries on the books.
+#[test]
+fn stalled_solver_under_firehose_degrades_instead_of_queueing() {
+    let _serial = STALL.lock().unwrap_or_else(|e| e.into_inner());
+    let (platform, catalog, load) = world(3, 4, 40);
+
+    // Stall the solver at the root of every B&B tree: each budgeted rung
+    // expires immediately without an incumbent.
+    let _stall =
+        rtrm_testkit::arm_with("milp::stall", rtrm_testkit::Action::Trigger, Some(0), None);
+
+    let config = ServiceConfig {
+        shards: 2,
+        ingress_capacity: 8,
+        budget: Some(1e-3),
+        overload: OverloadPolicy {
+            backlog_lo: 0,
+            backlog_hi: 4,
+        },
+        time_scale: 0.0, // firehose: the overload regime
+        ..ServiceConfig::default()
+    };
+    let report = run_service(&platform, &catalog, &config, &load, |_| {
+        Box::new(MilpRm::new())
+    });
+
+    assert_eq!(report.requests, 160, "every request got a verdict");
+    assert!(report.admitted > 0, "the floor must keep admitting work");
+    assert!(
+        report.solver_timeouts > 0,
+        "the stalled rungs' expiries must be counted"
+    );
+    assert_eq!(
+        report.degraded, report.admitted,
+        "with the solver fully stalled, every admission is degraded"
+    );
+    assert!(
+        report.max_backlog <= 8,
+        "backlog {} must never exceed the bounded ingress ring",
+        report.max_backlog
+    );
+    for trace_report in &report.trace_reports {
+        assert_eq!(
+            trace_report.deadline_misses, 0,
+            "degraded plans must stay feasible"
+        );
+    }
+}
+
+/// Budget control is strictly opt-in: with `budget: None` the service never
+/// calls `set_wall_clock`, the manager's default (infinite) budget stands,
+/// and no timeout or degradation can ever be counted — the deterministic
+/// regime the differential suite relies on.
+#[test]
+fn budget_control_only_engages_when_configured() {
+    let _serial = STALL.lock().unwrap_or_else(|e| e.into_inner());
+    let (platform, catalog, load) = world(11, 2, 30);
+
+    let unbudgeted = run_service(
+        &platform,
+        &catalog,
+        &ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+        &load,
+        |_| Box::new(MilpRm::new()),
+    );
+    assert_eq!(unbudgeted.solver_timeouts, 0);
+    assert_eq!(unbudgeted.degraded, 0);
+    assert_eq!(unbudgeted.requests, 60);
+}

@@ -1,0 +1,144 @@
+//! Differential contract of the service: because sessions advance on
+//! *simulated* time and requests are sharded by trace, the sharded service
+//! must produce decisions identical to the sequential [`Simulator`] run on
+//! each trace — at any shard count, under any interleaving, with latency
+//! pacing on or off.
+
+use rand::SeedableRng;
+use rtrm_core::{ExactRm, HeuristicRm, ResourceManager};
+use rtrm_platform::{Platform, TaskCatalog, Trace};
+use rtrm_service::{generate_load, run_service, Arrivals, LoadConfig, ServiceConfig};
+use rtrm_sim::{SimConfig, Simulator};
+use rtrm_trace::{generate_catalog, CatalogConfig};
+
+fn world(seed: u64, traces: usize, trace_len: usize) -> (Platform, TaskCatalog, Vec<Trace>) {
+    let platform = Platform::paper_default();
+    let catalog = generate_catalog(
+        &platform,
+        &CatalogConfig::paper(),
+        &mut rand::rngs::StdRng::seed_from_u64(seed),
+    );
+    let load = generate_load(
+        &catalog,
+        &LoadConfig {
+            traces,
+            trace_len,
+            seed,
+            arrivals: Arrivals::Poisson { mean_gap: 2.8 },
+        },
+    );
+    (platform, catalog, load)
+}
+
+fn assert_service_matches_batch<M>(seed: u64, traces: usize, trace_len: usize, make_manager: M)
+where
+    M: Fn(usize) -> Box<dyn ResourceManager + Send> + Sync,
+{
+    let (platform, catalog, load) = world(seed, traces, trace_len);
+    let sim = Simulator::new(&platform, &catalog, SimConfig::default());
+
+    // Sequential ground truth: one whole-trace batch run per trace.
+    let baseline: Vec<_> = load
+        .iter()
+        .enumerate()
+        .map(|(trace, t)| sim.run(t, make_manager(trace).as_mut(), None))
+        .collect();
+
+    for shards in [1usize, 2, 4, 8] {
+        let config = ServiceConfig {
+            shards,
+            ingress_capacity: 16,
+            record_verdicts: true,
+            ..ServiceConfig::default()
+        };
+        let report = run_service(&platform, &catalog, &config, &load, &make_manager);
+
+        assert_eq!(report.requests as usize, traces * trace_len);
+        assert_eq!(report.shards, shards.min(traces));
+        assert_eq!(
+            report.trace_reports, baseline,
+            "shards={shards}: drained per-trace reports must be bit-identical to batch runs"
+        );
+
+        // Per-request decision identity: replay the baseline decisions and
+        // compare verdict by verdict.
+        let verdicts = report.verdicts.as_ref().expect("verdicts recorded");
+        assert_eq!(verdicts.len(), traces * trace_len);
+        let mut admitted_by_trace: Vec<Vec<(usize, bool)>> = vec![Vec::new(); traces];
+        for v in verdicts {
+            admitted_by_trace[v.trace].push((v.request, v.decision.admitted));
+        }
+        for (trace, decisions) in admitted_by_trace.iter_mut().enumerate() {
+            decisions.sort_by_key(|(request, _)| *request);
+            let admitted = decisions.iter().filter(|(_, a)| *a).count();
+            assert_eq!(
+                admitted, baseline[trace].accepted,
+                "shards={shards}, trace={trace}: admitted set must match the batch run"
+            );
+            assert_eq!(
+                decisions.len(),
+                trace_len,
+                "shards={shards}, trace={trace}: every request gets exactly one verdict"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_service_matches_sequential_heuristic() {
+    assert_service_matches_batch(41, 6, 60, |_| Box::new(HeuristicRm::new()));
+}
+
+#[test]
+fn sharded_service_matches_sequential_exact() {
+    // The exact manager carries a warm timeline pool through
+    // `decide_with_pool`; small traces keep debug-build solves fast.
+    assert_service_matches_batch(42, 4, 25, |_| Box::new(ExactRm::new()));
+}
+
+/// Verdict identity is also wall-clock independent: pacing the open loop
+/// (nonzero `time_scale`) changes latencies but not one decision.
+#[test]
+fn pacing_does_not_change_decisions() {
+    let (platform, catalog, load) = world(7, 3, 40);
+    let firehose = run_service(
+        &platform,
+        &catalog,
+        &ServiceConfig {
+            shards: 3,
+            record_verdicts: true,
+            time_scale: 0.0,
+            ..ServiceConfig::default()
+        },
+        &load,
+        |_| Box::new(HeuristicRm::new()),
+    );
+    let paced = run_service(
+        &platform,
+        &catalog,
+        &ServiceConfig {
+            shards: 3,
+            record_verdicts: true,
+            // ~60 simulated units/trace × 2.8 gap ≈ sub-second run.
+            time_scale: 2e-3,
+            ..ServiceConfig::default()
+        },
+        &load,
+        |_| Box::new(HeuristicRm::new()),
+    );
+    assert_eq!(firehose.trace_reports, paced.trace_reports);
+    assert_eq!(firehose.admitted, paced.admitted);
+    assert_eq!(firehose.rejected, paced.rejected);
+    let key = |vs: &Vec<rtrm_service::Verdict>| {
+        let mut keys: Vec<_> = vs
+            .iter()
+            .map(|v| (v.trace, v.request, v.decision.admitted))
+            .collect();
+        keys.sort_unstable();
+        keys
+    };
+    assert_eq!(
+        key(firehose.verdicts.as_ref().unwrap()),
+        key(paced.verdicts.as_ref().unwrap())
+    );
+}

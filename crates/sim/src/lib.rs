@@ -25,7 +25,8 @@ mod stats;
 
 pub use report::{mean_energy, mean_rejection_percent, SimReport, TaskOutcome, TaskRecord};
 pub use runner::{
-    resolve_workers, run_batch, run_batch_with, BatchOptions, BatchStats, TraceFault, TraceStats,
+    resolve_workers, resolve_workers_with, run_batch, run_batch_with, BatchOptions, BatchStats,
+    TraceFault, TraceStats,
 };
-pub use simulator::{PhantomDeadline, SimConfig, SimScratch, Simulator};
+pub use simulator::{PhantomDeadline, Session, SimConfig, SimScratch, Simulator};
 pub use stats::Summary;

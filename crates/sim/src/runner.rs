@@ -20,7 +20,9 @@
 //! the batch. The worker catches it, **quarantines** that trace (index and
 //! panic payload land in [`BatchStats::quarantined`]), rebuilds its warm
 //! scratch — a panicking simulation can leave it in any state — and moves
-//! on. Every other trace's report is bit-identical to a clean run.
+//! on. A panic inside the caller's [`BatchOptions::on_trace`] hook is
+//! quarantined the same way (the hook runs on the worker thread, inside the
+//! pool). Every other trace's report is bit-identical to a clean run.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -89,7 +91,9 @@ pub struct BatchOptions<'a> {
     /// a long tail behind one worker.
     pub chunk: Option<usize>,
     /// Called on the worker thread after each trace completes. Hooks must
-    /// be cheap and thread-safe; they run inside the pool.
+    /// be cheap and thread-safe; they run inside the pool. A panicking hook
+    /// quarantines its trace (the report is withheld, the fault lands in
+    /// [`BatchStats::quarantined`]) instead of aborting the batch.
     pub on_trace: Option<&'a (dyn Fn(&TraceStats) + Sync)>,
 }
 
@@ -110,17 +114,24 @@ impl std::fmt::Debug for BatchOptions<'_> {
 /// batches). The clamp is pinned by unit tests.
 #[must_use]
 pub fn resolve_workers(explicit: Option<usize>, traces: usize) -> usize {
-    let requested = explicit
-        .or_else(|| {
-            std::env::var("RTRM_WORKERS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-        })
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4)
-        });
+    let env = std::env::var("RTRM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    resolve_workers_with(explicit, traces, env)
+}
+
+/// [`resolve_workers`] with the `RTRM_WORKERS` lookup already performed:
+/// `env` is the parsed value of the variable (or `None` when unset /
+/// unparsable). Injecting the lookup keeps the resolution rule testable
+/// without mutating the process environment — `std::env::set_var` in a test
+/// races every concurrently running `resolve_workers(None, _)` call.
+#[must_use]
+pub fn resolve_workers_with(explicit: Option<usize>, traces: usize, env: Option<usize>) -> usize {
+    let requested = explicit.or(env).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    });
     requested.clamp(1, traces.max(1))
 }
 
@@ -273,18 +284,36 @@ where
                         nanos[i].set(elapsed).expect("trace timed exactly once");
                         match outcome {
                             Ok(report) => {
-                                if let Some(hook) = options.on_trace {
-                                    hook(&TraceStats {
-                                        trace: i,
-                                        worker,
-                                        nanos: elapsed,
-                                        requests: report.requests,
-                                        accepted: report.accepted,
-                                    });
+                                // The hook runs under its own catch_unwind:
+                                // a panicking hook quarantines the trace
+                                // (report withheld) instead of unwinding the
+                                // worker and aborting the batch. The
+                                // simulation itself completed cleanly, so
+                                // the warm scratch needs no rebuild.
+                                let hooked = catch_unwind(AssertUnwindSafe(|| {
+                                    if let Some(hook) = options.on_trace {
+                                        hook(&TraceStats {
+                                            trace: i,
+                                            worker,
+                                            nanos: elapsed,
+                                            requests: report.requests,
+                                            accepted: report.accepted,
+                                        });
+                                    }
+                                }));
+                                match hooked {
+                                    Ok(()) => results[i]
+                                        .set(report)
+                                        .expect("trace index dispatched to exactly one worker"),
+                                    Err(payload) => faults
+                                        .lock()
+                                        .expect("fault list poisoned")
+                                        .push(TraceFault {
+                                            trace: i,
+                                            // `&*`: downcast the payload, not the box.
+                                            panic: panic_message(&*payload),
+                                        }),
                                 }
-                                results[i]
-                                    .set(report)
-                                    .expect("trace index dispatched to exactly one worker");
                             }
                             Err(payload) => {
                                 // The unwound simulation can leave the warm
@@ -334,15 +363,27 @@ where
 }
 
 /// Best-effort stringification of a caught panic payload (`&str` and
-/// `String` payloads cover `panic!` with and without formatting).
+/// `String` payloads cover `panic!` with and without formatting). Other
+/// payloads (`std::panic::panic_any`) cannot reveal their concrete type
+/// through `dyn Any`, so common primitive types are probed by downcast and
+/// reported with their type name and value; anything else falls back to the
+/// opaque [`std::any::TypeId`].
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! probe {
+        ($($t:ty),* $(,)?) => {
+            $(if let Some(v) = payload.downcast_ref::<$t>() {
+                return format!("non-string panic payload: {} = {v:?}", stringify!($t));
+            })*
+        };
+    }
+    probe!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char);
+    format!("non-string panic payload of type {:?}", payload.type_id())
 }
 
 #[cfg(test)]
@@ -415,13 +456,54 @@ mod tests {
 
     #[test]
     fn rtrm_workers_env_overrides_parallelism() {
-        // Set-then-resolve runs on this thread; no other test in this
-        // binary reads the variable with `workers: None` concurrently.
-        std::env::set_var("RTRM_WORKERS", "3");
-        assert_eq!(resolve_workers(None, 100), 3);
-        assert_eq!(resolve_workers(None, 2), 2, "env count is still clamped");
-        assert_eq!(resolve_workers(Some(5), 100), 5, "explicit beats env");
-        std::env::remove_var("RTRM_WORKERS");
+        // The env lookup is injected (`resolve_workers_with`), so this test
+        // never calls `std::env::set_var` — mutating `RTRM_WORKERS` here
+        // would race every concurrent test that resolves with
+        // `workers: None`.
+        assert_eq!(resolve_workers_with(None, 100, Some(3)), 3);
+        assert_eq!(
+            resolve_workers_with(None, 2, Some(3)),
+            2,
+            "env count is still clamped"
+        );
+        assert_eq!(
+            resolve_workers_with(Some(5), 100, Some(3)),
+            5,
+            "explicit beats env"
+        );
+        // Without env or explicit count the parallelism fallback applies,
+        // still clamped to the trace count.
+        assert_eq!(resolve_workers_with(None, 1, None), 1);
+    }
+
+    #[test]
+    fn panic_messages_name_the_payload_type() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&"boom".to_string()), "boom");
+        assert_eq!(panic_message(&42u32), "non-string panic payload: u32 = 42");
+        assert_eq!(panic_message(&-1i64), "non-string panic payload: i64 = -1");
+        assert_eq!(
+            panic_message(&true),
+            "non-string panic payload: bool = true"
+        );
+        // Unprobed types still identify themselves by TypeId.
+        #[derive(Debug)]
+        struct Opaque;
+        let opaque = panic_message(&Opaque);
+        assert!(
+            opaque.starts_with("non-string panic payload of type "),
+            "{opaque}"
+        );
+    }
+
+    #[test]
+    fn caught_panic_any_payload_reports_its_type() {
+        let payload = std::panic::catch_unwind(|| std::panic::panic_any(7usize))
+            .expect_err("panic_any must unwind");
+        assert_eq!(
+            panic_message(&*payload),
+            "non-string panic payload: usize = 7"
+        );
     }
 
     #[test]

@@ -6,10 +6,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rtrm_core::{
-    Activation, Assignment, Candidate, JobView, Placement, ResourceManager, TimelinePool,
+    Activation, Assignment, Candidate, Decision, JobView, Placement, ResourceManager, TimelinePool,
 };
 use rtrm_platform::{
-    Energy, Platform, ResourceId, TaskCatalog, TaskTypeId, Time, Trace, TIME_EPSILON,
+    Energy, Platform, Request, ResourceId, TaskCatalog, TaskTypeId, Time, Trace, TIME_EPSILON,
 };
 use rtrm_predict::{OverheadModel, Prediction, Predictor};
 use rtrm_sched::{simulate_into, EdfScratch, JobKey, JobOutcome, PlannedJob};
@@ -239,6 +239,125 @@ impl SimScratch {
     }
 }
 
+/// A zeroed report for `requests` requests on a `resources`-resource
+/// platform — the starting state of both batch runs and streaming sessions.
+fn blank_report(requests: usize, resources: usize) -> SimReport {
+    SimReport {
+        requests,
+        accepted: 0,
+        rejected: 0,
+        completed: 0,
+        deadline_misses: 0,
+        energy: Energy::ZERO,
+        migration_energy: Energy::ZERO,
+        wasted_energy: Energy::ZERO,
+        used_prediction: 0,
+        rm_nodes: 0,
+        solver_timeouts: 0,
+        degraded_activations: 0,
+        makespan: Time::ZERO,
+        task_log: Vec::new(),
+        busy_time: vec![Time::ZERO; resources],
+    }
+}
+
+/// A streaming admission session: the per-trace state of
+/// [`Simulator::run_with_scratch`] held open so requests are admitted one
+/// at a time — the entry point of the long-running service mode
+/// (`rtrm-service`), where one shard worker interleaves many sessions over
+/// a single warm [`SimScratch`].
+///
+/// The session owns what outlives a step (live jobs, the simulated clock,
+/// the accumulating [`SimReport`]); the scratch's engine heaps, staging
+/// buffers, and manager-side [`TimelinePool`] are borrowed per call, so any
+/// number of sessions share one scratch without affecting each other's
+/// decisions. Every step goes through the same private step function as the
+/// batch path, so a session fed a trace's requests in order produces the
+/// same decisions as [`Simulator::run`] on that trace (asserted
+/// decision-for-decision by `crates/service/tests/service_differential.rs`).
+#[derive(Debug)]
+pub struct Session {
+    live: Vec<LiveJob>,
+    now: Time,
+    overhead: Time,
+    report: SimReport,
+}
+
+impl Session {
+    /// Admits (or rejects) one request, returning the manager's decision.
+    ///
+    /// Requests must be fed in nondecreasing arrival order — the simulated
+    /// clock only moves forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when a request arrives before the session's
+    /// clock, or when an admitted task misses its deadline (like
+    /// [`Simulator::run`]).
+    pub fn admit(
+        &mut self,
+        simulator: &Simulator<'_>,
+        request: &Request,
+        manager: &mut dyn ResourceManager,
+        predictor: Option<&mut dyn Predictor>,
+        scratch: &mut SimScratch,
+    ) -> Decision {
+        debug_assert!(
+            request.arrival >= self.now,
+            "requests must be fed in arrival order (got {} before {})",
+            request.arrival,
+            self.now
+        );
+        self.report.requests += 1;
+        simulator.step_request(
+            request,
+            manager,
+            predictor,
+            self.overhead,
+            &mut self.now,
+            &mut self.live,
+            &mut scratch.advance,
+            &mut scratch.pool,
+            &mut scratch.views,
+            &mut scratch.phantoms,
+            &mut self.report,
+        )
+    }
+
+    /// Runs every admitted, unfinished task to completion (the batch run's
+    /// final drain). Call once after the last request; the session can keep
+    /// serving afterwards, but a drain is not an idle wait — it fast-forwards
+    /// the simulated clock past the last completion.
+    pub fn drain(&mut self, simulator: &Simulator<'_>, scratch: &mut SimScratch) {
+        simulator.advance(
+            &mut self.live,
+            self.now,
+            None,
+            &mut scratch.advance,
+            &mut self.report,
+        );
+        debug_assert!(self.live.is_empty(), "drained session must finish all jobs");
+        debug_assert_eq!(
+            self.report.deadline_misses, 0,
+            "admitted task missed a deadline"
+        );
+    }
+
+    /// The report accumulated so far (drained totals only settle after
+    /// [`drain`](Session::drain)).
+    #[must_use]
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Drains the session and returns its final report.
+    #[must_use]
+    pub fn into_report(mut self, simulator: &Simulator<'_>, scratch: &mut SimScratch) -> SimReport {
+        self.drain(simulator, scratch);
+        self.report
+    }
+}
+
 /// Bit-exact mirror of the EDF engine's `advance_job`, so the unified queue
 /// reproduces [`simulate_into`] outcomes down to the last ULP (asserted by
 /// the differential property suite in `tests/unified_queue.rs`).
@@ -431,23 +550,7 @@ impl<'a> Simulator<'a> {
         } = scratch;
         live.clear();
         let mut now = Time::ZERO;
-        let mut report = SimReport {
-            requests: trace.len(),
-            accepted: 0,
-            rejected: 0,
-            completed: 0,
-            deadline_misses: 0,
-            energy: Energy::ZERO,
-            migration_energy: Energy::ZERO,
-            wasted_energy: Energy::ZERO,
-            used_prediction: 0,
-            rm_nodes: 0,
-            solver_timeouts: 0,
-            degraded_activations: 0,
-            makespan: Time::ZERO,
-            task_log: Vec::new(),
-            busy_time: vec![Time::ZERO; self.platform.len()],
-        };
+        let mut report = blank_report(trace.len(), self.platform.len());
         if self.config.record_task_log {
             report.task_log = trace
                 .iter()
@@ -466,83 +569,19 @@ impl<'a> Simulator<'a> {
         };
 
         for request in trace.iter() {
-            self.advance(live, now, Some(request.arrival), scratch, &mut report);
-            now = request.arrival;
-
-            // Prediction: feed the actual arrival, then forecast the next
-            // `lookahead` requests.
-            phantoms.clear();
-            phantoms.extend(
-                predictor
-                    .as_deref_mut()
-                    .map(|p| {
-                        p.observe(request);
-                        p.predict_horizon(self.config.lookahead)
-                    })
-                    .unwrap_or_default()
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, pred): (usize, Prediction)| {
-                        let rel = self
-                            .config
-                            .phantom_deadline
-                            .relative(self.catalog, pred.task_type);
-                        JobView::fresh(
-                            JobKey(u64::MAX - (request.id.index() * 64 + i) as u64),
-                            pred.task_type,
-                            pred.arrival.max(now),
-                            pred.arrival.max(now) + rel,
-                        )
-                    }),
-            );
-
-            let arriving = JobView::fresh(
-                JobKey(request.id.index() as u64),
-                request.task_type,
-                request.arrival + overhead,
-                request.absolute_deadline(),
-            );
-            views.clear();
-            views.extend(live.iter().map(|j| j.view(self.catalog)));
-            let decision = manager.decide_with_pool(
-                &Activation {
-                    now,
-                    platform: self.platform,
-                    catalog: self.catalog,
-                    active: views,
-                    arriving,
-                    predicted: phantoms,
-                },
+            let _ = self.step_request(
+                request,
+                manager,
+                predictor.as_deref_mut(),
+                overhead,
+                &mut now,
+                live,
+                scratch,
                 pool,
+                views,
+                phantoms,
+                &mut report,
             );
-            report.rm_nodes += decision.nodes;
-            report.solver_timeouts += u64::from(decision.solver_timeouts);
-            report.degraded_activations += usize::from(decision.degraded);
-
-            if decision.admitted {
-                report.accepted += 1;
-                if decision.used_prediction {
-                    report.used_prediction += 1;
-                }
-                self.apply(live, views, arriving, &decision.assignments, &mut report);
-                // Plan-following dispatch: hold jobs sharing the phantom's
-                // non-preemptable resource to their planned start times, so
-                // the reserved slot survives until the predicted request
-                // materializes (or the next activation replans).
-                for job in live.iter_mut() {
-                    job.gate = if self.config.honour_start_gates {
-                        decision
-                            .start_gates
-                            .iter()
-                            .find(|(k, _)| *k == job.key)
-                            .map(|(_, t)| *t)
-                    } else {
-                        None
-                    };
-                }
-            } else {
-                report.rejected += 1;
-            }
         }
 
         // Drain: run everything that was admitted to completion.
@@ -550,6 +589,125 @@ impl<'a> Simulator<'a> {
         debug_assert!(live.is_empty(), "drained simulation must finish all jobs");
         debug_assert_eq!(report.deadline_misses, 0, "admitted task missed a deadline");
         report
+    }
+
+    /// Opens a streaming [`Session`]: the per-trace simulation state held
+    /// open so requests can be fed one at a time instead of as a whole
+    /// [`Trace`]. `overhead` is the per-activation prediction overhead to
+    /// charge ([`Time::ZERO`] when no predictor is used — matching what
+    /// [`run`](Simulator::run) computes for that case).
+    ///
+    /// Sessions advance on *simulated* time (request arrivals), so feeding
+    /// the same requests in the same order yields decisions identical to a
+    /// batch run, regardless of wall clock or how many sessions interleave
+    /// on one thread. [`SimConfig::record_task_log`] is ignored by sessions
+    /// (the per-request log needs the whole trace upfront).
+    #[must_use]
+    pub fn session(&self, overhead: Time) -> Session {
+        Session {
+            live: Vec::new(),
+            now: Time::ZERO,
+            overhead,
+            report: blank_report(0, self.platform.len()),
+        }
+    }
+
+    /// One admission step, shared verbatim by [`run_with_scratch`]
+    /// (`Simulator::run_with_scratch`) and the streaming [`Session`] — the
+    /// two paths cannot drift because this is the only implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn step_request(
+        &self,
+        request: &Request,
+        manager: &mut dyn ResourceManager,
+        predictor: Option<&mut (dyn Predictor + '_)>,
+        overhead: Time,
+        now: &mut Time,
+        live: &mut Vec<LiveJob>,
+        scratch: &mut AdvanceScratch,
+        pool: &mut TimelinePool,
+        views: &mut Vec<JobView>,
+        phantoms: &mut Vec<JobView>,
+        report: &mut SimReport,
+    ) -> Decision {
+        self.advance(live, *now, Some(request.arrival), scratch, report);
+        *now = request.arrival;
+        let now = *now;
+
+        // Prediction: feed the actual arrival, then forecast the next
+        // `lookahead` requests.
+        phantoms.clear();
+        phantoms.extend(
+            predictor
+                .map(|p| {
+                    p.observe(request);
+                    p.predict_horizon(self.config.lookahead)
+                })
+                .unwrap_or_default()
+                .into_iter()
+                .enumerate()
+                .map(|(i, pred): (usize, Prediction)| {
+                    let rel = self
+                        .config
+                        .phantom_deadline
+                        .relative(self.catalog, pred.task_type);
+                    JobView::fresh(
+                        JobKey(u64::MAX - (request.id.index() * 64 + i) as u64),
+                        pred.task_type,
+                        pred.arrival.max(now),
+                        pred.arrival.max(now) + rel,
+                    )
+                }),
+        );
+
+        let arriving = JobView::fresh(
+            JobKey(request.id.index() as u64),
+            request.task_type,
+            request.arrival + overhead,
+            request.absolute_deadline(),
+        );
+        views.clear();
+        views.extend(live.iter().map(|j| j.view(self.catalog)));
+        let decision = manager.decide_with_pool(
+            &Activation {
+                now,
+                platform: self.platform,
+                catalog: self.catalog,
+                active: views,
+                arriving,
+                predicted: phantoms,
+            },
+            pool,
+        );
+        report.rm_nodes += decision.nodes;
+        report.solver_timeouts += u64::from(decision.solver_timeouts);
+        report.degraded_activations += usize::from(decision.degraded);
+
+        if decision.admitted {
+            report.accepted += 1;
+            if decision.used_prediction {
+                report.used_prediction += 1;
+            }
+            self.apply(live, views, arriving, &decision.assignments, report);
+            // Plan-following dispatch: hold jobs sharing the phantom's
+            // non-preemptable resource to their planned start times, so
+            // the reserved slot survives until the predicted request
+            // materializes (or the next activation replans).
+            for job in live.iter_mut() {
+                job.gate = if self.config.honour_start_gates {
+                    decision
+                        .start_gates
+                        .iter()
+                        .find(|(k, _)| *k == job.key)
+                        .map(|(_, t)| *t)
+                } else {
+                    None
+                };
+            }
+        } else {
+            report.rejected += 1;
+        }
+        decision
     }
 
     /// Executes all live jobs from `now` to `horizon` (or to completion).

@@ -31,13 +31,21 @@ fn world(seed: u64, length: usize) -> (Platform, TaskCatalog, Vec<Trace>) {
     (platform, catalog, traces)
 }
 
-/// Wraps the anytime manager and asserts the floor guarantee on every
-/// activation: whenever it rejects, the pure heuristic planning *without
-/// prediction* rejects the same activation too. (A rejection means either
-/// every rung was genuinely infeasible — so the exact k=0 problem, a
-/// superset of the heuristic's, has no solution — or a rung timed out and
-/// the heuristic floor itself failed.) This is machine-independent: it holds
-/// however the wall-clock expiries land.
+/// Wraps the anytime manager and asserts two machine-independent
+/// per-activation guarantees, however the wall-clock expiries land:
+///
+/// 1. **Floor guarantee** — whenever it rejects, the pure heuristic
+///    planning *without prediction* rejects the same activation too. (A
+///    rejection means either every rung was genuinely infeasible — so the
+///    exact k=0 problem, a superset of the heuristic's, has no solution —
+///    or a rung timed out and the heuristic floor itself failed.)
+/// 2. **Degradation accounting** — an admitted decision that counted any
+///    rung timeout must be marked `degraded`: the ladder descends, so every
+///    timeout lands at or above the winning rung, meaning the plan is
+///    either the expired winner's own anytime incumbent or comes from below
+///    an expired rung. This pins the incumbent-accounting fix in
+///    `decide_with_fallback_tracked` (a timed-out *winning* rung used to
+///    report `degraded: false`).
 struct NeverWorse {
     inner: MilpRm,
 }
@@ -49,6 +57,13 @@ impl ResourceManager for NeverWorse {
 
     fn decide(&mut self, activation: &Activation<'_>) -> Decision {
         let decision = self.inner.decide(activation);
+        if decision.admitted && decision.solver_timeouts > 0 {
+            assert!(
+                decision.degraded,
+                "admitted with {} rung timeout(s) but not marked degraded",
+                decision.solver_timeouts
+            );
+        }
         if !decision.admitted {
             let unpredicted = Activation {
                 predicted: &[],

@@ -131,6 +131,68 @@ fn injected_panic_quarantines_exactly_that_trace() {
     );
 }
 
+/// A panicking [`BatchOptions::on_trace`] hook must be quarantined exactly
+/// like a panicking simulation: the hook runs on the worker thread *after*
+/// the per-trace `catch_unwind`, so an unguarded hook would tear down the
+/// worker and strand every trace still queued behind it. This pins the fix
+/// that moved the hook inside its own guard: the hooked trace's report is
+/// withheld (report XOR fault), the fault is recorded with the hook's
+/// message, and every other trace still completes bit-identically.
+#[test]
+fn injected_hook_panic_quarantines_only_the_hooked_trace() {
+    let _serial = BATCH.lock().unwrap_or_else(|e| e.into_inner());
+    let (platform, catalog, traces) = fixture(6, 30, 13);
+    let config = SimConfig::default();
+    let hook = |t: &rtrm_sim::TraceStats| {
+        rtrm_testkit::maybe_panic("batch::hook", t.trace as u64);
+    };
+    let run = || {
+        run_batch_with(
+            &platform,
+            &catalog,
+            &config,
+            &traces,
+            |_| Box::new(HeuristicRm::new()),
+            |_| None,
+            &BatchOptions {
+                on_trace: Some(&hook),
+                ..BatchOptions::default()
+            },
+        )
+    };
+
+    let (clean, clean_stats) = run();
+    assert!(clean_stats.quarantined.is_empty());
+
+    let guard = rtrm_testkit::arm_with(
+        "batch::hook",
+        rtrm_testkit::Action::Panic("hook exploded".to_string()),
+        Some(2),
+        None,
+    );
+    let (survivors, stats) = run();
+    drop(guard);
+
+    assert_eq!(
+        stats.quarantined,
+        vec![TraceFault {
+            trace: 2,
+            panic: "hook exploded".to_string(),
+        }],
+        "the hooked trace is quarantined, not the batch"
+    );
+    let expected: Vec<_> = clean
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 2)
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert_eq!(
+        survivors, expected,
+        "traces after the hooked one must still be simulated"
+    );
+}
+
 /// The quarantine does not weaken [`run_batch`]'s contract: it still panics
 /// on a faulted trace — but only after the whole batch has drained.
 #[test]
