@@ -23,6 +23,7 @@ cargo test -q --workspace
 echo "==> differential suites: incremental EDF timeline + phantom fast path + unified event queue + warm-pool sweep"
 cargo test -q -p rtrm-sched --test incremental
 cargo test -q -p rtrm-core --test phantom_fastpath
+cargo test -q -p rtrm-core --test prune_differential
 cargo test -q -p rtrm-sim --test phantom_differential
 cargo test -q -p rtrm-sim --test unified_queue
 cargo test -q -p rtrm-bench --test sweep_differential

@@ -353,6 +353,74 @@ fn bench_activation_json_schema_is_current() {
     }
 }
 
+/// `BENCH_platform.json` — the resource-count scaling record for the
+/// pruned candidate path (`platform_scale` bin). The depth column is the
+/// *resource count*; the acceptance bar is a >= 5x heuristic decide speedup
+/// at 128 resources and beyond, pruned (shared `CandidateTable` + installed
+/// `PlatformIndex`) vs the legacy rebuild-per-rung path.
+#[test]
+fn bench_platform_json_schema_is_current() {
+    let doc = load("BENCH_platform.json");
+    let mut series = Vec::new();
+    check_envelope(&doc, "platform_scale", |row| {
+        let s = row
+            .get("series")
+            .and_then(Json::as_str)
+            .expect("row series");
+        assert!(
+            matches!(
+                s,
+                "heuristic_decide" | "heuristic_decide_phantom" | "exact_decide_phantom"
+            ),
+            "unknown series {s}"
+        );
+        assert!(row.get("baseline_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(row.get("pruned_ns").and_then(Json::as_f64).unwrap() > 0.0);
+    });
+    for row in doc.get("results").and_then(Json::as_array).unwrap() {
+        series.push((
+            row.get("series").and_then(Json::as_str).unwrap().to_owned(),
+            row.get("depth").and_then(Json::as_f64).unwrap() as u64,
+            row.get("speedup").and_then(Json::as_f64).unwrap(),
+        ));
+    }
+    for want in [
+        "heuristic_decide",
+        "heuristic_decide_phantom",
+        "exact_decide_phantom",
+    ] {
+        assert!(
+            series.iter().any(|(s, _, _)| s == want),
+            "missing series {want}"
+        );
+    }
+    // The sweep must cover the full resource axis...
+    for want in [6, 32, 128, 512] {
+        assert!(
+            series
+                .iter()
+                .any(|(s, d, _)| s == "heuristic_decide" && *d == want),
+            "heuristic_decide must cover {want} resources"
+        );
+    }
+    // ...and hold the acceptance bar at 128 resources and beyond: the
+    // pruned heuristic decide must be at least 5x the unpruned baseline.
+    for (s, d, speedup) in &series {
+        if s.starts_with("heuristic") && *d >= 128 {
+            assert!(
+                *speedup >= 5.0,
+                "recorded {s} speedup at {d} resources regressed below 5x: {speedup}"
+            );
+        }
+        if s == "exact_decide_phantom" {
+            assert!(
+                *speedup >= 1.0,
+                "pruned exact ladder slower than the legacy path at {d}: {speedup}"
+            );
+        }
+    }
+}
+
 /// `BENCH_sweep.json` has its own acceptance points (batch sizes 64 and
 /// 512), so it does not go through [`check_envelope`] (which pins 128).
 #[test]

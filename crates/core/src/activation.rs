@@ -4,12 +4,13 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use rtrm_platform::{Energy, Platform, ResourceId, ResourceKind, TaskCatalog, Time};
+use rtrm_platform::{Energy, Platform, PlatformIndex, ResourceId, ResourceKind, TaskCatalog, Time};
 use rtrm_sched::{
     is_schedulable_with, simulate_into, EdfScratch, EdfTimeline, JobKey, JobOutcome, PlannedJob,
 };
 
 use crate::cost::Candidate;
+use crate::prune::{CandidateTable, PruneStats};
 use crate::view::JobView;
 
 /// Everything the resource manager sees when it is activated by an arrival
@@ -228,6 +229,24 @@ pub struct TimelinePool {
     /// builder flushes them instead of letting a long-lived pool drag a
     /// memo full of dead keys through every lookup.
     last_now: Option<Time>,
+    /// Builder generation. A timeline is only reset (and only *iterated* by
+    /// whole-plan reads) when its [`touched_epoch`](TimelinePool) entry
+    /// matches the current epoch — so a builder over a 512-resource platform
+    /// that places jobs on a handful of resources does O(touched) work, not
+    /// O(platform).
+    epoch: u64,
+    /// Per-resource epoch of the last touch. `0` = never touched (epochs
+    /// start at 1).
+    touched_epoch: Vec<u64>,
+    /// Resources touched by the current builder, in first-touch order — the
+    /// shard the whole-plan reads iterate.
+    touched: Vec<ResourceId>,
+    /// Ranked placement rows for fresh jobs, installed per run via
+    /// [`ensure_index`](TimelinePool::ensure_index); `None` falls back to
+    /// per-decide row materialization (identical decisions).
+    index: Option<PlatformIndex>,
+    /// Recycled per-decide candidate table for the pruned decide path.
+    table: CandidateTable,
 }
 
 impl TimelinePool {
@@ -276,6 +295,63 @@ impl TimelinePool {
             .iter()
             .map(EdfTimeline::engine_verdicts)
             .sum()
+    }
+
+    /// Installs (or refreshes) the [`PlatformIndex`] for this world,
+    /// rebuilding only when the cached index's
+    /// [fingerprint](PlatformIndex::world_fingerprint) no longer matches —
+    /// callers invoke this once per simulation run, so a warm pool carried
+    /// across traces (or across whole sweep cells with different worlds)
+    /// never serves stale rows.
+    pub fn ensure_index(&mut self, platform: &Platform, catalog: &TaskCatalog) {
+        let fingerprint = PlatformIndex::world_fingerprint(platform, catalog);
+        if self
+            .index
+            .as_ref()
+            .is_none_or(|ix| ix.fingerprint() != fingerprint)
+        {
+            self.index = Some(PlatformIndex::build(platform, catalog));
+        }
+    }
+
+    /// Drops the cached [`PlatformIndex`]; subsequent decides materialize
+    /// every candidate row through the cost model (identical decisions).
+    pub fn clear_index(&mut self) {
+        self.index = None;
+    }
+
+    /// The cached [`PlatformIndex`], if one is installed.
+    #[must_use]
+    pub fn index(&self) -> Option<&PlatformIndex> {
+        self.index.as_ref()
+    }
+
+    /// Cumulative pruned-path behaviour counters (table rebuilds, row
+    /// storage kinds, shortlist widenings).
+    #[must_use]
+    pub fn prune_stats(&self) -> PruneStats {
+        self.table.stats()
+    }
+
+    /// Moves the recycled candidate table out of the pool for the duration
+    /// of one decide (so the table and the pool's timelines can be borrowed
+    /// independently); return it with
+    /// [`restore_table`](TimelinePool::restore_table).
+    pub(crate) fn take_table(&mut self) -> CandidateTable {
+        std::mem::take(&mut self.table)
+    }
+
+    /// Moves the cached index out alongside [`take_table`](TimelinePool::take_table).
+    pub(crate) fn take_index(&mut self) -> Option<PlatformIndex> {
+        self.index.take()
+    }
+
+    /// Returns the table (and index) taken at the start of a decide.
+    pub(crate) fn restore_table(&mut self, table: CandidateTable, index: Option<PlatformIndex>) {
+        self.table = table;
+        if self.index.is_none() {
+            self.index = index;
+        }
     }
 }
 
@@ -343,9 +419,17 @@ fn queue_schedulable(
 impl<'a> PlanBuilder<'a> {
     /// Creates an empty plan for the activation's platform, reusing the
     /// pool's timelines and buffers.
+    ///
+    /// O(1) amortized in the platform size: timelines are reset *lazily*, on
+    /// first touch by this builder (the epoch scheme), so a builder that
+    /// probes a handful of shortlisted resources never walks the other
+    /// hundreds — untouched resources are by definition empty, hence
+    /// trivially schedulable, and the whole-plan reads
+    /// ([`all_schedulable`](PlanBuilder::all_schedulable),
+    /// [`reservation_gates`](PlanBuilder::reservation_gates)) iterate only
+    /// the touched shard.
     #[must_use]
     pub fn new(activation: &'a Activation<'a>, pool: &'a mut TimelinePool) -> Self {
-        let oracle = pool.oracle;
         if pool.last_now != Some(activation.now) {
             pool.memo.clear();
             pool.last_now = Some(activation.now);
@@ -354,11 +438,29 @@ impl<'a> PlanBuilder<'a> {
             pool.timelines
                 .push(EdfTimeline::new(ResourceKind::Cpu, activation.now));
         }
-        for (timeline, r) in pool.timelines.iter_mut().zip(activation.platform.ids()) {
-            timeline.reset(activation.platform.resource(r).kind(), activation.now);
-            timeline.set_oracle(oracle);
+        if pool.touched_epoch.len() < pool.timelines.len() {
+            pool.touched_epoch.resize(pool.timelines.len(), 0);
         }
+        pool.epoch += 1;
+        pool.touched.clear();
         PlanBuilder { activation, pool }
+    }
+
+    /// Resets `r`'s timeline on this builder's first touch of it and tracks
+    /// it in the touched shard; every timeline access routes through here.
+    fn prepare(&mut self, r: ResourceId) -> &mut EdfTimeline {
+        let i = r.index();
+        if self.pool.touched_epoch[i] != self.pool.epoch {
+            self.pool.touched_epoch[i] = self.pool.epoch;
+            self.pool.touched.push(r);
+            let timeline = &mut self.pool.timelines[i];
+            timeline.reset(
+                self.activation.platform.resource(r).kind(),
+                self.activation.now,
+            );
+            timeline.set_oracle(self.pool.oracle);
+        }
+        &mut self.pool.timelines[i]
     }
 
     /// The [`PlannedJob`] a (job, candidate) pair contributes to a resource
@@ -380,7 +482,7 @@ impl<'a> PlanBuilder<'a> {
     #[must_use]
     pub fn fits(&mut self, job: &JobView, candidate: &Candidate) -> bool {
         let planned = self.planned_job(job, candidate);
-        self.pool.timelines[candidate.resource.index()].fits(planned)
+        self.prepare(candidate.resource).fits(planned)
     }
 
     /// Like [`fits`](PlanBuilder::fits), but *defers* the verdict (returns
@@ -401,8 +503,8 @@ impl<'a> PlanBuilder<'a> {
             // and the timelines classify with, and `has_future` reads the
             // timeline's retained release stack in O(1) instead of rescanning
             // the queue.
-            let future =
-                !job.release.released_by(now) || self.pool.timelines[r.index()].has_future();
+            let has_future = self.prepare(r).has_future();
+            let future = !job.release.released_by(now) || has_future;
             if future {
                 // Sound necessary condition that survives the anomaly: the
                 // sub-queue of already-released jobs runs in pure EDF order
@@ -441,7 +543,7 @@ impl<'a> PlanBuilder<'a> {
     /// allowed and simply leaves the timeline infeasible).
     pub fn place(&mut self, job: &JobView, candidate: &Candidate) {
         let planned = self.planned_job(job, candidate);
-        let _ = self.pool.timelines[candidate.resource.index()].push(planned);
+        let _ = self.prepare(candidate.resource).push(planned);
     }
 
     /// Removes the most recently placed job from `resource` (backtracking).
@@ -450,24 +552,30 @@ impl<'a> PlanBuilder<'a> {
     ///
     /// Panics if nothing is placed on `resource`.
     pub fn unplace_last(&mut self, resource: ResourceId) {
-        let _ = self.pool.timelines[resource.index()].undo();
+        let _ = self.prepare(resource).undo();
     }
 
-    /// Number of jobs currently placed on `resource`.
+    /// Number of jobs currently placed on `resource` (0 for resources this
+    /// builder never touched — their stale timeline contents belong to an
+    /// earlier builder).
     #[must_use]
     pub fn load(&self, resource: ResourceId) -> usize {
-        self.pool.timelines[resource.index()].len()
+        let i = resource.index();
+        if self.pool.touched_epoch[i] == self.pool.epoch {
+            self.pool.timelines[i].len()
+        } else {
+            0
+        }
     }
 
     /// Returns `true` if every resource queue is schedulable (sanity check
-    /// for complete plans). Reads the retained verdicts: O(1) per dense
-    /// queue.
+    /// for complete plans). Reads the retained verdicts of the touched
+    /// shard: untouched resources are empty, hence trivially schedulable.
     #[must_use]
     pub fn all_schedulable(&mut self) -> bool {
-        let PlanBuilder { activation, pool } = self;
-        activation
-            .platform
-            .ids()
+        let PlanBuilder { pool, .. } = self;
+        pool.touched
+            .iter()
             .all(|r| pool.timelines[r.index()].feasible())
     }
 
@@ -482,17 +590,23 @@ impl<'a> PlanBuilder<'a> {
     pub fn reservation_gates(&mut self, phantoms: &[JobKey]) -> Vec<(JobKey, Time)> {
         let mut gates = Vec::new();
         let PlanBuilder { activation, pool } = self;
+        // Only touched resources can hold a phantom; sorted so gate order
+        // matches the legacy platform-order iteration.
+        let mut shard: Vec<ResourceId> = pool
+            .touched
+            .iter()
+            .copied()
+            .filter(|&r| !activation.platform.resource(r).kind().is_preemptable())
+            .collect();
+        shard.sort_unstable();
         let TimelinePool {
             timelines,
             edf,
             outcomes,
             ..
         } = &mut **pool;
-        for resource in activation.platform.ids() {
+        for resource in shard {
             let kind = activation.platform.resource(resource).kind();
-            if kind.is_preemptable() {
-                continue;
-            }
             let queue = timelines[resource.index()].jobs();
             if !queue.iter().any(|j| phantoms.contains(&j.key)) {
                 continue;

@@ -63,8 +63,22 @@ pub fn candidates(
     catalog: &TaskCatalog,
     gpu_restart_in_place: bool,
 ) -> Vec<Candidate> {
-    let ty = catalog.task_type(job.task_type);
     let mut out = Vec::with_capacity(platform.len() + 1);
+    candidates_into(job, platform, catalog, gpu_restart_in_place, &mut out);
+    out
+}
+
+/// Allocation-reusing form of [`candidates`]: appends the job's candidates
+/// to `out` (without clearing it), so a caller building a whole activation's
+/// candidate table can keep every row in one recycled arena.
+pub fn candidates_into(
+    job: &JobView,
+    platform: &Platform,
+    catalog: &TaskCatalog,
+    gpu_restart_in_place: bool,
+    out: &mut Vec<Candidate>,
+) {
+    let ty = catalog.task_type(job.task_type);
 
     for resource in platform.ids() {
         let Some(profile) = ty.profile(resource) else {
@@ -185,7 +199,6 @@ pub fn candidates(
             }
         }
     }
-    out
 }
 
 /// The cheapest not-yet-consumed energy over all placements of `job`, a

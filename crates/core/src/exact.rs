@@ -14,12 +14,13 @@
 
 use std::time::{Duration, Instant};
 
-use rtrm_platform::Energy;
+use rtrm_platform::{Energy, PlatformIndex};
 
 use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager, TimelinePool};
 use crate::cost::{candidates, Candidate};
 use crate::driver::{decide_with_fallback_tracked, Attempt, Plan};
 use crate::heuristic::HeuristicRm;
+use crate::prune::CandidateTable;
 use crate::view::JobView;
 
 /// Exact energy-optimal mapping via branch & bound (the paper's "MILP"
@@ -46,6 +47,11 @@ pub struct ExactRm {
     /// far; with no incumbent the activation degrades down the fallback
     /// ladder to the paper's heuristic as a floor.
     pub wall_clock_budget: Option<f64>,
+    /// Rebuild, filter, and sort every job's candidate list per rung
+    /// instead of filtering the shared pre-sorted
+    /// [`CandidateTable`] rows. Decisions are identical; this is the
+    /// pre-pruning baseline, kept for benchmarks and differential tests.
+    pub unpruned_candidates: bool,
 }
 
 impl Default for ExactRm {
@@ -55,6 +61,7 @@ impl Default for ExactRm {
             gpu_restart_in_place: true,
             oracle_feasibility: false,
             wall_clock_budget: None,
+            unpruned_candidates: false,
         }
     }
 }
@@ -85,7 +92,33 @@ impl ExactRm {
         }
     }
 
-    fn solve(
+    /// Materializes every job's deadline-filtered candidate list from the
+    /// shared pre-sorted [`CandidateTable`] (filter-after-stable-sort equals
+    /// the legacy sort-after-filter). The deadline bound `t_left` does not
+    /// depend on the fallback rung, so this runs *once per decide* and each
+    /// rung slices the prefix of `n_real + k` rows.
+    fn rung_rows(
+        &self,
+        activation: &Activation<'_>,
+        table: &mut CandidateTable,
+        index: Option<&PlatformIndex>,
+    ) -> Vec<Vec<Candidate>> {
+        let now = activation.now;
+        let (jobs, rows) = table.parts();
+        (0..jobs.len())
+            .map(|j| {
+                let tleft = jobs[j].time_left(now);
+                let mut cs = Vec::with_capacity(rows.row_len(j, index));
+                rows.filtered_into(j, tleft, index, &mut cs);
+                cs
+            })
+            .collect()
+    }
+
+    /// The pre-pruning rung solve: rebuilds, filters, and sorts every
+    /// candidate list per rung. Kept verbatim as the differential/bench
+    /// baseline.
+    fn solve_unpruned(
         &self,
         activation: &Activation<'_>,
         num_phantoms: usize,
@@ -119,7 +152,20 @@ impl ExactRm {
         if cand.iter().any(Vec::is_empty) {
             return Attempt::default();
         }
+        self.branch_and_bound(activation, num_phantoms, n_real, &jobs, &cand, pool)
+    }
 
+    /// The shared search: branching order, suffix minima, DFS, and plan
+    /// extraction — identical for both candidate sources.
+    fn branch_and_bound(
+        &self,
+        activation: &Activation<'_>,
+        num_phantoms: usize,
+        n_real: usize,
+        jobs: &[JobView],
+        cand: &[Vec<Candidate>],
+        pool: &mut TimelinePool,
+    ) -> Attempt {
         // Branching order: most constrained task first (fewest candidates),
         // then tightest deadline. `order[pos]` is the job index at depth pos.
         let mut order: Vec<usize> = (0..jobs.len()).collect();
@@ -139,8 +185,8 @@ impl ExactRm {
 
         let (nodes, best, timed_out) = {
             let mut search = Search {
-                jobs: &jobs,
-                cand: &cand,
+                jobs,
+                cand,
                 order: &order,
                 suffix_min: &suffix_min,
                 plan: PlanBuilder::new(activation, &mut *pool),
@@ -268,19 +314,44 @@ impl ResourceManager for ExactRm {
     ) -> Decision {
         pool.set_oracle(self.oracle_feasibility);
         let oracle = self.oracle_feasibility;
-        decide_with_fallback_tracked(
+        // Heuristic floor: only consulted when every branch & bound rung
+        // failed and at least one failure was a wall-clock expiry. It
+        // plans in a fresh pool because the ladder's pool is still
+        // borrowed by the rung closure; both decide paths use the same
+        // floor, so pruned and unpruned degrade identically.
+        let floor = |act: &Activation<'_>| {
+            let mut floor_pool = TimelinePool::new();
+            floor_pool.set_oracle(oracle);
+            HeuristicRm::new().solve_unpruned(act, 0, &mut floor_pool)
+        };
+        if self.unpruned_candidates {
+            return decide_with_fallback_tracked(
+                activation,
+                |act, k| self.solve_unpruned(act, k, pool),
+                floor,
+            );
+        }
+        // Candidate rows built once per decide and shared across all rungs:
+        // rung `k` slices the prefix of `n_real + k` deadline-filtered rows.
+        let mut table = pool.take_table();
+        let index = pool.take_index();
+        table.rebuild(activation, true, self.gpu_restart_in_place, index.as_ref());
+        let cand_all = self.rung_rows(activation, &mut table, index.as_ref());
+        let n_real = activation.active.len() + 1;
+        let decision = decide_with_fallback_tracked(
             activation,
-            |act, k| self.solve(act, k, pool),
-            // Heuristic floor: only consulted when every branch & bound rung
-            // failed and at least one failure was a wall-clock expiry. It
-            // plans in a fresh pool because the ladder's pool is still
-            // borrowed by the rung closure.
-            |act| {
-                let mut floor_pool = TimelinePool::new();
-                floor_pool.set_oracle(oracle);
-                HeuristicRm::new().solve(act, 0, &mut floor_pool)
+            |act, k| {
+                let n_jobs = n_real + k;
+                let cand = &cand_all[..n_jobs];
+                if cand.iter().any(Vec::is_empty) {
+                    return Attempt::default();
+                }
+                self.branch_and_bound(act, k, n_real, &table.jobs()[..n_jobs], cand, pool)
             },
-        )
+            floor,
+        );
+        pool.restore_table(table, index);
+        decision
     }
 
     fn set_wall_clock(&mut self, budget: Option<f64>) {

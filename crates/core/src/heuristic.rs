@@ -9,11 +9,12 @@
 //! that passes the EDF `IsSchedulable` test, falling back to the next best
 //! until none remain.
 
-use rtrm_platform::{Energy, ResourceId, Time};
+use rtrm_platform::{Energy, PlatformIndex, ResourceId, Time};
 
 use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager, TimelinePool};
 use crate::cost::{candidates, Candidate};
 use crate::driver::{decide_with_fallback, Plan};
+use crate::prune::CandidateTable;
 use crate::view::JobView;
 
 /// The penalty weight `M` that makes deadline-infeasible placements
@@ -23,7 +24,11 @@ use crate::view::JobView;
 /// (`<= max_energy < M`), so regret comparisons across tasks are never
 /// distorted — a fixed constant would invert them as soon as per-job
 /// energies approached it.
-fn penalty_weight(cand: &[Vec<Candidate>]) -> f64 {
+///
+/// This is the legacy per-rung computation; the pruned path reads the same
+/// value from [`CandidateTable::penalty_weight`]'s prefix maxima (pinned
+/// equal by `prefix_penalty_weight_matches_per_rung_flatten` below).
+pub(crate) fn penalty_weight(cand: &[Vec<Candidate>]) -> f64 {
     let max_energy = cand
         .iter()
         .flatten()
@@ -49,6 +54,12 @@ pub struct HeuristicRm {
     /// decisions) are identical; this is the pre-incremental baseline, kept
     /// for benchmarks and differential tests.
     pub oracle_feasibility: bool,
+    /// Rebuild, re-filter, and re-sort every job's candidate list per rung
+    /// and per mapping iteration instead of scanning the shared
+    /// [`CandidateTable`]. Decisions are identical; this is the pre-pruning
+    /// baseline, kept for benchmarks and differential tests (mirroring
+    /// `oracle_feasibility`).
+    pub unpruned_candidates: bool,
 }
 
 impl HeuristicRm {
@@ -68,7 +79,130 @@ impl HeuristicRm {
         }
     }
 
-    pub(crate) fn solve(
+    /// One rung of the pruned solve: scans the shared [`CandidateTable`]
+    /// instead of building per-rung candidate lists. Decision-identical to
+    /// [`solve_unpruned`](HeuristicRm::solve_unpruned) by construction:
+    /// per-iteration capacity filters commute with the row's stable
+    /// `(energy, resource)` sort, and the ranked scan's two-pass partition
+    /// *is* the desirability order (see `prune` module docs).
+    pub(crate) fn solve_with_table(
+        &self,
+        activation: &Activation<'_>,
+        num_phantoms: usize,
+        table: &mut CandidateTable,
+        index: Option<&PlatformIndex>,
+        pool: &mut TimelinePool,
+    ) -> Option<Plan> {
+        let n_real = activation.active.len() + 1;
+        let n_jobs = n_real + num_phantoms;
+        let now = activation.now;
+        let big_m = table.penalty_weight(n_jobs);
+        let (jobs_all, mut rows) = table.parts();
+        let jobs = &jobs_all[..n_jobs];
+
+        // K̄: every resource starts with the full window as capacity (same
+        // per-rung window as the unpruned path).
+        let window = jobs
+            .iter()
+            .map(|j| j.deadline - now)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let mut capacity = vec![window; activation.platform.len()];
+
+        let mut plan = PlanBuilder::new(activation, pool);
+        let mut chosen: Vec<Option<Candidate>> = vec![None; n_jobs];
+        let mut unmapped: Vec<usize> = (0..n_jobs).collect();
+        let mut iterations: u64 = 0;
+
+        while !unmapped.is_empty() {
+            // Select the task with the maximum regret d* (lines 8–23):
+            // regret needs only the best and second-best capacity-feasible
+            // desirabilities, i.e. the first two hits of a ranked scan.
+            let mut selected: Option<usize> = None;
+            let mut best_regret = f64::NEG_INFINITY;
+            for &j in &unmapped {
+                let tleft = jobs[j].time_left(now);
+                let mut scan = rows.ranked(j, tleft, index);
+                let mut first: Option<f64> = None;
+                let mut second: Option<f64> = None;
+                while let Some((c, penalized)) = scan.next() {
+                    if c.exec > capacity[c.resource.index()] {
+                        continue;
+                    }
+                    let des = c.energy.value() + if penalized { big_m } else { 0.0 };
+                    if first.is_none() {
+                        first = Some(des);
+                    } else {
+                        second = Some(des);
+                        break;
+                    }
+                }
+                let Some(d0) = first else {
+                    return None; // line 22: F_j empty, no solution
+                };
+                let regret = second.map_or(f64::INFINITY, |d1| d1 - d0);
+                if regret > best_regret {
+                    best_regret = regret;
+                    selected = Some(j);
+                }
+                if self.disable_regret_ordering {
+                    break; // ablation: take the first unmapped task
+                }
+            }
+            let j_star = selected.expect("unmapped is non-empty");
+
+            // Map to the most desirable schedulable resource (lines 24–34);
+            // capacities are unchanged since selection, so this scan yields
+            // exactly the candidate sequence selection ranked.
+            let tleft = jobs[j_star].time_left(now);
+            let mut placed = false;
+            let mut scan = rows.ranked(j_star, tleft, index);
+            while let Some((c, _)) = scan.next() {
+                if c.exec > capacity[c.resource.index()] {
+                    continue;
+                }
+                iterations += 1;
+                if plan.fits(&jobs[j_star], &c) {
+                    plan.place(&jobs[j_star], &c);
+                    capacity[c.resource.index()] -= c.exec;
+                    chosen[j_star] = Some(c);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return None; // lines 31–32: no more resources
+            }
+            unmapped.retain(|&j| j != j_star);
+        }
+
+        debug_assert!(plan.all_schedulable());
+        let objective: Energy = chosen.iter().flatten().map(|c| c.energy).sum();
+        let start_gates = if num_phantoms > 0 {
+            let keys: Vec<_> = activation.predicted[..num_phantoms]
+                .iter()
+                .map(|p| p.key)
+                .collect();
+            plan.reservation_gates(&keys)
+        } else {
+            Vec::new()
+        };
+        Some(Plan {
+            placements: jobs[..n_real]
+                .iter()
+                .zip(&chosen)
+                .map(|(j, c)| (j.key, c.expect("all jobs mapped")))
+                .collect(),
+            objective,
+            nodes: iterations,
+            start_gates,
+        })
+    }
+
+    /// The pre-pruning rung solve: rebuilds every candidate list per rung
+    /// and re-filters/sorts per mapping iteration. Kept verbatim as the
+    /// differential/bench baseline and as the ladder floor.
+    pub(crate) fn solve_unpruned(
         &self,
         activation: &Activation<'_>,
         num_phantoms: usize,
@@ -214,7 +348,21 @@ impl ResourceManager for HeuristicRm {
         pool: &mut TimelinePool,
     ) -> Decision {
         pool.set_oracle(self.oracle_feasibility);
-        decide_with_fallback(activation, |act, k| self.solve(act, k, pool))
+        if self.unpruned_candidates {
+            return decide_with_fallback(activation, |act, k| self.solve_unpruned(act, k, pool));
+        }
+        // Build the candidate table once — all rungs of the fallback ladder
+        // share it (rung k reads the prefix of n_real + k rows). Table and
+        // index are moved out of the pool so the rung closure can borrow the
+        // pool's timelines independently.
+        let mut table = pool.take_table();
+        let index = pool.take_index();
+        table.rebuild(activation, true, false, index.as_ref());
+        let decision = decide_with_fallback(activation, |act, k| {
+            self.solve_with_table(act, k, &mut table, index.as_ref(), pool)
+        });
+        pool.restore_table(table, index);
+        decision
     }
 }
 
@@ -226,4 +374,124 @@ pub fn most_desirable_resource(job: &JobView, activation: &Activation<'_>) -> Op
         .into_iter()
         .min_by(|a, b| a.energy.cmp(&b.energy).then(a.resource.cmp(&b.resource)))
         .map(|c| c.resource)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::Placement;
+    use rtrm_platform::{Platform, PlatformIndex, TaskCatalog, TaskType, TaskTypeId};
+    use rtrm_sched::JobKey;
+
+    /// DVFS CPU + plain CPU + GPU, two types with very different energies so
+    /// the per-rung maximum actually moves as phantoms join the rung.
+    fn world() -> (Platform, TaskCatalog) {
+        let mut b = Platform::builder();
+        b.cpu_with_dvfs("c0", &[0.5, 1.0, 2.0]).cpus(1).gpu("g");
+        let platform = b.build();
+        let ids: Vec<_> = platform.ids().collect();
+        let small = TaskType::builder(0, &platform)
+            .profile(ids[0], Time::new(8.0), Energy::new(4.0))
+            .profile(ids[1], Time::new(6.0), Energy::new(5.0))
+            .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+            .uniform_migration(Time::new(1.0), Energy::new(0.5))
+            .build();
+        let big = TaskType::builder(1, &platform)
+            .profile(ids[0], Time::new(10.0), Energy::new(30.0))
+            .profile(ids[1], Time::new(9.0), Energy::new(40.0))
+            .uniform_migration(Time::new(1.0), Energy::new(0.5))
+            .build();
+        (platform, TaskCatalog::new(vec![small, big]))
+    }
+
+    /// S2 pin: the table's prefix-maximum penalty weight equals the legacy
+    /// per-rung full-table flatten for *every* rung of the ladder — with a
+    /// placed active job (owned row) and phantoms of a high-energy type that
+    /// raise the maximum only on the deeper rungs.
+    #[test]
+    fn prefix_penalty_weight_matches_per_rung_flatten() {
+        let (platform, catalog) = world();
+        let ids: Vec<_> = platform.ids().collect();
+        let mut active = JobView::fresh(JobKey(0), TaskTypeId::new(0), Time::ZERO, Time::new(25.0));
+        active.placement = Some(Placement::new(ids[1], 0.6, true));
+        let active = [active];
+        let arriving = JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        let predicted = [
+            JobView::fresh(
+                JobKey(2),
+                TaskTypeId::new(1),
+                Time::new(4.0),
+                Time::new(30.0),
+            ),
+            JobView::fresh(
+                JobKey(3),
+                TaskTypeId::new(1),
+                Time::new(8.0),
+                Time::new(40.0),
+            ),
+        ];
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &predicted,
+        };
+        let n_real = activation.active.len() + 1;
+
+        for (index, label) in [
+            (None, "owned rows"),
+            (
+                Some(PlatformIndex::build(&platform, &catalog)),
+                "indexed rows",
+            ),
+        ] {
+            let mut table = CandidateTable::new();
+            table.rebuild(&activation, true, false, index.as_ref());
+            for k in 0..=predicted.len() {
+                let legacy: Vec<Vec<Candidate>> = activation
+                    .jobs_with_phantoms(k)
+                    .map(|j| candidates(j, &platform, &catalog, false))
+                    .collect();
+                assert_eq!(
+                    table.penalty_weight(n_real + k),
+                    penalty_weight(&legacy),
+                    "{label}, rung with {k} phantoms"
+                );
+            }
+        }
+    }
+
+    /// The pruned default and the `unpruned_candidates` baseline agree on a
+    /// multi-phantom activation (the proptest suite covers this at scale;
+    /// this is the fast in-crate smoke check).
+    #[test]
+    fn pruned_and_unpruned_decide_identically_here() {
+        let (platform, catalog) = world();
+        let arriving = JobView::fresh(JobKey(1), TaskTypeId::new(0), Time::ZERO, Time::new(20.0));
+        let predicted = [JobView::fresh(
+            JobKey(2),
+            TaskTypeId::new(1),
+            Time::new(4.0),
+            Time::new(30.0),
+        )];
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &[],
+            arriving,
+            predicted: &predicted,
+        };
+        let mut pruned_rm = HeuristicRm::new();
+        let pruned = pruned_rm.decide(&activation);
+        let mut unpruned_rm = HeuristicRm {
+            unpruned_candidates: true,
+            ..HeuristicRm::default()
+        };
+        let unpruned = unpruned_rm.decide(&activation);
+        assert_eq!(pruned, unpruned);
+        assert!(pruned.admitted);
+    }
 }

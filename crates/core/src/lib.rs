@@ -61,16 +61,18 @@ mod driver;
 mod exact;
 mod heuristic;
 mod milp_rm;
+mod prune;
 mod static_rm;
 mod view;
 
 pub use activation::{
     Activation, Assignment, Decision, PlanBuilder, ResourceManager, TimelinePool,
 };
-pub use cost::{candidates, min_energy, Candidate};
+pub use cost::{candidates, candidates_into, min_energy, Candidate};
 pub use driver::{decide_with_fallback, decide_with_fallback_tracked, Attempt, Plan};
 pub use exact::ExactRm;
 pub use heuristic::{most_desirable_resource, HeuristicRm};
 pub use milp_rm::MilpRm;
+pub use prune::{pareto_front, CandidateTable, PruneStats};
 pub use static_rm::StaticRm;
 pub use view::{JobView, Placement};

@@ -84,8 +84,35 @@ impl MilpRm {
         }
     }
 
-    fn solve(&self, activation: &Activation<'_>, num_phantoms: usize) -> Attempt {
-        let real_jobs: Vec<JobView> = activation.jobs_without_prediction().copied().collect();
+    /// Candidate variables per job (constraint (2) filters infeasible
+    /// placements away). Emission order is preserved: it is the MILP's
+    /// variable order, which tie-broken optima depend on.
+    fn collect(&self, activation: &Activation<'_>, j: &JobView) -> Vec<Candidate> {
+        let tleft = j.time_left(activation.now);
+        candidates(
+            j,
+            activation.platform,
+            activation.catalog,
+            self.gpu_restart_in_place,
+        )
+        .into_iter()
+        .filter(|c| c.exec <= tleft)
+        .collect()
+    }
+
+    /// One rung of the fallback ladder. The candidate rows are built once
+    /// per decide and shared across all rungs (the deadline filter depends
+    /// on the activation, not the rung): previously `candidates()` was
+    /// recomputed from scratch for every rung even though every rung plans
+    /// the same real jobs.
+    fn solve(
+        &self,
+        activation: &Activation<'_>,
+        num_phantoms: usize,
+        real_jobs: &[JobView],
+        real_cands: &[Vec<Candidate>],
+        pred_cands: &[Candidate],
+    ) -> Attempt {
         // The paper's formulation models a single predicted task; with a
         // longer lookahead this encoding honours the nearest phantom only
         // (documented divergence — use ExactRm for full multi-step plans).
@@ -98,24 +125,13 @@ impl MilpRm {
         let now = activation.now;
         let tleft = |j: &JobView| j.time_left(now);
 
-        // Candidate variables per job (constraint (2) filters infeasible
-        // placements away).
-        let collect = |j: &JobView| -> Vec<Candidate> {
-            candidates(
-                j,
-                activation.platform,
-                activation.catalog,
-                self.gpu_restart_in_place,
-            )
-            .into_iter()
-            .filter(|c| c.exec <= tleft(j))
-            .collect()
-        };
-        let real_cands: Vec<Vec<Candidate>> = real_jobs.iter().map(collect).collect();
+        // On the no-phantom rung the predicted row must not exist at all —
+        // it would otherwise leak into the big-M magnitude below.
+        let pred_cands: &[Candidate] = if predicted.is_some() { pred_cands } else { &[] };
+
         if real_cands.iter().any(Vec::is_empty) {
             return Attempt::default();
         }
-        let pred_cands: Vec<Candidate> = predicted.map(collect).unwrap_or_default();
         if predicted.is_some() && pred_cands.is_empty() {
             return Attempt::default();
         }
@@ -363,14 +379,27 @@ impl ResourceManager for MilpRm {
     }
 
     fn decide(&mut self, activation: &Activation<'_>) -> Decision {
+        // Candidate rows are rung-independent (the deadline filter uses the
+        // activation's `t_left`, not the rung), so build them once and share
+        // them across the whole fallback ladder.
+        let real_jobs: Vec<JobView> = activation.jobs_without_prediction().copied().collect();
+        let real_cands: Vec<Vec<Candidate>> = real_jobs
+            .iter()
+            .map(|j| self.collect(activation, j))
+            .collect();
+        let pred_cands: Vec<Candidate> = activation
+            .predicted
+            .first()
+            .map(|p| self.collect(activation, p))
+            .unwrap_or_default();
         decide_with_fallback_tracked(
             activation,
-            |act, k| self.solve(act, k),
+            |act, k| self.solve(act, k, &real_jobs, &real_cands, &pred_cands),
             // Heuristic floor: only consulted when every MILP rung failed and
             // at least one of those failures was a wall-clock expiry.
             |act| {
                 let mut pool = TimelinePool::new();
-                HeuristicRm::new().solve(act, 0, &mut pool)
+                HeuristicRm::new().solve_unpruned(act, 0, &mut pool)
             },
         )
     }

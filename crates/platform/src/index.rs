@@ -1,0 +1,305 @@
+//! Precomputed placement rankings over a (platform, catalog) pair.
+//!
+//! At paper scale (5 CPUs + 1 GPU) a resource manager can afford to rescan
+//! every resource for every job at every activation. At datacenter scale
+//! (hundreds of heterogeneous resources with DVFS levels) that rescan is the
+//! decide path's dominant cost — yet the quantity being recomputed is a pure
+//! function of the platform and the task catalog: for a *fresh* job (the
+//! arriving task, a predicted phantom) the candidate set is exactly "every
+//! (resource, speed level) pair the type executes on", and the paper's
+//! desirability order `f_{j,i}` over it is the energy order. Neither changes
+//! until the platform or catalog changes.
+//!
+//! [`PlatformIndex`] hoists that work to construction time: one ranked
+//! placement row per task type — the key is the task type; the row's entries
+//! are the type's `(resource, speed-level)` class, energy-ascending — plus
+//! running aggregates (the maximum candidate energy that the heuristic's
+//! penalty weight needs). Managers consult the row instead of rescanning the
+//! platform, and treat the first `shortlist_len` entries as the top-k
+//! shortlist: the prefix scanned first on the hot path, widened to the full
+//! row only when every shortlisted placement is infeasible (see
+//! `DESIGN.md` §8 for why widening keeps verdicts intact).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Energy, Platform, ResourceId, TaskCatalog, TaskTypeId, Time};
+
+/// Default shortlist length: how many top-ranked placements the hot path
+/// scans before widening to the full row.
+pub const DEFAULT_SHORTLIST: usize = 8;
+
+/// One precomputed placement option of a task type: a `(resource, speed)`
+/// pair with its effective fresh-execution cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedPlacement {
+    /// Target resource.
+    pub resource: ResourceId,
+    /// DVFS speed level (factor of nominal frequency).
+    pub speed: f64,
+    /// Effective WCET at this speed (`c_{j,i} / s`).
+    pub wcet: Time,
+    /// Effective full-execution energy at this speed (`e_{j,i} · s²`).
+    pub energy: Energy,
+}
+
+/// Ranked placement rows per task type, rebuilt only when the platform or
+/// catalog changes.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{Energy, Platform, PlatformIndex, TaskCatalog, TaskType, TaskTypeId, Time};
+///
+/// let platform = Platform::builder().cpus(1).gpu("g").build();
+/// let ids: Vec<_> = platform.ids().collect();
+/// let ty = TaskType::builder(0, &platform)
+///     .profile(ids[0], Time::new(8.0), Energy::new(7.3))
+///     .profile(ids[1], Time::new(5.0), Energy::new(2.0))
+///     .build();
+/// let catalog = TaskCatalog::new(vec![ty]);
+/// let index = PlatformIndex::build(&platform, &catalog);
+/// // The GPU is energy-cheapest, so it ranks first.
+/// assert_eq!(index.row(TaskTypeId::new(0))[0].resource, ids[1]);
+/// assert_eq!(index.max_candidate_energy(), Energy::new(7.3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformIndex {
+    /// `rows[type index]`: the type's placements, energy-ascending (ties by
+    /// resource id, then ascending speed).
+    rows: Vec<Vec<RankedPlacement>>,
+    /// Largest fresh-candidate energy over all rows.
+    max_energy: Energy,
+    /// Shortlist prefix length for the hot path.
+    shortlist_len: usize,
+    /// Identity guards: the platform/catalog sizes the index was built for.
+    platform_len: usize,
+    catalog_len: usize,
+    /// Content fingerprint of the world the index was built from (see
+    /// [`world_fingerprint`](PlatformIndex::world_fingerprint)).
+    fingerprint: u64,
+}
+
+/// FNV-1a over one 64-bit word.
+fn fnv(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl PlatformIndex {
+    /// Builds the index with the [`DEFAULT_SHORTLIST`] prefix length.
+    /// O(L · m log m) over `L` types and `m` (resource, level) pairs.
+    #[must_use]
+    pub fn build(platform: &Platform, catalog: &TaskCatalog) -> Self {
+        PlatformIndex::with_shortlist(platform, catalog, DEFAULT_SHORTLIST)
+    }
+
+    /// Builds the index with an explicit shortlist prefix length (clamped to
+    /// at least 2 so the regret computation's best/second-best pair can stay
+    /// inside the shortlist).
+    #[must_use]
+    pub fn with_shortlist(platform: &Platform, catalog: &TaskCatalog, k: usize) -> Self {
+        let mut max_energy = Energy::ZERO;
+        let rows = catalog
+            .iter()
+            .map(|ty| {
+                let mut row: Vec<RankedPlacement> = Vec::new();
+                for resource in ty.executable_resources() {
+                    let profile = ty.profile(resource).expect("executable resource");
+                    for &speed in platform.resource(resource).speed_levels() {
+                        let energy = profile.energy * (speed * speed);
+                        max_energy = max_energy.max(energy);
+                        row.push(RankedPlacement {
+                            resource,
+                            speed,
+                            wcet: profile.wcet / speed,
+                            energy,
+                        });
+                    }
+                }
+                // Energy-ascending, ties by resource id: exactly the stable
+                // desirability order the managers sort fresh candidates into
+                // (speed levels on one resource never tie — distinct speeds
+                // give distinct energies). A stable sort keeps the ascending
+                // speed emission order for any remaining ties.
+                row.sort_by(|a, b| a.energy.cmp(&b.energy).then(a.resource.cmp(&b.resource)));
+                row
+            })
+            .collect();
+        PlatformIndex {
+            rows,
+            max_energy,
+            shortlist_len: k.max(2),
+            platform_len: platform.len(),
+            catalog_len: catalog.len(),
+            fingerprint: PlatformIndex::world_fingerprint(platform, catalog),
+        }
+    }
+
+    /// Content fingerprint of everything the index depends on: resource
+    /// kinds and speed levels, and per-type execution profiles (migration
+    /// overheads are excluded on purpose — index rows only cover *fresh*
+    /// placements, which never migrate). FNV-1a over the raw bit patterns;
+    /// O(L·m) — cheap enough to recompute once per simulation run, which is
+    /// how a long-lived pool detects that its cached index belongs to a
+    /// different world of the same shape.
+    #[must_use]
+    pub fn world_fingerprint(platform: &Platform, catalog: &TaskCatalog) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        h = fnv(h, platform.len() as u64);
+        for r in platform.ids() {
+            let resource = platform.resource(r);
+            h = fnv(h, u64::from(resource.kind().is_preemptable()));
+            for &s in resource.speed_levels() {
+                h = fnv(h, s.to_bits());
+            }
+            h = fnv(h, u64::MAX); // level-list terminator
+        }
+        h = fnv(h, catalog.len() as u64);
+        for ty in catalog.iter() {
+            for r in platform.ids() {
+                match ty.profile(r) {
+                    Some(profile) => {
+                        h = fnv(h, profile.wcet.value().to_bits());
+                        h = fnv(h, profile.energy.value().to_bits());
+                    }
+                    None => h = fnv(h, u64::MAX - 1), // not executable marker
+                }
+            }
+        }
+        h
+    }
+
+    /// The fingerprint of the world this index was built from.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The full ranked placement row of a task type, energy-ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not in the catalog the index was built for.
+    #[must_use]
+    pub fn row(&self, ty: TaskTypeId) -> &[RankedPlacement] {
+        &self.rows[ty.index()]
+    }
+
+    /// The top-k shortlist of a task type: the first `shortlist_len` entries
+    /// of [`row`](PlatformIndex::row) (or the whole row when shorter).
+    #[must_use]
+    pub fn shortlist(&self, ty: TaskTypeId) -> &[RankedPlacement] {
+        let row = self.row(ty);
+        &row[..row.len().min(self.shortlist_len)]
+    }
+
+    /// The shortlist prefix length.
+    #[must_use]
+    pub fn shortlist_len(&self) -> usize {
+        self.shortlist_len
+    }
+
+    /// Largest fresh-candidate energy over the whole catalog — an upper
+    /// bound feeding the heuristic's penalty weight without a per-activation
+    /// table scan.
+    #[must_use]
+    pub fn max_candidate_energy(&self) -> Energy {
+        self.max_energy
+    }
+
+    /// Returns `true` if the index plausibly belongs to this
+    /// (platform, catalog) pair — a cheap size guard; callers are
+    /// responsible for installing an index built from the pair they decide
+    /// with (the simulator rebuilds per run).
+    #[must_use]
+    pub fn matches(&self, platform: &Platform, catalog: &TaskCatalog) -> bool {
+        self.platform_len == platform.len() && self.catalog_len == catalog.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskType;
+
+    fn world() -> (Platform, TaskCatalog) {
+        let mut b = Platform::builder();
+        b.cpu_with_dvfs("c0", &[0.5, 1.0]).cpus(1).gpu("g");
+        let platform = b.build();
+        let ids: Vec<_> = platform.ids().collect();
+        let ty = TaskType::builder(0, &platform)
+            .profile(ids[0], Time::new(8.0), Energy::new(4.0))
+            .profile(ids[1], Time::new(6.0), Energy::new(5.0))
+            .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+            .build();
+        (platform, TaskCatalog::new(vec![ty]))
+    }
+
+    #[test]
+    fn rows_are_energy_sorted_with_dvfs_levels() {
+        let (platform, catalog) = world();
+        let index = PlatformIndex::build(&platform, &catalog);
+        let row = index.row(TaskTypeId::new(0));
+        // c0@0.5 → 4·0.25 = 1 J, gpu → 2 J, c0@1.0 → 4 J, c1 → 5 J.
+        assert_eq!(row.len(), 4);
+        let energies: Vec<f64> = row.iter().map(|p| p.energy.value()).collect();
+        assert_eq!(energies, vec![1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(row[0].resource.index(), 0);
+        assert_eq!(row[0].speed, 0.5);
+        assert_eq!(row[0].wcet, Time::new(16.0)); // 8 / 0.5
+        assert_eq!(index.max_candidate_energy(), Energy::new(5.0));
+    }
+
+    #[test]
+    fn shortlist_is_prefix_and_clamped() {
+        let (platform, catalog) = world();
+        let index = PlatformIndex::with_shortlist(&platform, &catalog, 0);
+        assert_eq!(index.shortlist_len(), 2, "clamped to 2");
+        let ty = TaskTypeId::new(0);
+        assert_eq!(index.shortlist(ty), &index.row(ty)[..2]);
+        let wide = PlatformIndex::with_shortlist(&platform, &catalog, 99);
+        assert_eq!(wide.shortlist(ty).len(), 4, "capped at the row length");
+    }
+
+    #[test]
+    fn fingerprint_tracks_world_content_not_just_shape() {
+        let (platform, catalog) = world();
+        let index = PlatformIndex::build(&platform, &catalog);
+        assert_eq!(
+            index.fingerprint(),
+            PlatformIndex::world_fingerprint(&platform, &catalog)
+        );
+        // Same shape, one profile energy changed: different fingerprint.
+        let ids: Vec<_> = platform.ids().collect();
+        let ty = TaskType::builder(0, &platform)
+            .profile(ids[0], Time::new(8.0), Energy::new(4.5))
+            .profile(ids[1], Time::new(6.0), Energy::new(5.0))
+            .profile(ids[2], Time::new(5.0), Energy::new(2.0))
+            .build();
+        let other = TaskCatalog::new(vec![ty]);
+        assert!(index.matches(&platform, &other), "size guard can't see it");
+        assert_ne!(
+            index.fingerprint(),
+            PlatformIndex::world_fingerprint(&platform, &other)
+        );
+    }
+
+    #[test]
+    fn non_executable_resources_are_absent() {
+        let platform = Platform::builder().cpus(3).build();
+        let ids: Vec<_> = platform.ids().collect();
+        let ty = TaskType::builder(0, &platform)
+            .profile(ids[1], Time::new(3.0), Energy::new(1.0))
+            .build();
+        let catalog = TaskCatalog::new(vec![ty]);
+        let index = PlatformIndex::build(&platform, &catalog);
+        let row = index.row(TaskTypeId::new(0));
+        assert_eq!(row.len(), 1);
+        assert_eq!(row[0].resource, ids[1]);
+        assert!(index.matches(&platform, &catalog));
+    }
+}

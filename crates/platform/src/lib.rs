@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod index;
 mod request;
 mod resource;
 mod task;
 mod units;
 
+pub use index::{PlatformIndex, RankedPlacement, DEFAULT_SHORTLIST};
 pub use request::{Request, RequestId, Trace};
 pub use resource::{Platform, PlatformBuilder, Resource, ResourceId, ResourceKind};
 pub use task::{

@@ -261,6 +261,9 @@ where
             scope.spawn(move || {
                 let simulator = Simulator::new(platform, catalog, config.sim.clone());
                 let mut scratch = SimScratch::new();
+                // One world per service run: build the placement index once
+                // and let every session this shard serves scan shortlists.
+                scratch.prime(&simulator);
                 let mut sessions: HashMap<
                     usize,
                     (rtrm_sim::Session, Box<dyn ResourceManager + Send>),

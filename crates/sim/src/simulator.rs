@@ -237,6 +237,17 @@ impl SimScratch {
     pub fn new() -> Self {
         SimScratch::default()
     }
+
+    /// Installs (or refreshes) the pool's [`rtrm_platform::PlatformIndex`]
+    /// for `simulator`'s world, so pruned managers scan precomputed
+    /// shortlists instead of rebuilding candidate rows per activation.
+    /// [`Simulator::run_with_scratch`] calls this itself; streaming callers
+    /// ([`Session`]) should call it once per session batch — per-admit calls
+    /// are safe but pay a fingerprint walk over the whole catalog each time.
+    pub fn prime(&mut self, simulator: &Simulator<'_>) {
+        self.pool
+            .ensure_index(simulator.platform, simulator.catalog);
+    }
 }
 
 /// A zeroed report for `requests` requests on a `resources`-resource
@@ -548,6 +559,7 @@ impl<'a> Simulator<'a> {
             views,
             phantoms,
         } = scratch;
+        pool.ensure_index(self.platform, self.catalog);
         live.clear();
         let mut now = Time::ZERO;
         let mut report = blank_report(trace.len(), self.platform.len());
