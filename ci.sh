@@ -28,6 +28,10 @@ cargo test -q -p rtrm-sim --test phantom_differential
 cargo test -q -p rtrm-sim --test unified_queue
 cargo test -q -p rtrm-bench --test sweep_differential
 
+echo "==> horizon: confidence gate properties + theta-endpoint differentials"
+cargo test -q -p rtrm-core --test horizon_gate
+cargo test -q -p rtrm-sim --test horizon_differential
+
 echo "==> service: sharded-vs-sequential differential + overload degradation"
 cargo test -q -p rtrm-service --test service_differential
 cargo test -q -p rtrm-service --test overload

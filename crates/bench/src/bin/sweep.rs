@@ -5,8 +5,8 @@
 //! cargo run --release -p rtrm-bench --bin sweep -- [--fresh] <name>... | all
 //! ```
 //!
-//! Names: `tab1`, `fig2`, `fig3`, `fig4`, `fig5` (see EXPERIMENTS.md for
-//! the figure-to-command map). `--fresh` ignores existing checkpoints. A
+//! Names: `tab1`, `fig2`, `fig3`, `fig4`, `fig5`, `horizon` (see
+//! EXPERIMENTS.md for the figure-to-command map). `--fresh` ignores existing checkpoints. A
 //! killed sweep restarts from its completed cells on the next invocation.
 //! Each sweep holds `results/<name>.sweep.lock` while it runs; when another
 //! live process owns it, the default is to fail fast — pass `--wait-lease`

@@ -10,6 +10,7 @@ use rtrm_platform::{
 };
 use rtrm_predict::ErrorModel;
 use rtrm_sim::PhantomDeadline;
+use rtrm_trace::{BurstyConfig, DiurnalConfig, WeeklyConfig, WorkloadPattern};
 
 use crate::chart::{bar_chart, line_chart, write_svg, Series};
 use crate::sweep::{
@@ -18,7 +19,7 @@ use crate::sweep::{
 use crate::{write_csv, Group, Oracle, Policy, Scale};
 
 /// The named sweeps, in suggested execution order.
-pub const NAMES: [&str; 5] = ["tab1", "fig2", "fig3", "fig4", "fig5"];
+pub const NAMES: [&str; 6] = ["tab1", "fig2", "fig3", "fig4", "fig5", "horizon"];
 
 /// Fig 4's accuracy levels, shared between the spec and the renderer.
 const LEVELS: [f64; 4] = [1.0, 0.75, 0.5, 0.25];
@@ -39,6 +40,32 @@ const COEFFS: [(&str, f64); 8] = [
 ];
 
 const BOTH_POLICIES: [Policy; 2] = [Policy::Milp, Policy::Heuristic];
+
+/// The horizon sweep's `(label, depth k, threshold θ)` grid: every phantom
+/// budget crossed with every confidence gate. θ = 0 admits all
+/// positive-confidence phantoms; θ = 0.9 plans only around near-certain
+/// ones.
+const HORIZON_GRID: [(&str, usize, f64); 9] = [
+    ("k1@t0.00", 1, 0.0),
+    ("k2@t0.00", 2, 0.0),
+    ("k4@t0.00", 4, 0.0),
+    ("k1@t0.50", 1, 0.5),
+    ("k2@t0.50", 2, 0.5),
+    ("k4@t0.50", 4, 0.5),
+    ("k1@t0.90", 1, 0.9),
+    ("k2@t0.90", 2, 0.9),
+    ("k4@t0.90", 4, 0.9),
+];
+
+/// The horizon sweep's swept depths and thresholds (render order).
+const HORIZON_DEPTHS: [usize; 3] = [1, 2, 4];
+const HORIZON_THETAS: [f64; 3] = [0.0, 0.5, 0.9];
+
+/// EWMA smoothing of the horizon predictor's interarrival submodel.
+const HORIZON_ALPHA: f64 = 0.5;
+
+/// The horizon sweep's workload patterns (labels shared with the renderer).
+const HORIZON_PATTERNS: [&str; 3] = ["diurnal", "weekly", "bursty"];
 
 /// The grid of the named sweep, or `None` for an unknown name. Scale comes
 /// from the environment (`RTRM_TRACES` etc.), except `tab1` whose workload
@@ -72,6 +99,7 @@ pub fn spec(name: &str) -> Option<SweepSpec> {
                     label: TYPE_LABELS[i],
                     oracle: Oracle::On(ErrorModel::with_type_accuracy(accuracy)),
                     overhead_coeff: 0.0,
+                    horizon: None,
                 });
             }
             for (i, &accuracy) in LEVELS.iter().enumerate() {
@@ -79,6 +107,7 @@ pub fn spec(name: &str) -> Option<SweepSpec> {
                     label: ARRIVAL_LABELS[i],
                     oracle: Oracle::On(ErrorModel::with_arrival_accuracy(accuracy)),
                     overhead_coeff: 0.0,
+                    horizon: None,
                 });
             }
             Some(SweepSpec {
@@ -98,6 +127,7 @@ pub fn spec(name: &str) -> Option<SweepSpec> {
                     label,
                     oracle: Oracle::On(ErrorModel::perfect()),
                     overhead_coeff: coeff,
+                    horizon: None,
                 });
             }
             Some(SweepSpec {
@@ -107,6 +137,53 @@ pub fn spec(name: &str) -> Option<SweepSpec> {
                     groups: vec![Group::Vt],
                 },
                 policies: BOTH_POLICIES.to_vec(),
+                predictors,
+            })
+        }
+        "horizon" => {
+            let mut predictors = vec![PredictorSpec::off()];
+            for (label, depth, theta) in HORIZON_GRID {
+                predictors.push(PredictorSpec::markov_horizon(
+                    label,
+                    HORIZON_ALPHA,
+                    depth,
+                    theta,
+                ));
+            }
+            Some(SweepSpec {
+                name: "horizon",
+                scale,
+                workload: GridWorkload::Patterns {
+                    patterns: vec![
+                        (
+                            "diurnal",
+                            WorkloadPattern::Diurnal(DiurnalConfig {
+                                length: scale.trace_len,
+                                ..DiurnalConfig::default()
+                            }),
+                        ),
+                        (
+                            "weekly",
+                            WorkloadPattern::Weekly(WeeklyConfig {
+                                length: scale.trace_len,
+                                ..WeeklyConfig::default()
+                            }),
+                        ),
+                        (
+                            "bursty",
+                            WorkloadPattern::Bursty(BurstyConfig {
+                                length: scale.trace_len,
+                                ..BurstyConfig::default()
+                            }),
+                        ),
+                    ],
+                    // The patterns run VT-group tightness; same phantom
+                    // deadline model as the VT cells of fig2..fig5.
+                    phantom_deadline: PhantomDeadline::MinWcetTimes(1.5),
+                },
+                // Heuristic only: the horizon question is about the phantom
+                // fast path and the confidence gate, not the solver.
+                policies: vec![Policy::Heuristic],
                 predictors,
             })
         }
@@ -156,6 +233,7 @@ pub fn run(name: &str, options: &SweepOptions) -> Result<SweepOutcome, SweepErro
         "fig3" => render_fig3(&spec, &outcome)?,
         "fig4" => render_fig4(&spec, &outcome)?,
         "fig5" => render_fig5(&spec, &outcome)?,
+        "horizon" => render_horizon(&spec, &outcome)?,
         "tab1" => render_tab1(&outcome)?,
         _ => unreachable!("spec() vetted the name"),
     }
@@ -451,6 +529,81 @@ fn render_fig5(spec: &SweepSpec, outcome: &SweepOutcome) -> Result<(), SweepErro
         "coefficient_times_100,milp_rejection_percent,heuristic_rejection_percent",
         &rows,
     );
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn render_horizon(spec: &SweepSpec, outcome: &SweepOutcome) -> Result<(), SweepError> {
+    println!(
+        "Horizon sweep: k x theta x pattern, {} traces x {} requests per cell, \
+         heuristic manager, online Markov horizon predictor",
+        spec.scale.traces, spec.scale.trace_len
+    );
+
+    let mut rows = Vec::new();
+    for pattern in HORIZON_PATTERNS {
+        let off = outcome.metrics(pattern, Policy::Heuristic, "off")?;
+        println!(
+            "\n  {pattern} (prediction off: rejection {:.2}%, energy {:.1}):",
+            off.mean_rejection_percent, off.mean_energy
+        );
+        println!(
+            "  {:>9} {:>6} {:>12} {:>12} {:>10}",
+            "theta", "k", "rejection%", "energy", "vs off"
+        );
+        rows.push(format!(
+            "{pattern},off,0,,{:.6},{:.6}",
+            off.mean_rejection_percent, off.mean_energy
+        ));
+
+        let mut theta_series: Vec<Series> = Vec::new();
+        for &theta in &HORIZON_THETAS {
+            let mut series = Vec::new();
+            for &depth in &HORIZON_DEPTHS {
+                let label = HORIZON_GRID
+                    .iter()
+                    .find(|(_, k, t)| *k == depth && *t == theta)
+                    .map(|(l, _, _)| *l)
+                    .expect("grid covers depths x thetas");
+                let m = outcome.metrics(pattern, Policy::Heuristic, label)?;
+                println!(
+                    "  {theta:>9.2} {depth:>6} {:>12.2} {:>12.1} {:>+10.2}",
+                    m.mean_rejection_percent,
+                    m.mean_energy,
+                    off.mean_rejection_percent - m.mean_rejection_percent,
+                );
+                rows.push(format!(
+                    "{pattern},{label},{depth},{theta},{:.6},{:.6}",
+                    m.mean_rejection_percent, m.mean_energy
+                ));
+                series.push(m.mean_rejection_percent);
+            }
+            theta_series.push(Series::new(format!("theta={theta}"), series));
+        }
+        theta_series.push(Series::new(
+            "off".to_string(),
+            vec![off.mean_rejection_percent; HORIZON_DEPTHS.len()],
+        ));
+        let xs: Vec<f64> = HORIZON_DEPTHS.iter().map(|&k| k as f64).collect();
+        let svg = line_chart(
+            &format!("Horizon sweep ({pattern}): rejection % vs depth k per theta"),
+            "rejection %",
+            "horizon depth k",
+            &xs,
+            &theta_series,
+        );
+        let svg_path = write_svg(&format!("horizon_{pattern}"), &svg);
+        println!("  wrote {}", svg_path.display());
+    }
+
+    let path = write_csv(
+        "horizon",
+        "pattern,predictor,depth,theta,mean_rejection_percent,mean_energy",
+        &rows,
+    );
+    println!("\nexpected shape: gated horizons (theta > 0) hold the line where");
+    println!("low-confidence chains would otherwise reserve capacity for phantoms");
+    println!("that never materialize; k > 1 helps most on the periodic patterns");
     println!("wrote {}", path.display());
     Ok(())
 }

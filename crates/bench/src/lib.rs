@@ -27,7 +27,7 @@ use rand::SeedableRng;
 
 use rtrm_core::{ExactRm, HeuristicRm, ResourceManager};
 use rtrm_platform::{Platform, TaskCatalog, Trace};
-use rtrm_predict::{ErrorModel, OraclePredictor, OverheadModel, Predictor};
+use rtrm_predict::{ErrorModel, MarkovHorizonPredictor, OraclePredictor, OverheadModel, Predictor};
 use rtrm_sim::{run_batch, PhantomDeadline, SimConfig, SimReport};
 use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
 
@@ -195,6 +195,13 @@ pub enum Oracle {
     Off,
     /// Oracle with the given error model.
     On(ErrorModel),
+    /// Online Markov-chain horizon predictor
+    /// ([`rtrm_predict::MarkovHorizonPredictor`]) — learns from the stream
+    /// it serves, no oracle access to the trace.
+    Markov {
+        /// EWMA smoothing factor of the interarrival submodel.
+        alpha: f64,
+    },
 }
 
 /// Runs one (policy, oracle, overhead) configuration over a trace batch and
@@ -230,6 +237,11 @@ pub fn run_config(
                     error,
                     seed ^ i as u64,
                 ));
+                Some(p)
+            }
+            Oracle::Markov { alpha } => {
+                let p: Box<dyn Predictor + Send> =
+                    Box::new(MarkovHorizonPredictor::new(catalog_len, alpha));
                 Some(p)
             }
         },

@@ -46,19 +46,22 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use rtrm_core::HorizonPolicy;
 use rtrm_platform::{Platform, TaskCatalog, Trace};
-use rtrm_predict::{ErrorModel, OraclePredictor, OverheadModel, Predictor};
+use rtrm_predict::{ErrorModel, MarkovHorizonPredictor, OraclePredictor, OverheadModel, Predictor};
 use rtrm_sim::{
     mean_energy, mean_rejection_percent, run_batch_with, BatchOptions, PhantomDeadline, SimConfig,
     SimReport,
 };
-use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig};
+use rtrm_trace::{
+    generate_catalog, generate_pattern_traces, generate_traces, CatalogConfig, WorkloadPattern,
+};
 
 use crate::{try_write_csv, Group, Oracle, Policy, Scale};
 
 /// Checkpoint document version; bumped on schema changes so stale files are
 /// discarded instead of misread.
-pub const CHECKPOINT_VERSION: u64 = 1;
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Seconds without a heartbeat after which a sweep lease counts as abandoned
 /// (crashed owner) and is taken over by the next acquirer.
@@ -123,7 +126,7 @@ impl std::fmt::Display for SweepError {
             SweepError::UnknownSweep { name } => {
                 write!(
                     f,
-                    "unknown sweep '{name}' (known: tab1, fig2, fig3, fig4, fig5)"
+                    "unknown sweep '{name}' (known: tab1, fig2, fig3, fig4, fig5, horizon)"
                 )
             }
         }
@@ -151,6 +154,11 @@ pub struct PredictorSpec {
     /// Prediction runtime overhead as a fraction of the mean interarrival
     /// time (Sec 5.5); `0.0` charges nothing.
     pub overhead_coeff: f64,
+    /// Confidence-gated horizon admission ([`SimConfig::horizon`]): ask the
+    /// predictor for `depth` confidence-scored steps and plan only around
+    /// phantoms strictly above θ. `None` keeps the legacy single-phantom
+    /// path.
+    pub horizon: Option<HorizonPolicy>,
 }
 
 impl PredictorSpec {
@@ -161,6 +169,7 @@ impl PredictorSpec {
             label: "off",
             oracle: Oracle::Off,
             overhead_coeff: 0.0,
+            horizon: None,
         }
     }
 
@@ -171,6 +180,19 @@ impl PredictorSpec {
             label: "perfect",
             oracle: Oracle::On(ErrorModel::perfect()),
             overhead_coeff: 0.0,
+            horizon: None,
+        }
+    }
+
+    /// Online Markov-chain horizon predictor under a confidence gate:
+    /// `depth` steps, admission threshold `theta`, no overhead charged.
+    #[must_use]
+    pub fn markov_horizon(label: &'static str, alpha: f64, depth: usize, theta: f64) -> Self {
+        PredictorSpec {
+            label,
+            oracle: Oracle::Markov { alpha },
+            overhead_coeff: 0.0,
+            horizon: Some(HorizonPolicy::new(depth, theta)),
         }
     }
 
@@ -191,6 +213,16 @@ pub enum GridWorkload {
     Paper {
         /// Deadline-tightness groups to sweep.
         groups: Vec<Group>,
+    },
+    /// Non-stationary patterned workloads ([`WorkloadPattern`]): one batch
+    /// of [`Scale::traces`] traces per named pattern, generated against the
+    /// paper catalog under the same child-seed scheme as `Paper`
+    /// ([`generate_pattern_traces`]).
+    Patterns {
+        /// `(label, pattern)` pairs forming the workload axis.
+        patterns: Vec<(&'static str, WorkloadPattern)>,
+        /// Deadline model for predicted phantom tasks.
+        phantom_deadline: PhantomDeadline,
     },
     /// A fixed, caller-supplied workload (e.g. the Table 1 motivational
     /// example), swept over the policy × predictor axes only.
@@ -214,6 +246,13 @@ impl std::fmt::Debug for GridWorkload {
             GridWorkload::Paper { groups } => {
                 f.debug_struct("Paper").field("groups", groups).finish()
             }
+            GridWorkload::Patterns { patterns, .. } => f
+                .debug_struct("Patterns")
+                .field(
+                    "patterns",
+                    &patterns.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+                )
+                .finish_non_exhaustive(),
             GridWorkload::Custom { label, traces, .. } => f
                 .debug_struct("Custom")
                 .field("label", label)
@@ -254,6 +293,9 @@ pub struct CellMetrics {
     pub mean_rejection_percent: f64,
     /// Mean per-trace total energy.
     pub mean_energy: f64,
+    /// Total degraded activations (anytime incumbent or heuristic floor
+    /// after a solver timeout) over the cell's traces.
+    pub degraded_activations: usize,
     /// Wall-clock milliseconds the cell took on the pool.
     pub elapsed_ms: f64,
 }
@@ -356,6 +398,8 @@ struct Job {
     policy: Policy,
     predictor: PredictorSpec,
     group: Option<Group>,
+    /// Index into [`GridWorkload::Patterns`]' pattern list.
+    pattern: Option<usize>,
 }
 
 /// Runs the sweep: expands the grid, skips cells already in the checkpoint
@@ -385,7 +429,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
     let checkpoint_path = dir.join(format!("{}.sweep.json", spec.name));
 
     let trace_len = match &spec.workload {
-        GridWorkload::Paper { .. } => spec.scale.trace_len,
+        GridWorkload::Paper { .. } | GridWorkload::Patterns { .. } => spec.scale.trace_len,
         GridWorkload::Custom { .. } => 0,
     };
     let mut done: BTreeMap<String, CellMetrics> = BTreeMap::new();
@@ -407,7 +451,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
     // workloads come with the spec.
     let paper_platform = Platform::paper_default();
     let paper_catalog = match &spec.workload {
-        GridWorkload::Paper { .. } => {
+        GridWorkload::Paper { .. } | GridWorkload::Patterns { .. } => {
             let mut rng = StdRng::seed_from_u64(spec.scale.seed);
             Some(generate_catalog(
                 &paper_platform,
@@ -430,6 +474,22 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                             policy,
                             predictor,
                             group: Some(g),
+                            pattern: None,
+                        });
+                    }
+                }
+            }
+        }
+        GridWorkload::Patterns { patterns, .. } => {
+            for (i, (label, _)) in patterns.iter().enumerate() {
+                for &policy in &spec.policies {
+                    for &predictor in &spec.predictors {
+                        jobs.push(Job {
+                            workload: (*label).to_string(),
+                            policy,
+                            predictor,
+                            group: None,
+                            pattern: Some(i),
                         });
                     }
                 }
@@ -443,6 +503,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                         policy,
                         predictor,
                         group: None,
+                        pattern: None,
                     });
                 }
             }
@@ -489,6 +550,33 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                 let config = SimConfig {
                     overhead: job.predictor.overhead(),
                     phantom_deadline: PhantomDeadline::MinWcetTimes(g.phantom_coefficient()),
+                    horizon: job.predictor.horizon,
+                    ..SimConfig::default()
+                };
+                (&paper_platform, catalog, traces.as_slice(), config)
+            }
+            (
+                GridWorkload::Patterns {
+                    patterns,
+                    phantom_deadline,
+                },
+                _,
+            ) => {
+                let i = job.pattern.expect("pattern jobs carry their index");
+                let (label, pattern) = &patterns[i];
+                let catalog = paper_catalog.as_ref().expect("paper catalog generated");
+                let traces = group_traces.entry(*label).or_insert_with(|| {
+                    generate_pattern_traces(
+                        catalog,
+                        pattern,
+                        spec.scale.traces,
+                        spec.scale.seed ^ ((i as u64 + 1) << 16),
+                    )
+                });
+                let config = SimConfig {
+                    overhead: job.predictor.overhead(),
+                    phantom_deadline: *phantom_deadline,
+                    horizon: job.predictor.horizon,
                     ..SimConfig::default()
                 };
                 (&paper_platform, catalog, traces.as_slice(), config)
@@ -506,6 +594,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                 let config = SimConfig {
                     overhead: job.predictor.overhead(),
                     phantom_deadline: *phantom_deadline,
+                    horizon: job.predictor.horizon,
                     ..SimConfig::default()
                 };
                 (platform, catalog, traces.as_slice(), config)
@@ -533,6 +622,11 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                     ));
                     Some(p)
                 }
+                Oracle::Markov { alpha } => {
+                    let p: Box<dyn Predictor + Send> =
+                        Box::new(MarkovHorizonPredictor::new(catalog_len, alpha));
+                    Some(p)
+                }
             },
             &BatchOptions::default(),
         );
@@ -545,6 +639,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
             rejected: reports.iter().map(|r| r.rejected).sum(),
             mean_rejection_percent: mean_rejection_percent(&reports),
             mean_energy: mean_energy(&reports),
+            degraded_activations: reports.iter().map(|r| r.degraded_activations).sum(),
             elapsed_ms,
         };
         if !options.quiet {
@@ -571,7 +666,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
         .map(|c| {
             let m = &c.metrics;
             format!(
-                "{},{},{},{},{},{},{},{:.6},{:.6},{:.3}",
+                "{},{},{},{},{},{},{},{:.6},{:.6},{},{:.3}",
                 c.workload,
                 c.policy,
                 c.predictor,
@@ -581,6 +676,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                 m.rejected,
                 m.mean_rejection_percent,
                 m.mean_energy,
+                m.degraded_activations,
                 m.elapsed_ms
             )
         })
@@ -589,7 +685,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
     let csv_path = try_write_csv(
         &csv_name,
         "workload,policy,predictor,traces,requests,accepted,rejected,\
-         mean_rejection_percent,mean_energy,elapsed_ms",
+         mean_rejection_percent,mean_energy,degraded_activations,elapsed_ms",
         &rows,
     )
     .map_err(|source| SweepError::Io {
@@ -627,7 +723,7 @@ fn save_checkpoint(
             "    {{\"key\": \"{}\", \"workload\": \"{}\", \"policy\": \"{}\", \
              \"predictor\": \"{}\", \"traces\": {}, \"requests\": {}, \"accepted\": {}, \
              \"rejected\": {}, \"mean_rejection_percent\": {}, \"mean_energy\": {}, \
-             \"elapsed_ms\": {}}}",
+             \"degraded_activations\": {}, \"elapsed_ms\": {}}}",
             c.key(),
             c.workload,
             c.policy,
@@ -638,6 +734,7 @@ fn save_checkpoint(
             m.rejected,
             m.mean_rejection_percent,
             m.mean_energy,
+            m.degraded_activations,
             m.elapsed_ms
         ));
     }
@@ -743,6 +840,7 @@ fn parse_cell(cell: &json::Value) -> Option<(String, CellMetrics)> {
             rejected: cell.get_f64("rejected")? as usize,
             mean_rejection_percent: cell.get_f64("mean_rejection_percent")?,
             mean_energy: cell.get_f64("mean_energy")?,
+            degraded_activations: cell.get_f64("degraded_activations")? as usize,
             elapsed_ms: cell.get_f64("elapsed_ms")?,
         },
     ))

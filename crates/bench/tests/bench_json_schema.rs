@@ -421,6 +421,62 @@ fn bench_platform_json_schema_is_current() {
     }
 }
 
+/// `BENCH_horizon.json` — the horizon-depth scaling record (`horizon`
+/// bin). The depth column is the number of admitted phantoms `k`, so it
+/// does not go through [`check_envelope`] (which pins depth 128): the
+/// acceptance points are k ∈ {1, 2, 4, 8} for the heuristic series, and
+/// every row must record `engine_verdicts: 0` — the ISSUE's invariant that
+/// deeper horizons stay on the preemptable fast path.
+#[test]
+fn bench_horizon_json_schema_is_current() {
+    let doc = load("BENCH_horizon.json");
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("horizon"));
+    assert_eq!(
+        doc.get("units").and_then(Json::as_str),
+        Some("ns_per_call"),
+        "stale units field"
+    );
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results array");
+    assert!(!results.is_empty(), "empty results");
+    let mut series = Vec::new();
+    for row in results {
+        let s = row
+            .get("series")
+            .and_then(Json::as_str)
+            .expect("row series");
+        assert!(
+            matches!(s, "heuristic_decide" | "exact_decide"),
+            "unknown series {s}"
+        );
+        let depth = row.get("depth").and_then(Json::as_f64).expect("row depth");
+        assert!(depth > 0.0 && depth.fract() == 0.0, "bad depth {depth}");
+        assert!(row.get("baseline_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(row.get("decide_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(row.get("ratio").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            row.get("engine_verdicts").and_then(Json::as_f64),
+            Some(0.0),
+            "{s} k={depth}: a preemptable probe left the incremental fast path"
+        );
+        series.push((s.to_owned(), depth as u64));
+    }
+    for want in [1, 2, 4, 8] {
+        assert!(
+            series
+                .iter()
+                .any(|(s, d)| s == "heuristic_decide" && *d == want),
+            "heuristic_decide must cover horizon depth {want}"
+        );
+    }
+    assert!(
+        series.iter().any(|(s, d)| s == "exact_decide" && *d > 1),
+        "exact_decide must cover a multi-phantom rung"
+    );
+}
+
 /// `BENCH_sweep.json` has its own acceptance points (batch sizes 64 and
 /// 512), so it does not go through [`check_envelope`] (which pins 128).
 #[test]
@@ -585,7 +641,7 @@ fn sweep_checkpoint_schema_is_current() {
         Some("test_checkpoint_schema")
     );
     for (key, want) in [
-        ("version", 1.0),
+        ("version", 2.0),
         ("seed", 5.0),
         ("traces_per_cell", 2.0),
         ("trace_len", 20.0),
@@ -615,6 +671,7 @@ fn sweep_checkpoint_schema_is_current() {
             "rejected",
             "mean_rejection_percent",
             "mean_energy",
+            "degraded_activations",
             "elapsed_ms",
         ] {
             assert!(

@@ -19,9 +19,12 @@ use rtrm_bench::sweep::{
 };
 use rtrm_bench::{Group, Oracle, Policy, Scale};
 use rtrm_core::{ExactRm, HeuristicRm};
-use rtrm_predict::OraclePredictor;
+use rtrm_predict::{MarkovHorizonPredictor, OraclePredictor};
 use rtrm_sim::{PhantomDeadline, SimConfig, Simulator};
-use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig};
+use rtrm_trace::{
+    generate_catalog, generate_pattern_traces, generate_traces, CatalogConfig, DiurnalConfig,
+    WorkloadPattern,
+};
 
 #[test]
 fn sweep_is_bit_identical_to_sequential_runs() {
@@ -99,6 +102,10 @@ fn sweep_is_bit_identical_to_sequential_runs() {
                         let mut oracle =
                             OraclePredictor::new(trace, catalog.len(), error, seed ^ i as u64);
                         simulator.run(trace, &mut manager, Some(&mut oracle))
+                    }
+                    Oracle::Markov { alpha } => {
+                        let mut markov = MarkovHorizonPredictor::new(catalog.len(), alpha);
+                        simulator.run(trace, &mut manager, Some(&mut markov))
                     }
                 };
                 assert_eq!(
@@ -181,10 +188,100 @@ fn milp_policy_sweep_matches_sequential_exact_runs() {
                         OraclePredictor::new(trace, catalog.len(), error, seed ^ i as u64);
                     simulator.run(trace, &mut manager, Some(&mut oracle))
                 }
+                Oracle::Markov { alpha } => {
+                    let mut markov = MarkovHorizonPredictor::new(catalog.len(), alpha);
+                    simulator.run(trace, &mut manager, Some(&mut markov))
+                }
             };
             assert_eq!(
                 reports[i], expected,
                 "cell {key}, trace {i}: MILP sweep report diverged"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_file(&outcome.checkpoint_path);
+    let _ = std::fs::remove_file(&outcome.csv_path);
+}
+
+/// The horizon sweep path end to end: a `Patterns` workload cell with the
+/// online Markov predictor and a confidence-gated horizon must be
+/// bit-identical to a sequential reproduction with fresh per-trace
+/// predictors — pinning the pattern-trace child-seed scheme
+/// (`seed ^ ((i + 1) << 16)`), the `PredictorSpec::horizon` plumb-through
+/// into `SimConfig`, and the warm-pool execution of Markov cells.
+#[test]
+fn horizon_sweep_matches_sequential_runs() {
+    let scale = Scale {
+        traces: 4,
+        trace_len: 30,
+        seed: 17,
+    };
+    let pattern = WorkloadPattern::Diurnal(DiurnalConfig {
+        length: scale.trace_len,
+        ..DiurnalConfig::default()
+    });
+    let predictors = [
+        PredictorSpec::off(),
+        PredictorSpec::markov_horizon("k2@t0.50", 0.5, 2, 0.5),
+    ];
+    let spec = SweepSpec {
+        name: "test_differential_horizon",
+        scale,
+        workload: GridWorkload::Patterns {
+            patterns: vec![("diurnal", pattern.clone())],
+            phantom_deadline: PhantomDeadline::MinWcetTimes(1.5),
+        },
+        policies: vec![Policy::Heuristic],
+        predictors: predictors.to_vec(),
+    };
+    let outcome = run_sweep(
+        &spec,
+        &SweepOptions {
+            fresh: true,
+            quiet: true,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("sweep runs");
+    assert_eq!(
+        outcome.cells.len(),
+        2,
+        "1 pattern x 1 policy x 2 predictors"
+    );
+
+    let platform = rtrm_platform::Platform::paper_default();
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let traces = generate_pattern_traces(&catalog, &pattern, scale.traces, scale.seed ^ (1 << 16));
+    for predictor in predictors {
+        let key = format!("diurnal/heuristic/{}", predictor.label);
+        let config = SimConfig {
+            phantom_deadline: PhantomDeadline::MinWcetTimes(1.5),
+            horizon: predictor.horizon,
+            ..SimConfig::default()
+        };
+        let cell = outcome
+            .cells
+            .iter()
+            .find(|c| c.key() == key)
+            .unwrap_or_else(|| panic!("cell {key} missing"));
+        let reports = cell.reports.as_ref().expect("fresh cells carry reports");
+        assert_eq!(reports.len(), traces.len());
+        for (i, trace) in traces.iter().enumerate() {
+            let simulator = Simulator::new(&platform, &catalog, config.clone());
+            let mut manager = HeuristicRm::new();
+            let expected = match predictor.oracle {
+                Oracle::Off => simulator.run(trace, &mut manager, None),
+                Oracle::Markov { alpha } => {
+                    let mut markov = MarkovHorizonPredictor::new(catalog.len(), alpha);
+                    simulator.run(trace, &mut manager, Some(&mut markov))
+                }
+                Oracle::On(_) => unreachable!("no oracle cells in the horizon grid"),
+            };
+            assert_eq!(
+                reports[i], expected,
+                "cell {key}, trace {i}: horizon sweep report diverged"
             );
         }
     }

@@ -1,13 +1,70 @@
 //! The with-prediction / without-prediction fallback shared by all
 //! resource managers (paper Sec 4.1, last paragraph): if no feasible plan
 //! honours the predicted task, a plan without it is attempted before the
-//! arriving task is rejected.
+//! arriving task is rejected — plus the confidence gate ([`HorizonPolicy`])
+//! that decides *which* predicted phantoms are worth planning around.
 
 use rtrm_platform::{Energy, Time};
 use rtrm_sched::JobKey;
+use serde::{Deserialize, Serialize};
 
 use crate::activation::{Activation, Assignment, Decision};
 use crate::cost::Candidate;
+
+/// Uncertainty-weighted admission policy for multi-step horizons: plan only
+/// around phantoms whose confidence *strictly* exceeds `theta`, keep at
+/// most `depth` of them, highest confidence first.
+///
+/// The strict comparison fixes the endpoints: `theta = 1.0` gates
+/// everything (even a deterministic chain's confidence-1.0 phantom) and is
+/// decision-identical to prediction-off, while `theta = 0.0` admits every
+/// prediction with positive confidence. Both pins are enforced by
+/// `crates/core/tests/horizon_gate.rs`.
+///
+/// **Why the gated prefix is verdict-safe.** The fallback ladder
+/// ([`decide_with_fallback_tracked`]) tries rung `k = |predicted|` down to
+/// `k = 0`; with a gated horizon, rung `k`'s prefix is the `k`
+/// highest-confidence phantoms instead of "the one phantom, `k` times".
+/// The rung-0 floor and the anytime-budget degradation semantics never see
+/// the phantoms at all, so gating can only change *which* optional
+/// constraints the upper rungs try — never the guaranteed-admission path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HorizonPolicy {
+    /// Maximum number of phantoms to plan around (horizon depth `k`).
+    pub depth: usize,
+    /// Confidence threshold θ: a phantom is kept iff `confidence > theta`.
+    pub theta: f64,
+}
+
+impl HorizonPolicy {
+    /// Creates a policy with horizon depth `depth` and threshold `theta`.
+    #[must_use]
+    pub fn new(depth: usize, theta: f64) -> Self {
+        HorizonPolicy { depth, theta }
+    }
+
+    /// Whether a phantom with this confidence clears the gate. `NaN` never
+    /// clears.
+    #[must_use]
+    pub fn clears(&self, confidence: f64) -> bool {
+        confidence > self.theta
+    }
+}
+
+/// Applies a [`HorizonPolicy`] to `(confidence, payload)` pairs in place:
+/// retains pairs whose confidence clears the gate, stable-sorts them by
+/// descending confidence (stability preserves nearest-first order among
+/// equal confidences), and truncates to the policy's depth.
+///
+/// The payload is generic so the gate can run on predictions before any
+/// phantom `JobView` is materialized — `rtrm-core` never needs to know
+/// what a prediction is.
+pub fn gate_horizon<T>(policy: HorizonPolicy, candidates: &mut Vec<(f64, T)>) {
+    candidates.retain(|(confidence, _)| policy.clears(*confidence));
+    // NaNs were dropped by the gate above, so the comparison is total.
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.truncate(policy.depth);
+}
 
 /// A complete plan produced by one solver attempt: a placement for every
 /// *real* job (active + arriving, in activation order), the objective value
@@ -268,6 +325,29 @@ mod tests {
         assert!(decision.admitted);
         assert!(decision.degraded);
         assert_eq!(decision.solver_timeouts, 1);
+    }
+
+    #[test]
+    fn gate_keeps_highest_confidence_prefix() {
+        let mut candidates = vec![(0.3, "c"), (0.9, "a"), (0.5, "b"), (0.9, "a2"), (0.1, "d")];
+        gate_horizon(HorizonPolicy::new(3, 0.2), &mut candidates);
+        // 0.1 gated out; top three by confidence, ties in original order.
+        assert_eq!(candidates, vec![(0.9, "a"), (0.9, "a2"), (0.5, "b")]);
+    }
+
+    #[test]
+    fn gate_theta_one_drops_everything() {
+        let mut candidates = vec![(1.0, 0), (0.99, 1)];
+        gate_horizon(HorizonPolicy::new(8, 1.0), &mut candidates);
+        assert!(candidates.is_empty(), "theta=1.0 must gate even certainty");
+    }
+
+    #[test]
+    fn gate_theta_zero_keeps_positive_confidence_only() {
+        let mut candidates = vec![(0.0, 0), (f64::NAN, 1), (0.01, 2)];
+        gate_horizon(HorizonPolicy::new(8, 0.0), &mut candidates);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].1, 2);
     }
 
     #[test]

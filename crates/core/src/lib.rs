@@ -69,7 +69,9 @@ pub use activation::{
     Activation, Assignment, Decision, PlanBuilder, ResourceManager, TimelinePool,
 };
 pub use cost::{candidates, candidates_into, min_energy, Candidate};
-pub use driver::{decide_with_fallback, decide_with_fallback_tracked, Attempt, Plan};
+pub use driver::{
+    decide_with_fallback, decide_with_fallback_tracked, gate_horizon, Attempt, HorizonPolicy, Plan,
+};
 pub use exact::ExactRm;
 pub use heuristic::{most_desirable_resource, HeuristicRm};
 pub use milp_rm::MilpRm;

@@ -1,0 +1,56 @@
+//! Property suite for the confidence gate ([`rtrm_core::gate_horizon`]):
+//! whatever the candidate stream looks like, the gated prefix must be a
+//! subset of the input, sorted highest-confidence-first, capped at `depth`,
+//! and strictly above θ — and θ = 1.0 must always gate everything.
+
+use proptest::prelude::*;
+use rtrm_core::{gate_horizon, HorizonPolicy};
+
+fn candidates() -> impl Strategy<Value = Vec<(f64, usize)>> {
+    prop::collection::vec(((0.0f64..=1.0, any::<bool>()), any::<usize>()), 0..32).prop_map(|v| {
+        v.into_iter()
+            // A sprinkle of NaN confidences: the gate must drop them.
+            .map(|((c, nan), p)| (if nan && c < 0.05 { f64::NAN } else { c }, p))
+            .collect()
+    })
+}
+
+proptest! {
+    /// The gated prefix: ≤ depth items, all strictly above θ, sorted
+    /// descending, and each drawn from the input (by payload identity).
+    #[test]
+    fn gate_output_is_a_sorted_clearing_subset(
+        mut cands in candidates(),
+        depth in 0usize..8,
+        theta in 0.0f64..=1.0,
+    ) {
+        let input = cands.clone();
+        let policy = HorizonPolicy::new(depth, theta);
+        gate_horizon(policy, &mut cands);
+
+        prop_assert!(cands.len() <= depth);
+        for &(confidence, payload) in &cands {
+            prop_assert!(confidence > theta, "kept {confidence} at θ={theta}");
+            prop_assert!(input.iter().any(|&(c, p)| p == payload && c == confidence));
+        }
+        for pair in cands.windows(2) {
+            prop_assert!(pair[0].0 >= pair[1].0, "not sorted: {cands:?}");
+        }
+    }
+
+    /// θ = 1.0 gates every candidate — confidence cannot strictly exceed 1.
+    #[test]
+    fn theta_one_gates_everything(mut cands in candidates(), depth in 0usize..8) {
+        gate_horizon(HorizonPolicy::new(depth, 1.0), &mut cands);
+        prop_assert!(cands.is_empty(), "survivors at θ=1: {cands:?}");
+    }
+
+    /// θ = 0.0 keeps exactly the positive-confidence candidates (up to
+    /// depth) — NaN and zero-confidence never clear.
+    #[test]
+    fn theta_zero_keeps_positive_confidence(mut cands in candidates()) {
+        let expect = cands.iter().filter(|(c, _)| *c > 0.0).count();
+        gate_horizon(HorizonPolicy::new(usize::MAX, 0.0), &mut cands);
+        prop_assert_eq!(cands.len(), expect);
+    }
+}

@@ -1,0 +1,447 @@
+//! Multi-step horizon predictors: forecast up to `k` future requests with
+//! per-step confidences instead of the paper's single phantom.
+//!
+//! Both predictors iterate the *same* first-order Markov chain the one-step
+//! [`HistoryPredictor`](crate::HistoryPredictor) learns, through the
+//! read-only transition-matrix accessors on [`MarkovTypePredictor`] — the
+//! chain is estimated once, never re-derived. They differ in the arrival
+//! model: [`MarkovHorizonPredictor`] extrapolates a single EWMA gap
+//! estimate, while [`PatternHorizonPredictor`] bins gaps by phase within a
+//! configured period, tracking diurnal/weekly rate modulation
+//! (`rtrm_trace::WorkloadPattern`).
+
+use rtrm_platform::{Request, TaskTypeId, Time};
+
+use crate::{
+    ConfidentPrediction, EwmaInterarrivalPredictor, HorizonPredictor, MarkovTypePredictor,
+    Prediction, Predictor,
+};
+
+/// Walks the learned type chain `k` steps from `last`, pairing each step
+/// with a type and the probability of the transition chain so far. Shared
+/// by both horizon predictors so their type forecasts cannot drift.
+fn walk_chain(
+    types: &MarkovTypePredictor,
+    k: usize,
+    mut step_arrival: impl FnMut(usize) -> Option<Time>,
+) -> Vec<(TaskTypeId, Time, f64)> {
+    let mut out = Vec::new();
+    let Some(mut ty) = types.last_observed() else {
+        return out;
+    };
+    let mut confidence = 1.0;
+    for step in 0..k {
+        // Most likely successor of the current type; a type with no
+        // recorded outgoing transitions falls back to the global mode with
+        // its observation share — exactly `predict_type`'s fallback.
+        let Some((next, p)) = types
+            .most_likely_successor(ty)
+            .or_else(|| types.global_mode())
+        else {
+            break;
+        };
+        let Some(arrival) = step_arrival(step) else {
+            break;
+        };
+        confidence *= p;
+        out.push((next, arrival, confidence));
+        ty = next;
+    }
+    out
+}
+
+/// K-step Markov-chain predictor: iterates the [`MarkovTypePredictor`]
+/// transition matrix `k` steps, with per-step confidence equal to the
+/// *product* of the transition probabilities along the chain — confidence
+/// decays naturally with depth. Arrivals extrapolate the EWMA gap estimate:
+/// step `i` is forecast at `last arrival + (i + 1) × gap`.
+///
+/// Its first step is identical to
+/// [`HistoryPredictor`](crate::HistoryPredictor)'s one-step prediction
+/// (same submodels, same tie-breaks), so gating with θ = 0 at depth 1
+/// reproduces the single-phantom path exactly.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{Request, RequestId, TaskTypeId, Time};
+/// use rtrm_predict::{HorizonPredictor, MarkovHorizonPredictor, Predictor};
+///
+/// let mut p = MarkovHorizonPredictor::new(3, 0.5);
+/// // A noisy stream: 0 usually goes to 1, but once to 2.
+/// for (i, ty) in [0usize, 1, 0, 2, 0, 1, 0].into_iter().enumerate() {
+///     p.observe(&Request {
+///         id: RequestId::new(i),
+///         arrival: Time::new(3.0 * i as f64),
+///         task_type: TaskTypeId::new(ty),
+///         deadline: Time::new(100.0),
+///     });
+/// }
+/// let horizon = p.confident_horizon(2);
+/// assert_eq!(horizon[0].prediction.task_type, TaskTypeId::new(1)); // 0→1: 2/3
+/// assert!((horizon[0].confidence - 2.0 / 3.0).abs() < 1e-12);
+/// // Step 2 multiplies 1→0's probability (1.0) onto the chain: still 2/3.
+/// assert_eq!(horizon[1].prediction.task_type, TaskTypeId::new(0));
+/// assert!((horizon[1].confidence - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkovHorizonPredictor {
+    types: MarkovTypePredictor,
+    arrivals: EwmaInterarrivalPredictor,
+}
+
+impl MarkovHorizonPredictor {
+    /// Creates a horizon predictor for `num_types` types with EWMA factor
+    /// `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types` is zero or `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(num_types: usize, alpha: f64) -> Self {
+        MarkovHorizonPredictor {
+            types: MarkovTypePredictor::new(num_types),
+            arrivals: EwmaInterarrivalPredictor::new(alpha),
+        }
+    }
+}
+
+impl Predictor for MarkovHorizonPredictor {
+    fn observe(&mut self, request: &Request) {
+        self.types.observe_type_transition_from_request(request);
+        self.arrivals.observe_arrival(request.arrival);
+    }
+
+    fn predict_next(&mut self) -> Option<Prediction> {
+        self.confident_horizon(1).first().map(|c| c.prediction)
+    }
+
+    fn predict_horizon(&mut self, k: usize) -> Vec<Prediction> {
+        self.confident_horizon(k)
+            .into_iter()
+            .map(|c| c.prediction)
+            .collect()
+    }
+
+    fn predict_horizon_confident(&mut self, k: usize) -> Vec<ConfidentPrediction> {
+        self.confident_horizon(k)
+    }
+
+    fn reset(&mut self) {
+        self.types.clear();
+        self.arrivals.clear();
+    }
+}
+
+impl HorizonPredictor for MarkovHorizonPredictor {
+    fn confident_horizon(&mut self, k: usize) -> Vec<ConfidentPrediction> {
+        let (Some(gap), Some(last)) = (self.arrivals.gap_estimate(), self.arrivals.last_arrival())
+        else {
+            return Vec::new();
+        };
+        walk_chain(&self.types, k, |step| {
+            Some(last + Time::new(gap.value() * (step as f64 + 1.0)))
+        })
+        .into_iter()
+        .map(|(task_type, arrival, confidence)| ConfidentPrediction {
+            prediction: Prediction { task_type, arrival },
+            confidence,
+        })
+        .collect()
+    }
+}
+
+/// Pattern-aware horizon predictor for periodic workloads: interarrival
+/// gaps are averaged per *phase bin* (position within a configured period),
+/// so a diurnal or weekly rate profile — busy phases with short gaps, quiet
+/// phases with long ones — is learned instead of averaged away. Types walk
+/// the same Markov chain as [`MarkovHorizonPredictor`].
+///
+/// Per-step confidence is the type chain's transition-probability product
+/// multiplied by the phase bin's *saturation* `n / (n + 1)` (with `n`
+/// observations in the bin) — an unseen phase contributes low confidence, a
+/// well-observed one approaches the type confidence alone. Confidence is
+/// therefore non-increasing with depth.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{Request, RequestId, TaskTypeId, Time};
+/// use rtrm_predict::{HorizonPredictor, PatternHorizonPredictor, Predictor};
+///
+/// // A period-8 workload: gaps of 1 in the first half, 3 in the second.
+/// let mut p = PatternHorizonPredictor::new(1, Time::new(8.0), 4);
+/// let mut t = 0.0;
+/// for i in 0..64 {
+///     p.observe(&Request {
+///         id: RequestId::new(i),
+///         arrival: Time::new(t),
+///         task_type: TaskTypeId::new(0),
+///         deadline: Time::new(1000.0),
+///     });
+///     t += if t % 8.0 < 4.0 { 1.0 } else { 3.0 };
+/// }
+/// let horizon = p.confident_horizon(2);
+/// assert_eq!(horizon.len(), 2);
+/// assert!(horizon[0].confidence >= horizon[1].confidence);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternHorizonPredictor {
+    types: MarkovTypePredictor,
+    period: f64,
+    gap_sums: Vec<f64>,
+    gap_counts: Vec<u64>,
+    last_arrival: Option<Time>,
+}
+
+impl PatternHorizonPredictor {
+    /// Creates a pattern predictor for `num_types` types, a workload period
+    /// of `period`, and `bins` phase bins per period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types` or `bins` is zero, or `period` is not positive.
+    #[must_use]
+    pub fn new(num_types: usize, period: Time, bins: usize) -> Self {
+        assert!(period.value() > 0.0, "period must be positive");
+        assert!(bins > 0, "need at least one phase bin");
+        PatternHorizonPredictor {
+            types: MarkovTypePredictor::new(num_types),
+            period: period.value(),
+            gap_sums: vec![0.0; bins],
+            gap_counts: vec![0; bins],
+            last_arrival: None,
+        }
+    }
+
+    /// Phase bin of an absolute instant.
+    fn bin_of(&self, t: f64) -> usize {
+        let phase = t.rem_euclid(self.period) / self.period;
+        ((phase * self.gap_sums.len() as f64) as usize).min(self.gap_sums.len() - 1)
+    }
+
+    /// Mean gap observed in the bin covering `t`, the bin's saturation
+    /// `n / (n + 1)`, falling back to the global mean gap at saturation 0
+    /// when the bin is empty.
+    fn gap_at(&self, t: f64) -> Option<(f64, f64)> {
+        let bin = self.bin_of(t);
+        let n = self.gap_counts[bin];
+        if n > 0 {
+            return Some((self.gap_sums[bin] / n as f64, n as f64 / (n as f64 + 1.0)));
+        }
+        let total: u64 = self.gap_counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some((self.gap_sums.iter().sum::<f64>() / total as f64, 0.0))
+    }
+}
+
+impl Predictor for PatternHorizonPredictor {
+    fn observe(&mut self, request: &Request) {
+        self.types.observe_type_transition_from_request(request);
+        if let Some(prev) = self.last_arrival {
+            let gap = (request.arrival - prev).value().max(0.0);
+            let bin = self.bin_of(prev.value());
+            self.gap_sums[bin] += gap;
+            self.gap_counts[bin] += 1;
+        }
+        self.last_arrival = Some(request.arrival);
+    }
+
+    fn predict_next(&mut self) -> Option<Prediction> {
+        self.confident_horizon(1).first().map(|c| c.prediction)
+    }
+
+    fn predict_horizon(&mut self, k: usize) -> Vec<Prediction> {
+        self.confident_horizon(k)
+            .into_iter()
+            .map(|c| c.prediction)
+            .collect()
+    }
+
+    fn predict_horizon_confident(&mut self, k: usize) -> Vec<ConfidentPrediction> {
+        self.confident_horizon(k)
+    }
+
+    fn reset(&mut self) {
+        self.types.clear();
+        self.gap_sums.fill(0.0);
+        self.gap_counts.fill(0);
+        self.last_arrival = None;
+    }
+}
+
+impl HorizonPredictor for PatternHorizonPredictor {
+    fn confident_horizon(&mut self, k: usize) -> Vec<ConfidentPrediction> {
+        let Some(last) = self.last_arrival else {
+            return Vec::new();
+        };
+        let mut t = last.value();
+        let mut saturation = 1.0;
+        let mut arrivals = Vec::with_capacity(k);
+        for _ in 0..k {
+            let Some((gap, s)) = self.gap_at(t) else {
+                break;
+            };
+            t += gap;
+            // Saturation compounds like the type chain: each step
+            // conditions on the phase estimate that produced the previous.
+            saturation *= s.max(f64::EPSILON);
+            arrivals.push((Time::new(t), saturation));
+        }
+        walk_chain(&self.types, arrivals.len(), |step| Some(arrivals[step].0))
+            .into_iter()
+            .enumerate()
+            .map(
+                |(i, (task_type, arrival, confidence))| ConfidentPrediction {
+                    prediction: Prediction { task_type, arrival },
+                    confidence: confidence * arrivals[i].1,
+                },
+            )
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryPredictor;
+    use rtrm_platform::RequestId;
+
+    fn req(i: usize, arrival: f64, ty: usize) -> Request {
+        Request {
+            id: RequestId::new(i),
+            arrival: Time::new(arrival),
+            task_type: TaskTypeId::new(ty),
+            deadline: Time::new(1000.0),
+        }
+    }
+
+    #[test]
+    fn markov_horizon_first_step_matches_history_predictor() {
+        let mut horizon = MarkovHorizonPredictor::new(4, 0.4);
+        let mut history = HistoryPredictor::new(4, 0.4);
+        for (i, ty) in [0usize, 2, 1, 2, 0, 2, 1, 0, 2].iter().enumerate() {
+            let r = req(i, 1.7 * i as f64 + (i % 3) as f64 * 0.3, *ty);
+            horizon.observe(&r);
+            history.observe(&r);
+        }
+        assert_eq!(horizon.predict_next(), history.predict_next());
+    }
+
+    #[test]
+    fn markov_horizon_confidence_is_transition_product() {
+        let mut p = MarkovHorizonPredictor::new(3, 0.5);
+        // 0→1 twice, 0→2 once; 1→0 and 2→0 always.
+        for (i, ty) in [0usize, 1, 0, 2, 0, 1, 0].iter().enumerate() {
+            p.observe(&req(i, 2.0 * i as f64, *ty));
+        }
+        let h = p.confident_horizon(3);
+        assert_eq!(h.len(), 3);
+        // Step 1: 0→1 at 2/3. Step 2: 1→0 at 1. Step 3: 0→1 at 2/3 again.
+        assert!((h[0].confidence - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h[1].confidence - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h[2].confidence - 4.0 / 9.0).abs() < 1e-12);
+        // Arrivals march out by the EWMA gap (constant 2.0 here).
+        assert!((h[0].prediction.arrival.value() - 14.0).abs() < 1e-9);
+        assert!((h[1].prediction.arrival.value() - 16.0).abs() < 1e-9);
+        assert!((h[2].prediction.arrival.value() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markov_horizon_confidence_never_increases_with_depth() {
+        let mut p = MarkovHorizonPredictor::new(3, 0.5);
+        for (i, ty) in [0usize, 1, 2, 0, 1, 0, 2, 1, 0].iter().enumerate() {
+            p.observe(&req(i, 1.3 * i as f64, *ty));
+        }
+        let h = p.confident_horizon(8);
+        assert!(h.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+        assert!(h
+            .windows(2)
+            .all(|w| w[0].prediction.arrival <= w[1].prediction.arrival));
+    }
+
+    #[test]
+    fn markov_horizon_empty_without_history() {
+        let mut p = MarkovHorizonPredictor::new(2, 0.5);
+        assert!(p.confident_horizon(4).is_empty());
+        p.observe(&req(0, 0.0, 0));
+        // One observation: a type exists but no gap estimate yet.
+        assert!(p.confident_horizon(4).is_empty());
+    }
+
+    #[test]
+    fn markov_horizon_k_zero_is_empty() {
+        let mut p = MarkovHorizonPredictor::new(2, 0.5);
+        for i in 0..4 {
+            p.observe(&req(i, i as f64, i % 2));
+        }
+        assert!(p.confident_horizon(0).is_empty());
+        assert!(p.predict_horizon(0).is_empty());
+    }
+
+    #[test]
+    fn pattern_learns_phase_dependent_gaps() {
+        // A strictly periodic stream (period 8): arrivals at offsets
+        // 0,1,2,3,4,7 of every period — dense early phase, one long gap of
+        // 3 out of phase 4, then a gap of 1 across the period boundary.
+        let mut p = PatternHorizonPredictor::new(1, Time::new(8.0), 4);
+        let mut i = 0;
+        let mut last = 0.0;
+        for period in 0..25 {
+            for off in [0.0, 1.0, 2.0, 3.0, 4.0, 7.0] {
+                last = period as f64 * 8.0 + off;
+                p.observe(&req(i, last, 0));
+                i += 1;
+            }
+        }
+        // Last arrival sits at phase 7 (bin 3), whose observed gap is
+        // always 1 — a phase-blind global mean would have said ~1.33.
+        let h = p.confident_horizon(1);
+        let gap = h[0].prediction.arrival.value() - last;
+        assert!(
+            (gap - 1.0).abs() < 1e-9,
+            "expected the boundary-phase gap 1, got {gap}"
+        );
+        // Two steps further the forecast walks into the dense early phase
+        // and keeps predicting short gaps.
+        let h = p.confident_horizon(3);
+        let step2 = h[1].prediction.arrival.value() - h[0].prediction.arrival.value();
+        assert!(
+            (step2 - 1.0).abs() < 1e-9,
+            "expected the dense-phase gap 1, got {step2}"
+        );
+    }
+
+    #[test]
+    fn pattern_confidence_decays_and_reset_clears() {
+        let mut p = PatternHorizonPredictor::new(2, Time::new(10.0), 5);
+        for i in 0..40 {
+            p.observe(&req(i, 0.9 * i as f64, i % 2));
+        }
+        let h = p.confident_horizon(4);
+        assert_eq!(h.len(), 4);
+        assert!(h.iter().all(|c| c.confidence > 0.0 && c.confidence <= 1.0));
+        assert!(h.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+        p.reset();
+        assert!(p.confident_horizon(4).is_empty());
+        assert!(p.predict_next().is_none());
+    }
+
+    /// The `dyn Predictor` bridge carries the real confidences through.
+    #[test]
+    fn dyn_bridge_preserves_confidences() {
+        let mut p = MarkovHorizonPredictor::new(3, 0.5);
+        for (i, ty) in [0usize, 1, 0, 2, 0, 1].iter().enumerate() {
+            p.observe(&req(i, 2.0 * i as f64, *ty));
+        }
+        let direct = p.confident_horizon(3);
+        let via_dyn = {
+            let dynamic: &mut dyn Predictor = &mut p;
+            dynamic.predict_horizon_confident(3)
+        };
+        assert_eq!(direct, via_dyn);
+        assert!(direct.iter().any(|c| c.confidence < 1.0));
+    }
+}

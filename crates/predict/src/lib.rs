@@ -18,6 +18,14 @@
 //! weighted moving average over interarrival gaps
 //! ([`EwmaInterarrivalPredictor`]), combined into [`HistoryPredictor`].
 //!
+//! Beyond the paper's one-step forecast, [`HorizonPredictor`]s emit up to
+//! `k` future requests each tagged with a confidence in `[0, 1]`:
+//! [`MarkovHorizonPredictor`] iterates the learned type chain `k` steps
+//! (confidence = product of transition probabilities, decaying with depth)
+//! and [`PatternHorizonPredictor`] adds phase-binned interarrival estimates
+//! for periodic (diurnal/weekly) workloads. The simulator gates phantoms on
+//! those confidences via `rtrm_core::HorizonPolicy`.
+//!
 //! Prediction *runtime overhead* (Sec 5.5) is modelled by
 //! [`OverheadModel`]: a fixed cost per activation, expressed as a
 //! coefficient × the workload's average interarrival time, which the
@@ -27,11 +35,13 @@
 #![warn(missing_debug_implementations)]
 
 mod error_model;
+mod horizon;
 mod online;
 mod oracle;
 mod two_phase;
 
 pub use error_model::{ErrorModel, OverheadModel};
+pub use horizon::{MarkovHorizonPredictor, PatternHorizonPredictor};
 pub use online::{EwmaInterarrivalPredictor, HistoryPredictor, MarkovTypePredictor};
 pub use oracle::OraclePredictor;
 pub use two_phase::{TwoPhaseInterarrivalPredictor, TwoPhasePredictor};
@@ -49,6 +59,22 @@ pub struct Prediction {
     pub task_type: TaskTypeId,
     /// Predicted absolute arrival time of the next request.
     pub arrival: Time,
+}
+
+/// A [`Prediction`] paired with the predictor's confidence in it.
+///
+/// Confidence lives in `[0, 1]` and is *multiplicative along a horizon*:
+/// step `i` of a k-step forecast carries the probability of the whole chain
+/// of events leading to it, so confidence decays naturally with depth. The
+/// admission side (`rtrm_core::HorizonPolicy`) keeps a phantom only when
+/// its confidence strictly exceeds a threshold θ — which makes θ = 1.0
+/// "plan around nothing" and θ = 0.0 "plan around every prediction".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidentPrediction {
+    /// The predicted request.
+    pub prediction: Prediction,
+    /// Probability the predictor assigns to this step, in `[0, 1]`.
+    pub confidence: f64,
 }
 
 /// An online workload predictor.
@@ -76,8 +102,69 @@ pub trait Predictor {
         self.predict_next().into_iter().collect()
     }
 
+    /// Predicts up to the next `k` requests with per-step confidences.
+    ///
+    /// The default bridges [`predict_horizon`](Predictor::predict_horizon)
+    /// at confidence 1.0 (a predictor that reports no uncertainty is taken
+    /// at its word), so every existing predictor works under a confidence
+    /// gate unchanged. [`HorizonPredictor`] implementations override this
+    /// to report their real, depth-decaying confidences.
+    fn predict_horizon_confident(&mut self, k: usize) -> Vec<ConfidentPrediction> {
+        self.predict_horizon(k)
+            .into_iter()
+            .map(|prediction| ConfidentPrediction {
+                prediction,
+                confidence: 1.0,
+            })
+            .collect()
+    }
+
     /// Resets all learned state (between traces).
     fn reset(&mut self);
+}
+
+/// A predictor that natively forecasts a *horizon*: up to `k` future
+/// requests, nearest first, each with a real confidence estimate.
+///
+/// The contract beyond [`Predictor`]:
+///
+/// * `confident_horizon(k)` returns at most `k` entries, ordered by
+///   non-decreasing predicted arrival (nearest first);
+/// * confidences are in `[0, 1]` and non-increasing with depth — step
+///   `i + 1` conditions on step `i`, so its confidence can only shrink;
+/// * `confident_horizon(1)` agrees with
+///   [`predict_next`](Predictor::predict_next) on the predicted request;
+/// * implementations also override
+///   [`predict_horizon_confident`](Predictor::predict_horizon_confident)
+///   to forward here, so the confidences survive a `dyn Predictor` call.
+///
+/// # Examples
+///
+/// ```
+/// use rtrm_platform::{Request, RequestId, TaskTypeId, Time};
+/// use rtrm_predict::{HorizonPredictor, MarkovHorizonPredictor, Predictor};
+///
+/// let mut p = MarkovHorizonPredictor::new(2, 0.5);
+/// for (i, ty) in [0usize, 1, 0, 1, 0].into_iter().enumerate() {
+///     p.observe(&Request {
+///         id: RequestId::new(i),
+///         arrival: Time::new(2.0 * i as f64),
+///         task_type: TaskTypeId::new(ty),
+///         deadline: Time::new(100.0),
+///     });
+/// }
+/// let horizon = p.confident_horizon(3);
+/// assert_eq!(horizon.len(), 3);
+/// // The alternation 0 ↔ 1 is deterministic in the observed history, so
+/// // every step keeps full confidence and the types alternate.
+/// assert_eq!(horizon[0].prediction.task_type, TaskTypeId::new(1));
+/// assert_eq!(horizon[1].prediction.task_type, TaskTypeId::new(0));
+/// assert!(horizon.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+/// ```
+pub trait HorizonPredictor: Predictor {
+    /// Forecasts up to `k` future requests with per-step confidences,
+    /// nearest first.
+    fn confident_horizon(&mut self, k: usize) -> Vec<ConfidentPrediction>;
 }
 
 #[cfg(test)]

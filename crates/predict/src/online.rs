@@ -92,6 +92,65 @@ impl MarkovTypePredictor {
         self.totals.fill(0);
         self.last = None;
     }
+
+    /// Number of task types this chain was built for.
+    #[must_use]
+    pub fn num_types(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// The last observed task type, if any.
+    #[must_use]
+    pub fn last_observed(&self) -> Option<TaskTypeId> {
+        self.last
+    }
+
+    /// Empirical transition probability `P(to | from)` from the learned
+    /// counts, or `0.0` when no transition out of `from` was observed.
+    ///
+    /// This is the read-only view of the transition matrix that k-step
+    /// horizon predictors iterate — they never re-estimate the chain.
+    #[must_use]
+    pub fn transition_probability(&self, from: TaskTypeId, to: TaskTypeId) -> f64 {
+        let row = &self.counts[from.index()];
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        row[to.index()] as f64 / total as f64
+    }
+
+    /// The most likely successor of `from` with its transition probability,
+    /// or `None` when no transition out of `from` was observed. Ties break
+    /// to the lowest type id — identical to [`predict_type`].
+    ///
+    /// [`predict_type`]: MarkovTypePredictor::predict_type
+    #[must_use]
+    pub fn most_likely_successor(&self, from: TaskTypeId) -> Option<(TaskTypeId, f64)> {
+        let row = &self.counts[from.index()];
+        let total: u64 = row.iter().sum();
+        row.iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (*c, std::cmp::Reverse(i)))
+            .filter(|&(_, c)| *c > 0)
+            .map(|(i, c)| (TaskTypeId::new(i), *c as f64 / total as f64))
+    }
+
+    /// The globally most frequent type with its share of all observations,
+    /// or `None` before any observation. Ties break to the lowest type id —
+    /// identical to [`predict_type`]'s fallback.
+    ///
+    /// [`predict_type`]: MarkovTypePredictor::predict_type
+    #[must_use]
+    pub fn global_mode(&self) -> Option<(TaskTypeId, f64)> {
+        let total: u64 = self.totals.iter().sum();
+        self.totals
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (*c, std::cmp::Reverse(i)))
+            .filter(|&(_, c)| *c > 0)
+            .map(|(i, c)| (TaskTypeId::new(i), *c as f64 / total as f64))
+    }
 }
 
 /// Exponentially weighted moving average over interarrival gaps: predicts
@@ -142,6 +201,13 @@ impl EwmaInterarrivalPredictor {
     #[must_use]
     pub fn gap_estimate(&self) -> Option<Time> {
         self.estimate.map(Time::new)
+    }
+
+    /// The last observed arrival instant, if any — the anchor horizon
+    /// predictors extrapolate gap multiples from.
+    #[must_use]
+    pub fn last_arrival(&self) -> Option<Time> {
+        self.last_arrival
     }
 
     /// Clears all learned state.
@@ -231,6 +297,54 @@ mod tests {
     fn markov_empty_predicts_none() {
         let p = MarkovTypePredictor::new(4);
         assert_eq!(p.predict_type(), None);
+    }
+
+    #[test]
+    fn markov_exposes_transition_matrix_read_only() {
+        let mut p = MarkovTypePredictor::new(3);
+        // Transitions out of 0: 0→1 twice, 0→2 once.
+        for (i, ty) in [0usize, 1, 0, 2, 0, 1].iter().enumerate() {
+            p.observe_type_transition_from_request(&req(i, i as f64, *ty));
+        }
+        let from = TaskTypeId::new(0);
+        assert!((p.transition_probability(from, TaskTypeId::new(1)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.transition_probability(from, TaskTypeId::new(2)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.transition_probability(from, TaskTypeId::new(0)), 0.0);
+        let (succ, prob) = p.most_likely_successor(from).unwrap();
+        assert_eq!(succ, TaskTypeId::new(1));
+        assert!((prob - 2.0 / 3.0).abs() < 1e-12);
+        // 2 → 0 is the only recorded transition out of 2.
+        assert_eq!(
+            p.most_likely_successor(TaskTypeId::new(2)),
+            Some((TaskTypeId::new(0), 1.0))
+        );
+        // A fresh chain has no transitions and no mode at all.
+        let empty = MarkovTypePredictor::new(3);
+        assert_eq!(empty.most_likely_successor(TaskTypeId::new(0)), None);
+        assert_eq!(empty.global_mode(), None);
+        assert_eq!(empty.last_observed(), None);
+        let (mode, share) = p.global_mode().unwrap();
+        assert_eq!(mode, TaskTypeId::new(0));
+        assert!((share - 3.0 / 6.0).abs() < 1e-12);
+        assert_eq!(p.last_observed(), Some(TaskTypeId::new(1)));
+        assert_eq!(p.num_types(), 3);
+    }
+
+    /// The accessor pair reproduces `predict_type` exactly (row argmax with
+    /// low-id tie-break, global-mode fallback) — the horizon predictor's
+    /// first step cannot drift from the one-step path.
+    #[test]
+    fn markov_accessors_agree_with_predict_type() {
+        let mut p = MarkovTypePredictor::new(4);
+        for (i, ty) in [3usize, 1, 3, 2, 3, 1, 2].iter().enumerate() {
+            p.observe_type_transition_from_request(&req(i, i as f64, *ty));
+        }
+        let last = p.last_observed().unwrap();
+        let via_accessors = p
+            .most_likely_successor(last)
+            .or_else(|| p.global_mode())
+            .map(|(ty, _)| ty);
+        assert_eq!(via_accessors, p.predict_type());
     }
 
     #[test]

@@ -60,8 +60,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use rtrm_core::{Decision, ResourceManager};
+use rtrm_core::{Decision, HorizonPolicy, ResourceManager};
 use rtrm_platform::{Platform, Request, TaskCatalog, Time, Trace};
+use rtrm_predict::Predictor;
 use rtrm_sim::{SimConfig, SimReport, SimScratch, Simulator};
 
 /// When the manager runs with an anytime wall-clock budget, how that budget
@@ -201,6 +202,42 @@ struct IngressEvent {
     enqueued: Instant,
 }
 
+/// Per-trace prediction setup for [`run_service_with`]: the predictor a
+/// worker feeds observed arrivals into, the confidence-gated horizon policy
+/// its session runs under, and the per-activation prediction overhead to
+/// charge.
+pub struct PredictorSetup {
+    /// The online predictor for this trace's stream (one per trace, like
+    /// managers — prediction state never leaks across traces).
+    pub predictor: Box<dyn Predictor + Send>,
+    /// Horizon policy installed on the trace's session via
+    /// [`Session::set_horizon`](rtrm_sim::Session::set_horizon); `None`
+    /// keeps [`ServiceConfig::sim`]'s [`SimConfig::horizon`].
+    pub horizon: Option<HorizonPolicy>,
+    /// Prediction overhead charged per activation (what
+    /// [`Simulator::run`] derives from [`SimConfig::overhead`] and the
+    /// trace's mean interarrival — a session cannot compute it because it
+    /// never sees the whole trace).
+    pub overhead: Time,
+}
+
+impl std::fmt::Debug for PredictorSetup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictorSetup")
+            .field("horizon", &self.horizon)
+            .field("overhead", &self.overhead)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A worker's per-trace serving state: the open session plus the manager and
+/// predictor dedicated to that trace.
+struct TraceSlot {
+    session: rtrm_sim::Session,
+    manager: Box<dyn ResourceManager + Send>,
+    predictor: Option<Box<dyn Predictor + Send>>,
+}
+
 /// Runs the service over `traces`: an open-loop producer feeds the merged
 /// request stream through per-shard bounded ingress rings into `shards`
 /// workers (requests sharded by `trace % shards`), each owning a warm
@@ -227,6 +264,33 @@ pub fn run_service<M>(
 ) -> ServiceReport
 where
     M: Fn(usize) -> Box<dyn ResourceManager + Send> + Sync,
+{
+    run_service_with(platform, catalog, config, traces, make_manager, |_| None)
+}
+
+/// [`run_service`] with per-trace workload prediction: `make_predictor(trace)`
+/// returns the [`PredictorSetup`] for each trace (or `None` to serve that
+/// trace without prediction). Each worker observes its traces' arrivals into
+/// the per-trace predictor, and the setup's horizon policy is installed on
+/// the trace's [`Session`](rtrm_sim::Session) via
+/// [`set_horizon`](rtrm_sim::Session::set_horizon) — so a service can run
+/// confidence-gated multi-step admission per stream.
+///
+/// # Panics
+///
+/// Same as [`run_service`].
+#[must_use]
+pub fn run_service_with<M, P>(
+    platform: &Platform,
+    catalog: &TaskCatalog,
+    config: &ServiceConfig,
+    traces: &[Trace],
+    make_manager: M,
+    make_predictor: P,
+) -> ServiceReport
+where
+    M: Fn(usize) -> Box<dyn ResourceManager + Send> + Sync,
+    P: Fn(usize) -> Option<PredictorSetup> + Sync,
 {
     assert!(!traces.is_empty(), "service needs at least one trace");
     let shards = config.shards.clamp(1, traces.len());
@@ -258,16 +322,14 @@ where
             let max_backlog = &max_backlog;
             let trace_reports = &trace_reports;
             let make_manager = &make_manager;
+            let make_predictor = &make_predictor;
             scope.spawn(move || {
                 let simulator = Simulator::new(platform, catalog, config.sim.clone());
                 let mut scratch = SimScratch::new();
                 // One world per service run: build the placement index once
                 // and let every session this shard serves scan shortlists.
                 scratch.prime(&simulator);
-                let mut sessions: HashMap<
-                    usize,
-                    (rtrm_sim::Session, Box<dyn ResourceManager + Send>),
-                > = HashMap::new();
+                let mut sessions: HashMap<usize, TraceSlot> = HashMap::new();
                 loop {
                     let Some(event) = ingress.try_pop() else {
                         if producer_done.load(Ordering::Acquire) && ingress.is_empty() {
@@ -278,22 +340,34 @@ where
                     };
                     let backlog = ingress.len();
                     max_backlog.fetch_max(backlog + 1, Ordering::Relaxed);
-                    let (session, manager) = sessions.entry(event.trace).or_insert_with(|| {
-                        (simulator.session(Time::ZERO), make_manager(event.trace))
+                    let slot = sessions.entry(event.trace).or_insert_with(|| {
+                        let setup = make_predictor(event.trace);
+                        let overhead = setup.as_ref().map_or(Time::ZERO, |s| s.overhead);
+                        let mut session = simulator.session(overhead);
+                        if let Some(horizon) = setup.as_ref().and_then(|s| s.horizon) {
+                            session.set_horizon(Some(horizon));
+                        }
+                        TraceSlot {
+                            session,
+                            manager: make_manager(event.trace),
+                            predictor: setup.map(|s| s.predictor),
+                        }
                     });
                     if let Some(full) = config.budget {
-                        manager.set_wall_clock(Some(scaled_budget(
+                        slot.manager.set_wall_clock(Some(scaled_budget(
                             full,
                             backlog,
                             &config.overload,
                         )));
                     }
                     let decide_start = Instant::now();
-                    let decision = session.admit(
+                    let decision = slot.session.admit(
                         &simulator,
                         &event.request,
-                        manager.as_mut(),
-                        None,
+                        slot.manager.as_mut(),
+                        slot.predictor
+                            .as_mut()
+                            .map(|p| &mut **p as &mut dyn Predictor),
                         &mut scratch,
                     );
                     let decide_nanos = decide_start.elapsed().as_nanos() as u64;
@@ -321,8 +395,8 @@ where
                 // comparable to whole-trace batch runs.
                 let mut drained: Vec<(usize, SimReport)> = sessions
                     .into_iter()
-                    .map(|(trace, (session, _))| {
-                        (trace, session.into_report(&simulator, &mut scratch))
+                    .map(|(trace, slot)| {
+                        (trace, slot.session.into_report(&simulator, &mut scratch))
                     })
                     .collect();
                 trace_reports

@@ -6,7 +6,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rtrm_core::{
-    Activation, Assignment, Candidate, Decision, JobView, Placement, ResourceManager, TimelinePool,
+    gate_horizon, Activation, Assignment, Candidate, Decision, HorizonPolicy, JobView, Placement,
+    ResourceManager, TimelinePool,
 };
 use rtrm_platform::{
     Energy, Platform, Request, ResourceId, TaskCatalog, TaskTypeId, Time, Trace, TIME_EPSILON,
@@ -63,8 +64,17 @@ pub struct SimConfig {
     pub honour_start_gates: bool,
     /// Number of future requests the predictor is asked for at every
     /// activation. `1` reproduces the paper; larger values enable the
-    /// multi-step-lookahead extension (`ext_lookahead`).
+    /// multi-step-lookahead extension (`ext_lookahead`). Ignored when
+    /// [`horizon`](SimConfig::horizon) is set.
     pub lookahead: usize,
+    /// Confidence-gated horizon admission ([`HorizonPolicy`]). When set, the
+    /// predictor is asked for `depth` confidence-scored steps
+    /// ([`Predictor::predict_horizon_confident`]) and only phantoms whose
+    /// confidence strictly clears `theta` are planned around, highest
+    /// confidence first. `None` (the default) keeps the legacy
+    /// [`lookahead`](SimConfig::lookahead) path, where every predicted step
+    /// becomes a phantom.
+    pub horizon: Option<HorizonPolicy>,
     /// Collect a per-request [`TaskRecord`](crate::TaskRecord) log in the
     /// report (placements, restarts, completion times). Off by default —
     /// the log costs memory proportional to the trace.
@@ -84,6 +94,7 @@ impl Default for SimConfig {
             phantom_deadline: PhantomDeadline::MeanWcetTimes(1.75),
             honour_start_gates: true,
             lookahead: 1,
+            horizon: None,
             record_task_log: false,
             unified_event_queue: true,
         }
@@ -291,6 +302,7 @@ pub struct Session {
     live: Vec<LiveJob>,
     now: Time,
     overhead: Time,
+    horizon: Option<HorizonPolicy>,
     report: SimReport,
 }
 
@@ -325,6 +337,7 @@ impl Session {
             manager,
             predictor,
             self.overhead,
+            self.horizon,
             &mut self.now,
             &mut self.live,
             &mut scratch.advance,
@@ -352,6 +365,22 @@ impl Session {
             self.report.deadline_misses, 0,
             "admitted task missed a deadline"
         );
+    }
+
+    /// Replaces the session's confidence-gated horizon policy, effective
+    /// from the next [`admit`](Session::admit). `None` reverts to the legacy
+    /// [`SimConfig::lookahead`] path. Sessions start with the simulator's
+    /// [`SimConfig::horizon`]; this setter lets a long-running service
+    /// retune depth/θ per stream without reopening the session.
+    pub fn set_horizon(&mut self, horizon: Option<HorizonPolicy>) {
+        self.horizon = horizon;
+    }
+
+    /// The horizon policy currently in force (see
+    /// [`set_horizon`](Session::set_horizon)).
+    #[must_use]
+    pub fn horizon(&self) -> Option<HorizonPolicy> {
+        self.horizon
     }
 
     /// The report accumulated so far (drained totals only settle after
@@ -586,6 +615,7 @@ impl<'a> Simulator<'a> {
                 manager,
                 predictor.as_deref_mut(),
                 overhead,
+                self.config.horizon,
                 &mut now,
                 live,
                 scratch,
@@ -620,6 +650,7 @@ impl<'a> Simulator<'a> {
             live: Vec::new(),
             now: Time::ZERO,
             overhead,
+            horizon: self.config.horizon,
             report: blank_report(0, self.platform.len()),
         }
     }
@@ -634,6 +665,7 @@ impl<'a> Simulator<'a> {
         manager: &mut dyn ResourceManager,
         predictor: Option<&mut (dyn Predictor + '_)>,
         overhead: Time,
+        horizon: Option<HorizonPolicy>,
         now: &mut Time,
         live: &mut Vec<LiveJob>,
         scratch: &mut AdvanceScratch,
@@ -646,31 +678,40 @@ impl<'a> Simulator<'a> {
         *now = request.arrival;
         let now = *now;
 
-        // Prediction: feed the actual arrival, then forecast the next
-        // `lookahead` requests.
+        // Prediction: feed the actual arrival, then forecast. Without a
+        // horizon policy every `lookahead` step becomes a phantom; with one,
+        // the predictor's confidence-scored steps are gated on θ and ranked
+        // highest-confidence-first before planning around them.
         phantoms.clear();
-        phantoms.extend(
-            predictor
-                .map(|p| {
-                    p.observe(request);
-                    p.predict_horizon(self.config.lookahead)
-                })
-                .unwrap_or_default()
-                .into_iter()
-                .enumerate()
-                .map(|(i, pred): (usize, Prediction)| {
-                    let rel = self
-                        .config
-                        .phantom_deadline
-                        .relative(self.catalog, pred.task_type);
-                    JobView::fresh(
-                        JobKey(u64::MAX - (request.id.index() * 64 + i) as u64),
-                        pred.task_type,
-                        pred.arrival.max(now),
-                        pred.arrival.max(now) + rel,
-                    )
-                }),
-        );
+        let predicted: Vec<Prediction> = predictor
+            .map(|p| {
+                p.observe(request);
+                match horizon {
+                    Some(policy) => {
+                        let mut scored: Vec<(f64, Prediction)> = p
+                            .predict_horizon_confident(policy.depth)
+                            .into_iter()
+                            .map(|c| (c.confidence, c.prediction))
+                            .collect();
+                        gate_horizon(policy, &mut scored);
+                        scored.into_iter().map(|(_, pred)| pred).collect()
+                    }
+                    None => p.predict_horizon(self.config.lookahead),
+                }
+            })
+            .unwrap_or_default();
+        phantoms.extend(predicted.into_iter().enumerate().map(|(i, pred)| {
+            let rel = self
+                .config
+                .phantom_deadline
+                .relative(self.catalog, pred.task_type);
+            JobView::fresh(
+                JobKey(u64::MAX - (request.id.index() * 64 + i) as u64),
+                pred.task_type,
+                pred.arrival.max(now),
+                pred.arrival.max(now) + rel,
+            )
+        }));
 
         let arriving = JobView::fresh(
             JobKey(request.id.index() as u64),

@@ -1,0 +1,110 @@
+//! Differential pins for confidence-gated horizon admission
+//! ([`rtrm_core::HorizonPolicy`]): the gate's two endpoints must coincide
+//! **bit-identically** with the legacy paths they generalize.
+//!
+//! * θ = 1.0 — confidence can never *strictly* clear 1.0, so every phantom
+//!   is gated and the run must equal a prediction-off run.
+//! * θ = 0.0, depth = 1 — every positive-confidence step clears, and depth 1
+//!   keeps only the nearest one: the run must equal the legacy
+//!   single-phantom path (`lookahead: 1`, no gate) under the same predictor.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rtrm_core::{ExactRm, HeuristicRm, HorizonPolicy, ResourceManager};
+use rtrm_platform::{Platform, TaskCatalog, Trace};
+use rtrm_predict::MarkovHorizonPredictor;
+use rtrm_sim::{SimConfig, Simulator};
+use rtrm_trace::{generate_catalog, generate_traces, CatalogConfig, TraceConfig};
+
+fn world(seed: u64, cpu_only: bool) -> (Platform, TaskCatalog, Vec<Trace>) {
+    let platform = if cpu_only {
+        let mut b = Platform::builder();
+        b.cpus(3);
+        b.build()
+    } else {
+        Platform::paper_default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let catalog = generate_catalog(&platform, &CatalogConfig::paper(), &mut rng);
+    let cfg = TraceConfig {
+        length: 50,
+        ..TraceConfig::calibrated_vt()
+    };
+    let traces = generate_traces(&catalog, &cfg, 2, seed);
+    (platform, catalog, traces)
+}
+
+fn manager(exact: bool) -> Box<dyn ResourceManager> {
+    if exact {
+        Box::new(ExactRm::new())
+    } else {
+        Box::new(HeuristicRm::new())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// θ = 1.0 gates every phantom: bit-identical to running without a
+    /// predictor at all, at any depth.
+    #[test]
+    fn theta_one_is_prediction_off(
+        seed in any::<u64>(),
+        exact in any::<bool>(),
+        cpu_only in any::<bool>(),
+        depth in 1usize..6,
+    ) {
+        let (platform, catalog, traces) = world(seed, cpu_only);
+        let gated = Simulator::new(
+            &platform,
+            &catalog,
+            SimConfig {
+                horizon: Some(HorizonPolicy::new(depth, 1.0)),
+                ..SimConfig::default()
+            },
+        );
+        let off = Simulator::new(&platform, &catalog, SimConfig::default());
+        for trace in &traces {
+            let mut p = MarkovHorizonPredictor::new(catalog.len(), 0.5);
+            let a = gated.run(trace, manager(exact).as_mut(), Some(&mut p));
+            let b = off.run(trace, manager(exact).as_mut(), None);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// θ = 0.0 at depth 1 admits exactly the nearest positive-confidence
+    /// step: bit-identical to the legacy ungated single-phantom path under
+    /// the same predictor.
+    #[test]
+    fn theta_zero_depth_one_is_single_phantom(
+        seed in any::<u64>(),
+        exact in any::<bool>(),
+        cpu_only in any::<bool>(),
+    ) {
+        let (platform, catalog, traces) = world(seed, cpu_only);
+        let gated = Simulator::new(
+            &platform,
+            &catalog,
+            SimConfig {
+                horizon: Some(HorizonPolicy::new(1, 0.0)),
+                ..SimConfig::default()
+            },
+        );
+        let legacy = Simulator::new(
+            &platform,
+            &catalog,
+            SimConfig {
+                lookahead: 1,
+                horizon: None,
+                ..SimConfig::default()
+            },
+        );
+        for trace in &traces {
+            let mut pa = MarkovHorizonPredictor::new(catalog.len(), 0.5);
+            let mut pb = MarkovHorizonPredictor::new(catalog.len(), 0.5);
+            let a = gated.run(trace, manager(exact).as_mut(), Some(&mut pa));
+            let b = legacy.run(trace, manager(exact).as_mut(), Some(&mut pb));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -9,6 +9,13 @@
 //! All generation is deterministic given a seed, and batches derive
 //! independent child seeds per trace ([`generate_traces`]).
 //!
+//! Beyond the paper's stationary stream, [`WorkloadPattern`] renders
+//! non-stationary arrival-rate profiles — sinusoidal diurnal days
+//! ([`DiurnalConfig`]), weekday/weekend cycles ([`WeeklyConfig`]), and the
+//! Markov-modulated burst process ([`BurstyConfig`]) — under the same
+//! child-seed scheme ([`generate_pattern_traces`]), so patterned sweeps
+//! stay reproducible.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,10 +37,12 @@ mod bursty;
 mod catalog;
 mod dist;
 mod io;
+mod pattern;
 mod workload;
 
 pub use bursty::{generate_bursty_trace, BurstyConfig};
 pub use catalog::{generate_catalog, CatalogConfig};
 pub use dist::{uniform, Gaussian};
 pub use io::{read_trace_csv, write_trace_csv, ReadTraceError};
+pub use pattern::{generate_pattern_traces, DiurnalConfig, WeeklyConfig, WorkloadPattern};
 pub use workload::{generate_trace, generate_traces, Tightness, TraceConfig};

@@ -30,7 +30,7 @@ pub enum Tightness {
 }
 
 impl Tightness {
-    fn range(self) -> (f64, f64) {
+    pub(crate) fn range(self) -> (f64, f64) {
         match self {
             Tightness::VeryTight => (1.5, 2.0),
             Tightness::LessTight => (2.0, 6.0),
