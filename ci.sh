@@ -32,14 +32,20 @@ echo "==> horizon: confidence gate properties + theta-endpoint differentials"
 cargo test -q -p rtrm-core --test horizon_gate
 cargo test -q -p rtrm-sim --test horizon_differential
 
-echo "==> service: sharded-vs-sequential differential + overload degradation"
+echo "==> service: sharded-vs-sequential differential + overload degradation + histogram merge"
 cargo test -q -p rtrm-service --test service_differential
 cargo test -q -p rtrm-service --test overload
+cargo test -q -p rtrm-service --test histogram_merge
 
 echo "==> fault injection: anytime MILP ladder + batch quarantine + sweep persistence"
 cargo test -q -p rtrm-sim --test anytime_milp
 cargo test -q -p rtrm-sim --test fault_injection
 cargo test -q -p rtrm-bench --test fault_injection
+
+echo "==> chaos: cooperative sweep workers killed mid-protocol (hard 300 s timeout)"
+# The suite spawns real child worker processes; the timeout turns a hung
+# orphan into a build failure instead of a wedged CI run.
+timeout 300 cargo test -q -p rtrm-bench --test chaos_coop
 
 echo "==> BENCH_*.json schema sanity"
 cargo test -q -p rtrm-bench --test bench_json_schema

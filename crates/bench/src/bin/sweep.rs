@@ -11,43 +11,209 @@
 //! Each sweep holds `results/<name>.sweep.lock` while it runs; when another
 //! live process owns it, the default is to fail fast — pass `--wait-lease`
 //! to queue behind the owner instead.
+//!
+//! ## Cooperative mode
+//!
+//! `--cooperative` joins (or starts) a shared run of the grid using the
+//! per-cell claim protocol of `rtrm_bench::coop`: any number of processes
+//! on one `results/` directory split the cells between them and a merge
+//! folds their partial shards into the canonical checkpoint. `--owner <id>`
+//! names this worker (default: derived from the pid); `--local-workers N`
+//! is the one-machine convenience that spawns N−1 cooperative children of
+//! this same binary and acts as the Nth worker itself, rendering figures
+//! once the grid is merged.
+//!
+//! ## Exit codes
+//!
+//! Scripts can tell failure classes apart: `2` usage error, `3` lease held
+//! by a live owner, `4` filesystem I/O failure, `5` unknown sweep name,
+//! `6` shard conflict (cooperative merge found disagreeing duplicate
+//! cells), `1` anything else.
 
-use rtrm_bench::figs;
-use rtrm_bench::sweep::SweepOptions;
+use std::process::{Child, Command};
+
+use rtrm_bench::coop::CoopConfig;
+use rtrm_bench::sweep::{run_sweep, SweepError, SweepOptions};
+use rtrm_bench::{coop, figs};
 
 fn main() {
     let mut options = SweepOptions::default();
     let mut names: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut cooperative = false;
+    let mut owner: Option<String> = None;
+    let mut local_workers: Option<usize> = None;
+    let mut render = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fresh" => options.fresh = true,
             "--quiet" => options.quiet = true,
             "--wait-lease" => options.lease_wait = true,
+            "--cooperative" => cooperative = true,
+            "--no-render" => render = false,
+            "--owner" => match args.next() {
+                Some(id) if CoopConfig::owner_is_valid(&id) => owner = Some(id),
+                Some(id) => {
+                    eprintln!("--owner '{id}' must be non-empty [A-Za-z0-9._-]");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--owner needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--local-workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => local_workers = Some(n),
+                _ => {
+                    eprintln!("--local-workers needs a count >= 1");
+                    std::process::exit(2);
+                }
+            },
+            "--lease-stale-secs" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) => options.lease_stale_secs = secs,
+                None => {
+                    eprintln!("--lease-stale-secs needs a number of seconds");
+                    std::process::exit(2);
+                }
+            },
             "all" => names.extend(figs::NAMES.iter().map(|n| (*n).to_string())),
-            name if figs::NAMES.contains(&name) => names.push(name.to_string()),
-            other => {
-                eprintln!("unknown argument: {other}");
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag: {flag}");
                 usage();
                 std::process::exit(2);
             }
+            // Unknown sweep names are not usage errors: they reach the run
+            // and exit with the distinct UnknownSweep code (5).
+            name => names.push(name.to_string()),
         }
     }
     if names.is_empty() {
         usage();
         std::process::exit(2);
     }
+    if local_workers.is_some() && (cooperative || owner.is_some()) {
+        eprintln!("--local-workers spawns its own cooperative workers; drop --cooperative/--owner");
+        std::process::exit(2);
+    }
+    if owner.is_some() && !cooperative {
+        eprintln!("--owner only makes sense with --cooperative");
+        std::process::exit(2);
+    }
+    if cooperative {
+        options.coop = Some(match owner {
+            Some(id) => CoopConfig::with_owner(id),
+            None => CoopConfig::default(),
+        });
+    }
+
     for (i, name) in names.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        if let Err(err) = figs::run(name, &options) {
+        let result = match local_workers {
+            Some(n) => run_local_workers(name, &options, n),
+            None => run_one(name, &options, render),
+        };
+        if let Err(err) = result {
             eprintln!("sweep {name} failed: {err}");
-            std::process::exit(1);
+            std::process::exit(exit_code(&err));
         }
     }
 }
 
+/// Runs one sweep, with (`figs::run`) or without (`--no-render`) the figure
+/// rendering pass, and reports a salvaged-checkpoint backup if one fired.
+fn run_one(name: &str, options: &SweepOptions, render: bool) -> Result<(), SweepError> {
+    let outcome = if render {
+        figs::run(name, options)?
+    } else {
+        let spec = figs::spec(name).ok_or_else(|| SweepError::UnknownSweep {
+            name: name.to_string(),
+        })?;
+        run_sweep(&spec, options)?
+    };
+    if let Some(backup) = &outcome.corrupt_backup {
+        eprintln!(
+            "sweep {name}: note: a corrupt checkpoint was salvaged; the damaged \
+             file is preserved at {}",
+            backup.display()
+        );
+    }
+    Ok(())
+}
+
+/// One-machine fan-out: wipe stale state (under `--fresh`), spawn `n - 1`
+/// cooperative child workers of this same binary, act as the n-th worker,
+/// then render once the merge completes. A dead child is survivable — the
+/// remaining workers (at minimum this parent) finish the grid — so child
+/// exit codes are reported but only the parent's own result is fatal.
+fn run_local_workers(name: &str, options: &SweepOptions, n: usize) -> Result<(), SweepError> {
+    // Coordinator-only cleanup must precede every worker, including us.
+    if options.fresh {
+        coop::fresh_cleanup(name);
+    }
+    let parent = std::process::id();
+    let exe = std::env::current_exe().map_err(|source| SweepError::Io {
+        path: "<current_exe>".into(),
+        source,
+    })?;
+    let mut children: Vec<(String, std::io::Result<Child>)> = Vec::new();
+    for i in 1..n {
+        let owner = format!("l{parent}-{i}");
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--cooperative")
+            .arg("--owner")
+            .arg(&owner)
+            .arg("--no-render")
+            .arg("--lease-stale-secs")
+            .arg(options.lease_stale_secs.to_string());
+        if options.quiet {
+            cmd.arg("--quiet");
+        }
+        cmd.arg(name);
+        children.push((owner, cmd.spawn()));
+    }
+
+    let mut parent_options = options.clone();
+    parent_options.fresh = false;
+    parent_options.coop = Some(CoopConfig::with_owner(format!("l{parent}-0")));
+    let result = run_one(name, &parent_options, true);
+
+    for (owner, child) in children {
+        match child {
+            Ok(mut child) => match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    eprintln!(
+                        "sweep {name}: worker {owner} exited with {status} \
+                         (its unfinished cells were re-executed)"
+                    );
+                }
+                Err(err) => eprintln!("sweep {name}: waiting on worker {owner} failed: {err}"),
+            },
+            Err(err) => eprintln!("sweep {name}: spawning worker {owner} failed: {err}"),
+        }
+    }
+    result
+}
+
+/// Distinct exit codes per failure class (see the module docs).
+fn exit_code(err: &SweepError) -> i32 {
+    match err {
+        SweepError::LeaseHeld { .. } => 3,
+        SweepError::Io { .. } => 4,
+        SweepError::UnknownSweep { .. } => 5,
+        SweepError::ShardConflict { .. } => 6,
+        _ => 1,
+    }
+}
+
 fn usage() {
-    eprintln!("usage: sweep [--fresh] [--quiet] [--wait-lease] <name>... | all");
+    eprintln!(
+        "usage: sweep [--fresh] [--quiet] [--wait-lease] [--lease-stale-secs N]\n\
+         \x20            [--cooperative [--owner ID] | --local-workers N] [--no-render]\n\
+         \x20            <name>... | all"
+    );
     eprintln!("names: {}", figs::NAMES.join(", "));
 }

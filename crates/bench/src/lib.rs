@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod coop;
 pub mod figs;
 pub mod sweep;
 

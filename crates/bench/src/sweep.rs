@@ -29,12 +29,20 @@
 //!   corrupt (torn write, disk fault) is backed up to
 //!   `<name>.sweep.json.corrupt` and salvaged line by line: only the cells
 //!   lost to the damaged region are recomputed.
-//! * **Leases** — a sweep holds `results/<name>.sweep.lock` (owner id +
-//!   heartbeat) for its whole run, so two processes sweeping the same name
-//!   cannot interleave checkpoint writes. A heartbeat older than
-//!   [`LEASE_STALE_SECS`] marks a crashed owner and the lease is taken over;
+//! * **Leases** — a (single-process) sweep holds `results/<name>.sweep.lock`
+//!   (owner id + heartbeat) for its whole run, so two processes sweeping the
+//!   same name cannot interleave checkpoint writes. A heartbeat older than
+//!   [`SweepOptions::lease_stale_secs`] (default [`LEASE_STALE_SECS`]) marks
+//!   a crashed owner and the lease is taken over;
 //!   [`SweepOptions::lease_wait`] chooses between waiting for a live owner
 //!   and failing fast with [`SweepError::LeaseHeld`].
+//! * **Cooperative mode** — [`SweepOptions::coop`] switches the run to the
+//!   per-cell claim protocol of [`crate::coop`]: N processes share one grid,
+//!   each claiming pending cells and publishing per-owner partial checkpoint
+//!   shards that a final merge folds into the canonical checkpoint. Crashed
+//!   workers are detected by stale claim heartbeats and their cells taken
+//!   over; duplicated completions must agree bit-for-bit
+//!   ([`CellMetrics::deterministic_eq`]) or the merge fails hard.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -105,6 +113,19 @@ pub enum SweepError {
         /// The unrecognized name.
         name: String,
     },
+    /// Two completions of the same cell disagree on the deterministic
+    /// metrics ([`CellMetrics::deterministic_eq`]). With the sweep's
+    /// deterministic per-cell seeds this can only mean a corrupted shard or
+    /// workers running different code/configurations — never silently pick
+    /// one.
+    ShardConflict {
+        /// The conflicted cell key.
+        key: String,
+        /// Owner of the first record.
+        a: String,
+        /// Owner of the disagreeing record.
+        b: String,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -129,6 +150,12 @@ impl std::fmt::Display for SweepError {
                     "unknown sweep '{name}' (known: tab1, fig2, fig3, fig4, fig5, horizon)"
                 )
             }
+            SweepError::ShardConflict { key, a, b } => write!(
+                f,
+                "cell {key} was completed with different results by '{a}' and '{b}' \
+                 (deterministic cells must be bit-identical; corrupted shard or \
+                 mismatched worker builds?)"
+            ),
         }
     }
 }
@@ -300,6 +327,25 @@ pub struct CellMetrics {
     pub elapsed_ms: f64,
 }
 
+impl CellMetrics {
+    /// Equality over the deterministic fields — everything except the
+    /// wall-clock `elapsed_ms`, which re-executing the same cell cannot
+    /// reproduce. This is the reconciliation rule for duplicated
+    /// completions in cooperative mode: the per-cell seeds
+    /// ([`cell_seed`]) make execution idempotent, so two honest
+    /// completions of one cell *must* agree on every field here.
+    #[must_use]
+    pub fn deterministic_eq(&self, other: &CellMetrics) -> bool {
+        self.traces == other.traces
+            && self.requests == other.requests
+            && self.accepted == other.accepted
+            && self.rejected == other.rejected
+            && self.mean_rejection_percent.to_bits() == other.mean_rejection_percent.to_bits()
+            && self.mean_energy.to_bits() == other.mean_energy.to_bits()
+            && self.degraded_activations == other.degraded_activations
+    }
+}
+
 /// One grid cell with its identity and result.
 #[derive(Debug, Clone)]
 pub struct CellResult {
@@ -331,12 +377,17 @@ pub struct SweepOutcome {
     pub name: &'static str,
     /// Every grid cell, in expansion order (workload × policy × predictor).
     pub cells: Vec<CellResult>,
-    /// Cells that were loaded from the checkpoint instead of recomputed.
+    /// Cells that were loaded from the checkpoint (or, cooperatively, from
+    /// peers' shards) instead of computed by this process.
     pub resumed: usize,
     /// Path of the checkpoint/result JSON.
     pub checkpoint_path: PathBuf,
     /// Path of the per-cell CSV.
     pub csv_path: PathBuf,
+    /// When checkpoint salvage fired: where the damaged bytes were
+    /// preserved (`<name>.sweep.json.corrupt`) — surfaced so callers (the
+    /// `sweep` CLI) can point the user at the evidence.
+    pub corrupt_backup: Option<PathBuf>,
 }
 
 impl SweepOutcome {
@@ -367,15 +418,38 @@ impl SweepOutcome {
 }
 
 /// Execution options for [`run_sweep`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Ignore (and overwrite) an existing checkpoint instead of resuming.
+    /// In cooperative mode this also wipes existing shards and claims —
+    /// do it from the coordinating process *before* peers start.
     pub fresh: bool,
     /// Suppress per-cell progress lines.
     pub quiet: bool,
     /// When another live process holds the sweep's lease, poll until it is
     /// released instead of failing with [`SweepError::LeaseHeld`].
     pub lease_wait: bool,
+    /// Seconds without a heartbeat after which a lease or cooperative cell
+    /// claim counts as abandoned (crashed owner) and is taken over.
+    /// Defaults to [`LEASE_STALE_SECS`]; tests and chaos suites shrink it
+    /// so takeover happens in about a second instead of thirty.
+    pub lease_stale_secs: u64,
+    /// `Some` switches [`run_sweep`] to the cooperative per-cell claim
+    /// protocol ([`crate::coop`]); `None` (the default) keeps the exclusive
+    /// whole-run lease and the bit-identical single-process path.
+    pub coop: Option<crate::coop::CoopConfig>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            fresh: false,
+            quiet: false,
+            lease_wait: false,
+            lease_stale_secs: LEASE_STALE_SECS,
+            coop: None,
+        }
+    }
 }
 
 /// Deterministic per-cell seed: FNV-1a of the cell key folded with the
@@ -393,76 +467,30 @@ pub fn cell_seed(master: u64, key: &str) -> u64 {
 }
 
 /// One expanded job of the grid.
-struct Job {
-    workload: String,
-    policy: Policy,
-    predictor: PredictorSpec,
+pub(crate) struct Job {
+    pub(crate) workload: String,
+    pub(crate) policy: Policy,
+    pub(crate) predictor: PredictorSpec,
     group: Option<Group>,
     /// Index into [`GridWorkload::Patterns`]' pattern list.
     pattern: Option<usize>,
 }
 
-/// Runs the sweep: expands the grid, skips cells already in the checkpoint
-/// (unless [`SweepOptions::fresh`]), executes the rest on the warm worker
-/// pool, and persists checkpoint + CSV under `results/`.
-///
-/// The whole run holds the sweep's lease (`results/<name>.sweep.lock`), so
-/// concurrent processes sweeping the same name serialize instead of racing
-/// on the checkpoint (see the module docs).
-///
-/// # Errors
-///
-/// [`SweepError::Io`] when `results/` cannot be created or the checkpoint /
-/// CSV cannot be published (after bounded retries), and
-/// [`SweepError::LeaseHeld`] when another live process owns the lease and
-/// [`SweepOptions::lease_wait`] is off.
-pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcome, SweepError> {
-    let dir = crate::results_dir_for_charts();
-    fs::create_dir_all(&dir).map_err(|source| SweepError::Io {
-        path: dir.clone(),
-        source,
-    })?;
-    let lease = SweepLease::acquire(
-        dir.join(format!("{}.sweep.lock", spec.name)),
-        options.lease_wait,
-    )?;
-    let checkpoint_path = dir.join(format!("{}.sweep.json", spec.name));
-
-    let trace_len = match &spec.workload {
-        GridWorkload::Paper { .. } | GridWorkload::Patterns { .. } => spec.scale.trace_len,
-        GridWorkload::Custom { .. } => 0,
-    };
-    let mut done: BTreeMap<String, CellMetrics> = BTreeMap::new();
-    if !options.fresh {
-        if let Ok(text) = fs::read_to_string(&checkpoint_path) {
-            match load_checkpoint(&text, spec, trace_len) {
-                Loaded::Cells(cells) => done = cells,
-                // A stale file from another configuration: recompute
-                // silently, exactly as before.
-                Loaded::HeaderMismatch => {}
-                Loaded::Corrupt => {
-                    done = salvage_checkpoint(&checkpoint_path, &text, spec, trace_len);
-                }
-            }
-        }
+impl Job {
+    /// The cell key this job computes (matches [`CellResult::key`]).
+    pub(crate) fn key(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.workload,
+            self.policy.name(),
+            self.predictor.label
+        )
     }
+}
 
-    // Generated workloads are shared across the cells of a group; custom
-    // workloads come with the spec.
-    let paper_platform = Platform::paper_default();
-    let paper_catalog = match &spec.workload {
-        GridWorkload::Paper { .. } | GridWorkload::Patterns { .. } => {
-            let mut rng = StdRng::seed_from_u64(spec.scale.seed);
-            Some(generate_catalog(
-                &paper_platform,
-                &CatalogConfig::paper(),
-                &mut rng,
-            ))
-        }
-        GridWorkload::Custom { .. } => None,
-    };
-    let mut group_traces: BTreeMap<&'static str, Vec<Trace>> = BTreeMap::new();
-
+/// Expands the grid into jobs, in the canonical workload × policy ×
+/// predictor order shared by the single-process and cooperative paths.
+pub(crate) fn expand_jobs(spec: &SweepSpec) -> Vec<Job> {
     let mut jobs: Vec<Job> = Vec::new();
     match &spec.workload {
         GridWorkload::Paper { groups } => {
@@ -509,36 +537,65 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
             }
         }
     }
+    jobs
+}
 
-    let mut cells: Vec<CellResult> = Vec::with_capacity(jobs.len());
-    let mut resumed = 0;
-    for job in &jobs {
-        lease.refresh();
-        let key = format!(
-            "{}/{}/{}",
-            job.workload,
-            job.policy.name(),
-            job.predictor.label
-        );
-        if let Some(metrics) = done.get(&key) {
-            resumed += 1;
-            if !options.quiet {
-                println!("sweep {}: cell {key} resumed from checkpoint", spec.name);
+/// The grid's requests-per-trace header field (`0` for fixed custom
+/// workloads, whose traces come with the spec).
+pub(crate) fn spec_trace_len(spec: &SweepSpec) -> usize {
+    match &spec.workload {
+        GridWorkload::Paper { .. } | GridWorkload::Patterns { .. } => spec.scale.trace_len,
+        GridWorkload::Custom { .. } => 0,
+    }
+}
+
+/// Executes grid cells on the warm worker pool, caching the generated
+/// workload (catalog + per-group traces) across cells. One instance per
+/// sweeping process; both the single-process loop and the cooperative
+/// workers compute cells through this same type, which is what makes their
+/// results bit-identical by construction.
+pub(crate) struct CellExecutor<'a> {
+    spec: &'a SweepSpec,
+    paper_platform: Platform,
+    paper_catalog: Option<TaskCatalog>,
+    group_traces: BTreeMap<&'static str, Vec<Trace>>,
+}
+
+impl<'a> CellExecutor<'a> {
+    pub(crate) fn new(spec: &'a SweepSpec) -> Self {
+        // Generated workloads are shared across the cells of a group;
+        // custom workloads come with the spec.
+        let paper_platform = Platform::paper_default();
+        let paper_catalog = match &spec.workload {
+            GridWorkload::Paper { .. } | GridWorkload::Patterns { .. } => {
+                let mut rng = StdRng::seed_from_u64(spec.scale.seed);
+                Some(generate_catalog(
+                    &paper_platform,
+                    &CatalogConfig::paper(),
+                    &mut rng,
+                ))
             }
-            cells.push(CellResult {
-                workload: job.workload.clone(),
-                policy: job.policy.name().to_string(),
-                predictor: job.predictor.label.to_string(),
-                metrics: metrics.clone(),
-                reports: None,
-            });
-            continue;
+            GridWorkload::Custom { .. } => None,
+        };
+        CellExecutor {
+            spec,
+            paper_platform,
+            paper_catalog,
+            group_traces: BTreeMap::new(),
         }
+    }
 
+    /// Runs one job's batch and aggregates its [`CellMetrics`].
+    pub(crate) fn execute(&mut self, job: &Job) -> CellResult {
+        let spec = self.spec;
+        let key = job.key();
         let (platform, catalog, traces, config) = match (&spec.workload, job.group) {
             (GridWorkload::Paper { .. }, Some(g)) => {
-                let catalog = paper_catalog.as_ref().expect("paper catalog generated");
-                let traces = group_traces.entry(g.name()).or_insert_with(|| {
+                let catalog = self
+                    .paper_catalog
+                    .as_ref()
+                    .expect("paper catalog generated");
+                let traces = self.group_traces.entry(g.name()).or_insert_with(|| {
                     let cfg = g.trace_config(spec.scale.trace_len);
                     generate_traces(
                         catalog,
@@ -553,7 +610,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                     horizon: job.predictor.horizon,
                     ..SimConfig::default()
                 };
-                (&paper_platform, catalog, traces.as_slice(), config)
+                (&self.paper_platform, catalog, traces.as_slice(), config)
             }
             (
                 GridWorkload::Patterns {
@@ -564,8 +621,11 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
             ) => {
                 let i = job.pattern.expect("pattern jobs carry their index");
                 let (label, pattern) = &patterns[i];
-                let catalog = paper_catalog.as_ref().expect("paper catalog generated");
-                let traces = group_traces.entry(*label).or_insert_with(|| {
+                let catalog = self
+                    .paper_catalog
+                    .as_ref()
+                    .expect("paper catalog generated");
+                let traces = self.group_traces.entry(*label).or_insert_with(|| {
                     generate_pattern_traces(
                         catalog,
                         pattern,
@@ -579,7 +639,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
                     horizon: job.predictor.horizon,
                     ..SimConfig::default()
                 };
-                (&paper_platform, catalog, traces.as_slice(), config)
+                (&self.paper_platform, catalog, traces.as_slice(), config)
             }
             (
                 GridWorkload::Custom {
@@ -642,25 +702,124 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
             degraded_activations: reports.iter().map(|r| r.degraded_activations).sum(),
             elapsed_ms,
         };
-        if !options.quiet {
-            println!(
-                "sweep {}: cell {key}: rejection {:.2}%, energy {:.1}, {:.0} ms",
-                spec.name, metrics.mean_rejection_percent, metrics.mean_energy, elapsed_ms
-            );
-        }
-        cells.push(CellResult {
+        CellResult {
             workload: job.workload.clone(),
             policy: job.policy.name().to_string(),
             predictor: job.predictor.label.to_string(),
             metrics,
             reports: Some(reports),
-        });
+        }
+    }
+}
+
+/// Runs the sweep: expands the grid, skips cells already in the checkpoint
+/// (unless [`SweepOptions::fresh`]), executes the rest on the warm worker
+/// pool, and persists checkpoint + CSV under `results/`.
+///
+/// The whole run holds the sweep's lease (`results/<name>.sweep.lock`), so
+/// concurrent processes sweeping the same name serialize instead of racing
+/// on the checkpoint (see the module docs).
+///
+/// # Errors
+///
+/// [`SweepError::Io`] when `results/` cannot be created or the checkpoint /
+/// CSV cannot be published (after bounded retries), and
+/// [`SweepError::LeaseHeld`] when another live process owns the lease and
+/// [`SweepOptions::lease_wait`] is off.
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+    if options.coop.is_some() {
+        return crate::coop::run_cooperative(spec, options);
+    }
+    let dir = crate::results_dir_for_charts();
+    fs::create_dir_all(&dir).map_err(|source| SweepError::Io {
+        path: dir.clone(),
+        source,
+    })?;
+    let lease = SweepLease::acquire(
+        dir.join(format!("{}.sweep.lock", spec.name)),
+        options.lease_wait,
+        options.lease_stale_secs,
+    )?;
+    let checkpoint_path = dir.join(format!("{}.sweep.json", spec.name));
+
+    let trace_len = spec_trace_len(spec);
+    let mut done: BTreeMap<String, CellMetrics> = BTreeMap::new();
+    let mut corrupt_backup = None;
+    if !options.fresh {
+        if let Ok(text) = fs::read_to_string(&checkpoint_path) {
+            match load_checkpoint(&text, spec, trace_len) {
+                Loaded::Cells(cells) => done = cells,
+                // A stale file from another configuration: recompute
+                // silently, exactly as before.
+                Loaded::HeaderMismatch => {}
+                Loaded::Corrupt => {
+                    let salvage = salvage_checkpoint(&checkpoint_path, &text, spec, trace_len);
+                    done = salvage.cells;
+                    corrupt_backup = salvage.backup;
+                }
+            }
+        }
+    }
+
+    let jobs = expand_jobs(spec);
+    let mut executor = CellExecutor::new(spec);
+    let mut cells: Vec<CellResult> = Vec::with_capacity(jobs.len());
+    let mut resumed = 0;
+    for job in &jobs {
+        lease.refresh();
+        let key = job.key();
+        if let Some(metrics) = done.get(&key) {
+            resumed += 1;
+            if !options.quiet {
+                println!("sweep {}: cell {key} resumed from checkpoint", spec.name);
+            }
+            cells.push(CellResult {
+                workload: job.workload.clone(),
+                policy: job.policy.name().to_string(),
+                predictor: job.predictor.label.to_string(),
+                metrics: metrics.clone(),
+                reports: None,
+            });
+            continue;
+        }
+
+        let cell = executor.execute(job);
+        if !options.quiet {
+            println!(
+                "sweep {}: cell {key}: rejection {:.2}%, energy {:.1}, {:.0} ms",
+                spec.name,
+                cell.metrics.mean_rejection_percent,
+                cell.metrics.mean_energy,
+                cell.metrics.elapsed_ms
+            );
+        }
+        cells.push(cell);
         save_checkpoint(&checkpoint_path, spec, trace_len, &cells)?;
     }
 
     // A fully resumed sweep still rewrites the checkpoint (refreshing a
     // partially written file) and the CSV.
     save_checkpoint(&checkpoint_path, spec, trace_len, &cells)?;
+    let csv_path = write_sweep_csv(spec, &cells, &dir)?;
+    drop(lease);
+
+    Ok(SweepOutcome {
+        name: spec.name,
+        cells,
+        resumed,
+        checkpoint_path,
+        csv_path,
+        corrupt_backup,
+    })
+}
+
+/// Writes the per-cell CSV (`results/<name>_sweep.csv`) of a completed
+/// sweep, shared by the single-process and cooperative paths.
+pub(crate) fn write_sweep_csv(
+    spec: &SweepSpec,
+    cells: &[CellResult],
+    dir: &Path,
+) -> Result<PathBuf, SweepError> {
     let rows: Vec<String> = cells
         .iter()
         .map(|c| {
@@ -682,7 +841,7 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
         })
         .collect();
     let csv_name = format!("{}_sweep", spec.name);
-    let csv_path = try_write_csv(
+    try_write_csv(
         &csv_name,
         "workload,policy,predictor,traces,requests,accepted,rejected,\
          mean_rejection_percent,mean_energy,degraded_activations,elapsed_ms",
@@ -691,15 +850,6 @@ pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcom
     .map_err(|source| SweepError::Io {
         path: dir.join(format!("{csv_name}.csv")),
         source,
-    })?;
-    drop(lease);
-
-    Ok(SweepOutcome {
-        name: spec.name,
-        cells,
-        resumed,
-        checkpoint_path,
-        csv_path,
     })
 }
 
@@ -714,6 +864,20 @@ fn save_checkpoint(
     trace_len: usize,
     cells: &[CellResult],
 ) -> Result<(), SweepError> {
+    let doc = checkpoint_doc(spec, trace_len, cells, None);
+    write_doc_atomic(path, &doc, spec.name, "sweep::publish")
+}
+
+/// Serializes a checkpoint (or, with `owner`, a per-owner partial shard —
+/// the same document plus an `"owner"` header field, which the parser
+/// ignores) in the canonical line-oriented layout that [`salvage_checkpoint`]
+/// relies on.
+pub(crate) fn checkpoint_doc(
+    spec: &SweepSpec,
+    trace_len: usize,
+    cells: &[CellResult],
+    owner: Option<&str>,
+) -> String {
     let mut rows = Vec::with_capacity(cells.len());
     for c in cells {
         let m = &c.metrics;
@@ -738,28 +902,45 @@ fn save_checkpoint(
             m.elapsed_ms
         ));
     }
-    let doc = format!(
-        "{{\n  \"sweep\": \"{}\",\n  \"version\": {},\n  \"seed\": {},\n  \
+    let owner_field = match owner {
+        Some(o) => format!("\n  \"owner\": \"{o}\","),
+        None => String::new(),
+    };
+    format!(
+        "{{\n  \"sweep\": \"{}\",{}\n  \"version\": {},\n  \"seed\": {},\n  \
          \"traces_per_cell\": {},\n  \"trace_len\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
         spec.name,
+        owner_field,
         CHECKPOINT_VERSION,
         spec.scale.seed,
         spec.scale.traces,
         trace_len,
         rows.join(",\n")
-    );
+    )
+}
+
+/// Writes `doc` to `path` atomically (temp file + rename), so a process
+/// killed mid-write never leaves a torn file. Transient publish failures
+/// (the `failpoint` injects one) are retried [`PUBLISH_RETRIES`] times with
+/// doubling backoff before the error is surfaced.
+pub(crate) fn write_doc_atomic(
+    path: &Path,
+    doc: &str,
+    sweep_name: &str,
+    failpoint: &'static str,
+) -> Result<(), SweepError> {
     let tmp = path.with_extension("json.tmp");
     let mut delay = Duration::from_millis(10);
     let mut attempt = 0;
     loop {
-        match publish(&tmp, path, &doc) {
+        match publish(&tmp, path, doc, failpoint) {
             Ok(()) => return Ok(()),
             Err(source) if attempt < PUBLISH_RETRIES => {
                 attempt += 1;
                 eprintln!(
-                    "sweep {}: publishing checkpoint failed ({source}); \
+                    "sweep {sweep_name}: publishing {} failed ({source}); \
                      retry {attempt}/{PUBLISH_RETRIES} in {delay:?}",
-                    spec.name
+                    path.display()
                 );
                 std::thread::sleep(delay);
                 delay *= 2;
@@ -774,19 +955,23 @@ fn save_checkpoint(
     }
 }
 
-/// One checkpoint publish attempt: write the temp file, then rename it over
-/// the live checkpoint (atomic on POSIX). The `sweep::publish` fail point
-/// injects a transient error here.
-fn publish(tmp: &Path, path: &Path, doc: &str) -> io::Result<()> {
-    if rtrm_testkit::should_fail_io("sweep::publish") {
+/// One publish attempt: write the temp file, then rename it over the live
+/// file (atomic on POSIX). The fail point (`sweep::publish` for the
+/// canonical checkpoint, `sweep::part_publish` for cooperative shards)
+/// injects a transient error before the write, and — armed with an abort
+/// action — kills the process between temp write and rename, the window
+/// where a torn publish must leave the live file untouched.
+fn publish(tmp: &Path, path: &Path, doc: &str, failpoint: &'static str) -> io::Result<()> {
+    if rtrm_testkit::should_fail_io(failpoint) {
         return Err(io::Error::other("injected transient failure"));
     }
     fs::write(tmp, doc)?;
+    rtrm_testkit::maybe_die(failpoint, 1);
     fs::rename(tmp, path)
 }
 
 /// What reading an existing checkpoint file yielded.
-enum Loaded {
+pub(crate) enum Loaded {
     /// Parsed, and the header matches this spec: these cells are done.
     Cells(BTreeMap<String, CellMetrics>),
     /// Parsed, but written by a different configuration (name, version,
@@ -798,7 +983,7 @@ enum Loaded {
 }
 
 /// Parses a checkpoint and classifies it (see [`Loaded`]).
-fn load_checkpoint(text: &str, spec: &SweepSpec, trace_len: usize) -> Loaded {
+pub(crate) fn load_checkpoint(text: &str, spec: &SweepSpec, trace_len: usize) -> Loaded {
     let Some(doc) = json::parse(text) else {
         return Loaded::Corrupt;
     };
@@ -855,33 +1040,37 @@ fn parse_cell(cell: &json::Value) -> Option<(String, CellMetrics)> {
 /// to parse and is skipped. No cell is trusted unless the header fields
 /// (name, version, seed, scale) are all present verbatim — a corrupt file
 /// from another configuration salvages nothing.
-fn salvage_checkpoint(
-    path: &Path,
-    text: &str,
-    spec: &SweepSpec,
-    trace_len: usize,
-) -> BTreeMap<String, CellMetrics> {
+fn salvage_checkpoint(path: &Path, text: &str, spec: &SweepSpec, trace_len: usize) -> Salvage {
     let backup = path.with_extension("json.corrupt");
-    match fs::rename(path, &backup) {
-        Ok(()) => eprintln!(
-            "sweep {}: checkpoint {} is corrupt; backed up to {}",
-            spec.name,
-            path.display(),
-            backup.display()
-        ),
-        Err(err) => eprintln!(
-            "sweep {}: checkpoint {} is corrupt and could not be backed up ({err})",
-            spec.name,
-            path.display()
-        ),
-    }
+    let backup = match fs::rename(path, &backup) {
+        Ok(()) => {
+            eprintln!(
+                "sweep {}: checkpoint {} is corrupt; backed up to {}",
+                spec.name,
+                path.display(),
+                backup.display()
+            );
+            Some(backup)
+        }
+        Err(err) => {
+            eprintln!(
+                "sweep {}: checkpoint {} is corrupt and could not be backed up ({err})",
+                spec.name,
+                path.display()
+            );
+            None
+        }
+    };
     let header_ok = text.contains(&format!("\"sweep\": \"{}\"", spec.name))
         && text.contains(&format!("\"version\": {CHECKPOINT_VERSION}"))
         && text.contains(&format!("\"seed\": {}", spec.scale.seed))
         && text.contains(&format!("\"traces_per_cell\": {}", spec.scale.traces))
         && text.contains(&format!("\"trace_len\": {trace_len}"));
     if !header_ok {
-        return BTreeMap::new();
+        return Salvage {
+            cells: BTreeMap::new(),
+            backup,
+        };
     }
     let mut done = BTreeMap::new();
     for line in text.lines() {
@@ -898,36 +1087,48 @@ fn salvage_checkpoint(
         spec.name,
         done.len()
     );
-    done
+    Salvage {
+        cells: done,
+        backup,
+    }
+}
+
+/// What [`salvage_checkpoint`] recovered from a corrupt checkpoint.
+struct Salvage {
+    /// Every intact cell line, trusted only if the header matched verbatim.
+    cells: BTreeMap<String, CellMetrics>,
+    /// Where the damaged file was preserved, if the rename succeeded.
+    backup: Option<PathBuf>,
 }
 
 /// Monotonic-enough wall-clock seconds for lease heartbeats.
-fn epoch_secs() -> u64 {
+pub(crate) fn epoch_secs() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs())
 }
 
-fn lease_owner(content: &str) -> Option<&str> {
+pub(crate) fn lease_owner(content: &str) -> Option<&str> {
     content.lines().find_map(|l| l.strip_prefix("owner "))
 }
 
-fn lease_heartbeat(content: &str) -> Option<u64> {
+pub(crate) fn lease_heartbeat(content: &str) -> Option<u64> {
     content
         .lines()
         .find_map(|l| l.strip_prefix("heartbeat "))
         .and_then(|v| v.trim().parse().ok())
 }
 
-/// Whether a lease file's owner should be presumed dead. A missing
-/// heartbeat line means the owner was caught between create and first
-/// write, so the file's mtime stands in for the heartbeat.
-fn lease_is_stale(path: &Path, content: &str) -> bool {
+/// Whether a lease (or cooperative claim) file's owner should be presumed
+/// dead, judged against `stale_secs`. A missing heartbeat line means the
+/// owner was caught between create and first write, so the file's mtime
+/// stands in for the heartbeat.
+pub(crate) fn lease_is_stale(path: &Path, content: &str, stale_secs: u64) -> bool {
     if let Some(beat) = lease_heartbeat(content) {
-        return heartbeat_is_stale(epoch_secs(), beat);
+        return heartbeat_is_stale(epoch_secs(), beat, stale_secs);
     }
     match fs::metadata(path).and_then(|m| m.modified()) {
-        Ok(modified) => mtime_is_stale(SystemTime::now(), modified),
+        Ok(modified) => mtime_is_stale(SystemTime::now(), modified, stale_secs),
         // The file vanished under us (owner released it): retry the create.
         Err(_) => true,
     }
@@ -939,16 +1140,16 @@ fn lease_is_stale(path: &Path, content: &str) -> bool {
 /// presuming a live owner dead and stealing its lease corrupts the sweep,
 /// while waiting out a genuinely dead one merely delays takeover. The
 /// `saturating_sub` pins the future case to age 0.
-fn heartbeat_is_stale(now_secs: u64, beat: u64) -> bool {
-    now_secs.saturating_sub(beat) > LEASE_STALE_SECS
+pub(crate) fn heartbeat_is_stale(now_secs: u64, beat: u64, stale_secs: u64) -> bool {
+    now_secs.saturating_sub(beat) > stale_secs
 }
 
 /// Staleness rule for the mtime fallback, judged at `now`. Same skew
 /// discipline as [`heartbeat_is_stale`]: a modification time in the future
 /// makes `duration_since` fail, which reads as fresh.
-fn mtime_is_stale(now: SystemTime, modified: SystemTime) -> bool {
+pub(crate) fn mtime_is_stale(now: SystemTime, modified: SystemTime, stale_secs: u64) -> bool {
     now.duration_since(modified)
-        .is_ok_and(|age| age.as_secs() > LEASE_STALE_SECS)
+        .is_ok_and(|age| age.as_secs() > stale_secs)
 }
 
 /// Process-unique suffix so two sweeps in one process get distinct owner ids.
@@ -957,17 +1158,21 @@ static LEASE_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// An exclusive whole-run lease on one sweep name, held as
 /// `results/<name>.sweep.lock`. See the module docs for the protocol.
 #[derive(Debug)]
-struct SweepLease {
+pub(crate) struct SweepLease {
     path: PathBuf,
     owner: String,
 }
 
 impl SweepLease {
     /// Takes the lease: atomically creates the lock file, taking over a
-    /// stale one (heartbeat older than [`LEASE_STALE_SECS`]) and either
+    /// stale one (heartbeat older than `stale_secs`) and either
     /// polling a live one (`wait`) or failing with
     /// [`SweepError::LeaseHeld`].
-    fn acquire(path: PathBuf, wait: bool) -> Result<SweepLease, SweepError> {
+    pub(crate) fn acquire(
+        path: PathBuf,
+        wait: bool,
+        stale_secs: u64,
+    ) -> Result<SweepLease, SweepError> {
         let owner = format!(
             "{}-{}",
             std::process::id(),
@@ -987,7 +1192,7 @@ impl SweepLease {
                 }
                 Err(err) if err.kind() == io::ErrorKind::AlreadyExists => {
                     let holder = fs::read_to_string(&path).unwrap_or_default();
-                    if lease_is_stale(&path, &holder) {
+                    if lease_is_stale(&path, &holder, stale_secs) {
                         // Crashed owner: remove the lock and race for the
                         // recreate (exactly one contender wins `create_new`).
                         let _ = fs::remove_file(&path);
@@ -1274,32 +1479,56 @@ mod tests {
         // A heartbeat ahead of the local clock (NTP step, cross-machine
         // skew) must never mark the lease stale — stealing a live owner's
         // lease corrupts the sweep.
-        assert!(!heartbeat_is_stale(now, now + 1));
-        assert!(!heartbeat_is_stale(now, now + 10 * LEASE_STALE_SECS));
-        assert!(!heartbeat_is_stale(now, u64::MAX));
+        assert!(!heartbeat_is_stale(now, now + 1, LEASE_STALE_SECS));
+        assert!(!heartbeat_is_stale(
+            now,
+            now + 10 * LEASE_STALE_SECS,
+            LEASE_STALE_SECS
+        ));
+        assert!(!heartbeat_is_stale(now, u64::MAX, LEASE_STALE_SECS));
         // The boundary: exactly LEASE_STALE_SECS old is still fresh, one
         // second older is stale.
-        assert!(!heartbeat_is_stale(now, now));
-        assert!(!heartbeat_is_stale(now, now - LEASE_STALE_SECS));
-        assert!(heartbeat_is_stale(now, now - LEASE_STALE_SECS - 1));
+        assert!(!heartbeat_is_stale(now, now, LEASE_STALE_SECS));
+        assert!(!heartbeat_is_stale(
+            now,
+            now - LEASE_STALE_SECS,
+            LEASE_STALE_SECS
+        ));
+        assert!(heartbeat_is_stale(
+            now,
+            now - LEASE_STALE_SECS - 1,
+            LEASE_STALE_SECS
+        ));
+        // The threshold is configurable: a 2 s-old beat is stale under a
+        // 1 s threshold but fresh under the default.
+        assert!(heartbeat_is_stale(now, now - 2, 1));
+        assert!(!heartbeat_is_stale(now, now - 2, LEASE_STALE_SECS));
     }
 
     #[test]
     fn future_mtime_reads_fresh() {
         let now = UNIX_EPOCH + Duration::from_secs(1_000_000);
-        assert!(!mtime_is_stale(now, now + Duration::from_secs(1)));
         assert!(!mtime_is_stale(
             now,
-            now + Duration::from_secs(10 * LEASE_STALE_SECS)
+            now + Duration::from_secs(1),
+            LEASE_STALE_SECS
         ));
-        assert!(!mtime_is_stale(now, now));
         assert!(!mtime_is_stale(
             now,
-            now - Duration::from_secs(LEASE_STALE_SECS)
+            now + Duration::from_secs(10 * LEASE_STALE_SECS),
+            LEASE_STALE_SECS
+        ));
+        assert!(!mtime_is_stale(now, now, LEASE_STALE_SECS));
+        assert!(!mtime_is_stale(
+            now,
+            now - Duration::from_secs(LEASE_STALE_SECS),
+            LEASE_STALE_SECS
         ));
         assert!(mtime_is_stale(
             now,
-            now - Duration::from_secs(LEASE_STALE_SECS + 1)
+            now - Duration::from_secs(LEASE_STALE_SECS + 1),
+            LEASE_STALE_SECS
         ));
+        assert!(mtime_is_stale(now, now - Duration::from_secs(2), 1));
     }
 }

@@ -217,3 +217,57 @@ fn live_lease_fails_fast_and_stale_lease_is_taken_over() {
     let _ = fs::remove_file(&first.checkpoint_path);
     let _ = fs::remove_file(&first.csv_path);
 }
+
+/// The staleness threshold is configurable per run
+/// ([`SweepOptions::lease_stale_secs`]): a heartbeat 2 s old is a live
+/// owner under the 30 s default but a crashed one under a 1 s threshold —
+/// so this takeover test runs in milliseconds instead of sleeping out
+/// `LEASE_STALE_SECS` of wall clock.
+#[test]
+fn lease_staleness_threshold_is_configurable() {
+    let _serial = lock();
+    let spec = tiny_spec("test_fault_lease_stale_secs", vec![PredictorSpec::off()]);
+    let first = run_sweep(&spec, &fresh()).expect("seed sweep runs");
+    let dir = first
+        .checkpoint_path
+        .parent()
+        .expect("checkpoint lives under results/")
+        .to_path_buf();
+    let lock_path = dir.join("test_fault_lease_stale_secs.sweep.lock");
+
+    let plant = || {
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("epoch time")
+            .as_secs();
+        fs::write(
+            &lock_path,
+            format!("owner slowpoke\nheartbeat {}\n", now - 2),
+        )
+        .expect("plant 2s-old lease");
+    };
+
+    // Default threshold (30 s): a 2 s-old heartbeat is a live owner.
+    plant();
+    match run_sweep(&spec, &resume()).expect_err("2s-old lease is live under the default") {
+        SweepError::LeaseHeld { owner, .. } => assert_eq!(owner, "slowpoke"),
+        other => panic!("expected SweepError::LeaseHeld, got {other}"),
+    }
+
+    // 1 s threshold: the same lease is a crashed owner — taken over now,
+    // without waiting out the production 30 s.
+    plant();
+    let outcome = run_sweep(
+        &spec,
+        &SweepOptions {
+            lease_stale_secs: 1,
+            ..resume()
+        },
+    )
+    .expect("2s-old lease is stale under a 1s threshold");
+    assert_eq!(outcome.resumed, 1, "checkpoint survives the takeover");
+    assert!(!lock_path.exists(), "lease released after the run");
+
+    let _ = fs::remove_file(&first.checkpoint_path);
+    let _ = fs::remove_file(&first.csv_path);
+}

@@ -14,6 +14,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use rtrm_bench::coop::CoopConfig;
 use rtrm_bench::sweep::{
     cell_seed, run_sweep, CellMetrics, GridWorkload, PredictorSpec, SweepOptions, SweepSpec,
 };
@@ -402,4 +403,140 @@ fn contending_sweeps_share_one_lease_without_losing_cells() {
 
     let _ = std::fs::remove_file(&probe.checkpoint_path);
     let _ = std::fs::remove_file(&probe.csv_path);
+}
+
+/// Zeroes the wall-clock `elapsed_ms` field of every cell line so two
+/// checkpoint documents of the same deterministic run compare byte-equal.
+/// Cell *order* needs no normalization: both the single-process engine and
+/// the cooperative merge emit cells in grid expansion order.
+fn normalize_checkpoint(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        match line.find("\"elapsed_ms\": ") {
+            Some(pos) => {
+                let prefix = &line[..pos + "\"elapsed_ms\": ".len()];
+                let suffix = if line.ends_with("},") { "0}," } else { "0}" };
+                out.push_str(prefix);
+                out.push_str(suffix);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The tentpole pin: a cooperative run (several workers claiming cells and
+/// merging shards) must produce a canonical checkpoint byte-identical —
+/// modulo the wall-clock `elapsed_ms` — to the opt-out single-process run
+/// of the same spec and seed. This also pins that cooperative mode stays
+/// opt-in: `SweepOptions::default()` takes the exclusive-lease path.
+#[test]
+fn cooperative_workers_merge_to_the_sequential_checkpoint() {
+    assert!(
+        SweepOptions::default().coop.is_none(),
+        "cooperative mode must be opt-in"
+    );
+    let make_spec = || SweepSpec {
+        name: "test_coop_differential",
+        scale: Scale {
+            traces: 2,
+            trace_len: 20,
+            seed: 29,
+        },
+        workload: GridWorkload::Paper {
+            groups: vec![Group::Vt, Group::Lt],
+        },
+        policies: vec![Policy::Heuristic],
+        predictors: vec![PredictorSpec::off(), PredictorSpec::perfect()],
+    };
+
+    // Sequential single-process reference (exclusive-lease path).
+    let sequential = run_sweep(
+        &make_spec(),
+        &SweepOptions {
+            fresh: true,
+            quiet: true,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("sequential sweep runs");
+    let reference =
+        std::fs::read_to_string(&sequential.checkpoint_path).expect("read sequential checkpoint");
+    rtrm_bench::coop::fresh_cleanup("test_coop_differential");
+
+    // Four cooperative workers race over the same grid (batch 1 so the
+    // cells actually spread across owners).
+    let worker = |owner: &'static str| {
+        move || {
+            run_sweep(
+                &make_spec(),
+                &SweepOptions {
+                    quiet: true,
+                    coop: Some(CoopConfig {
+                        owner: owner.to_string(),
+                        batch: 1,
+                    }),
+                    ..SweepOptions::default()
+                },
+            )
+        }
+    };
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = ["wa", "wb", "wc", "wd"]
+            .into_iter()
+            .map(|o| scope.spawn(worker(o)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut executed = 0;
+    for outcome in outcomes {
+        let outcome = outcome.expect("cooperative worker completes");
+        assert_eq!(outcome.cells.len(), 4, "every worker sees the full grid");
+        executed += outcome.cells.len() - outcome.resumed;
+        for (cell, reference_cell) in outcome.cells.iter().zip(&sequential.cells) {
+            assert_eq!(cell.key(), reference_cell.key());
+            assert!(
+                cell.metrics.deterministic_eq(&reference_cell.metrics),
+                "cell {} diverged from the sequential run",
+                cell.key()
+            );
+        }
+    }
+    assert!(
+        executed >= 4,
+        "all 4 cells were executed by somebody (duplicates from takeovers are fine)"
+    );
+
+    let merged =
+        std::fs::read_to_string(&sequential.checkpoint_path).expect("read merged checkpoint");
+    assert_eq!(
+        normalize_checkpoint(&merged),
+        normalize_checkpoint(&reference),
+        "merged cooperative checkpoint must be byte-identical to the \
+         sequential one (modulo elapsed_ms)"
+    );
+
+    let results_dir = sequential.checkpoint_path.parent().expect("results dir");
+    assert!(
+        !results_dir
+            .join("test_coop_differential.sweep.claims")
+            .exists(),
+        "claims directory cleaned up after merge"
+    );
+    for entry in std::fs::read_dir(results_dir).expect("list results") {
+        let name = entry.expect("entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(
+            !(name.starts_with("test_coop_differential.sweep.") && name.ends_with(".part.json")),
+            "shard {name} left behind after merge"
+        );
+    }
+
+    let _ = std::fs::remove_file(&sequential.checkpoint_path);
+    let _ = std::fs::remove_file(&sequential.csv_path);
 }

@@ -1,0 +1,91 @@
+//! Property suite for [`LatencyHistogram::merge`]: cross-process latency
+//! collectors (one histogram per worker shard, folded at report time) rely
+//! on merged shards being indistinguishable from recording the same values
+//! into a single histogram. Since `merge` adds the bucket-count arrays and
+//! folds min/max/sum, the property is *exact* equality of every observable
+//! — and both the single and merged histograms must keep the log-linear
+//! layout's quantile guarantee: an upper bound on the true quantile within
+//! one sub-bucket (≤ 1/32 relative error, exact below 64).
+
+use proptest::prelude::*;
+use rtrm_service::LatencyHistogram;
+
+/// Latency samples spread over the full u64 octave range (a raw `u64`
+/// shifted right by 0..64 hits every bucket size class), each tagged with
+/// the worker shard (0..4) that records it — an arbitrary split of one
+/// recording across up to four histograms.
+fn sharded_samples() -> impl Strategy<Value = Vec<(u64, usize)>> {
+    prop::collection::vec((any::<u64>(), 0u32..64, 0usize..4), 0..64)
+        .prop_map(|v| v.into_iter().map(|(x, s, w)| (x >> s, w)).collect())
+}
+
+/// The true quantile of the raw samples: the `ceil(q·n)`-th smallest.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+proptest! {
+    /// Merging arbitrary split recordings is exactly equivalent to one
+    /// histogram recording everything: count, min, max, mean (bit-equal),
+    /// and every quantile agree.
+    #[test]
+    fn merged_shards_equal_single_recording(samples in sharded_samples()) {
+        let mut single = LatencyHistogram::new();
+        let mut shards = vec![LatencyHistogram::new(); 4];
+        for &(value, shard) in &samples {
+            single.record(value);
+            shards[shard].record(value);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        prop_assert_eq!(merged.mean().to_bits(), single.mean().to_bits());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q),
+                single.quantile(q),
+                "quantile({}) diverged after merge", q
+            );
+        }
+    }
+
+    /// The quantile-error contract survives the merge: for every probe
+    /// quantile, the merged histogram reports an upper bound on the true
+    /// quantile of the raw samples, within one sub-bucket (≤ 1/32 relative
+    /// error; exact for values below 64 where buckets are unit-width).
+    #[test]
+    fn merged_quantiles_keep_the_sub_bucket_error_bound(samples in sharded_samples()) {
+        prop_assume!(!samples.is_empty());
+        let mut shards = vec![LatencyHistogram::new(); 4];
+        let mut sorted: Vec<u64> = Vec::with_capacity(samples.len());
+        for &(value, shard) in &samples {
+            shards[shard].record(value);
+            sorted.push(value);
+        }
+        sorted.sort_unstable();
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let truth = true_quantile(&sorted, q);
+            let reported = merged.quantile(q);
+            prop_assert!(
+                reported >= truth,
+                "quantile({}) = {} under-reports the true {}", q, reported, truth
+            );
+            let error = (reported - truth) as f64;
+            prop_assert!(
+                error <= truth as f64 / 32.0,
+                "quantile({}) = {} overshoots the true {} by more than 1/32", q, reported, truth
+            );
+        }
+    }
+}

@@ -271,6 +271,10 @@ where
                         let began = Instant::now();
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             rtrm_testkit::maybe_panic("batch::trace", i as u64);
+                            // Armed with an abort action, this kills the
+                            // whole process mid-cell (no unwinding, no Drop
+                            // cleanup) — the chaos suite's worker-death hook.
+                            rtrm_testkit::maybe_die("batch::trace", i as u64);
                             let mut manager = make_manager(i);
                             let mut predictor = make_predictor(i);
                             simulator.run_with_scratch(

@@ -52,6 +52,20 @@ pub enum Action {
     Trigger,
     /// [`should_fail_io`] returns `true` (the caller fabricates the error).
     IoError,
+    /// [`maybe_die`] aborts the whole process — no unwinding, no `Drop`
+    /// cleanup — simulating a worker killed mid-protocol (`kill -9`, OOM
+    /// kill, power loss). Only meaningful in spawned child processes; armed
+    /// from the environment via [`arm_from_env`].
+    Abort,
+}
+
+impl Action {
+    /// Discriminant equality, so a hook only consumes firings of its own
+    /// action kind (e.g. a `maybe_die` probe must not eat the budget of a
+    /// point armed with [`Action::IoError`]).
+    fn kind_matches(&self, other: &Action) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
 }
 
 #[derive(Debug)]
@@ -136,15 +150,19 @@ pub fn arm_with(name: &str, action: Action, key: Option<u64>, times: Option<u32>
     }
 }
 
-/// Checks whether `name` is armed for `key` and, if so, consumes one firing
-/// and returns its action.
-fn fire(name: &str, key: u64) -> Option<Action> {
+/// Checks whether `name` is armed for `key` with an action of `probe`'s
+/// kind and, if so, consumes one firing and returns its action. The kind
+/// filter keeps co-located hooks independent: production code may plant
+/// both a `maybe_die` and a `should_fail_io` at one fail point, and a test
+/// arming `IoError` must not have its budget silently drained by the
+/// death probe.
+fn fire(name: &str, key: u64, probe: &Action) -> Option<Action> {
     if ARMED.load(Ordering::Relaxed) == 0 {
         return None;
     }
     let mut map = registry().lock().expect("fail-point registry poisoned");
     let point = map.get_mut(name)?;
-    if point.key.is_some_and(|k| k != key) {
+    if point.key.is_some_and(|k| k != key) || !point.action.kind_matches(probe) {
         return None;
     }
     match &mut point.remaining {
@@ -162,7 +180,7 @@ fn fire(name: &str, key: u64) -> Option<Action> {
 /// deadline expired").
 #[must_use]
 pub fn triggered(name: &str, key: u64) -> bool {
-    matches!(fire(name, key), Some(Action::Trigger))
+    matches!(fire(name, key, &Action::Trigger), Some(Action::Trigger))
 }
 
 /// Hook: panics when `name` is armed with [`Action::Panic`] for `key`.
@@ -171,7 +189,7 @@ pub fn triggered(name: &str, key: u64) -> bool {
 ///
 /// Panics with the armed message — that is the point.
 pub fn maybe_panic(name: &str, key: u64) {
-    if let Some(Action::Panic(message)) = fire(name, key) {
+    if let Some(Action::Panic(message)) = fire(name, key, &Action::Panic(String::new())) {
         panic!("{message}");
     }
 }
@@ -182,7 +200,80 @@ pub fn maybe_panic(name: &str, key: u64) {
 /// dependency-free.
 #[must_use]
 pub fn should_fail_io(name: &str) -> bool {
-    matches!(fire(name, 0), Some(Action::IoError))
+    matches!(fire(name, 0, &Action::IoError), Some(Action::IoError))
+}
+
+/// Hook: aborts the process when `name` is armed with [`Action::Abort`] for
+/// `key` — the crash-injection point of the chaos suites. `abort` (not
+/// `exit`) means no unwinding and no `Drop` cleanup runs: lock files, claim
+/// files, and half-written temp files are left exactly as a killed worker
+/// would leave them.
+pub fn maybe_die(name: &str, key: u64) {
+    if let Some(Action::Abort) = fire(name, key, &Action::Abort) {
+        // A diagnostic on stderr, then hard death.
+        eprintln!("rtrm-testkit: fail point {name} (key {key}) aborting the process");
+        std::process::abort();
+    }
+}
+
+/// Arms fail points from the `RTRM_FAILPOINTS` environment variable —
+/// the cross-process channel of the chaos suites, since a spawned worker
+/// cannot share the parent's in-process registry.
+///
+/// Grammar (entries separated by `;`):
+///
+/// ```text
+/// RTRM_FAILPOINTS = entry [ ";" entry ]*
+/// entry           = name "=" action [ "@" times ] [ "#" key ]
+/// action          = "abort" | "panic" | "trigger" | "io"
+/// ```
+///
+/// `times` bounds the number of firings, `key` restricts the point to one
+/// hook key — both as in [`arm_with`]. Malformed entries are skipped with a
+/// warning on stderr (a chaos run must not be derailed by a typo acting as
+/// "no fault injected" silently — the warning makes it visible).
+///
+/// Returns the guards; callers keep them alive for the process lifetime
+/// (typically via [`std::mem::forget`] or by holding them in `main`).
+#[must_use]
+pub fn arm_from_env() -> Vec<Guard> {
+    let Ok(spec) = std::env::var("RTRM_FAILPOINTS") else {
+        return Vec::new();
+    };
+    let mut guards = Vec::new();
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        match parse_entry(entry.trim()) {
+            Some((name, action, key, times)) => {
+                guards.push(arm_with(&name, action, key, times));
+            }
+            None => eprintln!("rtrm-testkit: skipping malformed RTRM_FAILPOINTS entry '{entry}'"),
+        }
+    }
+    guards
+}
+
+/// Parses one `name=action[@times][#key]` entry of [`arm_from_env`].
+fn parse_entry(entry: &str) -> Option<(String, Action, Option<u64>, Option<u32>)> {
+    let (name, rest) = entry.split_once('=')?;
+    if name.is_empty() {
+        return None;
+    }
+    let (rest, key) = match rest.split_once('#') {
+        Some((r, k)) => (r, Some(k.parse().ok()?)),
+        None => (rest, None),
+    };
+    let (action, times) = match rest.split_once('@') {
+        Some((a, t)) => (a, Some(t.parse().ok()?)),
+        None => (rest, None),
+    };
+    let action = match action {
+        "abort" => Action::Abort,
+        "panic" => Action::Panic(format!("injected by RTRM_FAILPOINTS at {name}")),
+        "trigger" => Action::Trigger,
+        "io" => Action::IoError,
+        _ => return None,
+    };
+    Some((name.to_string(), action, key, times))
 }
 
 #[cfg(test)]
@@ -244,5 +335,48 @@ mod tests {
         let _b = arm_with("t::rearm", Action::Trigger, Some(2), None);
         assert!(!triggered("t::rearm", 1));
         assert!(triggered("t::rearm", 2));
+    }
+
+    #[test]
+    fn hooks_only_consume_their_own_action_kind() {
+        // Co-located hooks: a death probe at an IoError-armed point must
+        // neither fire nor drain the budget.
+        let guard = arm_with("t::kinds", Action::IoError, None, Some(1));
+        maybe_die("t::kinds", 0); // would abort if it matched
+        assert!(!triggered("t::kinds", 0));
+        assert_eq!(guard.hits(), 0, "foreign probes consumed the budget");
+        assert!(should_fail_io("t::kinds"));
+        assert!(!should_fail_io("t::kinds"), "budget of 1 is spent");
+    }
+
+    #[test]
+    fn disarmed_maybe_die_is_a_no_op() {
+        maybe_die("t::die-never-armed", 0); // must not abort
+    }
+
+    #[test]
+    fn env_entries_parse() {
+        let (name, action, key, times) = parse_entry("sweep::claim=abort").expect("parses");
+        assert_eq!(name, "sweep::claim");
+        assert_eq!(action, Action::Abort);
+        assert_eq!((key, times), (None, None));
+
+        let (name, action, key, times) = parse_entry("sweep::part_publish=io@2#7").expect("parses");
+        assert_eq!(name, "sweep::part_publish");
+        assert_eq!(action, Action::IoError);
+        assert_eq!((key, times), (Some(7), Some(2)));
+
+        let (_, action, _, times) = parse_entry("a=trigger@1").expect("parses");
+        assert_eq!(action, Action::Trigger);
+        assert_eq!(times, Some(1));
+        assert!(matches!(
+            parse_entry("a=panic").expect("parses").1,
+            Action::Panic(_)
+        ));
+
+        assert!(parse_entry("no-equals").is_none());
+        assert!(parse_entry("=abort").is_none());
+        assert!(parse_entry("a=explode").is_none());
+        assert!(parse_entry("a=abort@notanumber").is_none());
     }
 }
