@@ -24,6 +24,8 @@ echo "==> differential suites: incremental EDF timeline + phantom fast path + un
 cargo test -q -p rtrm-sched --test incremental
 cargo test -q -p rtrm-core --test phantom_fastpath
 cargo test -q -p rtrm-core --test prune_differential
+cargo test -q -p rtrm-core --test warmstart_differential
+cargo test -q -p rtrm-core --test presolve_differential
 cargo test -q -p rtrm-sim --test phantom_differential
 cargo test -q -p rtrm-sim --test unified_queue
 cargo test -q -p rtrm-bench --test sweep_differential

@@ -1,0 +1,197 @@
+//! Exact-backend scaling bench: `decide()` latency of the warm-started,
+//! presolved managers against the cold/unpresolved baseline on a contended
+//! fixture, sweeping the platform up to 512 resources. Records
+//! `BENCH_milp.json` at the workspace root (see README, "Performance"); run
+//! in release:
+//!
+//! ```text
+//! cargo run --release -p rtrm-bench --bin milp_scale
+//! ```
+//!
+//! The fixture is adversarial for a cold depth-first search and friendly to
+//! the paper's regret heuristic — the regime warm starts are for. Resources
+//! come in pairs of tasks (A, B) contending for one shared slot `r`:
+//!
+//! * task A: energy 1.0 on `r`, 1.2 on a private alternate, expensive on a
+//!   third resource;
+//! * task B: energy 1.01 on `r`, expensive (~E) on two private resources.
+//!
+//! The branching order (most-constrained, then largest spread) interleaves
+//! A before its B, so the cold search greedily parks every A on its `r`,
+//! forcing every B to an expensive fallback — a first incumbent ~E/2.2
+//! times costlier than the optimum (A on the alternate, B on `r`), which it
+//! then walks down pair by pair, re-exploring suffixes as it goes. The
+//! regret heuristic resolves each pair correctly up front (B's regret ~E
+//! dwarfs A's 0.2), so the warm-started search begins at the optimum and
+//! the injected-incumbent bound collapses that whole walk. Decisions are
+//! identical either way (`warmstart_differential.rs`); only the time
+//! differs.
+
+use rtrm_core::{Activation, ExactRm, JobView, MilpRm, ResourceManager, TimelinePool};
+use rtrm_platform::{Energy, Platform, TaskCatalog, TaskType, TaskTypeId, Time};
+use rtrm_sched::JobKey;
+
+/// The resource-count sweep: the scaling axis of `BENCH_platform.json`.
+const RESOURCES: [usize; 3] = [32, 128, 512];
+
+/// Each contended pair owns five resources (shared slot, A's alternate,
+/// A's expensive third, B's two expensive fallbacks); two more host the
+/// arriving job and the phantom.
+fn pairs(m: usize) -> usize {
+    (m - 2) / 5
+}
+
+/// Execution time of every placement; deadlines equal it, so each resource
+/// holds exactly one task and the pairs genuinely contend.
+const EXEC: f64 = 4.0;
+
+fn world(m: usize) -> (Platform, TaskCatalog) {
+    let k = pairs(m);
+    let mut builder = Platform::builder();
+    for i in 0..m {
+        builder.cpu(format!("c{i}"));
+    }
+    let platform = builder.build();
+    let ids: Vec<_> = platform.ids().collect();
+
+    let mut types = Vec::new();
+    for p in 0..k {
+        // Strictly decreasing expensive tiers keep every spread distinct,
+        // pinning the deterministic branch order A_0, B_0, A_1, B_1, …
+        let e = 60.0 - p as f64 * 0.02;
+        let base = 5 * p;
+        let mut a = TaskType::builder(2 * p, &platform);
+        a.profile(ids[base], Time::new(EXEC), Energy::new(1.0));
+        a.profile(ids[base + 1], Time::new(EXEC), Energy::new(1.2));
+        a.profile(ids[base + 2], Time::new(EXEC), Energy::new(e));
+        types.push(a.build());
+        let mut b = TaskType::builder(2 * p + 1, &platform);
+        b.profile(ids[base], Time::new(EXEC), Energy::new(1.01));
+        b.profile(ids[base + 3], Time::new(EXEC), Energy::new(e - 0.012));
+        b.profile(ids[base + 4], Time::new(EXEC), Energy::new(e - 0.008));
+        types.push(b.build());
+    }
+    // The arriving task and the phantom each get a private uncontended
+    // resource, so every fixture admits and the ladder's phantom rung is
+    // the one measured.
+    let mut arr = TaskType::builder(2 * k, &platform);
+    arr.profile(ids[5 * k], Time::new(EXEC), Energy::new(1.0));
+    types.push(arr.build());
+    let mut ph = TaskType::builder(2 * k + 1, &platform);
+    ph.profile(ids[5 * k + 1], Time::new(EXEC), Energy::new(1.0));
+    types.push(ph.build());
+    (platform, TaskCatalog::new(types))
+}
+
+/// One ready job per pair member, all released now with deadlines one
+/// execution away, plus the arriving job and one phantom.
+fn fixture(m: usize) -> (Vec<JobView>, JobView, Vec<JobView>) {
+    let k = pairs(m);
+    let now = Time::ZERO;
+    let deadline = now + Time::new(EXEC);
+    let active: Vec<JobView> = (0..2 * k)
+        .map(|i| JobView::fresh(JobKey(i as u64), TaskTypeId::new(i), now, deadline))
+        .collect();
+    let arriving = JobView::fresh(JobKey(10_000), TaskTypeId::new(2 * k), now, deadline);
+    let release = now + Time::new(0.5);
+    let predicted = vec![JobView::fresh(
+        JobKey(10_001),
+        TaskTypeId::new(2 * k + 1),
+        release,
+        release + Time::new(EXEC),
+    )];
+    (active, arriving, predicted)
+}
+
+/// Mean ns per call over a self-calibrated iteration count.
+fn measure<R>(mut f: impl FnMut() -> R) -> f64 {
+    let warmup = std::time::Instant::now();
+    let mut calibration = 0u64;
+    while warmup.elapsed() < std::time::Duration::from_millis(5) {
+        std::hint::black_box(f());
+        calibration += 1;
+    }
+    let iters = calibration.max(1) * 6;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut push_row = |series: &str, resources: usize, baseline_ns: f64, warm_ns: f64| {
+        let speedup = baseline_ns / warm_ns;
+        println!(
+            "milp scale: series={series} resources={resources:>4} \
+             cold={baseline_ns:.0}ns warm={warm_ns:.0}ns speedup={speedup:.2}x"
+        );
+        rows.push(format!(
+            "    {{\"series\": \"{series}\", \"depth\": {resources}, \"baseline_ns\": \
+             {baseline_ns:.1}, \"warm_ns\": {warm_ns:.1}, \"speedup\": {speedup:.2}}}"
+        ));
+    };
+
+    // The MILP-series ladder (ExactRm, the exact backend the simulator
+    // runs): defaults (warm start + presolve) vs both disabled.
+    for m in RESOURCES {
+        let (platform, catalog) = world(m);
+        let (active, arriving, predicted) = fixture(m);
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &predicted,
+        };
+        let mut pool = TimelinePool::new();
+        pool.ensure_index(&platform, &catalog);
+        let mut warm = ExactRm::new();
+        let warm_ns = measure(|| warm.decide_with_pool(&activation, &mut pool));
+        let mut cold_pool = TimelinePool::new();
+        cold_pool.ensure_index(&platform, &catalog);
+        let mut cold = ExactRm {
+            warm_start: false,
+            presolve: false,
+            ..ExactRm::default()
+        };
+        let baseline_ns = measure(|| cold.decide_with_pool(&activation, &mut cold_pool));
+        push_row("milp_ladder_decide", m, baseline_ns, warm_ns);
+    }
+
+    // The literal Sec 4.2 encoding (MilpRm) at the sizes its dense simplex
+    // tolerates: the same warm seed arrives through SolveOptions and the
+    // branch & bound's injected incumbent.
+    for m in [7usize, 32] {
+        let (platform, catalog) = world(m);
+        let (active, arriving, predicted) = fixture(m);
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &predicted,
+        };
+        let mut warm = MilpRm::new();
+        let warm_ns = measure(|| warm.decide(&activation));
+        let mut cold = MilpRm {
+            warm_start: false,
+            ..MilpRm::default()
+        };
+        cold.options.presolve = false;
+        let baseline_ns = measure(|| cold.decide(&activation));
+        push_row("milp_encoded_decide", m, baseline_ns, warm_ns);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"milp_scale\",\n  \"units\": \"ns_per_call\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_milp.json");
+    std::fs::write(path, json).expect("write BENCH_milp.json");
+    println!("wrote {path}");
+}

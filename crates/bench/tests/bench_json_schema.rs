@@ -421,6 +421,65 @@ fn bench_platform_json_schema_is_current() {
     }
 }
 
+/// `BENCH_milp.json` — the exact-backend warm-start/presolve record
+/// (`milp_scale` bin). The depth column is the resource count; the
+/// acceptance bar is a >= 3x ladder-decide speedup at 128 resources and
+/// beyond, warm-started + presolved defaults vs the cold/unpresolved
+/// baseline on the contended pair fixture. The `milp_encoded_decide`
+/// series (the literal Sec 4.2 encoding) is recorded for honesty at the
+/// sizes its dense simplex tolerates — there the LP-guided search does not
+/// fall into the DFS trap, so no bar beyond positivity applies.
+#[test]
+fn bench_milp_json_schema_is_current() {
+    let doc = load("BENCH_milp.json");
+    let mut series = Vec::new();
+    check_envelope(&doc, "milp_scale", |row| {
+        let s = row
+            .get("series")
+            .and_then(Json::as_str)
+            .expect("row series");
+        assert!(
+            matches!(s, "milp_ladder_decide" | "milp_encoded_decide"),
+            "unknown series {s}"
+        );
+        assert!(row.get("baseline_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(row.get("warm_ns").and_then(Json::as_f64).unwrap() > 0.0);
+    });
+    for row in doc.get("results").and_then(Json::as_array).unwrap() {
+        series.push((
+            row.get("series").and_then(Json::as_str).unwrap().to_owned(),
+            row.get("depth").and_then(Json::as_f64).unwrap() as u64,
+            row.get("speedup").and_then(Json::as_f64).unwrap(),
+        ));
+    }
+    for want in ["milp_ladder_decide", "milp_encoded_decide"] {
+        assert!(
+            series.iter().any(|(s, _, _)| s == want),
+            "missing series {want}"
+        );
+    }
+    // The ladder series must cover the scaling axis...
+    for want in [32, 128, 512] {
+        assert!(
+            series
+                .iter()
+                .any(|(s, d, _)| s == "milp_ladder_decide" && *d == want),
+            "milp_ladder_decide must cover {want} resources"
+        );
+    }
+    // ...and hold the acceptance bar at 128 resources and beyond: the
+    // warm-started, presolved exact ladder must be at least 3x the cold
+    // baseline (the recorded runs show ~20x and ~40x).
+    for (s, d, speedup) in &series {
+        if s == "milp_ladder_decide" && *d >= 128 {
+            assert!(
+                *speedup >= 3.0,
+                "recorded {s} speedup at {d} resources regressed below 3x: {speedup}"
+            );
+        }
+    }
+}
+
 /// `BENCH_horizon.json` — the horizon-depth scaling record (`horizon`
 /// bin). The depth column is the number of admitted phantoms `k`, so it
 /// does not go through [`check_envelope`] (which pins depth 128): the

@@ -14,7 +14,7 @@
 
 use std::time::{Duration, Instant};
 
-use rtrm_platform::{Energy, PlatformIndex};
+use rtrm_platform::{Energy, PlatformIndex, Time};
 
 use crate::activation::{Activation, Decision, PlanBuilder, ResourceManager, TimelinePool};
 use crate::cost::{candidates, Candidate};
@@ -52,6 +52,19 @@ pub struct ExactRm {
     /// [`CandidateTable`] rows. Decisions are identical; this is the
     /// pre-pruning baseline, kept for benchmarks and differential tests.
     pub unpruned_candidates: bool,
+    /// Seed every rung's branch & bound with the heuristic's plan as a
+    /// starting incumbent (enabled by default). The injected incumbent
+    /// prunes with the *exact* bound — no tolerance slack — and an equally
+    /// good search-discovered leaf replaces it, so decisions are
+    /// bit-identical to a cold search (`warmstart_differential.rs`); only
+    /// the node count shrinks. Disable for the cold A/B baseline.
+    pub warm_start: bool,
+    /// Drop candidates dominated within their (resource, pinned) group —
+    /// strictly cheaper energy at no more execution time — before the
+    /// search (enabled by default). A dominated candidate is in no optimal
+    /// plan and the branching order is keyed on the pre-drop rows, so
+    /// decisions are identical. Disable for the unpresolved A/B baseline.
+    pub presolve: bool,
 }
 
 impl Default for ExactRm {
@@ -62,6 +75,8 @@ impl Default for ExactRm {
             oracle_feasibility: false,
             wall_clock_budget: None,
             unpruned_candidates: false,
+            warm_start: true,
+            presolve: true,
         }
     }
 }
@@ -132,7 +147,7 @@ impl ExactRm {
 
         // Candidate lists, filtered by the per-task deadline bound
         // (constraint (2)) and sorted cheapest first for pruning.
-        let cand: Vec<Vec<Candidate>> = jobs
+        let mut cand: Vec<Vec<Candidate>> = jobs
             .iter()
             .map(|j| {
                 let tleft = j.time_left(activation.now);
@@ -152,11 +167,20 @@ impl ExactRm {
         if cand.iter().any(Vec::is_empty) {
             return Attempt::default();
         }
-        self.branch_and_bound(activation, num_phantoms, n_real, &jobs, &cand, pool)
+        // Branch-order keys are taken before the dominance drop so the
+        // presolved and unpresolved searches walk the same tree shape.
+        let keys = order_keys(&cand);
+        if self.presolve {
+            drop_dominated_rows(&mut cand, activation.platform.len());
+        }
+        self.branch_and_bound(activation, num_phantoms, n_real, &jobs, &cand, &keys, pool)
     }
 
     /// The shared search: branching order, suffix minima, DFS, and plan
-    /// extraction — identical for both candidate sources.
+    /// extraction — identical for both candidate sources. `keys` carries the
+    /// per-job (candidate count, energy spread) branching keys, measured on
+    /// the pre-dominance rows so presolved and unpresolved runs agree.
+    #[allow(clippy::too_many_arguments)]
     fn branch_and_bound(
         &self,
         activation: &Activation<'_>,
@@ -164,15 +188,20 @@ impl ExactRm {
         n_real: usize,
         jobs: &[JobView],
         cand: &[Vec<Candidate>],
+        keys: &[(usize, Energy)],
         pool: &mut TimelinePool,
     ) -> Attempt {
-        // Branching order: most constrained task first (fewest candidates),
-        // then tightest deadline. `order[pos]` is the job index at depth pos.
+        // Branching order, pseudocost-lite: most constrained task first
+        // (fewest candidates), then largest energy spread (its assignment
+        // moves the bound the most), then tightest deadline; the stable sort
+        // pins remaining ties to job order so decisions stay deterministic.
+        // `order[pos]` is the job index at depth pos.
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         order.sort_by(|&a, &b| {
-            cand[a]
-                .len()
-                .cmp(&cand[b].len())
+            keys[a]
+                .0
+                .cmp(&keys[b].0)
+                .then(keys[b].1.cmp(&keys[a].1))
                 .then(jobs[a].deadline.cmp(&jobs[b].deadline))
         });
 
@@ -183,7 +212,29 @@ impl ExactRm {
             suffix_min[pos] = suffix_min[pos + 1] + cand[order[pos]][0].energy;
         }
 
-        let (nodes, best, timed_out) = {
+        // Warm start: seed the incumbent with the heuristic's plan. Its cost
+        // is re-summed in `order` position order — the same left-to-right
+        // fold the DFS uses — so when the search reaches the same leaf it
+        // computes the same float, and the `<=` replacement below fires.
+        let mut warm: Option<(Energy, Vec<Option<Candidate>>)> = if self.warm_start {
+            let mut warm_pool = TimelinePool::new();
+            warm_pool.set_oracle(self.oracle_feasibility);
+            HeuristicRm::new()
+                .solve_unpruned_with_chosen(activation, num_phantoms, &mut warm_pool)
+                .filter(|(_, chosen)| chosen.len() == jobs.len())
+                .map(|(_, chosen)| {
+                    let mut cost = Energy::ZERO;
+                    for &j in &order {
+                        cost += chosen[j].energy;
+                    }
+                    (cost, chosen.into_iter().map(Some).collect())
+                })
+        } else {
+            None
+        };
+
+        let (nodes, best, timed_out) = loop {
+            let injected = warm.is_some();
             let mut search = Search {
                 jobs,
                 cand,
@@ -191,7 +242,8 @@ impl ExactRm {
                 suffix_min: &suffix_min,
                 plan: PlanBuilder::new(activation, &mut *pool),
                 chosen: vec![None; jobs.len()],
-                best: None,
+                best: warm.take(),
+                injected,
                 nodes: 0,
                 budget: self.node_budget,
                 deadline: self
@@ -200,7 +252,20 @@ impl ExactRm {
                 timed_out: false,
             };
             search.dfs(0, Energy::ZERO);
-            (search.nodes, search.best, search.timed_out)
+            // The injected incumbent never leaves the search: it only ever
+            // prunes. If the search exhausted without a leaf replacing it
+            // (possible only through float-fold corners in the bound test),
+            // rerun cold so the result is guaranteed to be what a cold
+            // search returns; if a budget cut it short first, report no
+            // plan — exactly like a cold search that found nothing — and
+            // let the ladder degrade to its heuristic floor.
+            if search.injected {
+                if !search.timed_out && search.nodes < self.node_budget {
+                    continue;
+                }
+                search.best = None;
+            }
+            break (search.nodes, search.best, search.timed_out);
         };
         let Some((objective, chosen)) = best else {
             return Attempt {
@@ -238,6 +303,75 @@ impl ExactRm {
     }
 }
 
+/// Per-job branching keys: (candidate count, energy spread between the most
+/// and least expensive candidate). Rows are `(energy, resource)`-sorted, so
+/// the spread is `last − first`. Measured on the pre-dominance rows so the
+/// branching order does not depend on whether presolve ran.
+fn order_keys(rows: &[Vec<Candidate>]) -> Vec<(usize, Energy)> {
+    rows.iter()
+        .map(|row| {
+            let spread = match (row.first(), row.last()) {
+                (Some(first), Some(last)) => last.energy - first.energy,
+                _ => Energy::ZERO,
+            };
+            (row.len(), spread)
+        })
+        .collect()
+}
+
+/// Drops every candidate dominated *within* its (resource, pinned) group:
+/// `B` goes iff some `A` on the same resource with the same pinned flag has
+/// strictly smaller energy and no larger execution time — any plan using `B`
+/// swaps to `A` and strictly improves, so `B` is in no optimal plan and no
+/// equal-cost optimum either (the energy inequality is strict). Cross-
+/// resource dominance stays advisory (DESIGN.md §8): dropping across
+/// resources would need the EDF feasibility swap argument, which only holds
+/// on the same queue. Pinned and unpinned candidates never dominate each
+/// other — pinned entries sort to the head of the EDF order, so the swap
+/// argument breaks across the flag.
+///
+/// Rows are energy-sorted ascending, so dominators precede their victims;
+/// runs of equal energy are folded into the frontier only after the whole
+/// run is judged, keeping the energy comparison strict.
+fn drop_dominated_rows(rows: &mut [Vec<Candidate>], num_resources: usize) {
+    let mut frontier: Vec<Option<Time>> = vec![None; num_resources * 2];
+    let mut dropped: Vec<bool> = Vec::new();
+    for row in rows.iter_mut() {
+        frontier.iter_mut().for_each(|slot| *slot = None);
+        dropped.clear();
+        dropped.resize(row.len(), false);
+        let mut any = false;
+        let mut i = 0;
+        while i < row.len() {
+            let mut j = i;
+            while j < row.len() && row[j].energy == row[i].energy {
+                j += 1;
+            }
+            for k in i..j {
+                let slot = row[k].resource.index() * 2 + usize::from(row[k].pinned);
+                if frontier[slot].is_some_and(|exec| exec <= row[k].exec) {
+                    dropped[k] = true;
+                    any = true;
+                }
+            }
+            for c in &row[i..j] {
+                let slot = c.resource.index() * 2 + usize::from(c.pinned);
+                let exec = c.exec;
+                frontier[slot] = Some(frontier[slot].map_or(exec, |e| e.min(exec)));
+            }
+            i = j;
+        }
+        if any {
+            let mut k = 0;
+            row.retain(|_| {
+                let drop = dropped[k];
+                k += 1;
+                !drop
+            });
+        }
+    }
+}
+
 struct Search<'a, 'b> {
     jobs: &'a [JobView],
     cand: &'a [Vec<Candidate>],
@@ -246,6 +380,11 @@ struct Search<'a, 'b> {
     plan: PlanBuilder<'b>,
     chosen: Vec<Option<Candidate>>,
     best: Option<(Energy, Vec<Option<Candidate>>)>,
+    /// `best` holds a warm-start incumbent the search did not discover
+    /// itself. While set, pruning uses the strict bound (`>` instead of
+    /// `>=`) so an equally good subtree is never cut, and an equally good
+    /// leaf replaces the incumbent — after which the cold rules resume.
+    injected: bool,
     nodes: u64,
     budget: u64,
     deadline: Option<Instant>,
@@ -266,8 +405,17 @@ impl Search<'_, '_> {
         if pos == self.order.len() {
             // Deferred queues (future releases on non-preemptable
             // resources) are only validated here, on the complete plan.
-            if self.plan.all_schedulable() && self.best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            let accept = self.plan.all_schedulable()
+                && match self.best.as_ref() {
+                    None => true,
+                    // A leaf matching the injected incumbent's cost replaces
+                    // it: the incumbent becomes search-discovered state.
+                    Some((b, _)) if self.injected => cost <= *b,
+                    Some((b, _)) => cost < *b,
+                };
+            if accept {
                 self.best = Some((cost, self.chosen.clone()));
+                self.injected = false;
             }
             return;
         }
@@ -275,9 +423,17 @@ impl Search<'_, '_> {
         for ci in 0..self.cand[j].len() {
             let c = self.cand[j][ci];
             // Candidates are energy-sorted: once the bound fails it fails
-            // for every later candidate of this job.
+            // for every later candidate of this job. Against an injected
+            // incumbent the test is strict (`>`): its cost is feasible but
+            // unproven, and cutting an equally cheap subtree could hide a
+            // leaf the cold search would have returned.
             let bound = cost + c.energy + self.suffix_min[pos + 1];
-            if self.best.as_ref().is_some_and(|(b, _)| bound >= *b) {
+            let prune = match self.best.as_ref() {
+                None => false,
+                Some((b, _)) if self.injected => bound > *b,
+                Some((b, _)) => bound >= *b,
+            };
+            if prune {
                 break;
             }
             self.nodes += 1;
@@ -336,7 +492,13 @@ impl ResourceManager for ExactRm {
         let mut table = pool.take_table();
         let index = pool.take_index();
         table.rebuild(activation, true, self.gpu_restart_in_place, index.as_ref());
-        let cand_all = self.rung_rows(activation, &mut table, index.as_ref());
+        let mut cand_all = self.rung_rows(activation, &mut table, index.as_ref());
+        // Branch-order keys are taken before the dominance drop so the
+        // presolved and unpresolved searches walk the same tree shape.
+        let keys_all = order_keys(&cand_all);
+        if self.presolve {
+            drop_dominated_rows(&mut cand_all, activation.platform.len());
+        }
         let n_real = activation.active.len() + 1;
         let decision = decide_with_fallback_tracked(
             activation,
@@ -346,7 +508,15 @@ impl ResourceManager for ExactRm {
                 if cand.iter().any(Vec::is_empty) {
                     return Attempt::default();
                 }
-                self.branch_and_bound(act, k, n_real, &table.jobs()[..n_jobs], cand, pool)
+                self.branch_and_bound(
+                    act,
+                    k,
+                    n_real,
+                    &table.jobs()[..n_jobs],
+                    cand,
+                    &keys_all[..n_jobs],
+                    pool,
+                )
             },
             floor,
         );

@@ -208,6 +208,23 @@ impl HeuristicRm {
         num_phantoms: usize,
         pool: &mut TimelinePool,
     ) -> Option<Plan> {
+        self.solve_unpruned_with_chosen(activation, num_phantoms, pool)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`solve_unpruned`](HeuristicRm::solve_unpruned) plus the full
+    /// job-indexed chosen-candidate vector — *including* the phantom rows
+    /// that [`Plan::placements`] omits. The exact managers seed their
+    /// branch & bound incumbent from it: re-summing the chosen energies in
+    /// the search's own branching order reproduces the exact leaf cost the
+    /// search would compute for this assignment, which the bit-identity
+    /// protocol of the injected incumbent relies on.
+    pub(crate) fn solve_unpruned_with_chosen(
+        &self,
+        activation: &Activation<'_>,
+        num_phantoms: usize,
+        pool: &mut TimelinePool,
+    ) -> Option<(Plan, Vec<Candidate>)> {
         let jobs: Vec<JobView> = activation
             .jobs_with_phantoms(num_phantoms)
             .copied()
@@ -313,16 +330,20 @@ impl HeuristicRm {
         } else {
             Vec::new()
         };
-        Some(Plan {
-            placements: jobs[..n_real]
-                .iter()
-                .zip(&chosen)
-                .map(|(j, c)| (j.key, c.expect("all jobs mapped")))
-                .collect(),
-            objective,
-            nodes: iterations,
-            start_gates,
-        })
+        let full: Vec<Candidate> = chosen.iter().map(|c| c.expect("all jobs mapped")).collect();
+        Some((
+            Plan {
+                placements: jobs[..n_real]
+                    .iter()
+                    .zip(&full)
+                    .map(|(j, c)| (j.key, *c))
+                    .collect(),
+                objective,
+                nodes: iterations,
+                start_gates,
+            },
+            full,
+        ))
     }
 }
 

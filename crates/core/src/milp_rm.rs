@@ -48,11 +48,22 @@ use crate::view::JobView;
 /// simplex/branch & bound solver.
 #[derive(Debug, Clone)]
 pub struct MilpRm {
-    /// Solver limits per activation.
+    /// Solver limits per activation. `options.presolve` also gates the
+    /// encoding-level dominance drop (see [`MilpRm::warm_start`] for the
+    /// incumbent seeding).
     pub options: SolveOptions,
     /// Offer "abort and re-queue on the same GPU" placements (see
     /// [`candidates`](crate::candidates)).
     pub gpu_restart_in_place: bool,
+    /// Seed every rung's solve with the heuristic's plan, translated into a
+    /// full assignment (placement binaries plus the derived disjunction
+    /// binaries) and threaded through
+    /// [`SolveOptions::warm_start`]. The solver validates the point and
+    /// prunes against it with the exact bound, replacing it with the first
+    /// equally good search-discovered solution — decisions stay
+    /// bit-identical to a cold solve. Enabled by default; disable for the
+    /// cold A/B baseline.
+    pub warm_start: bool,
 }
 
 impl Default for MilpRm {
@@ -60,6 +71,73 @@ impl Default for MilpRm {
         MilpRm {
             options: SolveOptions::default(),
             gpu_restart_in_place: true,
+            warm_start: true,
+        }
+    }
+}
+
+/// A heuristic plan translated to the MILP's candidate space: the chosen
+/// candidate per real job, plus the first phantom's placement when the rung
+/// models one.
+struct WarmSeed {
+    real: Vec<Candidate>,
+    pred: Option<Candidate>,
+}
+
+/// Dominance presolve on the MILP's candidate rows: drops every candidate
+/// `B` for which some `A` of the same job on the same (resource, pinned)
+/// group has strictly smaller energy and no larger execution time. Any
+/// assignment using `B` swaps to `A`, stays feasible in every row of the
+/// encoding (the swap only shrinks the guarded prefix sums — `A` and `B`
+/// share the job, hence the deadline, hence their EDF slot), and strictly
+/// improves the objective, so `B` appears in no optimal solution and in no
+/// equal-cost optimum either.
+///
+/// Mirrors `exact.rs`'s `drop_dominated_rows`, which requires energy-sorted
+/// rows; the MILP rows keep emission order (it is the variable order), so
+/// this judges a sorted index view and drops in place, preserving the
+/// survivors' original order.
+fn drop_dominated_unsorted(rows: &mut [Vec<Candidate>], num_resources: usize) {
+    let mut frontier: Vec<Option<Time>> = vec![None; num_resources * 2];
+    let mut idx: Vec<usize> = Vec::new();
+    let mut dropped: Vec<bool> = Vec::new();
+    for row in rows.iter_mut() {
+        frontier.iter_mut().for_each(|slot| *slot = None);
+        idx.clear();
+        idx.extend(0..row.len());
+        idx.sort_by(|&a, &b| row[a].energy.cmp(&row[b].energy));
+        dropped.clear();
+        dropped.resize(row.len(), false);
+        let mut any = false;
+        // Runs of equal energy are judged against the frontier before being
+        // folded into it, keeping the energy comparison strict.
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j < idx.len() && row[idx[j]].energy == row[idx[i]].energy {
+                j += 1;
+            }
+            for &k in &idx[i..j] {
+                let slot = row[k].resource.index() * 2 + usize::from(row[k].pinned);
+                if frontier[slot].is_some_and(|exec| exec <= row[k].exec) {
+                    dropped[k] = true;
+                    any = true;
+                }
+            }
+            for &k in &idx[i..j] {
+                let slot = row[k].resource.index() * 2 + usize::from(row[k].pinned);
+                let exec = row[k].exec;
+                frontier[slot] = Some(frontier[slot].map_or(exec, |e| e.min(exec)));
+            }
+            i = j;
+        }
+        if any {
+            let mut k = 0;
+            row.retain(|_| {
+                let drop = dropped[k];
+                k += 1;
+                !drop
+            });
         }
     }
 }
@@ -112,6 +190,7 @@ impl MilpRm {
         real_jobs: &[JobView],
         real_cands: &[Vec<Candidate>],
         pred_cands: &[Candidate],
+        warm: Option<&WarmSeed>,
     ) -> Attempt {
         // The paper's formulation models a single predicted task; with a
         // longer lookahead this encoding honours the nearest phantom only
@@ -136,14 +215,37 @@ impl MilpRm {
             return Attempt::default();
         }
 
+        // A warm seed must cover every real job to translate; a stale one is
+        // skipped here (and the solver validates the point again anyway).
+        let warm = warm.filter(|s| s.real.len() == real_cands.len());
+        // `warm_vals` mirrors every `model.binary()` call below with the
+        // seed's value for that variable, so the finished vector lines up
+        // with the model's variable order exactly.
+        let mut warm_vals: Option<Vec<f64>> = warm.map(|_| Vec::new());
+
         let mut model = Model::new(Sense::Minimize);
         let real_vars: Vec<Vec<VarId>> = real_cands
             .iter()
-            .map(|cs| cs.iter().map(|c| model.binary(c.energy.value())).collect())
+            .enumerate()
+            .map(|(j, cs)| {
+                cs.iter()
+                    .map(|c| {
+                        if let (Some(vals), Some(seed)) = (warm_vals.as_mut(), warm) {
+                            vals.push(f64::from(seed.real[j] == *c));
+                        }
+                        model.binary(c.energy.value())
+                    })
+                    .collect()
+            })
             .collect();
         let pred_vars: Vec<VarId> = pred_cands
             .iter()
-            .map(|c| model.binary(c.energy.value()))
+            .map(|c| {
+                if let (Some(vals), Some(seed)) = (warm_vals.as_mut(), warm) {
+                    vals.push(f64::from(seed.pred == Some(*c)));
+                }
+                model.binary(c.energy.value())
+            })
             .collect();
 
         // (1): each task takes exactly one placement.
@@ -178,32 +280,41 @@ impl MilpRm {
             2.0 * (work + horizon) + 1.0
         };
 
-        // Per-resource structures.
+        // Entries on one resource: (job idx, deadline, exec, var, pinned).
+        struct Entry {
+            job: usize,
+            deadline: Time,
+            exec: f64,
+            var: VarId,
+            pinned: bool,
+        }
+
+        // Group every candidate by resource in ONE pass over the rows.
+        // Scanning job-major preserves the (job, candidate) order inside
+        // each group that the old per-resource rescan produced, so the
+        // emitted model is identical; the rescan was O(resources ×
+        // candidates) and dominated encode time at hundreds of resources.
+        let mut groups: Vec<Vec<Entry>> =
+            (0..activation.platform.len()).map(|_| Vec::new()).collect();
+        for (j, (cs, vars)) in real_cands.iter().zip(&real_vars).enumerate() {
+            for (c, v) in cs.iter().zip(vars) {
+                groups[c.resource.index()].push(Entry {
+                    job: j,
+                    deadline: real_jobs[j].deadline,
+                    exec: c.exec.value(),
+                    var: *v,
+                    pinned: c.pinned,
+                });
+            }
+        }
+
+        // Per-resource structures. A resource with no candidate entries and
+        // no predicted placement emits no rows at all (its EDF block is
+        // empty), which the loops below realise structurally.
         for resource in activation.platform.ids() {
-            // Entries on this resource: (job idx, deadline, exec, var,
-            // pinned). Sorted pinned-first then by absolute deadline, the
-            // EDF dispatch order of Sec 4.1.
-            struct Entry {
-                job: usize,
-                deadline: Time,
-                exec: f64,
-                var: VarId,
-                pinned: bool,
-            }
-            let mut entries: Vec<Entry> = Vec::new();
-            for (j, (cs, vars)) in real_cands.iter().zip(&real_vars).enumerate() {
-                for (c, v) in cs.iter().zip(vars) {
-                    if c.resource == resource {
-                        entries.push(Entry {
-                            job: j,
-                            deadline: real_jobs[j].deadline,
-                            exec: c.exec.value(),
-                            var: *v,
-                            pinned: c.pinned,
-                        });
-                    }
-                }
-            }
+            // Sorted pinned-first then by absolute deadline, the EDF
+            // dispatch order of Sec 4.1.
+            let mut entries = std::mem::take(&mut groups[resource.index()]);
             entries.sort_by(|a, b| {
                 b.pinned
                     .cmp(&a.pinned)
@@ -262,7 +373,18 @@ impl MilpRm {
                     // q = time after `now` when SL1 work on i completes.
                     let q_terms: Vec<(VarId, f64)> = sl1.iter().map(|e| (e.var, e.exec)).collect();
 
+                    // The seed's disjunction values are derived from its
+                    // already-pushed placement values — exactly the
+                    // semantics the rows below encode, so a feasible seed
+                    // plan yields a feasible point.
+                    let warm_q: Option<f64> = warm_vals
+                        .as_ref()
+                        .map(|vals| sl1.iter().map(|e| e.exec * vals[e.var.index()]).sum());
+
                     // z = 1 ⇔ q ≥ Δ (τ_p waits and starts at q).
+                    if let (Some(vals), Some(q)) = (warm_vals.as_mut(), warm_q) {
+                        vals.push(f64::from(q >= delta));
+                    }
                     let z = model.binary(0.0);
                     // q ≥ Δ − M(1−z)  ⇔  −q − Mz ≤ −Δ − M·0 ... encode:
                     let mut ge_terms: Vec<(VarId, f64)> = q_terms.clone();
@@ -301,6 +423,13 @@ impl MilpRm {
 
                         // Preempt case (z = 0): either e finishes before s_p
                         // (w = 1, pf ≤ Δ) or it is delayed by cp_p (w = 0).
+                        if let (Some(vals), Some(q)) = (warm_vals.as_mut(), warm_q) {
+                            let pf_val: f64 = q + sl2[..=rank2]
+                                .iter()
+                                .map(|p2| p2.exec * vals[p2.var.index()])
+                                .sum::<f64>();
+                            vals.push(f64::from(pf_val <= delta));
+                        }
                         let w = model.binary(0.0);
                         let mut before: Vec<(VarId, f64)> = pf.clone();
                         before.push((w, big_m));
@@ -317,7 +446,11 @@ impl MilpRm {
             }
         }
 
-        let solution = match model.solve_with(&self.options) {
+        let rung_options = SolveOptions {
+            warm_start: warm_vals,
+            ..self.options.clone()
+        };
+        let solution = match model.solve_with(&rung_options) {
             Ok(solution) => solution,
             // Wall-clock expiry with no incumbent: this rung failed *because
             // of time*, which the ladder must know to engage its floor.
@@ -383,18 +516,61 @@ impl ResourceManager for MilpRm {
         // activation's `t_left`, not the rung), so build them once and share
         // them across the whole fallback ladder.
         let real_jobs: Vec<JobView> = activation.jobs_without_prediction().copied().collect();
-        let real_cands: Vec<Vec<Candidate>> = real_jobs
+        let mut real_cands: Vec<Vec<Candidate>> = real_jobs
             .iter()
             .map(|j| self.collect(activation, j))
             .collect();
+        // Presolve: drop dominated placements before they become variables.
+        // Real rows only — the predicted row's interference constraints bind
+        // the *first* candidate per resource (the find-first in `solve`), so
+        // dropping a predicted candidate could promote a previously slack
+        // variable into the bound position and change the verdict.
+        if self.options.presolve {
+            drop_dominated_unsorted(&mut real_cands, activation.platform.len());
+        }
         let pred_cands: Vec<Candidate> = activation
             .predicted
             .first()
             .map(|p| self.collect(activation, p))
             .unwrap_or_default();
+
+        // Heuristic warm seeds, one per rung shape: every rung with k ≥ 1
+        // phantoms encodes only the nearest one (see `solve`), so a single
+        // 1-phantom seed covers them all and a 0-phantom seed covers the
+        // rest. Computed once per decide, not per rung.
+        let n_real = real_jobs.len();
+        let seed = |kp: usize| -> Option<WarmSeed> {
+            let mut pool = TimelinePool::new();
+            HeuristicRm::new()
+                .solve_unpruned_with_chosen(activation, kp, &mut pool)
+                .filter(|(_, chosen)| chosen.len() == n_real + kp)
+                .map(|(_, mut chosen)| {
+                    let pred = chosen.get(n_real).copied();
+                    chosen.truncate(n_real);
+                    WarmSeed { real: chosen, pred }
+                })
+        };
+        let (warm0, warm1) = if self.warm_start {
+            let w1 = if activation.predicted.is_empty() {
+                None
+            } else {
+                seed(1)
+            };
+            (seed(0), w1)
+        } else {
+            (None, None)
+        };
+
         decide_with_fallback_tracked(
             activation,
-            |act, k| self.solve(act, k, &real_jobs, &real_cands, &pred_cands),
+            |act, k| {
+                let warm = if k > 0 && !act.predicted.is_empty() {
+                    warm1.as_ref()
+                } else {
+                    warm0.as_ref()
+                };
+                self.solve(act, k, &real_jobs, &real_cands, &pred_cands, warm)
+            },
             // Heuristic floor: only consulted when every MILP rung failed and
             // at least one of those failures was a wall-clock expiry.
             |act| {

@@ -1,0 +1,226 @@
+//! Differential proof that the dominance presolve is decision-identical.
+//!
+//! `ExactRm` drops candidates dominated within their (resource, pinned)
+//! group before the search, and `MilpRm` drops them before they become
+//! variables (plus the solver-level singleton-equality fixing behind
+//! `SolveOptions::presolve`). A dominated candidate — strictly cheaper
+//! alternative at no more execution time on the same queue — is in no
+//! optimal plan and in no equal-cost optimum, so presolved and unpresolved
+//! runs must agree on everything except the node count, which presolve is
+//! allowed (indeed supposed) to shrink.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtrm_core::{Activation, Decision, ExactRm, JobView, MilpRm, Placement, ResourceManager};
+use rtrm_platform::{Platform, TaskCatalog, TaskTypeId, Time};
+use rtrm_sched::JobKey;
+use rtrm_trace::{generate_catalog, CatalogConfig};
+
+/// A compact recipe for one random activation on a sized platform.
+#[derive(Debug, Clone)]
+struct Scenario {
+    resources: usize,
+    with_gpu: bool,
+    seed: u64,
+    /// (type index, placement resource index or none, remaining fraction,
+    /// deadline slack multiplier)
+    active: Vec<(usize, Option<usize>, f64, f64)>,
+    arriving_type: usize,
+    arriving_slack: f64,
+    predicted: Option<(usize, f64, f64)>,
+}
+
+fn scenario(max_resources: usize, max_active: usize) -> impl Strategy<Value = Scenario> {
+    let sizes = if max_resources > 16 {
+        prop_oneof![
+            2usize..12,
+            2usize..12,
+            2usize..12,
+            Just(32usize),
+            Just(128usize),
+            Just(512usize),
+        ]
+        .boxed()
+    } else {
+        (2usize..=max_resources).boxed()
+    };
+    (
+        sizes,
+        any::<bool>(),
+        any::<u64>(),
+        prop::collection::vec(
+            (
+                0usize..6,
+                prop::option::of(0usize..8),
+                0.05f64..1.0,
+                1.2f64..4.0,
+            ),
+            0..max_active,
+        ),
+        0usize..6,
+        1.2f64..4.0,
+        prop::option::of((0usize..6, 0.1f64..30.0, 1.2f64..4.0)),
+    )
+        .prop_map(
+            |(resources, with_gpu, seed, active, arriving_type, arriving_slack, predicted)| {
+                Scenario {
+                    resources,
+                    with_gpu,
+                    seed,
+                    active,
+                    arriving_type,
+                    arriving_slack,
+                    predicted,
+                }
+            },
+        )
+}
+
+/// Materializes a scenario (same world as `prune_differential.rs`).
+fn build(
+    s: &Scenario,
+) -> (
+    Platform,
+    TaskCatalog,
+    Vec<JobView>,
+    JobView,
+    Option<JobView>,
+) {
+    let mut builder = Platform::builder();
+    for i in 0..s.resources {
+        match i % 3 {
+            0 => builder.cpu(format!("c{i}")),
+            1 => builder.cpu_with_dvfs(format!("c{i}"), &[0.5, 1.0]),
+            _ => builder.cpu_with_dvfs(format!("c{i}"), &[0.25, 0.5, 1.0, 2.0]),
+        };
+    }
+    if s.with_gpu {
+        builder.gpu("gpu0");
+    }
+    let platform = builder.build();
+
+    let mut rng = StdRng::seed_from_u64(s.seed);
+    let cfg = CatalogConfig {
+        num_types: 6,
+        cpu_wcet_mean: 10.0,
+        cpu_wcet_std: 3.0,
+        cpu_energy_mean: 5.0,
+        cpu_energy_std: 1.5,
+        ..CatalogConfig::paper()
+    };
+    let catalog = generate_catalog(&platform, &cfg, &mut rng);
+
+    let now = Time::new(100.0);
+    let mut gpu_started_taken = vec![false; platform.len()];
+    let mut active = Vec::new();
+    for (i, &(ty, place, frac, slack)) in s.active.iter().enumerate() {
+        let ty = TaskTypeId::new(ty % catalog.len());
+        let deadline = now + catalog.task_type(ty).mean_wcet() * slack;
+        let mut job = JobView::fresh(JobKey(i as u64), ty, now, deadline);
+        if let Some(r) = place {
+            let r = rtrm_platform::ResourceId::new(r % platform.len());
+            if catalog.task_type(ty).is_executable_on(r) {
+                let non_preemptable = !platform.resource(r).kind().is_preemptable();
+                let mut started = true;
+                if non_preemptable {
+                    if gpu_started_taken[r.index()] {
+                        started = false;
+                    } else {
+                        gpu_started_taken[r.index()] = true;
+                    }
+                }
+                job.placement = Some(Placement {
+                    resource: r,
+                    remaining_fraction: if started { frac } else { 1.0 },
+                    started,
+                    speed: 1.0,
+                });
+            }
+        }
+        active.push(job);
+    }
+
+    let arr_ty = TaskTypeId::new(s.arriving_type % catalog.len());
+    let arriving = JobView::fresh(
+        JobKey(1000),
+        arr_ty,
+        now,
+        now + catalog.task_type(arr_ty).mean_wcet() * s.arriving_slack,
+    );
+    let predicted = s.predicted.map(|(ty, offset, slack)| {
+        let ty = TaskTypeId::new(ty % catalog.len());
+        let arrival = now + Time::new(offset);
+        JobView::fresh(
+            JobKey(2000),
+            ty,
+            arrival,
+            arrival + catalog.task_type(ty).mean_wcet() * slack,
+        )
+    });
+    (platform, catalog, active, arriving, predicted)
+}
+
+/// Node counts are the one field presolve is *allowed* to change.
+fn strip_nodes(mut d: Decision) -> Decision {
+    d.nodes = 0;
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `ExactRm` presolved vs unpresolved, up to 512 resources.
+    #[test]
+    fn exact_presolved_matches_unpresolved(s in scenario(512, 4)) {
+        let (platform, catalog, active, arriving, predicted) = build(&s);
+        let phantoms: Vec<_> = predicted.into_iter().collect();
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &phantoms,
+        };
+        let mut with = ExactRm::new();
+        let mut without = ExactRm::new();
+        without.presolve = false;
+        let with_d = with.decide(&activation);
+        let without_d = without.decide(&activation);
+        prop_assert_eq!(
+            strip_nodes(with_d),
+            strip_nodes(without_d),
+            "presolved ExactRm diverged from unpresolved"
+        );
+    }
+
+    /// `MilpRm` presolved vs unpresolved on platforms small enough for the
+    /// dense simplex. Toggling `SolveOptions::presolve` switches both the
+    /// dominance drop and the solver's singleton-equality fixing (which
+    /// every constraint-(1) row of a single-candidate job exercises).
+    #[test]
+    fn milp_presolved_matches_unpresolved(s in scenario(6, 3)) {
+        let (platform, catalog, active, arriving, predicted) = build(&s);
+        let phantoms: Vec<_> = predicted.into_iter().collect();
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &phantoms,
+        };
+        let mut with = MilpRm::new();
+        let mut without = MilpRm::new();
+        without.options.presolve = false;
+        let with_d = with.decide(&activation);
+        let without_d = without.decide(&activation);
+        prop_assert_eq!(
+            strip_nodes(with_d),
+            strip_nodes(without_d),
+            "presolved MilpRm diverged from unpresolved"
+        );
+    }
+}

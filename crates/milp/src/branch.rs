@@ -14,8 +14,41 @@ use crate::SolveOptions;
 /// error. The `milp::stall` fail point (keyed by the node count) forces the
 /// deadline check to fire deterministically in fault-injection tests.
 pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
-    let lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
-    let upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+
+    // Presolve: a singleton equality row `a·x = b` forces `x = b/a`; tighten
+    // the root bounds so the simplex drops the column from every tableau (a
+    // variable with equal bounds is substituted out before phase 1). The row
+    // itself stays in the model and reduces to a redundant constant, which
+    // phase 1 absorbs.
+    if options.presolve {
+        for c in &model.constraints {
+            if c.cmp != crate::model::Cmp::Eq || c.terms.len() != 1 {
+                continue;
+            }
+            let (var, coeff) = c.terms[0];
+            if coeff == 0.0 {
+                if c.rhs != 0.0 {
+                    return Err(SolveError::Infeasible);
+                }
+                continue;
+            }
+            let j = var.index();
+            let mut v = c.rhs / coeff;
+            if model.vars[j].kind == VarKind::Integer {
+                if (v - v.round()).abs() > options.integrality_tolerance {
+                    return Err(SolveError::Infeasible);
+                }
+                v = v.round();
+            }
+            if v < lower[j] || v > upper[j] {
+                return Err(SolveError::Infeasible);
+            }
+            lower[j] = v;
+            upper[j] = v;
+        }
+    }
 
     // Internally compare in "minimize" direction.
     let dir = match model.sense {
@@ -25,10 +58,41 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
 
     let deadline = Deadline::new(options.max_wall_clock_secs);
     let mut best: Option<(f64, Vec<f64>)> = None; // (dir·objective, values)
+
+    // Seed the incumbent from a caller-supplied warm start, if it checks out
+    // as a feasible point. `injected` marks that the incumbent came from
+    // outside the search; while it is set, the bound test below uses the
+    // exact comparison (no `objective_tolerance` slack) so a subtree holding
+    // an equally good or better optimum is never cut, and an equally good
+    // search-discovered leaf *replaces* the injected point. Both together
+    // guarantee the returned values are ones the search itself reached, so
+    // warm and cold solves of the same model agree exactly.
+    let mut injected = false;
+    if let Some(ws) = &options.warm_start {
+        if ws.len() == model.vars.len() {
+            let mut snapped = ws.clone();
+            for (j, var) in model.vars.iter().enumerate() {
+                if var.kind == VarKind::Integer {
+                    snapped[j] = snapped[j].round();
+                }
+            }
+            let tol = options.integrality_tolerance;
+            let within_root = snapped
+                .iter()
+                .zip(lower.iter().zip(&upper))
+                .all(|(&x, (&lb, &ub))| x >= lb - tol && x <= ub + tol);
+            if within_root && model.is_feasible_point(&snapped, tol) {
+                best = Some((dir * model.objective_at(&snapped), snapped));
+                injected = true;
+            }
+        }
+    }
+
     let mut nodes: u64 = 0;
     let mut stack = vec![(lower, upper)];
     let mut hit_node_limit = false;
     let mut hit_iteration_limit = false;
+    let mut iteration_limit_hits: u64 = 0;
     let mut hit_time_limit = false;
 
     while let Some((lb, ub)) = stack.pop() {
@@ -42,7 +106,14 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
         }
         nodes += 1;
 
-        let outcome = solve_lp(model, &lb, &ub, options.max_simplex_iterations, &deadline);
+        // The `milp::pivot_limit` fail point (keyed by the node count)
+        // simulates a child LP exhausting its pivot budget, so tests can pin
+        // that such paths never report `Termination::Optimal`.
+        let outcome = if rtrm_testkit::triggered("milp::pivot_limit", nodes) {
+            LpOutcome::IterationLimit
+        } else {
+            solve_lp(model, &lb, &ub, options.max_simplex_iterations, &deadline)
+        };
         let (objective, values) = match outcome {
             LpOutcome::Optimal { objective, values } => (objective, values),
             LpOutcome::Infeasible => continue,
@@ -55,6 +126,7 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
             }
             LpOutcome::IterationLimit => {
                 hit_iteration_limit = true;
+                iteration_limit_hits += 1;
                 continue;
             }
             LpOutcome::TimedOut => {
@@ -63,15 +135,28 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
             }
         };
 
-        // Bound: prune nodes that cannot beat the incumbent.
+        // Bound: prune nodes that cannot beat the incumbent. An injected
+        // incumbent prunes with the exact bound — no tolerance slack —
+        // because its cost is a feasible value, not a proven one: shaving
+        // `objective_tolerance` off it could cut the subtree holding a
+        // strictly better optimum.
         if let Some((best_obj, _)) = &best {
-            if dir * objective >= *best_obj - options.objective_tolerance {
+            let prune = if injected {
+                dir * objective > *best_obj
+            } else {
+                dir * objective >= *best_obj - options.objective_tolerance
+            };
+            if prune {
                 continue;
             }
         }
 
-        // Pick the most fractional integer variable (closest to x.5).
-        let mut branch_var: Option<(usize, f64)> = None;
+        // Pick the branching variable, pseudocost-lite: the fractional
+        // integer variable with the largest objective impact (|coefficient|)
+        // branches first, so both children move the bound the most.
+        // Tie-break most-fractional (closest to x.5), then lowest index, so
+        // the choice — and with it the whole tree — is deterministic.
+        let mut branch_var: Option<(usize, f64, f64)> = None; // (j, |coeff|, dist)
         for (j, var) in model.vars.iter().enumerate() {
             if var.kind != VarKind::Integer {
                 continue;
@@ -81,8 +166,13 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
                 continue;
             }
             let dist_to_half = (x - x.floor() - 0.5).abs();
-            if branch_var.is_none_or(|(_, d)| dist_to_half < d) {
-                branch_var = Some((j, dist_to_half));
+            let score = var.objective.abs();
+            let better = match &branch_var {
+                None => true,
+                Some((_, s, d)) => score > *s || (score == *s && dist_to_half < *d),
+            };
+            if better {
+                branch_var = Some((j, score, dist_to_half));
             }
         }
 
@@ -97,15 +187,28 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
                 }
                 let obj = model.objective_at(&snapped);
                 let key = dir * obj;
-                if best.as_ref().is_none_or(|(b, _)| key < *b) {
+                // A search-discovered leaf must strictly beat a searched
+                // incumbent, but it *replaces* an injected one of equal cost:
+                // from then on the incumbent is a point the search reached,
+                // and warm/cold runs hold identical state.
+                let replaces = match best.as_ref() {
+                    None => true,
+                    Some((b, _)) => {
+                        if injected {
+                            key <= *b
+                        } else {
+                            key < *b
+                        }
+                    }
+                };
+                if replaces {
                     best = Some((key, snapped));
+                    injected = false;
                 }
             }
-            Some((j, _)) => {
+            Some((j, _, _)) => {
                 let x = values[j];
                 let floor = x.floor();
-                // Down branch pushed last → explored first (DFS), which digs
-                // toward integral solutions quickly.
                 let mut up_lb = lb.clone();
                 let up_ub = ub.clone();
                 up_lb[j] = floor + 1.0;
@@ -126,6 +229,23 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
         }
     }
 
+    // The injected incumbent never leaves the search: it only ever prunes.
+    // If the search exhausted without a leaf replacing it (possible only
+    // through float corners in the relaxation bound), rerun cold so the
+    // result is guaranteed to be what a cold solve returns; if a budget cut
+    // the search short first, report it like a cold solve that found nothing
+    // rather than echoing the caller's own point back.
+    if injected {
+        if !(hit_time_limit || hit_node_limit || hit_iteration_limit) {
+            let cold = SolveOptions {
+                warm_start: None,
+                ..options.clone()
+            };
+            return solve(model, &cold);
+        }
+        best = None;
+    }
+
     match best {
         Some((_, values)) => {
             let objective = model.objective_at(&values);
@@ -143,6 +263,7 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
                 objective,
                 nodes,
                 termination,
+                iteration_limit_hits,
             })
         }
         None if hit_time_limit => Err(SolveError::TimedOut),

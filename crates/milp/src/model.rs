@@ -300,6 +300,8 @@ pub struct Solution {
     pub(crate) objective: f64,
     pub(crate) nodes: u64,
     pub(crate) termination: Termination,
+    #[serde(default)]
+    pub(crate) iteration_limit_hits: u64,
 }
 
 impl Solution {
@@ -331,6 +333,16 @@ impl Solution {
     #[must_use]
     pub fn termination(&self) -> Termination {
         self.termination
+    }
+
+    /// How many branch & bound nodes abandoned their subtree because the
+    /// node's LP relaxation hit the simplex pivot budget. Nonzero counts mean
+    /// parts of the tree were skipped, so callers doing degradation
+    /// accounting should treat the solution as an incumbent even when it
+    /// happens to match the optimum.
+    #[must_use]
+    pub fn iteration_limit_hits(&self) -> u64 {
+        self.iteration_limit_hits
     }
 
     /// `true` when the search terminated with a proof of optimality.

@@ -70,15 +70,17 @@ fn injected_stall_returns_incumbent_labelled_timed_out() {
     let m = knapsack(12);
     let reference = solve_default(&m);
     // DFS dives toward integral solutions quickly: the incumbent found by
-    // the time the stall fires (well past the first dive) is feasible.
+    // the time the stall fires (well past the first dive) is feasible. The
+    // key must stay below the full tree size (~39 nodes for knapsack(12))
+    // or the solve finishes before the stall can fire.
     let _stall =
-        rtrm_testkit::arm_with("milp::stall", rtrm_testkit::Action::Trigger, Some(40), None);
+        rtrm_testkit::arm_with("milp::stall", rtrm_testkit::Action::Trigger, Some(20), None);
     let sol = m
         .solve_with(&SolveOptions::default())
-        .expect("40 nodes are enough for a first incumbent");
+        .expect("20 nodes are enough for a first incumbent");
     assert_eq!(sol.termination(), Termination::TimedOut);
     assert!(!sol.is_optimal());
-    assert!(sol.nodes_explored() <= 40);
+    assert!(sol.nodes_explored() <= 20);
     // The incumbent is a feasible integral point, no better than optimal.
     assert!(m.is_feasible_point(sol.values(), 1e-6));
     assert!(sol.objective() <= reference.objective() + 1e-9);

@@ -124,11 +124,23 @@ impl LatencyHistogram {
 
     /// The value at quantile `q` in `[0, 1]`: an upper bound on the true
     /// quantile, within one sub-bucket (~3.2 % relative error), clamped to
-    /// the recorded maximum. Returns 0 when empty.
+    /// the recorded maximum. The edges are exact: `q ≤ 0.0` is the smallest
+    /// recorded value and `q ≥ 1.0` the largest (both tracked outside the
+    /// buckets). Returns 0 when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        // Without this, the `clamp(1, …)` below would silently redefine
+        // q = 0 as the *first* value's bucket upper bound — an overestimate
+        // of the minimum — and q = 1 would report the maximum's bucket
+        // bound instead of the maximum.
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
         }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -204,9 +216,11 @@ mod tests {
         for &v in &values {
             h.record(v);
         }
-        for &q in &[0.5, 0.9, 0.99, 0.999] {
-            let exact =
-                values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+        for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            // `max(1)` keeps the rank subtraction from underflowing at
+            // q = 0.0 (where the true quantile is the smallest value).
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[(rank - 1).min(values.len() - 1)];
             let approx = h.quantile(q);
             assert!(approx >= exact, "q{q}: {approx} < exact {exact}");
             let error = (approx - exact) as f64 / exact as f64;
@@ -236,6 +250,24 @@ mod tests {
         for &q in &[0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
             assert_eq!(a.quantile(q), combined.quantile(q));
         }
+    }
+
+    #[test]
+    fn quantile_edges_are_exact_min_and_max() {
+        let mut h = LatencyHistogram::new();
+        // 1000 and 1007 share a log-linear bucket (octave 4, 16-wide), so
+        // the bucket walk alone would report the shared upper bound (1007)
+        // for both edges; the exact min must win at q = 0.
+        assert_eq!(bucket(1000), bucket(1007));
+        h.record(1000);
+        h.record(1007);
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.quantile(1.0), 1007);
+        // Out-of-range probes clamp to the same edge semantics.
+        assert_eq!(h.quantile(-0.5), 1000);
+        assert_eq!(h.quantile(1.5), 1007);
+        // Interior quantiles still report bucket upper bounds.
+        assert!(h.quantile(0.5) >= 1000);
     }
 
     #[test]
