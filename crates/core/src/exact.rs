@@ -29,8 +29,12 @@ use crate::view::JobView;
 pub struct ExactRm {
     /// Maximum branch & bound nodes per activation. When exhausted, the best
     /// plan found so far (if any) is used — an "anytime" cut-off that keeps
-    /// worst-case activations bounded. The default is high enough that the
-    /// paper-scale experiments in this repository never hit it.
+    /// worst-case activations bounded. A warm-started rung whose injected
+    /// incumbent was never replaced reruns cold on exhaustion, so the
+    /// anytime result is the cold search's either way (at up to twice the
+    /// node spend, which the reported [`Decision::nodes`] includes). The
+    /// default is high enough that the paper-scale experiments in this
+    /// repository never hit it.
     pub node_budget: u64,
     /// Offer "abort and re-queue on the same GPU" (see
     /// [`candidates`](crate::candidates)). Enabled by default; Fig 1's
@@ -57,7 +61,13 @@ pub struct ExactRm {
     /// prunes with the *exact* bound — no tolerance slack — and an equally
     /// good search-discovered leaf replaces it, so decisions are
     /// bit-identical to a cold search (`warmstart_differential.rs`); only
-    /// the node count shrinks. Disable for the cold A/B baseline.
+    /// the node count shrinks. If a binding [`node_budget`] cuts the search
+    /// while the incumbent is still injected, the rung reruns cold and
+    /// returns the cold anytime result — the seed never surfaces as the
+    /// answer and admission never degrades below the cold baseline.
+    /// Disable for the cold A/B baseline.
+    ///
+    /// [`node_budget`]: ExactRm::node_budget
     pub warm_start: bool,
     /// Drop candidates dominated within their (resource, pinned) group —
     /// strictly cheaper energy at no more execution time — before the
@@ -233,6 +243,9 @@ impl ExactRm {
             None
         };
 
+        // Nodes spent by a warm run that fell through to the cold rerun,
+        // carried into the reported count so the extra spend is visible.
+        let mut rerun_nodes: u64 = 0;
         let (nodes, best, timed_out) = loop {
             let injected = warm.is_some();
             let mut search = Search {
@@ -253,19 +266,29 @@ impl ExactRm {
             };
             search.dfs(0, Energy::ZERO);
             // The injected incumbent never leaves the search: it only ever
-            // prunes. If the search exhausted without a leaf replacing it
-            // (possible only through float-fold corners in the bound test),
-            // rerun cold so the result is guaranteed to be what a cold
-            // search returns; if a budget cut it short first, report no
-            // plan — exactly like a cold search that found nothing — and
-            // let the ladder degrade to its heuristic floor.
+            // prunes. Whenever it survives un-replaced — the tree was
+            // exhausted without a leaf matching it (a float-fold corner in
+            // the bound test) or the node budget cut the search off first —
+            // rerun cold, so the rung returns exactly what a cold search
+            // would: under a binding budget that is the cold anytime
+            // incumbent (admission must not turn into rejection just
+            // because the seed was good), and no plan only when even a cold
+            // search finds none. The rerun keeps the full node budget
+            // (shrinking it would change the cold result); the warm run's
+            // nodes are added to the reported count so the up-to-2× spend
+            // stays visible. Wall-clock expiry is the one exception — a
+            // rerun would double the rung's latency — so it reports no plan
+            // with `timed_out` set and the ladder degrades to its
+            // heuristic floor.
             if search.injected {
-                if !search.timed_out && search.nodes < self.node_budget {
+                if search.timed_out {
+                    search.best = None;
+                } else {
+                    rerun_nodes = search.nodes;
                     continue;
                 }
-                search.best = None;
             }
-            break (search.nodes, search.best, search.timed_out);
+            break (rerun_nodes + search.nodes, search.best, search.timed_out);
         };
         let Some((objective, chosen)) = best else {
             return Attempt {

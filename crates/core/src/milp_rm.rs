@@ -90,8 +90,19 @@ struct WarmSeed {
 /// assignment using `B` swaps to `A`, stays feasible in every row of the
 /// encoding (the swap only shrinks the guarded prefix sums — `A` and `B`
 /// share the job, hence the deadline, hence their EDF slot), and strictly
-/// improves the objective, so `B` appears in no optimal solution and in no
-/// equal-cost optimum either.
+/// improves the objective, so `B` appears in no *integer* optimum and in no
+/// equal-cost integer optimum either.
+///
+/// The swap argument covers integral solutions only: the LP **relaxation**
+/// can place fractional mass on a dominated column (its larger exec can
+/// help satisfy the big-M `≥` rows), so removing the column can change
+/// relaxation optima and with them the branch & bound path — and among
+/// equal-cost integer optima (common on symmetric platforms) a different
+/// path can in principle surface a different assignment. Unlike
+/// [`ExactRm`](crate::ExactRm), which keys its branch order on the
+/// pre-drop rows, `MilpRm` has no structural tie-break invariance here:
+/// that presolved and unpresolved *decisions* agree is validated by the
+/// sampled `presolve_differential.rs` proptest, not proven.
 ///
 /// Mirrors `exact.rs`'s `drop_dominated_rows`, which requires energy-sorted
 /// rows; the MILP rows keep emission order (it is the variable order), so

@@ -12,6 +12,13 @@
 //! of up to 4 phantoms. Only [`Decision::nodes`] may differ (that is the
 //! point of the warm start), so it is normalized out before comparing.
 //!
+//! Under a *binding* node budget bit-identity weakens to a one-sided
+//! guarantee: a rung whose injected seed survives the cut reruns cold (and
+//! is then exactly the cold anytime result), and a rung whose seed was
+//! replaced holds an incumbent at least as good as cold's — so warm
+//! admission never falls below cold admission, pinned by the budget-sweep
+//! tests below.
+//!
 //! [`Decision::nodes`]: rtrm_core::Decision
 
 use proptest::prelude::*;
@@ -19,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rtrm_core::{Activation, Decision, ExactRm, JobView, MilpRm, Placement, ResourceManager};
-use rtrm_platform::{Platform, TaskCatalog, TaskTypeId, Time};
+use rtrm_platform::{Energy, Platform, TaskCatalog, TaskType, TaskTypeId, Time};
 use rtrm_sched::JobKey;
 use rtrm_trace::{generate_catalog, CatalogConfig};
 
@@ -176,8 +183,129 @@ fn strip_nodes(mut d: Decision) -> Decision {
     d
 }
 
+/// The `milp_scale` contended-pair world (see
+/// `crates/bench/src/bin/milp_scale.rs`): `k` task pairs (A, B) contend for
+/// one shared cheap slot each. The branch order tries A before B, so a cold
+/// DFS parks every A on the shared slot and walks a long improvement
+/// cascade; the regret heuristic maps the optimum directly. This is the
+/// regime where a truncated warm search's injected seed survives un-replaced
+/// while a truncated cold search holds a (suboptimal) anytime incumbent.
+fn contended_world(k: usize) -> (Platform, TaskCatalog, Vec<JobView>, JobView) {
+    const EXEC: f64 = 4.0;
+    let mut builder = Platform::builder();
+    for i in 0..(5 * k + 1) {
+        builder.cpu(format!("c{i}"));
+    }
+    let platform = builder.build();
+    let ids: Vec<_> = platform.ids().collect();
+    let mut types = Vec::new();
+    for p in 0..k {
+        let e = 60.0 - p as f64 * 0.02;
+        let base = 5 * p;
+        let mut a = TaskType::builder(2 * p, &platform);
+        a.profile(ids[base], Time::new(EXEC), Energy::new(1.0));
+        a.profile(ids[base + 1], Time::new(EXEC), Energy::new(1.2));
+        a.profile(ids[base + 2], Time::new(EXEC), Energy::new(e));
+        types.push(a.build());
+        let mut b = TaskType::builder(2 * p + 1, &platform);
+        b.profile(ids[base], Time::new(EXEC), Energy::new(1.01));
+        b.profile(ids[base + 3], Time::new(EXEC), Energy::new(e - 0.012));
+        b.profile(ids[base + 4], Time::new(EXEC), Energy::new(e - 0.008));
+        types.push(b.build());
+    }
+    let mut arr = TaskType::builder(2 * k, &platform);
+    arr.profile(ids[5 * k], Time::new(EXEC), Energy::new(1.0));
+    types.push(arr.build());
+    let catalog = TaskCatalog::new(types);
+
+    let deadline = Time::new(EXEC);
+    let active: Vec<JobView> = (0..2 * k)
+        .map(|i| JobView::fresh(JobKey(i as u64), TaskTypeId::new(i), Time::ZERO, deadline))
+        .collect();
+    let arriving = JobView::fresh(JobKey(10_000), TaskTypeId::new(2 * k), Time::ZERO, deadline);
+    (platform, catalog, active, arriving)
+}
+
+/// Regression for the budget-cut discard: with a binding node budget the
+/// cold search keeps its anytime incumbent and admits, while the warm
+/// search's injected seed — strictly better than anything the truncated
+/// walk reaches — used to be thrown away with no plan and no timeout flag,
+/// so the ladder rejected. The warm rung must instead rerun cold and admit
+/// whatever the cold search admits; once the seed is replaced it may only
+/// improve on cold, never fall below it.
+#[test]
+fn binding_node_budget_never_turns_admission_into_rejection() {
+    let (platform, catalog, active, arriving) = contended_world(3);
+    let mut cold_admitted_somewhere_below_full = false;
+    for budget in 0..=80u64 {
+        let activation = Activation {
+            now: Time::ZERO,
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &[],
+        };
+        let mut warm = ExactRm::with_node_budget(budget);
+        let mut cold = ExactRm::with_node_budget(budget);
+        cold.warm_start = false;
+        let warm_d = warm.decide(&activation);
+        let cold_d = cold.decide(&activation);
+        if cold_d.admitted {
+            cold_admitted_somewhere_below_full |= budget < 80;
+            assert!(
+                warm_d.admitted,
+                "budget={budget}: cold admits (objective {:?}) but warm rejects",
+                cold_d.objective
+            );
+            assert!(
+                warm_d.objective <= cold_d.objective,
+                "budget={budget}: warm plan ({:?}) worse than cold ({:?})",
+                warm_d.objective,
+                cold_d.objective
+            );
+        }
+    }
+    assert!(
+        cold_admitted_somewhere_below_full,
+        "fixture error: no budget in the sweep exercised a binding-budget admission"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Admission monotonicity under a binding node budget on random worlds:
+    /// wherever the truncated cold search admits, the warm search must
+    /// admit too (it reruns cold whenever its injected seed survives the
+    /// cut, and otherwise holds an incumbent at least as good).
+    #[test]
+    fn exact_warm_admission_never_below_cold_under_budget(
+        s in scenario(10, 3),
+        budget in 0u64..150,
+    ) {
+        let (platform, catalog, active, arriving, predicted) = build(&s);
+        let activation = Activation {
+            now: Time::new(100.0),
+            platform: &platform,
+            catalog: &catalog,
+            active: &active,
+            arriving,
+            predicted: &predicted,
+        };
+        let mut warm = ExactRm::with_node_budget(budget);
+        let mut cold = ExactRm::with_node_budget(budget);
+        cold.warm_start = false;
+        let warm_d = warm.decide(&activation);
+        let cold_d = cold.decide(&activation);
+        if cold_d.admitted {
+            prop_assert!(
+                warm_d.admitted,
+                "budget {}: cold admits but warm rejects",
+                budget
+            );
+        }
+    }
 
     /// `ExactRm` warm vs cold, up to 512 resources and 4 phantoms.
     #[test]

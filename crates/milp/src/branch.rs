@@ -11,8 +11,12 @@ use crate::SolveOptions;
 /// [`SolveOptions::max_wall_clock_secs`]: when any of them cuts the search
 /// short, the best incumbent found so far is returned with the matching
 /// [`Termination`] label, and only a cut-off with no incumbent at all is an
-/// error. The `milp::stall` fail point (keyed by the node count) forces the
-/// deadline check to fire deterministically in fault-injection tests.
+/// error. A warm-started solve whose injected incumbent was never replaced
+/// reruns cold when a node or pivot budget binds, so these anytime
+/// semantics are those of the cold solve with or without a warm start (see
+/// the rerun comment at the end of this function). The `milp::stall` fail
+/// point (keyed by the node count) forces the deadline check to fire
+/// deterministically in fault-injection tests.
 pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
     let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
     let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
@@ -230,20 +234,34 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<Solution, S
     }
 
     // The injected incumbent never leaves the search: it only ever prunes.
-    // If the search exhausted without a leaf replacing it (possible only
-    // through float corners in the relaxation bound), rerun cold so the
-    // result is guaranteed to be what a cold solve returns; if a budget cut
-    // the search short first, report it like a cold solve that found nothing
-    // rather than echoing the caller's own point back.
+    // Whenever it survives un-replaced — the tree was exhausted without a
+    // leaf matching it (possible only through float corners in the
+    // relaxation bound), or the node budget / a child LP's pivot budget
+    // truncated a subtree before any leaf matched — rerun cold, so the
+    // result is exactly what a cold solve returns: its best
+    // search-discovered incumbent under the matching non-`Optimal`
+    // [`Termination`], or the cold error only when even a cold solve finds
+    // nothing. The rerun keeps the caller's full budgets (shrinking them
+    // would change the cold result) and the warm run's effort is folded
+    // into the returned accounting, so the up-to-2× spend stays visible.
+    // Wall-clock expiry is the one exception — a rerun would double the
+    // deadline — so it reports `Err(TimedOut)` instead of echoing the
+    // caller's own point back, and callers already treat that as latency
+    // degradation.
     if injected {
-        if !(hit_time_limit || hit_node_limit || hit_iteration_limit) {
+        if hit_time_limit {
+            best = None;
+        } else {
             let cold = SolveOptions {
                 warm_start: None,
                 ..options.clone()
             };
-            return solve(model, &cold);
+            return solve(model, &cold).map(|mut s| {
+                s.nodes += nodes;
+                s.iteration_limit_hits += iteration_limit_hits;
+                s
+            });
         }
-        best = None;
     }
 
     match best {
